@@ -1,0 +1,429 @@
+//! One agent: an autonomous runtime instance on one device.
+
+use crate::network::NetworkInner;
+use crate::offload::OffloadPolicy;
+use crate::ops::OpRegistry;
+use crate::orchestrator::{run_application, AppReport, Application};
+use bytes::Bytes;
+use continuum_platform::DeviceClass;
+use continuum_storage::{ObjectKey, StorageRuntime, StoredValue};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Identifier of an agent within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(pub(crate) u32);
+
+impl AgentId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// Liveness of an agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentStatus {
+    /// Processing messages.
+    Alive,
+    /// Disappeared (battery, mobility): messages are answered with
+    /// *lost* until revived.
+    Dead,
+}
+
+/// Snapshot of an agent, as returned by the probe verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentInfo {
+    /// The agent's id.
+    pub id: AgentId,
+    /// Human-readable name.
+    pub name: String,
+    /// Device layer the agent runs on.
+    pub class: DeviceClass,
+    /// Current liveness.
+    pub status: AgentStatus,
+    /// Tasks executed successfully so far.
+    pub executed: u64,
+}
+
+/// Result of one task execution request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExecReply {
+    /// Output stored under the task's output key.
+    Done,
+    /// The agent died before the result could be committed.
+    Lost,
+    /// The operation is unknown or an input could not be read.
+    Failed(String),
+}
+
+pub(crate) enum Msg {
+    Execute {
+        op: String,
+        inputs: Vec<ObjectKey>,
+        output: ObjectKey,
+        output_class: Option<String>,
+        reply: Sender<ExecReply>,
+    },
+    Probe {
+        reply: Sender<AgentInfo>,
+    },
+    StartApplication {
+        app: Application,
+        policy: Box<dyn OffloadPolicy>,
+        reply: Sender<Result<AppReport, crate::error::AgentError>>,
+    },
+    Shutdown,
+}
+
+/// An agent: a device-resident runtime with a message inbox, the
+/// in-process equivalent of the paper's Docker-deployed agent with a
+/// REST interface.
+pub struct Agent {
+    id: AgentId,
+    name: String,
+    class: DeviceClass,
+    sender: Sender<Msg>,
+    alive: Arc<AtomicBool>,
+    executed: Arc<AtomicU64>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Agent")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("alive", &self.alive.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Agent {
+    pub(crate) fn spawn(
+        id: AgentId,
+        name: String,
+        class: DeviceClass,
+        ops: OpRegistry,
+        store: Arc<dyn StorageRuntime>,
+        network: std::sync::Weak<NetworkInner>,
+    ) -> Self {
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let alive = Arc::new(AtomicBool::new(true));
+        let executed = Arc::new(AtomicU64::new(0));
+        let thread_alive = Arc::clone(&alive);
+        let thread_executed = Arc::clone(&executed);
+        let thread_name = name.clone();
+        let handle = thread::Builder::new()
+            .name(format!("agent-{id}"))
+            .spawn(move || {
+                agent_loop(
+                    id,
+                    thread_name,
+                    class,
+                    &rx,
+                    &ops,
+                    store.as_ref(),
+                    &thread_alive,
+                    &thread_executed,
+                    &network,
+                );
+            })
+            .expect("spawn agent thread");
+        Agent {
+            id,
+            name,
+            class,
+            sender: tx,
+            alive,
+            executed,
+            handle: Some(handle),
+        }
+    }
+
+    /// The agent's id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// The agent's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device class the agent runs on.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Current liveness.
+    pub fn status(&self) -> AgentStatus {
+        if self.alive.load(Ordering::SeqCst) {
+            AgentStatus::Alive
+        } else {
+            AgentStatus::Dead
+        }
+    }
+
+    /// Tasks executed successfully.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::SeqCst)
+    }
+
+    /// Simulates the device disappearing (low battery / out of range):
+    /// in-flight and queued work is answered with *lost*.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Brings the device back.
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the agent (the probe verb).
+    pub fn info(&self) -> AgentInfo {
+        AgentInfo {
+            id: self.id,
+            name: self.name.clone(),
+            class: self.class,
+            status: self.status(),
+            executed: self.executed(),
+        }
+    }
+
+    pub(crate) fn sender(&self) -> Sender<Msg> {
+        self.sender.clone()
+    }
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        let _ = self.sender.send(Msg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn agent_loop(
+    id: AgentId,
+    name: String,
+    class: DeviceClass,
+    rx: &Receiver<Msg>,
+    ops: &OpRegistry,
+    store: &dyn StorageRuntime,
+    alive: &AtomicBool,
+    executed: &AtomicU64,
+    network: &std::sync::Weak<NetworkInner>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Shutdown => break,
+            Msg::StartApplication { app, mut policy, reply } => {
+                // The agent becomes the application's orchestrator
+                // (fog-to-fog / cloud-to-fog, paper Fig. 6). The run is
+                // handled on a separate thread so the agent can keep
+                // executing tasks — including those of the application
+                // it is orchestrating.
+                if !alive.load(Ordering::SeqCst) {
+                    let _ = reply.send(Err(crate::error::AgentError::NoAgentAvailable {
+                        op: app.name().to_string(),
+                    }));
+                    continue;
+                }
+                let network = network.clone();
+                thread::Builder::new()
+                    .name(format!("agent-{id}-orchestrator"))
+                    .spawn(move || {
+                        let result = match network.upgrade() {
+                            Some(inner) => run_application(&inner, &app, policy.as_mut(), 10),
+                            None => Err(crate::error::AgentError::NoAgentAvailable {
+                                op: app.name().to_string(),
+                            }),
+                        };
+                        let _ = reply.send(result);
+                    })
+                    .expect("spawn orchestration thread");
+            }
+            Msg::Probe { reply } => {
+                let _ = reply.send(AgentInfo {
+                    id,
+                    name: name.clone(),
+                    class,
+                    status: if alive.load(Ordering::SeqCst) {
+                        AgentStatus::Alive
+                    } else {
+                        AgentStatus::Dead
+                    },
+                    executed: executed.load(Ordering::SeqCst),
+                });
+            }
+            Msg::Execute {
+                op,
+                inputs,
+                output,
+                output_class,
+                reply,
+            } => {
+                if !alive.load(Ordering::SeqCst) {
+                    let _ = reply.send(ExecReply::Lost);
+                    continue;
+                }
+                let Some(f) = ops.get(&op) else {
+                    let _ = reply.send(ExecReply::Failed(format!("unknown op `{op}`")));
+                    continue;
+                };
+                let mut in_values: Vec<Bytes> = Vec::with_capacity(inputs.len());
+                let mut failed = None;
+                for key in &inputs {
+                    match store.get(key) {
+                        Ok(v) => in_values.push(v.payload),
+                        Err(e) => {
+                            failed = Some(format!("input `{key}`: {e}"));
+                            break;
+                        }
+                    }
+                }
+                if let Some(msg) = failed {
+                    let _ = reply.send(ExecReply::Failed(msg));
+                    continue;
+                }
+                let result = f(&in_values);
+                // The paper's recovery hinge: if the device died while
+                // computing, the produced value never reaches the
+                // store and the orchestrator re-submits elsewhere.
+                if !alive.load(Ordering::SeqCst) {
+                    let _ = reply.send(ExecReply::Lost);
+                    continue;
+                }
+                let value = match output_class {
+                    Some(c) => StoredValue::object(result, c),
+                    None => StoredValue::blob(result),
+                };
+                match store.put(output.clone(), value, None) {
+                    Ok(_) => {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                        let _ = reply.send(ExecReply::Done);
+                    }
+                    Err(e) => {
+                        let _ = reply.send(ExecReply::Failed(format!("store put: {e}")));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_platform::NodeId;
+    use continuum_storage::{KvConfig, KvStore};
+
+    fn store() -> Arc<dyn StorageRuntime> {
+        Arc::new(
+            KvStore::new(
+                (0..2).map(NodeId::from_raw).collect(),
+                KvConfig { replication: 1 },
+            )
+            .unwrap(),
+        )
+    }
+
+    fn exec(agent: &Agent, op: &str, inputs: Vec<ObjectKey>, output: ObjectKey) -> ExecReply {
+        let (tx, rx) = unbounded();
+        agent
+            .sender()
+            .send(Msg::Execute {
+                op: op.to_string(),
+                inputs,
+                output,
+                output_class: None,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn agent_executes_and_persists() {
+        let ops = OpRegistry::new();
+        ops.register("double", |ins| {
+            Bytes::from(ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>())
+        });
+        let st = store();
+        st.put("in".into(), StoredValue::blob(vec![1, 2, 3]), None)
+            .unwrap();
+        let agent = Agent::spawn(AgentId(0), "fog-0".into(), DeviceClass::Fog, ops, Arc::clone(&st), std::sync::Weak::new());
+        let reply = exec(&agent, "double", vec!["in".into()], "out".into());
+        assert_eq!(reply, ExecReply::Done);
+        assert_eq!(&st.get(&"out".into()).unwrap().payload[..], &[2, 4, 6]);
+        assert_eq!(agent.executed(), 1);
+    }
+
+    #[test]
+    fn dead_agent_loses_tasks() {
+        let ops = OpRegistry::new();
+        ops.register("nop", |_| Bytes::new());
+        let st = store();
+        let agent = Agent::spawn(AgentId(0), "fog-0".into(), DeviceClass::Fog, ops, Arc::clone(&st), std::sync::Weak::new());
+        agent.kill();
+        assert_eq!(agent.status(), AgentStatus::Dead);
+        let reply = exec(&agent, "nop", vec![], "out".into());
+        assert_eq!(reply, ExecReply::Lost);
+        assert!(!st.contains(&"out".into()), "lost task must not commit");
+        agent.revive();
+        let reply = exec(&agent, "nop", vec![], "out".into());
+        assert_eq!(reply, ExecReply::Done);
+    }
+
+    #[test]
+    fn unknown_op_and_missing_input_fail() {
+        let ops = OpRegistry::new();
+        ops.register("use", |ins| ins[0].clone());
+        let st = store();
+        let agent = Agent::spawn(AgentId(0), "a".into(), DeviceClass::CloudVm, ops, st, std::sync::Weak::new());
+        assert!(matches!(
+            exec(&agent, "ghost", vec![], "o".into()),
+            ExecReply::Failed(_)
+        ));
+        assert!(matches!(
+            exec(&agent, "use", vec!["missing".into()], "o".into()),
+            ExecReply::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn probe_returns_info() {
+        let ops = OpRegistry::new();
+        let agent = Agent::spawn(AgentId(3), "edge-3".into(), DeviceClass::Edge, ops, store(), std::sync::Weak::new());
+        let (tx, rx) = unbounded();
+        agent.sender().send(Msg::Probe { reply: tx }).unwrap();
+        let info = rx.recv().unwrap();
+        assert_eq!(info.id, AgentId(3));
+        assert_eq!(info.class, DeviceClass::Edge);
+        assert_eq!(info.status, AgentStatus::Alive);
+        assert_eq!(info.executed, 0);
+        assert_eq!(agent.info(), info);
+    }
+
+    #[test]
+    fn drop_shuts_agent_down() {
+        let ops = OpRegistry::new();
+        let agent = Agent::spawn(AgentId(0), "a".into(), DeviceClass::Fog, ops, store(), std::sync::Weak::new());
+        drop(agent); // must join without hanging
+    }
+}

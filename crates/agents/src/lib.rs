@@ -1,0 +1,39 @@
+//! COMPSs-style autonomous agents for fog-to-cloud platforms (§VI-B
+//! of the paper).
+//!
+//! Each [`Agent`] is an independent runtime instance deployed on one
+//! device of the continuum (the paper deploys them as Docker
+//! microservices; here each agent is a thread with a message inbox
+//! carrying the same verbs as the REST interface: start application,
+//! submit task, probe resources, add/remove resources). Agents execute
+//! operations from a shared [`OpRegistry`] against a shared persistent
+//! store (the dataClay role): inputs are fetched from the store and
+//! every produced value is made persistent, so the loss of a fog
+//! device never loses data — the [`Orchestrator`] simply re-submits
+//! the lost task to another agent, exactly the recovery scenario the
+//! paper describes.
+//!
+//! Placement across the fog/cloud layers is delegated to an
+//! [`OffloadPolicy`] (local-first, cloud-first, or latency-aware); the
+//! same policies are available as [`ContinuumScheduler`] for the
+//! simulated engine, which is how the offloading experiments sweep
+//! network conditions at scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod error;
+mod network;
+mod offload;
+mod ops;
+mod orchestrator;
+mod sim_sched;
+
+pub use agent::{Agent, AgentId, AgentInfo, AgentStatus};
+pub use error::AgentError;
+pub use network::AgentNetwork;
+pub use offload::{LatencyAwareOffload, OffloadPolicy, PreferClass, RoundRobinOffload};
+pub use ops::OpRegistry;
+pub use orchestrator::{AppReport, AppTask, Application, Orchestrator};
+pub use sim_sched::{ContinuumPolicy, ContinuumScheduler};

@@ -1,0 +1,107 @@
+//! Shared operation registry: the code agents execute.
+//!
+//! In the paper every agent ships the same instrumented application
+//! code; here the equivalent is a registry of named byte-level
+//! operations shared by all agents of a network.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An operation body: inputs in, one output out.
+pub type OpFn = Arc<dyn Fn(&[Bytes]) -> Bytes + Send + Sync>;
+
+/// A registry of named operations.
+///
+/// # Example
+///
+/// ```
+/// use continuum_agents::OpRegistry;
+/// use bytes::Bytes;
+///
+/// let ops = OpRegistry::new();
+/// ops.register("concat", |inputs| {
+///     let mut out = Vec::new();
+///     for i in inputs {
+///         out.extend_from_slice(i);
+///     }
+///     Bytes::from(out)
+/// });
+/// let f = ops.get("concat").unwrap();
+/// assert_eq!(&f(&[Bytes::from_static(b"a"), Bytes::from_static(b"b")])[..], b"ab");
+/// ```
+#[derive(Clone, Default)]
+pub struct OpRegistry {
+    ops: Arc<RwLock<HashMap<String, OpFn>>>,
+}
+
+impl OpRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) an operation.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&[Bytes]) -> Bytes + Send + Sync + 'static,
+    ) {
+        self.ops.write().insert(name.into(), Arc::new(f));
+    }
+
+    /// Looks up an operation.
+    pub fn get(&self, name: &str) -> Option<OpFn> {
+        self.ops.read().get(name).cloned()
+    }
+
+    /// Returns `true` if the operation exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.ops.read().contains_key(name)
+    }
+
+    /// Number of registered operations.
+    pub fn len(&self) -> usize {
+        self.ops.read().len()
+    }
+
+    /// Returns `true` if no operations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for OpRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpRegistry")
+            .field("ops", &self.ops.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let ops = OpRegistry::new();
+        assert!(ops.is_empty());
+        ops.register("id", |inputs| inputs[0].clone());
+        assert!(ops.contains("id"));
+        assert!(!ops.contains("nope"));
+        assert_eq!(ops.len(), 1);
+        let f = ops.get("id").unwrap();
+        assert_eq!(&f(&[Bytes::from_static(b"x")])[..], b"x");
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let a = OpRegistry::new();
+        let b = a.clone();
+        a.register("f", |_| Bytes::new());
+        assert!(b.contains("f"));
+    }
+}

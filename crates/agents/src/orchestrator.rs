@@ -1,0 +1,447 @@
+//! The orchestrating agent: drives an application's task list over
+//! the network, offloading per policy and recovering lost tasks.
+
+use crate::agent::{AgentId, ExecReply, Msg};
+use crate::error::AgentError;
+use crate::network::{AgentNetwork, NetworkInner};
+use crate::offload::OffloadPolicy;
+use continuum_platform::DeviceClass;
+use continuum_storage::ObjectKey;
+use crossbeam::channel::{unbounded, Receiver};
+use std::collections::{HashMap, HashSet};
+
+/// One task of an agent application: an operation applied to stored
+/// inputs, producing one stored output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppTask {
+    /// Registered operation name.
+    pub op: String,
+    /// Input object keys (must exist in the store, or be produced by
+    /// an earlier task).
+    pub inputs: Vec<ObjectKey>,
+    /// Output object key.
+    pub output: ObjectKey,
+    /// Class name for the stored output (active objects).
+    pub output_class: Option<String>,
+    /// Pin execution to a device class (e.g. sensor reads).
+    pub preferred_class: Option<DeviceClass>,
+    /// Rough input volume, consumed by latency-aware policies.
+    pub input_bytes_hint: u64,
+}
+
+impl AppTask {
+    /// Creates a task.
+    pub fn new(
+        op: impl Into<String>,
+        inputs: Vec<ObjectKey>,
+        output: impl Into<ObjectKey>,
+    ) -> Self {
+        AppTask {
+            op: op.into(),
+            inputs,
+            output: output.into(),
+            output_class: None,
+            preferred_class: None,
+            input_bytes_hint: 0,
+        }
+    }
+
+    /// Tags the output with an active-object class.
+    pub fn output_class(mut self, class: impl Into<String>) -> Self {
+        self.output_class = Some(class.into());
+        self
+    }
+
+    /// Pins the task to a device class.
+    pub fn prefer_class(mut self, class: DeviceClass) -> Self {
+        self.preferred_class = Some(class);
+        self
+    }
+
+    /// Declares the rough input volume for offload policies.
+    pub fn input_bytes_hint(mut self, bytes: u64) -> Self {
+        self.input_bytes_hint = bytes;
+        self
+    }
+}
+
+/// A named list of tasks; dependencies are implied by output→input
+/// key chains.
+#[derive(Debug, Clone, Default)]
+pub struct Application {
+    name: String,
+    tasks: Vec<AppTask>,
+}
+
+impl Application {
+    /// Creates an empty application.
+    pub fn new(name: impl Into<String>) -> Self {
+        Application {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Appends a task.
+    pub fn task(mut self, task: AppTask) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task list.
+    pub fn tasks(&self) -> &[AppTask] {
+        &self.tasks
+    }
+}
+
+/// Outcome of one application run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppReport {
+    /// Tasks completed.
+    pub completed: usize,
+    /// Executions lost to dead agents and re-submitted elsewhere.
+    pub reexecutions: usize,
+    /// Successful executions per agent.
+    pub executions_per_agent: HashMap<AgentId, usize>,
+}
+
+/// The agent that starts and supervises an application (the paper's
+/// *Start Application* verb plus monitoring).
+#[derive(Debug)]
+pub struct Orchestrator<'n> {
+    network: &'n AgentNetwork,
+    max_attempts: usize,
+}
+
+impl<'n> Orchestrator<'n> {
+    /// Creates an orchestrator over a network; a task is retried on a
+    /// different agent up to 10 times before giving up.
+    pub fn new(network: &'n AgentNetwork) -> Self {
+        Orchestrator {
+            network,
+            max_attempts: 10,
+        }
+    }
+
+    /// Sets the per-task attempt budget.
+    pub fn max_attempts(mut self, attempts: usize) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Runs an application to completion: submits tasks whose inputs
+    /// exist, in waves, re-submitting tasks lost to agent churn.
+    ///
+    /// # Errors
+    ///
+    /// * [`AgentError::InvalidApplication`] if a task reads a key that
+    ///   neither pre-exists nor is produced by any task;
+    /// * [`AgentError::NoAgentAvailable`] if no live agent can take a
+    ///   ready task;
+    /// * [`AgentError::RetriesExhausted`] if a task keeps getting
+    ///   lost;
+    /// * [`AgentError::UnknownOp`] if an agent reports an unknown
+    ///   operation.
+    pub fn run(
+        &self,
+        app: &Application,
+        policy: &mut dyn OffloadPolicy,
+    ) -> Result<AppReport, AgentError> {
+        run_application(self.network.inner(), app, policy, self.max_attempts)
+    }
+}
+
+/// Orchestration core, shared by the external [`Orchestrator`] and by
+/// agents handling the *Start Application* verb: runs an application to
+/// completion over the network's agents, re-submitting tasks lost to
+/// churn.
+///
+/// # Errors
+///
+/// Same failure modes as [`Orchestrator::run`].
+pub(crate) fn run_application(
+    network: &NetworkInner,
+    app: &Application,
+    policy: &mut dyn OffloadPolicy,
+    max_attempts: usize,
+) -> Result<AppReport, AgentError> {
+    validate(network, app)?;
+    let total = app.tasks().len();
+    let mut done: HashSet<usize> = HashSet::new();
+    let mut attempts: Vec<usize> = vec![0; total];
+    let mut reexecutions = 0usize;
+    let mut per_agent: HashMap<AgentId, usize> = HashMap::new();
+
+    while done.len() < total {
+        // A wave: submit every task whose inputs are in the store.
+        let mut in_flight: Vec<(usize, AgentId, Receiver<ExecReply>)> = Vec::new();
+        for (idx, task) in app.tasks().iter().enumerate() {
+            if done.contains(&idx) {
+                continue;
+            }
+            let ready = task.inputs.iter().all(|k| network.store.contains(k));
+            if !ready {
+                continue;
+            }
+            let infos = network.infos();
+            let Some(agent) = policy.choose(task, &infos) else {
+                return Err(AgentError::NoAgentAvailable { op: task.op.clone() });
+            };
+            attempts[idx] += 1;
+            if attempts[idx] > max_attempts {
+                return Err(AgentError::RetriesExhausted {
+                    op: task.op.clone(),
+                    attempts: attempts[idx] - 1,
+                });
+            }
+            let (tx, rx) = unbounded();
+            network
+                .sender_of(agent)?
+                .send(Msg::Execute {
+                    op: task.op.clone(),
+                    inputs: task.inputs.clone(),
+                    output: task.output.clone(),
+                    output_class: task.output_class.clone(),
+                    reply: tx,
+                })
+                .map_err(|_| AgentError::UnknownAgent(agent.to_string()))?;
+            in_flight.push((idx, agent, rx));
+        }
+        if in_flight.is_empty() {
+            return Err(AgentError::InvalidApplication(format!(
+                "no progress: {} of {total} tasks stuck waiting for inputs",
+                total - done.len()
+            )));
+        }
+        for (idx, agent, rx) in in_flight {
+            match rx.recv() {
+                Ok(ExecReply::Done) => {
+                    done.insert(idx);
+                    *per_agent.entry(agent).or_insert(0) += 1;
+                }
+                Ok(ExecReply::Lost) => {
+                    reexecutions += 1; // re-submitted next wave
+                }
+                Ok(ExecReply::Failed(msg)) => {
+                    if msg.starts_with("unknown op") {
+                        return Err(AgentError::UnknownOp(app.tasks()[idx].op.clone()));
+                    }
+                    // Input unavailable (e.g. store replica down):
+                    // retry next wave counts against the budget.
+                    reexecutions += 1;
+                }
+                Err(_) => {
+                    // Agent thread gone: treat as lost.
+                    reexecutions += 1;
+                }
+            }
+        }
+    }
+    Ok(AppReport {
+        completed: done.len(),
+        reexecutions,
+        executions_per_agent: per_agent,
+    })
+}
+
+/// Checks every input key is either pre-stored or produced.
+fn validate(network: &NetworkInner, app: &Application) -> Result<(), AgentError> {
+    let produced: HashSet<&ObjectKey> = app.tasks().iter().map(|t| &t.output).collect();
+    for task in app.tasks() {
+        for input in &task.inputs {
+            if !produced.contains(input) && !network.store.contains(input) {
+                return Err(AgentError::InvalidApplication(format!(
+                    "task `{}` reads `{input}`, which nothing produces",
+                    task.op
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::{PreferClass, RoundRobinOffload};
+    use crate::ops::OpRegistry;
+    use bytes::Bytes;
+    use continuum_platform::NodeId;
+    use continuum_storage::{KvConfig, KvStore, StoredValue};
+    use std::sync::Arc;
+
+    fn pipeline_ops() -> OpRegistry {
+        let ops = OpRegistry::new();
+        ops.register("sense", |_| Bytes::from(vec![1u8; 100]));
+        ops.register("filter", |ins| {
+            Bytes::from(ins[0].iter().filter(|b| **b > 0).copied().collect::<Vec<u8>>())
+        });
+        ops.register("aggregate", |ins| {
+            let sum: u64 = ins.iter().flat_map(|b| b.iter()).map(|b| *b as u64).sum();
+            Bytes::copy_from_slice(&sum.to_le_bytes())
+        });
+        ops
+    }
+
+    fn network(fogs: usize, clouds: usize) -> AgentNetwork {
+        let store = Arc::new(
+            KvStore::new(
+                (0..4).map(NodeId::from_raw).collect(),
+                KvConfig { replication: 2 },
+            )
+            .unwrap(),
+        );
+        let net = AgentNetwork::new(store, pipeline_ops());
+        for i in 0..fogs {
+            net.deploy(format!("fog-{i}"), DeviceClass::Fog);
+        }
+        for i in 0..clouds {
+            net.deploy(format!("cloud-{i}"), DeviceClass::CloudVm);
+        }
+        net
+    }
+
+    fn pipeline() -> Application {
+        Application::new("sense-filter-aggregate")
+            .task(AppTask::new("sense", vec![], "raw"))
+            .task(AppTask::new("filter", vec!["raw".into()], "clean"))
+            .task(AppTask::new("aggregate", vec!["clean".into()], "result"))
+    }
+
+    #[test]
+    fn pipeline_completes_and_result_is_correct() {
+        let net = network(2, 1);
+        let report = Orchestrator::new(&net)
+            .run(&pipeline(), &mut RoundRobinOffload::new())
+            .unwrap();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.reexecutions, 0);
+        let result = net.store().get(&"result".into()).unwrap();
+        let sum = u64::from_le_bytes(result.payload[..8].try_into().unwrap());
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn fog_first_policy_uses_fog_agents() {
+        let net = network(2, 1);
+        let report = Orchestrator::new(&net)
+            .run(&pipeline(), &mut PreferClass::fog_first())
+            .unwrap();
+        let infos = net.infos();
+        let fog_execs: usize = report
+            .executions_per_agent
+            .iter()
+            .filter(|(id, _)| infos[id.index()].class == DeviceClass::Fog)
+            .map(|(_, n)| *n)
+            .sum();
+        assert_eq!(fog_execs, 3, "everything fits in the fog layer");
+    }
+
+    #[test]
+    fn churn_recovery_resubmits_elsewhere() {
+        let net = network(2, 1);
+        // Kill fog-0 before the run: every task it receives is lost
+        // once, then the orchestrator routes around it.
+        net.kill(AgentId(0)).unwrap();
+        let report = Orchestrator::new(&net)
+            .run(&pipeline(), &mut RoundRobinOffload::new())
+            .unwrap();
+        assert_eq!(report.completed, 3);
+        assert!(
+            !report.executions_per_agent.contains_key(&AgentId(0)),
+            "dead agent executed nothing"
+        );
+        assert!(net.store().contains(&"result".into()));
+    }
+
+    #[test]
+    fn all_dead_reports_no_agent() {
+        let net = network(1, 0);
+        net.kill(AgentId(0)).unwrap();
+        let err = Orchestrator::new(&net)
+            .run(&pipeline(), &mut RoundRobinOffload::new())
+            .unwrap_err();
+        assert!(matches!(err, AgentError::NoAgentAvailable { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_application_rejected() {
+        let net = network(1, 0);
+        let app = Application::new("bad").task(AppTask::new("filter", vec!["ghost".into()], "o"));
+        let err = Orchestrator::new(&net)
+            .run(&app, &mut RoundRobinOffload::new())
+            .unwrap_err();
+        assert!(matches!(err, AgentError::InvalidApplication(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_op_surfaces() {
+        let net = network(1, 0);
+        let app = Application::new("bad").task(AppTask::new("ghost-op", vec![], "o"));
+        let err = Orchestrator::new(&net)
+            .run(&app, &mut RoundRobinOffload::new())
+            .unwrap_err();
+        assert!(matches!(err, AgentError::UnknownOp(_)), "{err}");
+    }
+
+    #[test]
+    fn start_application_verb_runs_on_an_agent() {
+        // A fog device orchestrates the whole application itself — the
+        // paper's fog-to-fog deployment (Fig. 6) — while still acting
+        // as a worker for its own tasks.
+        let net = network(2, 1);
+        let fog0 = AgentId(0);
+        let report = net
+            .start_application(fog0, pipeline(), Box::new(PreferClass::fog_first()))
+            .unwrap();
+        assert_eq!(report.completed, 3);
+        assert!(net.store().contains(&"result".into()));
+        // The orchestrating agent also executed work (no deadlock on
+        // self-submission).
+        assert!(report.executions_per_agent.contains_key(&fog0));
+    }
+
+    #[test]
+    fn dead_agent_refuses_start_application() {
+        let net = network(1, 1);
+        net.kill(AgentId(0)).unwrap();
+        let err = net
+            .start_application(AgentId(0), pipeline(), Box::new(RoundRobinOffload::new()))
+            .unwrap_err();
+        assert!(matches!(err, AgentError::NoAgentAvailable { .. }), "{err}");
+        assert!(net.start_application(AgentId(9), pipeline(), Box::new(RoundRobinOffload::new())).is_err());
+    }
+
+    #[test]
+    fn pre_stored_inputs_satisfy_validation() {
+        let net = network(1, 0);
+        net.store()
+            .put("raw".into(), StoredValue::blob(vec![3u8; 10]), None)
+            .unwrap();
+        let app = Application::new("from-store")
+            .task(AppTask::new("filter", vec!["raw".into()], "clean"));
+        let report = Orchestrator::new(&net)
+            .run(&app, &mut RoundRobinOffload::new())
+            .unwrap();
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn wide_fan_out_distributes_over_agents() {
+        let net = network(3, 0);
+        let mut app = Application::new("fan");
+        for i in 0..9 {
+            app = app.task(AppTask::new("sense", vec![], format!("out{i}")));
+        }
+        let report = Orchestrator::new(&net)
+            .run(&app, &mut RoundRobinOffload::new())
+            .unwrap();
+        assert_eq!(report.completed, 9);
+        assert_eq!(report.executions_per_agent.len(), 3, "all agents used");
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment driver: regenerates every evaluation-grade claim of the
+//! paper as a table.
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin experiments            # all, full scale
+//! cargo run --release -p continuum-bench --bin experiments -- --quick # all, CI scale
+//! cargo run --release -p continuum-bench --bin experiments -- e2 e6   # a subset
+//! ```
+
+use continuum_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "continuum experiment harness — reproducing Badia et al., ICDCS 2019 ({} scale)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut unknown = Vec::new();
+    for id in ids {
+        match run_experiment(id, scale) {
+            Some(table) => println!("{table}"),
+            None => unknown.push(id.to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (valid: {})",
+            unknown.join(", "),
+            ALL_EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,78 @@
+//! E1 — GUIDANCE scalability (§VI-A): "The application has been
+//! executed with up to 100 nodes of the Marenostrum supercomputer
+//! (4800 cores), showing good scalability."
+
+use crate::table::{fmt_s, fmt_x, ExperimentTable, Scale};
+use continuum_platform::{NodeSpec, PlatformBuilder};
+use continuum_runtime::{LocalityScheduler, SimOptions, SimRuntime};
+use continuum_sim::FaultPlan;
+use continuum_workflows::GwasWorkload;
+
+/// Runs the node-count sweep and returns the speedup table.
+pub fn run(scale: Scale) -> ExperimentTable {
+    let (chroms, chunks, node_counts): (usize, usize, Vec<usize>) = scale.pick(
+        (4, 8, vec![1, 2, 4, 8]),
+        (22, 48, vec![1, 2, 4, 8, 16, 32, 64, 100]),
+    );
+    let workload = GwasWorkload::new()
+        .chromosomes(chroms)
+        .chunks_per_chromosome(chunks)
+        .seed(1)
+        .build();
+    let stats = workload.stats();
+
+    let mut table = ExperimentTable::new(
+        "e1",
+        "GWAS campaign scales to 100 nodes / 4800 cores (GUIDANCE, §VI-A)",
+        &["nodes", "cores", "makespan_s", "speedup", "efficiency"],
+    );
+    let mut baseline = None;
+    for &n in &node_counts {
+        let platform = PlatformBuilder::new()
+            .cluster("mn4", n, NodeSpec::hpc(48, 96_000))
+            .build();
+        let report = SimRuntime::new(platform, SimOptions::default())
+            .run(&workload, &mut LocalityScheduler::new(), &FaultPlan::new())
+            .expect("gwas campaign completes");
+        let base = *baseline.get_or_insert(report.makespan_s);
+        let speedup = base / report.makespan_s;
+        table.row([
+            n.to_string(),
+            (n * 48).to_string(),
+            fmt_s(report.makespan_s),
+            fmt_x(speedup),
+            fmt_x(speedup / n as f64),
+        ]);
+    }
+    let tasks = stats.tasks;
+    let last_speedup: f64 = table.cell_f64(table.rows.len() - 1, 3);
+    let max_nodes = node_counts[node_counts.len() - 1] as f64;
+    table.finding(format!(
+        "{tasks} tasks; speedup at {max_nodes} nodes = {last_speedup:.1}x \
+         (inherent parallelism {:.0}); scaling follows the workload's width, as the paper claims",
+        stats.average_parallelism
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_monotonic_and_meaningful() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        // Makespans decrease with node count.
+        for w in t.rows.windows(2) {
+            let a: f64 = w[0][2].parse().unwrap();
+            let b: f64 = w[1][2].parse().unwrap();
+            assert!(b <= a + 1e-9, "makespan must not grow with nodes");
+        }
+        // Speedup at 8 nodes is substantial for a ~100-wide campaign.
+        let s8 = t.cell_f64(3, 3);
+        assert!(s8 > 3.0, "8-node speedup {s8}");
+        // Single node is the baseline.
+        assert_eq!(t.cell_f64(0, 3), 1.0);
+    }
+}

@@ -1,0 +1,3 @@
+//! Compatibility facade: re-exports the primary contribution crates.
+pub use continuum_dag as dag;
+pub use continuum_runtime as runtime;

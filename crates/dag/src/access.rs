@@ -1,0 +1,388 @@
+//! The access processor: dependency detection through data versioning.
+
+use crate::error::DagError;
+use crate::graph::TaskGraph;
+use crate::ids::{DataId, DataVersion, TaskId, VersionedData};
+use crate::spec::TaskSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The producer and version currently associated with a datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionInfo {
+    /// Current version of the datum.
+    pub version: DataVersion,
+    /// Task that produced the current version, or `None` if it is the
+    /// initial, externally-provided value.
+    pub producer: Option<TaskId>,
+}
+
+impl VersionInfo {
+    fn initial() -> Self {
+        VersionInfo {
+            version: DataVersion::INITIAL,
+            producer: None,
+        }
+    }
+}
+
+/// Registry of logical data known to an [`AccessProcessor`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataCatalog {
+    names: Vec<String>,
+    current: Vec<VersionInfo>,
+}
+
+impl DataCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new logical datum and returns its id.
+    pub fn new_data(&mut self, name: impl Into<String>) -> DataId {
+        let id = DataId(self.names.len() as u64);
+        self.names.push(name.into());
+        self.current.push(VersionInfo::initial());
+        id
+    }
+
+    /// Number of registered data.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no data have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The human-readable name of a datum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownData`] if the id is not registered.
+    pub fn name(&self, data: DataId) -> Result<&str, DagError> {
+        self.names
+            .get(data.index())
+            .map(String::as_str)
+            .ok_or(DagError::UnknownData(data))
+    }
+
+    /// The current version/producer of a datum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownData`] if the id is not registered.
+    pub fn current(&self, data: DataId) -> Result<VersionInfo, DagError> {
+        self.current
+            .get(data.index())
+            .copied()
+            .ok_or(DagError::UnknownData(data))
+    }
+
+    fn bump(&mut self, data: DataId, producer: TaskId) -> Result<DataVersion, DagError> {
+        let info = self
+            .current
+            .get_mut(data.index())
+            .ok_or(DagError::UnknownData(data))?;
+        info.version = info.version.next();
+        info.producer = Some(producer);
+        Ok(info.version)
+    }
+}
+
+/// Builds the task dependency graph incrementally from a stream of
+/// [`TaskSpec`] submissions, mirroring the *Access Processor* component
+/// of the COMPSs runtime.
+///
+/// Dependencies are derived via data versioning: every write access
+/// creates a fresh version of the datum (renaming), so only true
+/// (read-after-write) dependencies appear in the graph — exactly the
+/// semantics a dataflow runtime needs for maximal asynchrony.
+///
+/// # Example
+///
+/// ```
+/// use continuum_dag::{AccessProcessor, TaskSpec};
+///
+/// let mut ap = AccessProcessor::new();
+/// let x = ap.new_data("x");
+/// let t0 = ap.register(TaskSpec::new("init").output(x))?;
+/// let t1 = ap.register(TaskSpec::new("update").inout(x))?;
+/// let t2 = ap.register(TaskSpec::new("read").input(x))?;
+/// // t1 depends on t0 (read x@v1), t2 depends on t1 (read x@v2).
+/// assert_eq!(ap.graph().predecessors(t1), &[t0]);
+/// assert_eq!(ap.graph().predecessors(t2), &[t1]);
+/// # Ok::<(), continuum_dag::DagError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AccessProcessor {
+    catalog: DataCatalog,
+    graph: TaskGraph,
+}
+
+impl AccessProcessor {
+    /// Creates an empty access processor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new logical datum.
+    pub fn new_data(&mut self, name: impl Into<String>) -> DataId {
+        self.catalog.new_data(name)
+    }
+
+    /// Registers `n` new logical data with a shared name prefix.
+    pub fn new_data_batch(&mut self, prefix: &str, n: usize) -> Vec<DataId> {
+        (0..n)
+            .map(|i| self.catalog.new_data(format!("{prefix}{i}")))
+            .collect()
+    }
+
+    /// Registers a task submission, derives its dependencies and adds it
+    /// to the graph. Returns the new task's id.
+    ///
+    /// # Errors
+    ///
+    /// * [`DagError::EmptyTask`] if the spec declares no parameters.
+    /// * [`DagError::UnknownData`] if a parameter references an
+    ///   unregistered datum.
+    /// * [`DagError::ConflictingAccess`] if the same datum is declared
+    ///   more than once and at least one of the accesses writes it.
+    pub fn register(&mut self, spec: TaskSpec) -> Result<TaskId, DagError> {
+        if spec.params().is_empty() {
+            return Err(DagError::EmptyTask(spec.name().to_string()));
+        }
+        self.validate_accesses(&spec)?;
+
+        let id = self.graph.next_task_id();
+        let mut preds: Vec<TaskId> = Vec::new();
+        let mut consumed: Vec<VersionedData> = Vec::new();
+        let mut produced: Vec<VersionedData> = Vec::new();
+
+        for param in spec.params() {
+            if param.direction.reads() {
+                let info = self.catalog.current(param.data)?;
+                consumed.push(VersionedData::new(param.data, info.version));
+                if let Some(p) = info.producer {
+                    preds.push(p);
+                }
+            }
+            if param.direction.writes() {
+                let version = self.catalog.bump(param.data, id)?;
+                produced.push(VersionedData::new(param.data, version));
+            }
+        }
+
+        preds.sort_unstable();
+        preds.dedup();
+        let assigned = self.graph.add_task(spec, preds, consumed, produced);
+        debug_assert_eq!(assigned, id);
+        Ok(id)
+    }
+
+    fn validate_accesses(&self, spec: &TaskSpec) -> Result<(), DagError> {
+        let mut seen: HashSet<DataId> = HashSet::new();
+        let mut written: HashSet<DataId> = HashSet::new();
+        for param in spec.params() {
+            if param.data.index() >= self.catalog.len() {
+                return Err(DagError::UnknownData(param.data));
+            }
+            let repeated = !seen.insert(param.data);
+            if repeated && (param.direction.writes() || written.contains(&param.data)) {
+                return Err(DagError::ConflictingAccess {
+                    task: spec.name().to_string(),
+                    data: param.data,
+                });
+            }
+            if param.direction.writes() {
+                written.insert(param.data);
+            }
+        }
+        Ok(())
+    }
+
+    /// The dependency graph built so far.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the dependency graph (used by runtimes to drive
+    /// task lifecycle transitions).
+    pub fn graph_mut(&mut self) -> &mut TaskGraph {
+        &mut self.graph
+    }
+
+    /// The data catalog.
+    pub fn catalog(&self) -> &DataCatalog {
+        &self.catalog
+    }
+
+    /// Splits the processor into its catalog and graph, consuming it.
+    pub fn into_parts(self) -> (DataCatalog, TaskGraph) {
+        (self.catalog, self.graph)
+    }
+
+    /// The versioned datum a reader submitted *now* would consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownData`] if the id is not registered.
+    pub fn current_version(&self, data: DataId) -> Result<VersionedData, DagError> {
+        let info = self.catalog.current(data)?;
+        Ok(VersionedData::new(data, info.version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Direction;
+
+    fn ap_with(n: usize) -> (AccessProcessor, Vec<DataId>) {
+        let mut ap = AccessProcessor::new();
+        let ids = ap.new_data_batch("d", n);
+        (ap, ids)
+    }
+
+    #[test]
+    fn read_after_write_dependency() {
+        let (mut ap, d) = ap_with(1);
+        let w = ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        let r = ap.register(TaskSpec::new("r").input(d[0])).unwrap();
+        assert_eq!(ap.graph().predecessors(r), &[w]);
+        assert!(ap.graph().successors(w).contains(&r));
+    }
+
+    #[test]
+    fn initial_data_has_no_producer() {
+        let (mut ap, d) = ap_with(1);
+        let r = ap.register(TaskSpec::new("r").input(d[0])).unwrap();
+        assert!(ap.graph().predecessors(r).is_empty());
+        assert!(ap.graph().ready_tasks().contains(&r));
+    }
+
+    #[test]
+    fn write_after_read_is_independent_thanks_to_renaming() {
+        let (mut ap, d) = ap_with(1);
+        let r = ap.register(TaskSpec::new("r").input(d[0])).unwrap();
+        // Writer of a *new version*: no dependency on the earlier reader.
+        let w = ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        assert!(ap.graph().predecessors(w).is_empty());
+        assert!(ap.graph().predecessors(r).is_empty());
+    }
+
+    #[test]
+    fn inout_chains_serialize() {
+        let (mut ap, d) = ap_with(1);
+        let t0 = ap.register(TaskSpec::new("a").inout(d[0])).unwrap();
+        let t1 = ap.register(TaskSpec::new("b").inout(d[0])).unwrap();
+        let t2 = ap.register(TaskSpec::new("c").inout(d[0])).unwrap();
+        assert!(ap.graph().predecessors(t0).is_empty());
+        assert_eq!(ap.graph().predecessors(t1), &[t0]);
+        assert_eq!(ap.graph().predecessors(t2), &[t1]);
+    }
+
+    #[test]
+    fn readers_of_same_version_are_parallel() {
+        let (mut ap, d) = ap_with(1);
+        let w = ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        let r1 = ap.register(TaskSpec::new("r1").input(d[0])).unwrap();
+        let r2 = ap.register(TaskSpec::new("r2").input(d[0])).unwrap();
+        assert_eq!(ap.graph().predecessors(r1), &[w]);
+        assert_eq!(ap.graph().predecessors(r2), &[w]);
+        // No edge between the two readers.
+        assert!(!ap.graph().successors(r1).contains(&r2));
+        assert!(!ap.graph().successors(r2).contains(&r1));
+    }
+
+    #[test]
+    fn duplicate_predecessors_are_deduped() {
+        let (mut ap, d) = ap_with(2);
+        let w = ap
+            .register(TaskSpec::new("w").output(d[0]).output(d[1]))
+            .unwrap();
+        let r = ap
+            .register(TaskSpec::new("r").input(d[0]).input(d[1]))
+            .unwrap();
+        assert_eq!(ap.graph().predecessors(r), &[w]);
+        assert_eq!(ap.graph().successors(w), &[r]);
+    }
+
+    #[test]
+    fn empty_task_rejected() {
+        let mut ap = AccessProcessor::new();
+        let err = ap.register(TaskSpec::new("nop")).unwrap_err();
+        assert_eq!(err, DagError::EmptyTask("nop".into()));
+    }
+
+    #[test]
+    fn unknown_data_rejected() {
+        let mut ap = AccessProcessor::new();
+        let bogus = DataId::from_raw(42);
+        let err = ap.register(TaskSpec::new("t").input(bogus)).unwrap_err();
+        assert_eq!(err, DagError::UnknownData(bogus));
+    }
+
+    #[test]
+    fn conflicting_duplicate_access_rejected() {
+        let (mut ap, d) = ap_with(1);
+        let err = ap
+            .register(TaskSpec::new("t").input(d[0]).output(d[0]))
+            .unwrap_err();
+        assert!(matches!(err, DagError::ConflictingAccess { .. }));
+        // Pure duplicate reads are fine.
+        ap.register(TaskSpec::new("t2").input(d[0]).input(d[0]))
+            .unwrap();
+    }
+
+    #[test]
+    fn versions_advance_per_write() {
+        let (mut ap, d) = ap_with(1);
+        assert_eq!(ap.current_version(d[0]).unwrap().version.as_u32(), 0);
+        ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        assert_eq!(ap.current_version(d[0]).unwrap().version.as_u32(), 1);
+        ap.register(TaskSpec::new("w2").inout(d[0])).unwrap();
+        assert_eq!(ap.current_version(d[0]).unwrap().version.as_u32(), 2);
+    }
+
+    #[test]
+    fn consumed_and_produced_versions_recorded() {
+        let (mut ap, d) = ap_with(1);
+        let w = ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        let u = ap.register(TaskSpec::new("u").inout(d[0])).unwrap();
+        let g = ap.graph();
+        assert_eq!(g.node(w).unwrap().produced()[0].version.as_u32(), 1);
+        assert_eq!(g.node(u).unwrap().consumed()[0].version.as_u32(), 1);
+        assert_eq!(g.node(u).unwrap().produced()[0].version.as_u32(), 2);
+    }
+
+    #[test]
+    fn catalog_names() {
+        let mut ap = AccessProcessor::new();
+        let d = ap.new_data("alpha");
+        assert_eq!(ap.catalog().name(d).unwrap(), "alpha");
+        assert!(ap.catalog().name(DataId::from_raw(9)).is_err());
+        assert_eq!(ap.catalog().len(), 1);
+        assert!(!ap.catalog().is_empty());
+    }
+
+    #[test]
+    fn explicit_direction_param() {
+        let (mut ap, d) = ap_with(1);
+        let t = ap
+            .register(TaskSpec::new("t").param(d[0], Direction::Out))
+            .unwrap();
+        assert_eq!(ap.graph().node(t).unwrap().produced().len(), 1);
+    }
+
+    #[test]
+    fn into_parts_preserves_graph() {
+        let (mut ap, d) = ap_with(1);
+        ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        let (catalog, graph) = ap.into_parts();
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(graph.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for graph construction and queries.
+
+use crate::ids::{DataId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A task referenced a datum that was never registered with the
+    /// access processor.
+    UnknownData(DataId),
+    /// A task id was not present in the graph.
+    UnknownTask(TaskId),
+    /// A task declared no parameters; it would be disconnected from the
+    /// dataflow and is almost always a programming error.
+    EmptyTask(String),
+    /// A task declared the same datum twice with conflicting directions.
+    ConflictingAccess {
+        /// The task-type name of the offending spec.
+        task: String,
+        /// The datum declared more than once.
+        data: DataId,
+    },
+    /// A lifecycle transition was invalid (e.g. completing a task that
+    /// was never marked running).
+    InvalidTransition {
+        /// The task whose state transition was rejected.
+        task: TaskId,
+        /// Human-readable description of the rejected transition.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownData(d) => write!(f, "unknown data id {d}"),
+            DagError::UnknownTask(t) => write!(f, "unknown task id {t}"),
+            DagError::EmptyTask(name) => {
+                write!(f, "task `{name}` declares no parameter accesses")
+            }
+            DagError::ConflictingAccess { task, data } => write!(
+                f,
+                "task `{task}` declares conflicting accesses to {data}"
+            ),
+            DagError::InvalidTransition { task, detail } => {
+                write!(f, "invalid state transition for {task}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = DagError::UnknownData(DataId::from_raw(4));
+        assert_eq!(e.to_string(), "unknown data id d4");
+        let e = DagError::EmptyTask("foo".into());
+        assert!(e.to_string().contains("`foo`"));
+        let e = DagError::ConflictingAccess {
+            task: "t".into(),
+            data: DataId::from_raw(1),
+        };
+        assert!(e.to_string().contains("conflicting"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DagError>();
+    }
+}

@@ -1,0 +1,471 @@
+//! The task dependency graph and task lifecycle tracking.
+
+use crate::error::DagError;
+use crate::ids::{TaskId, VersionedData};
+use crate::spec::TaskSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Lifecycle state of a task in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Waiting for one or more predecessors to complete.
+    Pending,
+    /// All predecessors completed; eligible for scheduling.
+    Ready,
+    /// Dispatched to a resource and executing.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Execution failed (e.g. its host node died); may be re-queued.
+    Failed,
+}
+
+impl TaskState {
+    /// Returns `true` if the task has reached a terminal success state.
+    pub fn is_completed(self) -> bool {
+        matches!(self, TaskState::Completed)
+    }
+}
+
+/// One task in the graph: its spec, dependency wiring and state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskNode {
+    id: TaskId,
+    spec: TaskSpec,
+    state: TaskState,
+    preds: Vec<TaskId>,
+    succs: Vec<TaskId>,
+    unfinished_preds: usize,
+    consumed: Vec<VersionedData>,
+    produced: Vec<VersionedData>,
+}
+
+impl TaskNode {
+    /// The task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's spec (name, parameter accesses).
+    pub fn spec(&self) -> &TaskSpec {
+        &self.spec
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Direct predecessors (tasks this one depends on).
+    pub fn predecessors(&self) -> &[TaskId] {
+        &self.preds
+    }
+
+    /// Direct successors (tasks depending on this one).
+    pub fn successors(&self) -> &[TaskId] {
+        &self.succs
+    }
+
+    /// Versioned data this task reads.
+    pub fn consumed(&self) -> &[VersionedData] {
+        &self.consumed
+    }
+
+    /// Versioned data this task produces.
+    pub fn produced(&self) -> &[VersionedData] {
+        &self.produced
+    }
+
+    /// Number of predecessors not yet completed.
+    pub fn unfinished_predecessors(&self) -> usize {
+        self.unfinished_preds
+    }
+}
+
+/// A task dependency graph with ready-set maintenance.
+///
+/// The graph is append-only with respect to structure (tasks and edges
+/// are added by the access processor) while task *states* evolve as a
+/// runtime executes them. Completing a task releases its successors;
+/// the newly-ready successors are returned so schedulers can react
+/// incrementally without rescanning the graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+    ready: BTreeSet<TaskId>,
+    completed_count: usize,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id the next added task will receive.
+    pub(crate) fn next_task_id(&self) -> TaskId {
+        TaskId(self.nodes.len() as u64)
+    }
+
+    /// Adds a task with the given dependency wiring. Called by the
+    /// access processor, which guarantees `preds` are deduped, sorted
+    /// and refer to earlier tasks (so the graph is acyclic by
+    /// construction).
+    pub(crate) fn add_task(
+        &mut self,
+        spec: TaskSpec,
+        preds: Vec<TaskId>,
+        consumed: Vec<VersionedData>,
+        produced: Vec<VersionedData>,
+    ) -> TaskId {
+        let id = self.next_task_id();
+        let unfinished = preds
+            .iter()
+            .filter(|p| !self.nodes[p.index()].state.is_completed())
+            .count();
+        for p in &preds {
+            self.nodes[p.index()].succs.push(id);
+        }
+        let state = if unfinished == 0 {
+            self.ready.insert(id);
+            TaskState::Ready
+        } else {
+            TaskState::Pending
+        };
+        self.nodes.push(TaskNode {
+            id,
+            spec,
+            state,
+            preds,
+            succs: Vec::new(),
+            unfinished_preds: unfinished,
+            consumed,
+            produced,
+        });
+        id
+    }
+
+    /// Number of tasks in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of completed tasks.
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Returns `true` once every task has completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed_count == self.nodes.len()
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.preds.len()).sum()
+    }
+
+    /// Looks up a task node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownTask`] for ids not in the graph.
+    pub fn node(&self, id: TaskId) -> Result<&TaskNode, DagError> {
+        self.nodes.get(id.index()).ok_or(DagError::UnknownTask(id))
+    }
+
+    /// Iterates over all task nodes in submission order.
+    pub fn nodes(&self) -> impl Iterator<Item = &TaskNode> {
+        self.nodes.iter()
+    }
+
+    /// Direct predecessors of a task. Panics on unknown ids are avoided
+    /// by returning an empty slice.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        self.nodes.get(id.index()).map_or(&[], |n| &n.preds)
+    }
+
+    /// Direct successors of a task.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        self.nodes.get(id.index()).map_or(&[], |n| &n.succs)
+    }
+
+    /// The current set of ready (dependency-free, unscheduled) tasks.
+    pub fn ready_tasks(&self) -> &BTreeSet<TaskId> {
+        &self.ready
+    }
+
+    /// Removes and returns an arbitrary (lowest-id) ready task.
+    pub fn pop_ready(&mut self) -> Option<TaskId> {
+        let id = *self.ready.iter().next()?;
+        self.ready.remove(&id);
+        id.into()
+    }
+
+    /// Marks a ready task as running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// currently `Ready`, and [`DagError::UnknownTask`] for unknown ids.
+    pub fn mark_running(&mut self, id: TaskId) -> Result<(), DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if node.state != TaskState::Ready {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("mark_running from {:?}", node.state),
+            });
+        }
+        node.state = TaskState::Running;
+        self.ready.remove(&id);
+        Ok(())
+    }
+
+    /// Marks a running task as completed and releases its successors.
+    /// Returns the successors that became ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Running` (or `Ready`, which is accepted so single-threaded
+    /// drivers may skip the explicit running transition).
+    pub fn complete(&mut self, id: TaskId) -> Result<Vec<TaskId>, DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        match node.state {
+            TaskState::Running => {}
+            TaskState::Ready => {
+                self.ready.remove(&id);
+            }
+            other => {
+                return Err(DagError::InvalidTransition {
+                    task: id,
+                    detail: format!("complete from {other:?}"),
+                });
+            }
+        }
+        node.state = TaskState::Completed;
+        self.completed_count += 1;
+        let succs = node.succs.clone();
+        let mut newly_ready = Vec::new();
+        for s in succs {
+            let sn = &mut self.nodes[s.index()];
+            sn.unfinished_preds -= 1;
+            if sn.unfinished_preds == 0 && sn.state == TaskState::Pending {
+                sn.state = TaskState::Ready;
+                self.ready.insert(s);
+                newly_ready.push(s);
+            }
+        }
+        Ok(newly_ready)
+    }
+
+    /// Marks a running task as failed (e.g. its node died).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Running`.
+    pub fn mark_failed(&mut self, id: TaskId) -> Result<(), DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if node.state != TaskState::Running {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("mark_failed from {:?}", node.state),
+            });
+        }
+        node.state = TaskState::Failed;
+        Ok(())
+    }
+
+    /// Re-queues a failed task as ready (used by recovery after a node
+    /// failure once its inputs are available again).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Failed`.
+    pub fn requeue_failed(&mut self, id: TaskId) -> Result<(), DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if node.state != TaskState::Failed {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("requeue_failed from {:?}", node.state),
+            });
+        }
+        node.state = TaskState::Ready;
+        self.ready.insert(id);
+        Ok(())
+    }
+
+    /// Topological order of all tasks (submission order is already
+    /// topological because edges only point forward, but this validates
+    /// the invariant and is used by static schedulers).
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        // Kahn's algorithm over the full graph, independent of states.
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.preds.len()).collect();
+        let mut queue: Vec<TaskId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .map(|n| n.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &s in &self.nodes[id.index()].succs {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.nodes.len(), "graph must be acyclic");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessProcessor;
+    use crate::spec::TaskSpec;
+
+    /// Builds the diamond: a -> {b, c} -> d.
+    fn diamond() -> (AccessProcessor, [TaskId; 4]) {
+        let mut ap = AccessProcessor::new();
+        let x = ap.new_data("x");
+        let y = ap.new_data("y");
+        let z = ap.new_data("z");
+        let out = ap.new_data("out");
+        let a = ap.register(TaskSpec::new("a").output(x)).unwrap();
+        let b = ap.register(TaskSpec::new("b").input(x).output(y)).unwrap();
+        let c = ap.register(TaskSpec::new("c").input(x).output(z)).unwrap();
+        let d = ap
+            .register(TaskSpec::new("d").input(y).input(z).output(out))
+            .unwrap();
+        (ap, [a, b, c, d])
+    }
+
+    #[test]
+    fn ready_set_evolves_with_completions() {
+        let (mut ap, [a, b, c, d]) = diamond();
+        let g = ap.graph_mut();
+        assert_eq!(g.ready_tasks().iter().copied().collect::<Vec<_>>(), vec![a]);
+        g.mark_running(a).unwrap();
+        let newly = g.complete(a).unwrap();
+        assert_eq!(newly, vec![b, c]);
+        g.mark_running(b).unwrap();
+        g.mark_running(c).unwrap();
+        assert!(g.complete(b).unwrap().is_empty());
+        assert_eq!(g.complete(c).unwrap(), vec![d]);
+        g.mark_running(d).unwrap();
+        g.complete(d).unwrap();
+        assert!(g.all_completed());
+        assert_eq!(g.completed_count(), 4);
+    }
+
+    #[test]
+    fn complete_from_ready_is_accepted() {
+        let (mut ap, [a, ..]) = diamond();
+        let g = ap.graph_mut();
+        assert!(g.complete(a).is_ok());
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let (mut ap, [a, b, ..]) = diamond();
+        let g = ap.graph_mut();
+        assert!(g.mark_running(b).is_err(), "b is pending, not ready");
+        g.mark_running(a).unwrap();
+        assert!(g.mark_running(a).is_err(), "already running");
+        g.complete(a).unwrap();
+        assert!(g.complete(a).is_err(), "already completed");
+        assert!(g.mark_failed(a).is_err(), "completed tasks cannot fail");
+    }
+
+    #[test]
+    fn failure_and_requeue() {
+        let (mut ap, [a, ..]) = diamond();
+        let g = ap.graph_mut();
+        g.mark_running(a).unwrap();
+        g.mark_failed(a).unwrap();
+        assert!(!g.ready_tasks().contains(&a));
+        g.requeue_failed(a).unwrap();
+        assert!(g.ready_tasks().contains(&a));
+        assert!(g.requeue_failed(a).is_err(), "no longer failed");
+    }
+
+    #[test]
+    fn pop_ready_returns_lowest_id() {
+        let mut ap = AccessProcessor::new();
+        let d0 = ap.new_data("d0");
+        let d1 = ap.new_data("d1");
+        let t0 = ap.register(TaskSpec::new("t0").output(d0)).unwrap();
+        let t1 = ap.register(TaskSpec::new("t1").output(d1)).unwrap();
+        let g = ap.graph_mut();
+        assert_eq!(g.pop_ready(), Some(t0));
+        assert_eq!(g.pop_ready(), Some(t1));
+        assert_eq!(g.pop_ready(), None);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (ap, _) = diamond();
+        let order = ap.graph().topological_order();
+        assert_eq!(order.len(), 4);
+        let pos: Vec<usize> = (0..4)
+            .map(|i| {
+                order
+                    .iter()
+                    .position(|t| t.index() == i)
+                    .expect("all tasks present")
+            })
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn edge_count_matches_structure() {
+        let (ap, _) = diamond();
+        assert_eq!(ap.graph().edge_count(), 4); // a->b, a->c, b->d, c->d
+    }
+
+    #[test]
+    fn late_submission_after_completion_is_immediately_ready() {
+        let mut ap = AccessProcessor::new();
+        let x = ap.new_data("x");
+        let a = ap.register(TaskSpec::new("a").output(x)).unwrap();
+        ap.graph_mut().mark_running(a).unwrap();
+        ap.graph_mut().complete(a).unwrap();
+        // A reader submitted after the producer finished must be ready.
+        let r = ap.register(TaskSpec::new("r").input(x)).unwrap();
+        assert!(ap.graph().ready_tasks().contains(&r));
+        assert_eq!(ap.graph().node(r).unwrap().unfinished_predecessors(), 0);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let g = TaskGraph::new();
+        assert!(g.node(TaskId::from_raw(0)).is_err());
+        assert!(g.predecessors(TaskId::from_raw(5)).is_empty());
+    }
+}

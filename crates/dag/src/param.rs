@@ -1,0 +1,110 @@
+//! Task parameters and access directions.
+
+use crate::ids::DataId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a task accesses one of its parameters.
+///
+/// Directions are the programmer-visible annotation from which all
+/// dependencies are derived (the `direction=IN/OUT/INOUT` annotation of
+/// PyCOMPSs tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The task only reads the parameter.
+    In,
+    /// The task creates/overwrites the parameter without reading it.
+    Out,
+    /// The task reads and then updates the parameter.
+    InOut,
+}
+
+impl Direction {
+    /// Returns `true` if the access reads the previous value.
+    pub fn reads(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+
+    /// Returns `true` if the access produces a new version.
+    pub fn writes(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::In => "in",
+            Direction::Out => "out",
+            Direction::InOut => "inout",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One declared parameter access of a task: a datum plus the direction
+/// in which the task accesses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Param {
+    /// The datum being accessed.
+    pub data: DataId,
+    /// The access direction.
+    pub direction: Direction,
+}
+
+impl Param {
+    /// Creates a parameter access.
+    pub fn new(data: DataId, direction: Direction) -> Self {
+        Param { data, direction }
+    }
+
+    /// Convenience constructor for a read-only parameter.
+    pub fn input(data: DataId) -> Self {
+        Param::new(data, Direction::In)
+    }
+
+    /// Convenience constructor for a write-only parameter.
+    pub fn output(data: DataId) -> Self {
+        Param::new(data, Direction::Out)
+    }
+
+    /// Convenience constructor for a read-write parameter.
+    pub fn inout(data: DataId) -> Self {
+        Param::new(data, Direction::InOut)
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.data, self.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_read_write_classification() {
+        assert!(Direction::In.reads());
+        assert!(!Direction::In.writes());
+        assert!(!Direction::Out.reads());
+        assert!(Direction::Out.writes());
+        assert!(Direction::InOut.reads());
+        assert!(Direction::InOut.writes());
+    }
+
+    #[test]
+    fn param_constructors() {
+        let d = DataId::from_raw(1);
+        assert_eq!(Param::input(d).direction, Direction::In);
+        assert_eq!(Param::output(d).direction, Direction::Out);
+        assert_eq!(Param::inout(d).direction, Direction::InOut);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Param::inout(DataId::from_raw(4));
+        assert_eq!(p.to_string(), "d4(inout)");
+    }
+}

@@ -1,0 +1,56 @@
+//! dislib error type.
+
+use continuum_runtime::RuntimeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the distributed ML estimators.
+#[derive(Debug)]
+pub enum DislibError {
+    /// Error from the underlying runtime.
+    Runtime(RuntimeError),
+    /// Input shapes are inconsistent (e.g. X rows != y rows).
+    ShapeMismatch(String),
+    /// A numerical step failed (e.g. singular normal equations).
+    Numerical(String),
+    /// Invalid hyper-parameter.
+    InvalidParam(String),
+}
+
+impl fmt::Display for DislibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DislibError::Runtime(e) => write!(f, "runtime error: {e}"),
+            DislibError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DislibError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            DislibError::InvalidParam(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl Error for DislibError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DislibError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for DislibError {
+    fn from(e: RuntimeError) -> Self {
+        DislibError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DislibError::ShapeMismatch("x vs y".into());
+        assert!(e.to_string().contains("x vs y"));
+        assert!(e.source().is_none());
+    }
+}

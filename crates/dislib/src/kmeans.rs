@@ -1,0 +1,351 @@
+//! K-means clustering with per-block partial reductions.
+
+use crate::array::DistMatrix;
+use crate::error::DislibError;
+use crate::matrix::Matrix;
+use continuum_dag::TaskSpec;
+use continuum_platform::Constraints;
+use continuum_runtime::LocalRuntime;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// K-means estimator (Lloyd's algorithm).
+///
+/// Each iteration submits one *partial* task per block (assign points
+/// to the nearest centroid, accumulate per-cluster sums/counts and the
+/// block inertia) plus one reduction task; the runtime executes the
+/// partials in parallel.
+///
+/// # Example
+///
+/// ```
+/// use continuum_runtime::{LocalRuntime, LocalConfig};
+/// use continuum_dislib::{DistMatrix, KMeans, Matrix};
+///
+/// let rt = LocalRuntime::new(LocalConfig::with_workers(2));
+/// let pts = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 10.0],
+/// ]);
+/// let data = DistMatrix::from_matrix(&rt, &pts, 2);
+/// let model = KMeans::new(2).seed(1).fit(&rt, &data)?;
+/// let labels = model.predict(&rt, &data)?;
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// # Ok::<(), continuum_dislib::DislibError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+}
+
+/// A fitted K-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centroids, one per row.
+    pub centroids: Matrix,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Creates an estimator with `k` clusters (50 iterations max,
+    /// tolerance 1e-6, seed 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KMeans {
+            k,
+            max_iter: 50,
+            tol: 1e-6,
+            seed: 0,
+        }
+    }
+
+    /// Sets the iteration limit.
+    pub fn max_iter(mut self, n: usize) -> Self {
+        self.max_iter = n.max(1);
+        self
+    }
+
+    /// Sets the centroid-shift convergence tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the initialisation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fits the model on a distributed dataset.
+    ///
+    /// # Errors
+    ///
+    /// * [`DislibError::InvalidParam`] if `k` exceeds the number of
+    ///   samples;
+    /// * runtime errors from the task graph.
+    pub fn fit(&self, rt: &LocalRuntime, x: &DistMatrix) -> Result<KMeansModel, DislibError> {
+        if self.k > x.rows() {
+            return Err(DislibError::InvalidParam(format!(
+                "k = {} exceeds {} samples",
+                self.k,
+                x.rows()
+            )));
+        }
+        let d = x.cols();
+        let mut centroids = self.init_centroids(rt, x)?;
+        let mut iterations = 0;
+        let mut inertia = f64::INFINITY;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            let (new_centroids, new_inertia) = self.step(rt, x, &centroids, it)?;
+            let shift = new_centroids.add(&centroids.scale(-1.0)).frobenius_norm();
+            centroids = new_centroids;
+            inertia = new_inertia;
+            if shift < self.tol {
+                break;
+            }
+        }
+        let _ = d;
+        Ok(KMeansModel {
+            centroids,
+            iterations,
+            inertia,
+        })
+    }
+
+    /// One Lloyd iteration: parallel partials + one reduction.
+    fn step(
+        &self,
+        rt: &LocalRuntime,
+        x: &DistMatrix,
+        centroids: &Matrix,
+        iter: usize,
+    ) -> Result<(Matrix, f64), DislibError> {
+        let k = self.k;
+        let d = x.cols();
+        let shared = Arc::new(centroids.clone());
+        // Partial layout: k rows of [sum_0..sum_d-1, count] plus one
+        // extra row [inertia, 0, ...].
+        let mut partials = Vec::with_capacity(x.num_blocks());
+        for (i, block) in x.blocks().iter().enumerate() {
+            let out = rt.data::<Matrix>(format!("km_part_{iter}_{i}"));
+            let cents = Arc::clone(&shared);
+            rt.submit(
+                TaskSpec::new("kmeans_partial")
+                    .input(block.id())
+                    .output(out.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let b: &Matrix = ctx.input(0);
+                    let mut acc = Matrix::zeros(k + 1, d + 1);
+                    for r in 0..b.rows() {
+                        let (best, dist) = nearest(&cents, b, r);
+                        for c in 0..d {
+                            acc.set(best, c, acc.at(best, c) + b.at(r, c));
+                        }
+                        acc.set(best, d, acc.at(best, d) + 1.0);
+                        acc.set(k, 0, acc.at(k, 0) + dist);
+                    }
+                    ctx.set_output(0, acc);
+                },
+            )?;
+            partials.push(out);
+        }
+        let reduced = rt.data::<Matrix>(format!("km_red_{iter}"));
+        let spec = TaskSpec::new("kmeans_reduce")
+            .inputs(partials.iter().map(|p| p.id()))
+            .output(reduced.id());
+        let n_parts = partials.len();
+        rt.submit(spec, Constraints::new(), move |ctx| {
+            let mut acc: Matrix = ctx.input::<Matrix>(0).clone();
+            for i in 1..n_parts {
+                acc = acc.add(ctx.input::<Matrix>(i));
+            }
+            ctx.set_output(0, acc);
+        })?;
+        let acc = rt.get(&reduced)?;
+        // Fold the accumulator into new centroids; empty clusters keep
+        // their previous position.
+        let mut new_centroids = centroids.clone();
+        for c in 0..k {
+            let count = acc.at(c, d);
+            if count > 0.0 {
+                for j in 0..d {
+                    new_centroids.set(c, j, acc.at(c, j) / count);
+                }
+            }
+        }
+        Ok((new_centroids, acc.at(k, 0)))
+    }
+
+    fn init_centroids(&self, rt: &LocalRuntime, x: &DistMatrix) -> Result<Matrix, DislibError> {
+        // Sample k distinct rows from the first block(s).
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for block in x.blocks() {
+            let b = rt.get(block)?;
+            for r in 0..b.rows() {
+                rows.push(b.row(r).to_vec());
+            }
+            if rows.len() >= self.k.max(32) {
+                break;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        rows.shuffle(&mut rng);
+        rows.truncate(self.k);
+        Ok(Matrix::from_rows(&rows))
+    }
+}
+
+impl KMeansModel {
+    /// Assigns every sample to its nearest centroid; labels are in row
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn predict(&self, rt: &LocalRuntime, x: &DistMatrix) -> Result<Vec<usize>, DislibError> {
+        let cents = Arc::new(self.centroids.clone());
+        let mut outs = Vec::with_capacity(x.num_blocks());
+        for (i, block) in x.blocks().iter().enumerate() {
+            let out = rt.data::<Vec<usize>>(format!("km_pred_{i}"));
+            let cents = Arc::clone(&cents);
+            rt.submit(
+                TaskSpec::new("kmeans_predict")
+                    .input(block.id())
+                    .output(out.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let b: &Matrix = ctx.input(0);
+                    let labels: Vec<usize> =
+                        (0..b.rows()).map(|r| nearest(&cents, b, r).0).collect();
+                    ctx.set_output(0, labels);
+                },
+            )?;
+            outs.push(out);
+        }
+        let mut labels = Vec::with_capacity(x.rows());
+        for out in &outs {
+            labels.extend(rt.get(out)?.iter().copied());
+        }
+        Ok(labels)
+    }
+}
+
+/// Nearest centroid of row `r` of `b`: `(index, squared distance)`.
+fn nearest(centroids: &Matrix, b: &Matrix, r: usize) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = b.row_distance_sq(r, centroids, c);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_runtime::LocalConfig;
+
+    fn rt() -> LocalRuntime {
+        LocalRuntime::new(LocalConfig::with_workers(4))
+    }
+
+    /// Three well-separated gaussian-ish blobs.
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)];
+        let mut rng = StdRng::seed_from_u64(7);
+        use rand::Rng;
+        for _ in 0..60 {
+            let (cx, cy) = centers[rng.gen_range(0..3)];
+            rows.push(vec![cx + rng.gen::<f64>(), cy + rng.gen::<f64>()]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let rt = rt();
+        let data = DistMatrix::from_matrix(&rt, &blobs(), 10);
+        let model = KMeans::new(3).seed(3).fit(&rt, &data).unwrap();
+        assert_eq!(model.centroids.rows(), 3);
+        // Every centroid is near one of the true centers.
+        let truth = Matrix::from_rows(&[vec![0.5, 0.5], vec![20.5, 0.5], vec![0.5, 20.5]]);
+        for c in 0..3 {
+            let min_d = (0..3)
+                .map(|t| model.centroids.row_distance_sq(c, &truth, t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d < 2.0, "centroid {c} off by {min_d}");
+        }
+        assert!(model.inertia < 60.0, "tight clusters, inertia {}", model.inertia);
+    }
+
+    #[test]
+    fn labels_are_consistent_with_distances() {
+        let rt = rt();
+        let data = DistMatrix::from_matrix(&rt, &blobs(), 7);
+        let model = KMeans::new(3).seed(1).fit(&rt, &data).unwrap();
+        let labels = model.predict(&rt, &data).unwrap();
+        assert_eq!(labels.len(), 60);
+        let m = data.collect(&rt).unwrap();
+        for (r, label) in labels.iter().enumerate() {
+            let (best, _) = nearest(&model.centroids, &m, r);
+            assert_eq!(*label, best);
+        }
+    }
+
+    #[test]
+    fn converges_quickly_on_trivial_data() {
+        let rt = rt();
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![100.0], vec![100.0]]);
+        let data = DistMatrix::from_matrix(&rt, &m, 2);
+        let model = KMeans::new(2).seed(0).fit(&rt, &data).unwrap();
+        assert!(model.iterations <= 3);
+        assert!(model.inertia < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_samples_rejected() {
+        let rt = rt();
+        let m = Matrix::from_rows(&[vec![1.0]]);
+        let data = DistMatrix::from_matrix(&rt, &m, 1);
+        let err = KMeans::new(5).fit(&rt, &data).unwrap_err();
+        assert!(matches!(err, DislibError::InvalidParam(_)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let rt1 = rt();
+        let data1 = DistMatrix::from_matrix(&rt1, &blobs(), 10);
+        let a = KMeans::new(3).seed(9).fit(&rt1, &data1).unwrap();
+        let rt2 = rt();
+        let data2 = DistMatrix::from_matrix(&rt2, &blobs(), 10);
+        let b = KMeans::new(3).seed(9).fit(&rt2, &data2).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KMeans::new(0);
+    }
+}

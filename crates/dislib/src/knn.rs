@@ -1,0 +1,263 @@
+//! k-nearest-neighbour classification with per-block candidate search.
+
+use crate::array::DistMatrix;
+use crate::error::DislibError;
+use crate::matrix::Matrix;
+use continuum_dag::TaskSpec;
+use continuum_platform::Constraints;
+use continuum_runtime::LocalRuntime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-query candidate list: `(squared distance, label)` pairs.
+type Candidates = Vec<Vec<(f64, usize)>>;
+
+/// k-NN classifier: each training block searches its own rows for the
+/// `k` nearest candidates of every query (parallel tasks); a reduction
+/// merges the per-block candidates and majority-votes.
+///
+/// # Example
+///
+/// ```
+/// use continuum_runtime::{LocalRuntime, LocalConfig};
+/// use continuum_dislib::{DistMatrix, KnnClassifier, Matrix};
+///
+/// let rt = LocalRuntime::new(LocalConfig::with_workers(2));
+/// let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]);
+/// let y = vec![0, 0, 1, 1];
+/// let data = DistMatrix::from_matrix(&rt, &x, 2);
+/// let model = KnnClassifier::new(3).fit(&rt, &data, &y)?;
+/// let labels = model.predict(&rt, &Matrix::from_rows(&[vec![0.05], vec![9.9]]))?;
+/// assert_eq!(labels, vec![0, 1]);
+/// # Ok::<(), continuum_dislib::DislibError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+}
+
+/// A fitted k-NN model: references to the training blocks plus the
+/// per-block label slices.
+#[derive(Debug, Clone)]
+pub struct KnnModel {
+    k: usize,
+    train: DistMatrix,
+    labels_per_block: Vec<Arc<Vec<usize>>>,
+}
+
+impl KnnClassifier {
+    /// Creates a classifier with `k` neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnClassifier { k }
+    }
+
+    /// "Fits" the model (k-NN is lazy: this validates shapes and
+    /// splits labels per block).
+    ///
+    /// # Errors
+    ///
+    /// * [`DislibError::ShapeMismatch`] if `labels.len() != x.rows()`;
+    /// * [`DislibError::InvalidParam`] if `k` exceeds the sample count.
+    pub fn fit(
+        &self,
+        _rt: &LocalRuntime,
+        x: &DistMatrix,
+        labels: &[usize],
+    ) -> Result<KnnModel, DislibError> {
+        if labels.len() != x.rows() {
+            return Err(DislibError::ShapeMismatch(format!(
+                "{} labels for {} samples",
+                labels.len(),
+                x.rows()
+            )));
+        }
+        if self.k > x.rows() {
+            return Err(DislibError::InvalidParam(format!(
+                "k = {} exceeds {} samples",
+                self.k,
+                x.rows()
+            )));
+        }
+        let mut labels_per_block = Vec::with_capacity(x.num_blocks());
+        let mut offset = 0;
+        for rows in x.rows_per_block() {
+            labels_per_block.push(Arc::new(labels[offset..offset + rows].to_vec()));
+            offset += rows;
+        }
+        Ok(KnnModel {
+            k: self.k,
+            train: x.clone(),
+            labels_per_block,
+        })
+    }
+}
+
+impl KnnModel {
+    /// Classifies every row of `queries`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DislibError::ShapeMismatch`] if the query width differs
+    ///   from the training width;
+    /// * runtime errors from the task graph.
+    pub fn predict(
+        &self,
+        rt: &LocalRuntime,
+        queries: &Matrix,
+    ) -> Result<Vec<usize>, DislibError> {
+        if queries.cols() != self.train.cols() {
+            return Err(DislibError::ShapeMismatch(format!(
+                "queries have {} features, training data {}",
+                queries.cols(),
+                self.train.cols()
+            )));
+        }
+        let shared_q = Arc::new(queries.clone());
+        let k = self.k;
+        // Per-block candidate search tasks.
+        let mut parts = Vec::with_capacity(self.train.num_blocks());
+        for (i, (block, labels)) in self
+            .train
+            .blocks()
+            .iter()
+            .zip(&self.labels_per_block)
+            .enumerate()
+        {
+            let out = rt.data::<Candidates>(format!("knn_cand_{i}"));
+            let q = Arc::clone(&shared_q);
+            let labels = Arc::clone(labels);
+            rt.submit(
+                TaskSpec::new("knn_partial").input(block.id()).output(out.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let b: &Matrix = ctx.input(0);
+                    let mut all: Candidates = Vec::with_capacity(q.rows());
+                    for qi in 0..q.rows() {
+                        let mut cands: Vec<(f64, usize)> = (0..b.rows())
+                            .map(|r| (q.row_distance_sq(qi, b, r), labels[r]))
+                            .collect();
+                        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                        cands.truncate(k);
+                        all.push(cands);
+                    }
+                    ctx.set_output(0, all);
+                },
+            )?;
+            parts.push(out);
+        }
+        // Merge + vote.
+        let merged = rt.data::<Vec<usize>>("knn_labels");
+        let n_parts = parts.len();
+        let n_queries = queries.rows();
+        rt.submit(
+            TaskSpec::new("knn_merge")
+                .inputs(parts.iter().map(|p| p.id()))
+                .output(merged.id()),
+            Constraints::new(),
+            move |ctx| {
+                let mut labels = Vec::with_capacity(n_queries);
+                for qi in 0..n_queries {
+                    let mut cands: Vec<(f64, usize)> = Vec::new();
+                    for p in 0..n_parts {
+                        cands.extend(ctx.input::<Candidates>(p)[qi].iter().copied());
+                    }
+                    cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                    cands.truncate(k);
+                    let mut votes: HashMap<usize, usize> = HashMap::new();
+                    for (_, l) in &cands {
+                        *votes.entry(*l).or_insert(0) += 1;
+                    }
+                    let best = votes
+                        .into_iter()
+                        .max_by_key(|(label, count)| (*count, std::cmp::Reverse(*label)))
+                        .map(|(label, _)| label)
+                        .unwrap_or(0);
+                    labels.push(best);
+                }
+                ctx.set_output(0, labels);
+            },
+        )?;
+        Ok(rt.get(&merged)?.as_ref().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_runtime::LocalConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rt() -> LocalRuntime {
+        LocalRuntime::new(LocalConfig::with_workers(4))
+    }
+
+    #[test]
+    fn classifies_separated_classes() {
+        let rt = rt();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..60 {
+            let class = rng.gen_range(0..3usize);
+            let base = class as f64 * 10.0;
+            rows.push(vec![base + rng.gen::<f64>(), base - rng.gen::<f64>()]);
+            labels.push(class);
+        }
+        let data = DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 13);
+        let model = KnnClassifier::new(5).fit(&rt, &data, &labels).unwrap();
+        let queries = Matrix::from_rows(&[vec![0.5, 0.5], vec![10.5, 9.5], vec![20.5, 19.5]]);
+        assert_eq!(model.predict(&rt, &queries).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn agrees_with_single_block_reference() {
+        let rt = rt();
+        let mut rng = StdRng::seed_from_u64(8);
+        let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        let queries =
+            Matrix::from_rows(&(0..10).map(|_| vec![rng.gen(), rng.gen()]).collect::<Vec<_>>());
+        let blocked = KnnClassifier::new(3)
+            .fit(&rt, &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 7), &labels)
+            .unwrap()
+            .predict(&rt, &queries)
+            .unwrap();
+        let single = KnnClassifier::new(3)
+            .fit(&rt, &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 40), &labels)
+            .unwrap()
+            .predict(&rt, &queries)
+            .unwrap();
+        assert_eq!(blocked, single);
+    }
+
+    #[test]
+    fn shape_and_param_validation() {
+        let rt = rt();
+        let data = DistMatrix::from_matrix(&rt, &Matrix::from_rows(&[vec![1.0], vec![2.0]]), 1);
+        assert!(matches!(
+            KnnClassifier::new(1).fit(&rt, &data, &[0]),
+            Err(DislibError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            KnnClassifier::new(5).fit(&rt, &data, &[0, 1]),
+            Err(DislibError::InvalidParam(_))
+        ));
+        let model = KnnClassifier::new(1).fit(&rt, &data, &[0, 1]).unwrap();
+        assert!(matches!(
+            model.predict(&rt, &Matrix::from_rows(&[vec![1.0, 2.0]])),
+            Err(DislibError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnClassifier::new(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Model-evaluation utilities: train/test splitting and scores.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits row indices into shuffled train/test sets.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` and `rows > 1`.
+pub fn train_test_split(rows: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(rows > 1, "need at least two rows to split");
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..rows).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((rows as f64 * test_fraction).round() as usize).clamp(1, rows - 1);
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Selects rows of a matrix by index.
+///
+/// # Panics
+///
+/// Panics on out-of-range indices.
+pub fn take_rows(m: &Matrix, indices: &[usize]) -> Matrix {
+    let rows: Vec<Vec<f64>> = indices.iter().map(|i| m.row(*i).to_vec()).collect();
+    Matrix::from_rows(&rows)
+}
+
+/// Fraction of matching labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "label count mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(a, b)| a == b)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Mean squared error between two column vectors (single-target).
+///
+/// # Panics
+///
+/// Panics if the matrices have different shapes.
+pub fn mean_squared_error(truth: &Matrix, predicted: &Matrix) -> f64 {
+    assert_eq!(
+        (truth.rows(), truth.cols()),
+        (predicted.rows(), predicted.cols()),
+        "shape mismatch"
+    );
+    if truth.rows() == 0 {
+        return 0.0;
+    }
+    let n = (truth.rows() * truth.cols()) as f64;
+    truth
+        .as_slice()
+        .iter()
+        .zip(predicted.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / n
+}
+
+/// Coefficient of determination (R²) for single-target predictions.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn r2_score(truth: &Matrix, predicted: &Matrix) -> f64 {
+    assert_eq!(
+        (truth.rows(), truth.cols()),
+        (predicted.rows(), predicted.cols()),
+        "shape mismatch"
+    );
+    let n = truth.rows() as f64;
+    let mean: f64 = truth.as_slice().iter().sum::<f64>() / (n * truth.cols() as f64);
+    let ss_res: f64 = truth
+        .as_slice()
+        .iter()
+        .zip(predicted.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let ss_tot: f64 = truth.as_slice().iter().map(|a| (a - mean) * (a - mean)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let (train, test) = train_test_split(100, 0.25, 7);
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Deterministic.
+        assert_eq!(train_test_split(100, 0.25, 7), (train, test));
+        // Shuffled.
+        let (train2, _) = train_test_split(100, 0.25, 8);
+        assert_ne!(train2, train_test_split(100, 0.25, 7).0);
+    }
+
+    #[test]
+    fn split_always_keeps_both_sides_non_empty() {
+        let (train, test) = train_test_split(2, 0.01, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = train_test_split(2, 0.99, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn take_rows_selects() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = take_rows(&m, &[2, 0]);
+        assert_eq!(t.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3, 4], &[1, 2, 0, 4]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_and_r2() {
+        let truth = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let perfect = truth.clone();
+        assert_eq!(mean_squared_error(&truth, &perfect), 0.0);
+        assert_eq!(r2_score(&truth, &perfect), 1.0);
+        let off = Matrix::from_rows(&[vec![2.0], vec![3.0], vec![4.0]]);
+        assert_eq!(mean_squared_error(&truth, &off), 1.0);
+        assert!(r2_score(&truth, &off) < 1.0);
+        // Predicting the mean gives R² = 0.
+        let mean = Matrix::from_rows(&[vec![2.0], vec![2.0], vec![2.0]]);
+        assert!(r2_score(&truth, &mean).abs() < 1e-12);
+    }
+}

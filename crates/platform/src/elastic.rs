@@ -1,0 +1,227 @@
+//! Load-driven elasticity policies for cloud pools and SLURM-managed
+//! clusters (the paper's "runtime supports elasticity" feature).
+
+use serde::{Deserialize, Serialize};
+
+/// Decision produced by an [`ElasticityPolicy`] evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ElasticAction {
+    /// Provision `n` additional nodes.
+    Grow(usize),
+    /// Release `n` idle nodes.
+    Shrink(usize),
+    /// Keep the current allocation.
+    Hold,
+}
+
+/// Threshold-based elasticity with hysteresis and a cooldown.
+///
+/// The policy grows when the backlog of ready tasks per node exceeds
+/// `grow_threshold` and shrinks when it drops below `shrink_threshold`
+/// *and* idle nodes exist. A cooldown prevents oscillation.
+///
+/// # Example
+///
+/// ```
+/// use continuum_platform::{ElasticityPolicy, ElasticAction};
+///
+/// let mut policy = ElasticityPolicy::new(1, 10).grow_threshold(4.0);
+/// // 2 nodes, 40 ready tasks => heavily backlogged: grow.
+/// assert!(matches!(policy.evaluate(0.0, 2, 40, 0), ElasticAction::Grow(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticityPolicy {
+    min_nodes: usize,
+    max_nodes: usize,
+    grow_threshold: f64,
+    shrink_threshold: f64,
+    cooldown_s: f64,
+    max_step: usize,
+    last_action_at: Option<f64>,
+}
+
+impl ElasticityPolicy {
+    /// Creates a policy bounded to `[min_nodes, max_nodes]` with
+    /// defaults: grow when >2 ready tasks/node, shrink when <0.25,
+    /// 30 s cooldown, at most 4 nodes per step.
+    pub fn new(min_nodes: usize, max_nodes: usize) -> Self {
+        assert!(min_nodes <= max_nodes, "min must not exceed max");
+        ElasticityPolicy {
+            min_nodes,
+            max_nodes,
+            grow_threshold: 2.0,
+            shrink_threshold: 0.25,
+            cooldown_s: 30.0,
+            max_step: 4,
+            last_action_at: None,
+        }
+    }
+
+    /// Sets the ready-tasks-per-node level that triggers growth.
+    pub fn grow_threshold(mut self, t: f64) -> Self {
+        self.grow_threshold = t;
+        self
+    }
+
+    /// Sets the ready-tasks-per-node level that triggers shrinking.
+    pub fn shrink_threshold(mut self, t: f64) -> Self {
+        self.shrink_threshold = t;
+        self
+    }
+
+    /// Sets the cooldown between actions, in seconds.
+    pub fn cooldown_s(mut self, s: f64) -> Self {
+        self.cooldown_s = s;
+        self
+    }
+
+    /// Sets the maximum nodes added/removed per action.
+    pub fn max_step(mut self, n: usize) -> Self {
+        self.max_step = n.max(1);
+        self
+    }
+
+    /// Minimum allocation.
+    pub fn min_nodes(&self) -> usize {
+        self.min_nodes
+    }
+
+    /// Maximum allocation.
+    pub fn max_nodes(&self) -> usize {
+        self.max_nodes
+    }
+
+    /// Evaluates the policy.
+    ///
+    /// * `now` — current time in seconds (monotonic);
+    /// * `current_nodes` — nodes currently allocated;
+    /// * `ready_tasks` — backlog of ready-but-unscheduled tasks;
+    /// * `idle_nodes` — allocated nodes with nothing running.
+    pub fn evaluate(
+        &mut self,
+        now: f64,
+        current_nodes: usize,
+        ready_tasks: usize,
+        idle_nodes: usize,
+    ) -> ElasticAction {
+        if let Some(last) = self.last_action_at {
+            if now - last < self.cooldown_s {
+                return ElasticAction::Hold;
+            }
+        }
+        if current_nodes == 0 {
+            if ready_tasks > 0 && self.max_nodes > 0 {
+                self.last_action_at = Some(now);
+                return ElasticAction::Grow(self.max_step.min(self.max_nodes));
+            }
+            return ElasticAction::Hold;
+        }
+        let backlog = ready_tasks as f64 / current_nodes as f64;
+        if backlog > self.grow_threshold && current_nodes < self.max_nodes {
+            let want = ((backlog / self.grow_threshold).ceil() as usize).saturating_sub(1);
+            let step = want.clamp(1, self.max_step).min(self.max_nodes - current_nodes);
+            self.last_action_at = Some(now);
+            ElasticAction::Grow(step)
+        } else if backlog < self.shrink_threshold
+            && idle_nodes > 0
+            && current_nodes > self.min_nodes
+        {
+            let step = idle_nodes
+                .min(self.max_step)
+                .min(current_nodes - self.min_nodes);
+            if step == 0 {
+                return ElasticAction::Hold;
+            }
+            self.last_action_at = Some(now);
+            ElasticAction::Shrink(step)
+        } else {
+            ElasticAction::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_under_backlog() {
+        let mut p = ElasticityPolicy::new(1, 10);
+        match p.evaluate(0.0, 2, 20, 0) {
+            ElasticAction::Grow(n) => assert!((1..=4).contains(&n)),
+            other => panic!("expected grow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinks_when_idle() {
+        let mut p = ElasticityPolicy::new(1, 10);
+        match p.evaluate(0.0, 8, 0, 5) {
+            ElasticAction::Shrink(n) => assert!((1..=4).contains(&n)),
+            other => panic!("expected shrink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn holds_in_comfort_zone() {
+        let mut p = ElasticityPolicy::new(1, 10);
+        assert_eq!(p.evaluate(0.0, 4, 4, 0), ElasticAction::Hold);
+    }
+
+    #[test]
+    fn cooldown_blocks_consecutive_actions() {
+        let mut p = ElasticityPolicy::new(1, 10).cooldown_s(30.0);
+        assert!(matches!(p.evaluate(0.0, 2, 40, 0), ElasticAction::Grow(_)));
+        assert_eq!(p.evaluate(10.0, 4, 40, 0), ElasticAction::Hold);
+        assert!(matches!(p.evaluate(31.0, 4, 40, 0), ElasticAction::Grow(_)));
+    }
+
+    #[test]
+    fn respects_max_nodes() {
+        let mut p = ElasticityPolicy::new(1, 3).cooldown_s(0.0);
+        match p.evaluate(0.0, 2, 100, 0) {
+            ElasticAction::Grow(n) => assert_eq!(n, 1, "only 1 below max"),
+            other => panic!("expected grow, got {other:?}"),
+        }
+        assert_eq!(p.evaluate(1.0, 3, 100, 0), ElasticAction::Hold);
+    }
+
+    #[test]
+    fn respects_min_nodes() {
+        let mut p = ElasticityPolicy::new(2, 10).cooldown_s(0.0);
+        assert_eq!(p.evaluate(0.0, 2, 0, 2), ElasticAction::Hold);
+        match p.evaluate(1.0, 4, 0, 4) {
+            ElasticAction::Shrink(n) => assert!(n <= 2, "cannot go below min"),
+            other => panic!("expected shrink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_start_from_zero_nodes() {
+        let mut p = ElasticityPolicy::new(0, 8);
+        assert!(matches!(p.evaluate(0.0, 0, 5, 0), ElasticAction::Grow(_)));
+        let mut q = ElasticityPolicy::new(0, 8);
+        assert_eq!(q.evaluate(0.0, 0, 0, 0), ElasticAction::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn invalid_bounds_rejected() {
+        let _ = ElasticityPolicy::new(5, 2);
+    }
+
+    #[test]
+    fn grow_step_scales_with_backlog() {
+        let mut small = ElasticityPolicy::new(1, 100).cooldown_s(0.0);
+        let mut big = ElasticityPolicy::new(1, 100).cooldown_s(0.0);
+        let s = match small.evaluate(0.0, 4, 10, 0) {
+            ElasticAction::Grow(n) => n,
+            _ => 0,
+        };
+        let b = match big.evaluate(0.0, 4, 200, 0) {
+            ElasticAction::Grow(n) => n,
+            _ => 0,
+        };
+        assert!(b >= s, "heavier backlog grows at least as much");
+    }
+}

@@ -1,0 +1,178 @@
+//! Energy models: per-node power profiles and energy accounting.
+//!
+//! The paper repeatedly calls for runtimes that optimise *energy* as
+//! well as performance. We use the standard linear power model: a node
+//! draws `idle_watts` when on, plus `(active - idle) * utilisation`
+//! when running tasks. The discrete-event simulator integrates this
+//! over time; [`EnergyAccount`] accumulates the result.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear power model of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle_watts: f64,
+    active_watts: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle > active` or either is negative.
+    pub fn new(idle_watts: f64, active_watts: f64) -> Self {
+        assert!(
+            idle_watts >= 0.0 && active_watts >= idle_watts,
+            "power model requires 0 <= idle <= active"
+        );
+        PowerModel {
+            idle_watts,
+            active_watts,
+        }
+    }
+
+    /// Power draw when idle but powered on (watts).
+    pub fn idle_watts(self) -> f64 {
+        self.idle_watts
+    }
+
+    /// Power draw at full utilisation (watts).
+    pub fn active_watts(self) -> f64 {
+        self.active_watts
+    }
+
+    /// Instantaneous power at a given utilisation in `[0, 1]`.
+    pub fn power_at(self, utilisation: f64) -> f64 {
+        let u = utilisation.clamp(0.0, 1.0);
+        self.idle_watts + (self.active_watts - self.idle_watts) * u
+    }
+
+    /// Energy (joules) for a period of `seconds` at a fixed utilisation.
+    pub fn energy_joules(self, seconds: f64, utilisation: f64) -> f64 {
+        self.power_at(utilisation) * seconds.max(0.0)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::new(100.0, 250.0)
+    }
+}
+
+/// Accumulated energy usage of a run, split by busy/idle time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Joules consumed while running tasks.
+    pub busy_joules: f64,
+    /// Joules consumed while powered on but idle.
+    pub idle_joules: f64,
+    /// Seconds spent busy (core-seconds weighted to node level).
+    pub busy_seconds: f64,
+    /// Seconds spent idle but powered on.
+    pub idle_seconds: f64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a busy period at the given utilisation under `power`.
+    pub fn add_busy(&mut self, power: PowerModel, seconds: f64, utilisation: f64) {
+        self.busy_joules += power.energy_joules(seconds, utilisation);
+        self.busy_seconds += seconds.max(0.0);
+    }
+
+    /// Adds an idle (powered-on) period under `power`.
+    pub fn add_idle(&mut self, power: PowerModel, seconds: f64) {
+        self.idle_joules += power.energy_joules(seconds, 0.0);
+        self.idle_seconds += seconds.max(0.0);
+    }
+
+    /// Total joules consumed.
+    pub fn total_joules(&self) -> f64 {
+        self.busy_joules + self.idle_joules
+    }
+
+    /// Total kilowatt-hours consumed.
+    pub fn total_kwh(&self) -> f64 {
+        self.total_joules() / 3.6e6
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.busy_joules += other.busy_joules;
+        self.idle_joules += other.idle_joules;
+        self.busy_seconds += other.busy_seconds;
+        self.idle_seconds += other.idle_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_interpolates_linearly() {
+        let p = PowerModel::new(100.0, 300.0);
+        assert_eq!(p.power_at(0.0), 100.0);
+        assert_eq!(p.power_at(1.0), 300.0);
+        assert_eq!(p.power_at(0.5), 200.0);
+    }
+
+    #[test]
+    fn utilisation_clamped() {
+        let p = PowerModel::new(10.0, 20.0);
+        assert_eq!(p.power_at(-1.0), 10.0);
+        assert_eq!(p.power_at(2.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle <= active")]
+    fn invalid_model_rejected() {
+        let _ = PowerModel::new(200.0, 100.0);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let p = PowerModel::new(100.0, 300.0);
+        let mut acc = EnergyAccount::new();
+        acc.add_busy(p, 10.0, 1.0); // 3000 J
+        acc.add_idle(p, 5.0); // 500 J
+        assert!((acc.busy_joules - 3000.0).abs() < 1e-9);
+        assert!((acc.idle_joules - 500.0).abs() < 1e-9);
+        assert!((acc.total_joules() - 3500.0).abs() < 1e-9);
+        assert_eq!(acc.busy_seconds, 10.0);
+        assert_eq!(acc.idle_seconds, 5.0);
+    }
+
+    #[test]
+    fn negative_durations_ignored() {
+        let p = PowerModel::default();
+        let mut acc = EnergyAccount::new();
+        acc.add_busy(p, -4.0, 1.0);
+        assert_eq!(acc.total_joules(), 0.0);
+        assert_eq!(acc.busy_seconds, 0.0);
+    }
+
+    #[test]
+    fn merge_combines_accounts() {
+        let p = PowerModel::new(0.0, 100.0);
+        let mut a = EnergyAccount::new();
+        a.add_busy(p, 1.0, 1.0);
+        let mut b = EnergyAccount::new();
+        b.add_busy(p, 2.0, 1.0);
+        a.merge(&b);
+        assert!((a.busy_joules - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        let p = PowerModel::new(0.0, 1000.0);
+        let mut acc = EnergyAccount::new();
+        acc.add_busy(p, 3600.0, 1.0); // 1 kWh
+        assert!((acc.total_kwh() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! Zone-based network model for costing data transfers across the
+//! continuum (intra-cluster fabric, cluster↔cloud WAN, fog wireless…).
+
+use crate::platform::ZoneId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bandwidth/latency of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    bandwidth_mbps: f64,
+    latency_s: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link with bandwidth in **megabytes per second** and
+    /// latency in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive or latency is negative.
+    pub fn new(bandwidth_mbps: f64, latency_s: f64) -> Self {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        LinkSpec {
+            bandwidth_mbps,
+            latency_s,
+        }
+    }
+
+    /// 100 Gbit/s-class HPC interconnect (InfiniBand).
+    pub fn infiniband() -> Self {
+        LinkSpec::new(12_000.0, 2e-6)
+    }
+
+    /// 10 Gbit/s datacenter Ethernet.
+    pub fn datacenter() -> Self {
+        LinkSpec::new(1_200.0, 1e-4)
+    }
+
+    /// Cluster-to-cloud WAN (1 Gbit/s, 20 ms).
+    pub fn wan() -> Self {
+        LinkSpec::new(120.0, 0.02)
+    }
+
+    /// Fog wireless link (50 Mbit/s WiFi-class, 5 ms).
+    pub fn wireless() -> Self {
+        LinkSpec::new(6.0, 0.005)
+    }
+
+    /// Constrained mobile/IoT uplink (5 Mbit/s, 50 ms).
+    pub fn mobile() -> Self {
+        LinkSpec::new(0.6, 0.05)
+    }
+
+    /// Bandwidth in MB/s.
+    pub fn bandwidth_mbps(self) -> f64 {
+        self.bandwidth_mbps
+    }
+
+    /// Latency in seconds.
+    pub fn latency_s(self) -> f64 {
+        self.latency_s
+    }
+
+    /// Time to move `bytes` over this link, latency included.
+    pub fn transfer_seconds(self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / (self.bandwidth_mbps * 1e6)
+    }
+}
+
+/// The cost of one planned transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferCost {
+    /// Seconds the transfer occupies the link.
+    pub seconds: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// Zone-based network: each zone has an internal link class; zone pairs
+/// use an explicit override or the default inter-zone (WAN) link.
+/// Transfers within the same node are free.
+///
+/// # Example
+///
+/// ```
+/// use continuum_platform::{NetworkModel, LinkSpec};
+///
+/// let mut net = NetworkModel::new(LinkSpec::wan());
+/// let z0 = net.add_zone(LinkSpec::infiniband());
+/// let z1 = net.add_zone(LinkSpec::datacenter());
+/// // 100 MB across the WAN takes ~0.85 s; inside the cluster ~8 ms.
+/// assert!(net.transfer_seconds(100_000_000, z0, z1) > 0.5);
+/// assert!(net.transfer_seconds(100_000_000, z0, z0) < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    intra_zone: Vec<LinkSpec>,
+    default_inter: LinkSpec,
+    overrides: HashMap<(u16, u16), LinkSpec>,
+}
+
+impl NetworkModel {
+    /// Creates a network with the given default inter-zone link.
+    pub fn new(default_inter: LinkSpec) -> Self {
+        NetworkModel {
+            intra_zone: Vec::new(),
+            default_inter,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Registers a zone with its internal link class; returns its id.
+    pub fn add_zone(&mut self, intra: LinkSpec) -> ZoneId {
+        let id = ZoneId(self.intra_zone.len() as u16);
+        self.intra_zone.push(intra);
+        id
+    }
+
+    /// Number of registered zones.
+    pub fn num_zones(&self) -> usize {
+        self.intra_zone.len()
+    }
+
+    /// Sets an explicit link for a zone pair (order-insensitive).
+    pub fn set_inter_zone(&mut self, a: ZoneId, b: ZoneId, link: LinkSpec) {
+        self.overrides.insert(Self::key(a, b), link);
+    }
+
+    fn key(a: ZoneId, b: ZoneId) -> (u16, u16) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The link used between two zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either zone is not registered.
+    pub fn link(&self, a: ZoneId, b: ZoneId) -> LinkSpec {
+        assert!(
+            (a.0 as usize) < self.intra_zone.len() && (b.0 as usize) < self.intra_zone.len(),
+            "unknown zone"
+        );
+        if a == b {
+            self.intra_zone[a.0 as usize]
+        } else {
+            *self
+                .overrides
+                .get(&Self::key(a, b))
+                .unwrap_or(&self.default_inter)
+        }
+    }
+
+    /// Seconds to move `bytes` between nodes in the given zones
+    /// (different nodes assumed; same-node transfers are free and
+    /// handled by callers).
+    pub fn transfer_seconds(&self, bytes: u64, from: ZoneId, to: ZoneId) -> f64 {
+        self.link(from, to).transfer_seconds(bytes)
+    }
+
+    /// Full transfer cost record.
+    pub fn transfer_cost(&self, bytes: u64, from: ZoneId, to: ZoneId) -> TransferCost {
+        TransferCost {
+            seconds: self.transfer_seconds(bytes, from, to),
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_math() {
+        let link = LinkSpec::new(100.0, 0.01); // 100 MB/s, 10 ms
+        // 200 MB => 2 s + 10 ms.
+        assert!((link.transfer_seconds(200_000_000) - 2.01).abs() < 1e-9);
+        // Zero bytes still pay latency.
+        assert!((link.transfer_seconds(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn intra_vs_inter_zone() {
+        let mut net = NetworkModel::new(LinkSpec::wan());
+        let a = net.add_zone(LinkSpec::infiniband());
+        let b = net.add_zone(LinkSpec::datacenter());
+        let bytes = 1_000_000_000u64; // 1 GB
+        let intra = net.transfer_seconds(bytes, a, a);
+        let inter = net.transfer_seconds(bytes, a, b);
+        assert!(intra < inter, "intra-zone must be faster than WAN");
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut net = NetworkModel::new(LinkSpec::wan());
+        let a = net.add_zone(LinkSpec::datacenter());
+        let b = net.add_zone(LinkSpec::datacenter());
+        let fast = LinkSpec::new(10_000.0, 1e-6);
+        net.set_inter_zone(a, b, fast);
+        assert_eq!(net.link(a, b), fast);
+        // Order-insensitive.
+        assert_eq!(net.link(b, a), fast);
+    }
+
+    #[test]
+    fn link_presets_ordering() {
+        // Sanity: presets should be ordered by technology generation.
+        assert!(LinkSpec::infiniband().bandwidth_mbps() > LinkSpec::datacenter().bandwidth_mbps());
+        assert!(LinkSpec::datacenter().bandwidth_mbps() > LinkSpec::wan().bandwidth_mbps());
+        assert!(LinkSpec::wan().bandwidth_mbps() > LinkSpec::wireless().bandwidth_mbps());
+        assert!(LinkSpec::wireless().bandwidth_mbps() > LinkSpec::mobile().bandwidth_mbps());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zone")]
+    fn unknown_zone_panics() {
+        let net = NetworkModel::new(LinkSpec::wan());
+        let _ = net.link(ZoneId(0), ZoneId(1));
+    }
+
+    #[test]
+    fn transfer_cost_record() {
+        let mut net = NetworkModel::new(LinkSpec::wan());
+        let a = net.add_zone(LinkSpec::datacenter());
+        let c = net.transfer_cost(1000, a, a);
+        assert_eq!(c.bytes, 1000);
+        assert!(c.seconds > 0.0);
+    }
+}

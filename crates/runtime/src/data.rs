@@ -1,0 +1,281 @@
+//! The data registry: where each versioned datum currently lives.
+//!
+//! This is the runtime's data-management view: it tracks, per
+//! [`VersionedData`], the set of nodes holding a copy, its size, and
+//! whether the value was persisted to the storage backend (which makes
+//! it survive node failures — the recovery mechanism of §VI-B).
+
+use continuum_dag::VersionedData;
+use continuum_platform::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Whether a datum is additionally held by the persistent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageResidency {
+    /// Only on compute nodes; lost if all of them fail.
+    VolatileOnly,
+    /// Persisted: survives any number of node failures.
+    Persisted,
+}
+
+#[derive(Debug, Clone)]
+struct DataEntry {
+    bytes: u64,
+    locations: HashSet<NodeId>,
+    residency: StorageResidency,
+    /// Staged everywhere (initial data without a pinned home).
+    ubiquitous: bool,
+}
+
+/// Registry of versioned data placement.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    entries: HashMap<VersionedData, DataEntry>,
+}
+
+impl DataRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records production of a datum on a node.
+    pub fn record_production(&mut self, vd: VersionedData, node: NodeId, bytes: u64) {
+        let entry = self.entries.entry(vd).or_insert_with(|| DataEntry {
+            bytes,
+            locations: HashSet::new(),
+            residency: StorageResidency::VolatileOnly,
+            ubiquitous: false,
+        });
+        entry.bytes = bytes;
+        entry.locations.insert(node);
+    }
+
+    /// Registers an initial datum pinned to a home node.
+    pub fn record_initial(&mut self, vd: VersionedData, home: Option<NodeId>, bytes: u64) {
+        let mut locations = HashSet::new();
+        let ubiquitous = match home {
+            Some(h) => {
+                locations.insert(h);
+                false
+            }
+            None => true,
+        };
+        self.entries.insert(
+            vd,
+            DataEntry {
+                bytes,
+                locations,
+                residency: StorageResidency::VolatileOnly,
+                ubiquitous,
+            },
+        );
+    }
+
+    /// Adds a replica after a transfer.
+    pub fn add_replica(&mut self, vd: VersionedData, node: NodeId) {
+        if let Some(e) = self.entries.get_mut(&vd) {
+            e.locations.insert(node);
+        }
+    }
+
+    /// Marks a datum as persisted to storage.
+    pub fn persist(&mut self, vd: VersionedData) {
+        if let Some(e) = self.entries.get_mut(&vd) {
+            e.residency = StorageResidency::Persisted;
+        }
+    }
+
+    /// Whether the datum is persisted.
+    pub fn is_persisted(&self, vd: VersionedData) -> bool {
+        self.entries
+            .get(&vd)
+            .is_some_and(|e| e.residency == StorageResidency::Persisted)
+    }
+
+    /// Size of a datum in bytes (0 if unknown).
+    pub fn size_of(&self, vd: VersionedData) -> u64 {
+        self.entries.get(&vd).map_or(0, |e| e.bytes)
+    }
+
+    /// Returns `true` if the registry knows this datum at all.
+    pub fn is_known(&self, vd: VersionedData) -> bool {
+        self.entries.contains_key(&vd)
+    }
+
+    /// Returns `true` if a copy exists on the given node (or the datum
+    /// is staged everywhere).
+    pub fn is_on(&self, vd: VersionedData, node: NodeId) -> bool {
+        self.entries
+            .get(&vd)
+            .is_some_and(|e| e.ubiquitous || e.locations.contains(&node))
+    }
+
+    /// Returns `true` if the datum can be read from somewhere: a node
+    /// copy, ubiquitous staging, or the persistent store.
+    pub fn is_available(&self, vd: VersionedData) -> bool {
+        self.entries.get(&vd).is_some_and(|e| {
+            e.ubiquitous || !e.locations.is_empty() || e.residency == StorageResidency::Persisted
+        })
+    }
+
+    /// Live replica locations (empty for ubiquitous or storage-only
+    /// data, which are readable anywhere).
+    pub fn locations(&self, vd: VersionedData) -> Vec<NodeId> {
+        self.entries
+            .get(&vd)
+            .map(|e| e.locations.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` if the datum is staged everywhere.
+    pub fn is_ubiquitous(&self, vd: VersionedData) -> bool {
+        self.entries.get(&vd).is_some_and(|e| e.ubiquitous)
+    }
+
+    /// Removes a failed node from all location sets. Returns the data
+    /// that lost their **last** copy and are not persisted (i.e. truly
+    /// lost values that need lineage recovery).
+    pub fn drop_node(&mut self, node: NodeId) -> Vec<VersionedData> {
+        let mut lost = Vec::new();
+        for (vd, e) in self.entries.iter_mut() {
+            if e.locations.remove(&node)
+                && e.locations.is_empty()
+                && !e.ubiquitous
+                && e.residency != StorageResidency::Persisted
+            {
+                lost.push(*vd);
+            }
+        }
+        lost.sort_unstable();
+        lost
+    }
+
+    /// Bytes of task-produced data resident on a node.
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.locations.contains(&node))
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Number of tracked data.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no data are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_dag::{DataId, DataVersion};
+
+    fn vd(d: u64, v: u32) -> VersionedData {
+        VersionedData::new(DataId::from_raw(d), DataVersion::from_raw(v))
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn production_and_replicas() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(0), 100);
+        assert!(r.is_on(vd(0, 1), n(0)));
+        assert!(!r.is_on(vd(0, 1), n(1)));
+        assert_eq!(r.size_of(vd(0, 1)), 100);
+        r.add_replica(vd(0, 1), n(1));
+        assert!(r.is_on(vd(0, 1), n(1)));
+        let mut locs = r.locations(vd(0, 1));
+        locs.sort();
+        assert_eq!(locs, vec![n(0), n(1)]);
+    }
+
+    #[test]
+    fn ubiquitous_initial_data() {
+        let mut r = DataRegistry::new();
+        r.record_initial(vd(0, 0), None, 50);
+        assert!(r.is_on(vd(0, 0), n(7)));
+        assert!(r.is_available(vd(0, 0)));
+        assert!(r.is_ubiquitous(vd(0, 0)));
+        assert!(r.locations(vd(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn pinned_initial_data() {
+        let mut r = DataRegistry::new();
+        r.record_initial(vd(0, 0), Some(n(2)), 50);
+        assert!(r.is_on(vd(0, 0), n(2)));
+        assert!(!r.is_on(vd(0, 0), n(0)));
+        assert!(!r.is_ubiquitous(vd(0, 0)));
+    }
+
+    #[test]
+    fn drop_node_reports_truly_lost_data() {
+        let mut r = DataRegistry::new();
+        // Lost: single copy on n0.
+        r.record_production(vd(0, 1), n(0), 10);
+        // Safe: replicated on n1.
+        r.record_production(vd(1, 1), n(0), 10);
+        r.add_replica(vd(1, 1), n(1));
+        // Safe: persisted.
+        r.record_production(vd(2, 1), n(0), 10);
+        r.persist(vd(2, 1));
+        // Safe: ubiquitous initial.
+        r.record_initial(vd(3, 0), None, 10);
+        let lost = r.drop_node(n(0));
+        assert_eq!(lost, vec![vd(0, 1)]);
+        assert!(!r.is_available(vd(0, 1)));
+        assert!(r.is_available(vd(1, 1)));
+        assert!(r.is_available(vd(2, 1)));
+        assert!(r.is_available(vd(3, 0)));
+    }
+
+    #[test]
+    fn persisted_flag() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(0), 10);
+        assert!(!r.is_persisted(vd(0, 1)));
+        r.persist(vd(0, 1));
+        assert!(r.is_persisted(vd(0, 1)));
+    }
+
+    #[test]
+    fn unknown_data_queries() {
+        let r = DataRegistry::new();
+        assert!(!r.is_known(vd(9, 9)));
+        assert!(!r.is_available(vd(9, 9)));
+        assert!(!r.is_on(vd(9, 9), n(0)));
+        assert_eq!(r.size_of(vd(9, 9)), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bytes_on_node() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(0), 100);
+        r.record_production(vd(1, 1), n(0), 50);
+        r.record_production(vd(2, 1), n(1), 70);
+        assert_eq!(r.bytes_on(n(0)), 150);
+        assert_eq!(r.bytes_on(n(1)), 70);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn reproduction_after_loss_restores_availability() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(0), 10);
+        let lost = r.drop_node(n(0));
+        assert_eq!(lost.len(), 1);
+        r.record_production(vd(0, 1), n(1), 10);
+        assert!(r.is_available(vd(0, 1)));
+        assert!(r.is_on(vd(0, 1), n(1)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Store-vs-recompute trade-off ("data-computing metrics", §VI-C).
+//!
+//! The paper proposes that future runtimes should decide, per
+//! intermediate result, whether keeping it in storage or re-deriving
+//! it from its lineage is cheaper. This module provides the analytical
+//! model the corresponding experiment (E9) sweeps: a derivation chain
+//! of intermediate results with known compute costs, sizes and access
+//! frequencies, evaluated under three policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-result storage policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LineagePolicy {
+    /// Keep every intermediate result (the traditional approach the
+    /// paper says has been "the followed approach until now").
+    StoreAll,
+    /// Keep nothing; re-derive on every access.
+    RecomputeAll,
+    /// Store a result iff its storage cost over the horizon is lower
+    /// than the expected cost of recomputing it for the predicted
+    /// accesses.
+    CostBased,
+}
+
+/// One stage of a derivation chain: `stage[i]` is computed from
+/// `stage[i-1]` (stage 0 from durable external inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Seconds of compute to derive this stage from its predecessor.
+    pub compute_s: f64,
+    /// Size of the result in megabytes.
+    pub size_mb: f64,
+    /// Predicted number of accesses over the horizon.
+    pub accesses: u32,
+}
+
+/// A linear derivation chain with cost parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageChain {
+    stages: Vec<Stage>,
+    /// Cost of storing one MB for the whole horizon (currency units).
+    storage_cost_per_mb: f64,
+    /// Cost of one compute-second (currency units).
+    compute_cost_per_s: f64,
+}
+
+/// Evaluation of a policy on a chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageReport {
+    /// Which stages the policy keeps stored.
+    pub stored: Vec<bool>,
+    /// Megabytes held in storage.
+    pub storage_mb: f64,
+    /// Seconds spent recomputing over all accesses.
+    pub recompute_s: f64,
+    /// Monetary storage cost.
+    pub storage_cost: f64,
+    /// Monetary compute cost.
+    pub compute_cost: f64,
+}
+
+impl LineageReport {
+    /// Total monetary cost of the policy.
+    pub fn total_cost(&self) -> f64 {
+        self.storage_cost + self.compute_cost
+    }
+}
+
+impl LineageChain {
+    /// Creates a chain with the given cost parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cost parameter is negative.
+    pub fn new(stages: Vec<Stage>, storage_cost_per_mb: f64, compute_cost_per_s: f64) -> Self {
+        assert!(
+            storage_cost_per_mb >= 0.0 && compute_cost_per_s >= 0.0,
+            "costs must be non-negative"
+        );
+        LineageChain {
+            stages,
+            storage_cost_per_mb,
+            compute_cost_per_s,
+        }
+    }
+
+    /// The stages of the chain.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Evaluates a policy: decides which stages are stored and costs
+    /// every predicted access.
+    ///
+    /// An access to a stored stage is free; an access to a dropped
+    /// stage recomputes every stage after its nearest stored (or
+    /// external) ancestor, once per access.
+    pub fn evaluate(&self, policy: LineagePolicy) -> LineageReport {
+        let stored = self.decide(policy);
+        let mut storage_mb = 0.0;
+        let mut recompute_s = 0.0;
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stored[i] {
+                storage_mb += stage.size_mb;
+            } else {
+                let chain_cost = self.recompute_chain_seconds(i, &stored);
+                recompute_s += chain_cost * stage.accesses as f64;
+            }
+        }
+        LineageReport {
+            stored,
+            storage_mb,
+            recompute_s,
+            storage_cost: storage_mb * self.storage_cost_per_mb,
+            compute_cost: recompute_s * self.compute_cost_per_s,
+        }
+    }
+
+    /// Seconds to regenerate stage `i` given the stored set: compute
+    /// of every stage from the nearest stored ancestor (exclusive) to
+    /// `i` (inclusive).
+    fn recompute_chain_seconds(&self, i: usize, stored: &[bool]) -> f64 {
+        let mut total = 0.0;
+        let mut j = i;
+        loop {
+            total += self.stages[j].compute_s;
+            if j == 0 || stored[j - 1] {
+                break;
+            }
+            j -= 1;
+        }
+        total
+    }
+
+    fn decide(&self, policy: LineagePolicy) -> Vec<bool> {
+        match policy {
+            LineagePolicy::StoreAll => vec![true; self.stages.len()],
+            LineagePolicy::RecomputeAll => vec![false; self.stages.len()],
+            LineagePolicy::CostBased => {
+                // Greedy front-to-back: decide each stage assuming the
+                // prefix decisions are fixed (ancestors known).
+                let mut stored = vec![false; self.stages.len()];
+                for i in 0..self.stages.len() {
+                    let store_cost = self.stages[i].size_mb * self.storage_cost_per_mb;
+                    let recompute_cost = self.recompute_chain_seconds(i, &stored)
+                        * self.stages[i].accesses as f64
+                        * self.compute_cost_per_s;
+                    stored[i] = store_cost < recompute_cost;
+                }
+                stored
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(storage_price: f64, compute_price: f64) -> LineageChain {
+        LineageChain::new(
+            vec![
+                Stage { compute_s: 100.0, size_mb: 10.0, accesses: 5 },
+                Stage { compute_s: 10.0, size_mb: 1000.0, accesses: 1 },
+                Stage { compute_s: 50.0, size_mb: 5.0, accesses: 10 },
+            ],
+            storage_price,
+            compute_price,
+        )
+    }
+
+    #[test]
+    fn store_all_pays_only_storage() {
+        let r = chain(1.0, 1.0).evaluate(LineagePolicy::StoreAll);
+        assert_eq!(r.recompute_s, 0.0);
+        assert_eq!(r.storage_mb, 1015.0);
+        assert_eq!(r.total_cost(), 1015.0);
+        assert!(r.stored.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn recompute_all_pays_only_compute() {
+        let r = chain(1.0, 1.0).evaluate(LineagePolicy::RecomputeAll);
+        assert_eq!(r.storage_mb, 0.0);
+        // stage0: 100 × 5; stage1: (100+10) × 1; stage2: (100+10+50) × 10.
+        assert_eq!(r.recompute_s, 500.0 + 110.0 + 1600.0);
+        assert!(r.stored.iter().all(|s| !*s));
+    }
+
+    #[test]
+    fn cost_based_beats_both_extremes_in_mixed_regimes() {
+        let c = chain(1.0, 1.0);
+        let store = c.evaluate(LineagePolicy::StoreAll).total_cost();
+        let recompute = c.evaluate(LineagePolicy::RecomputeAll).total_cost();
+        let hybrid = c.evaluate(LineagePolicy::CostBased).total_cost();
+        assert!(hybrid <= store, "hybrid {hybrid} vs store {store}");
+        assert!(hybrid <= recompute, "hybrid {hybrid} vs recompute {recompute}");
+        // It keeps the cheap-to-store hot stages and drops the huge one.
+        let r = c.evaluate(LineagePolicy::CostBased);
+        assert!(r.stored[0], "hot + cheap to store");
+        assert!(!r.stored[1], "1 GB for a single access is not worth it");
+        assert!(r.stored[2]);
+    }
+
+    #[test]
+    fn free_storage_stores_everything_useful() {
+        let r = chain(0.0, 1.0).evaluate(LineagePolicy::CostBased);
+        assert!(r.stored.iter().all(|s| *s));
+        assert_eq!(r.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn free_compute_stores_nothing() {
+        let r = chain(1.0, 0.0).evaluate(LineagePolicy::CostBased);
+        assert!(r.stored.iter().all(|s| !*s));
+        assert_eq!(r.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn recompute_chain_stops_at_stored_ancestor() {
+        let c = chain(1.0, 1.0);
+        let stored = vec![true, false, false];
+        // Stage 2 recompute: stages 1 and 2 only (stage 0 is stored).
+        assert_eq!(c.recompute_chain_seconds(2, &stored), 60.0);
+        assert_eq!(c.recompute_chain_seconds(0, &[false, false, false]), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_rejected() {
+        let _ = LineageChain::new(vec![], -1.0, 0.0);
+    }
+
+    #[test]
+    fn crossover_with_storage_price() {
+        // As storage gets more expensive, the cost-based policy stores
+        // fewer stages.
+        let cheap = chain(0.01, 1.0).evaluate(LineagePolicy::CostBased);
+        let dear = chain(100.0, 1.0).evaluate(LineagePolicy::CostBased);
+        let stored_cheap = cheap.stored.iter().filter(|s| **s).count();
+        let stored_dear = dear.stored.iter().filter(|s| **s).count();
+        assert!(stored_cheap >= stored_dear);
+    }
+}

@@ -1,0 +1,789 @@
+//! The local runtime: real multithreaded execution of task closures
+//! with dependency-driven asynchrony and constraint-aware admission.
+//!
+//! This is the programming-model surface of the paper on a single
+//! machine: tasks are submitted with parameter directions, the access
+//! processor wires the dependency graph, and a worker pool executes
+//! task bodies as soon as their inputs exist — out of submission order
+//! whenever the dataflow allows.
+
+use crate::error::RuntimeError;
+use continuum_dag::{AccessProcessor, DataId, TaskId, TaskSpec, VersionedData};
+use continuum_platform::{Constraints, NodeCapacity};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+/// A shareable, type-erased value flowing between tasks.
+type Value = Arc<dyn Any + Send + Sync>;
+
+/// Typed handle to a logical datum managed by a [`LocalRuntime`].
+///
+/// The phantom type parameter gives compile-time documentation of what
+/// flows through the datum; actual type checks happen at access time.
+#[derive(Debug)]
+pub struct DataHandle<T> {
+    id: DataId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DataHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for DataHandle<T> {}
+
+impl<T> DataHandle<T> {
+    /// The underlying datum id, usable in [`TaskSpec`] builders.
+    pub fn id(&self) -> DataId {
+        self.id
+    }
+}
+
+impl<T> From<DataHandle<T>> for DataId {
+    fn from(h: DataHandle<T>) -> DataId {
+        h.id
+    }
+}
+
+/// Execution context passed to task bodies: read inputs, write
+/// outputs.
+///
+/// Inputs are the values of the reading parameters (`In`/`InOut`) in
+/// declaration order; output slots correspond to the writing
+/// parameters (`Out`/`InOut`) in declaration order.
+pub struct TaskContext {
+    inputs: Vec<Value>,
+    outputs: Vec<Option<Value>>,
+}
+
+impl TaskContext {
+    /// The number of inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The number of output slots.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Borrows the `i`-th input, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the stored type is not
+    /// `T` — both are task programming errors, surfaced as a task
+    /// failure by the runtime.
+    pub fn input<T: Send + Sync + 'static>(&self, i: usize) -> &T {
+        self.inputs[i]
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("input {i} has unexpected type"))
+    }
+
+    /// Clones the `i`-th input `Arc`, downcast to `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TaskContext::input`].
+    pub fn input_arc<T: Send + Sync + 'static>(&self, i: usize) -> Arc<T> {
+        self.inputs[i]
+            .clone()
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("input {i} has unexpected type"))
+    }
+
+    /// Fills the `i`-th output slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set_output<T: Send + Sync + 'static>(&mut self, i: usize, value: T) {
+        self.outputs[i] = Some(Arc::new(value));
+    }
+}
+
+/// Configuration of a [`LocalRuntime`].
+#[derive(Debug, Clone)]
+pub struct LocalConfig {
+    /// Worker threads (also the advertised compute units).
+    pub workers: usize,
+    /// Advertised memory capacity in MB (for constraint admission).
+    pub memory_mb: u64,
+    /// Advertised software packages.
+    pub software: Vec<String>,
+    /// Advertised GPU count.
+    pub gpus: u32,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            workers: thread::available_parallelism().map_or(4, |n| n.get()),
+            memory_mb: 16_384,
+            software: Vec::new(),
+            gpus: 0,
+        }
+    }
+}
+
+impl LocalConfig {
+    /// A config with `workers` threads and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        LocalConfig {
+            workers: workers.max(1),
+            ..LocalConfig::default()
+        }
+    }
+}
+
+type TaskBody = Box<dyn FnOnce(&mut TaskContext) + Send>;
+
+struct Core {
+    ap: AccessProcessor,
+    bodies: HashMap<TaskId, TaskBody>,
+    constraints: HashMap<TaskId, Constraints>,
+    values: HashMap<VersionedData, Value>,
+    free: NodeCapacity,
+    running: usize,
+    shutdown: bool,
+    failure: Option<(TaskId, String)>,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// A multithreaded dataflow executor for closures.
+///
+/// # Example
+///
+/// ```
+/// use continuum_runtime::{LocalRuntime, LocalConfig};
+/// use continuum_dag::TaskSpec;
+/// use continuum_platform::Constraints;
+///
+/// let rt = LocalRuntime::new(LocalConfig::with_workers(2));
+/// let nums = rt.data::<Vec<i64>>("nums");
+/// let total = rt.data::<i64>("total");
+///
+/// rt.submit(
+///     TaskSpec::new("gen").output(nums.id()),
+///     Constraints::new(),
+///     |ctx| ctx.set_output(0, (1..=10i64).collect::<Vec<i64>>()),
+/// )?;
+/// rt.submit(
+///     TaskSpec::new("sum").input(nums.id()).output(total.id()),
+///     Constraints::new(),
+///     |ctx| {
+///         let v: &Vec<i64> = ctx.input(0);
+///         ctx.set_output(0, v.iter().sum::<i64>());
+///     },
+/// )?;
+/// assert_eq!(*rt.get(&total)?, 55);
+/// rt.wait_all()?;
+/// # Ok::<(), continuum_runtime::RuntimeError>(())
+/// ```
+pub struct LocalRuntime {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LocalRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalRuntime")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl LocalRuntime {
+    /// Starts a runtime with the given configuration.
+    pub fn new(config: LocalConfig) -> Self {
+        let capacity = NodeCapacity::new(config.workers.max(1) as u32, config.memory_mb)
+            .with_gpus(config.gpus)
+            .with_software(config.software.clone());
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                ap: AccessProcessor::new(),
+                bodies: HashMap::new(),
+                constraints: HashMap::new(),
+                values: HashMap::new(),
+                free: capacity,
+                running: 0,
+                shutdown: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        LocalRuntime { shared, workers }
+    }
+
+    /// Registers a typed logical datum.
+    pub fn data<T>(&self, name: impl Into<String>) -> DataHandle<T> {
+        let id = self.shared.core.lock().ap.new_data(name);
+        DataHandle {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers a batch of typed logical data with a shared prefix.
+    pub fn data_batch<T>(&self, prefix: &str, n: usize) -> Vec<DataHandle<T>> {
+        let mut core = self.shared.core.lock();
+        (0..n)
+            .map(|i| DataHandle {
+                id: core.ap.new_data(format!("{prefix}{i}")),
+                _marker: PhantomData,
+            })
+            .collect()
+    }
+
+    /// Provides the initial (version-0) value of a datum, making it
+    /// readable by tasks submitted afterwards.
+    pub fn set_initial<T: Send + Sync + 'static>(&self, handle: &DataHandle<T>, value: T) {
+        let mut core = self.shared.core.lock();
+        core.values
+            .insert(VersionedData::initial(handle.id), Arc::new(value));
+    }
+
+    /// Submits a task: the spec declares data accesses, the
+    /// constraints gate admission, the body runs once all inputs
+    /// exist.
+    ///
+    /// # Errors
+    ///
+    /// * dependency-validation errors from the access processor;
+    /// * [`RuntimeError::Unschedulable`] if this machine can never
+    ///   satisfy the constraints.
+    pub fn submit<F>(
+        &self,
+        spec: TaskSpec,
+        constraints: Constraints,
+        body: F,
+    ) -> Result<TaskId, RuntimeError>
+    where
+        F: FnOnce(&mut TaskContext) + Send + 'static,
+    {
+        let mut core = self.shared.core.lock();
+        // Admission: reject constraints this machine can never satisfy,
+        // even with everything idle.
+        if !self.capacity_upper_bound(&core).satisfies(&constraints) {
+            return Err(RuntimeError::Unschedulable {
+                task: TaskId::from_raw(core.ap.graph().len() as u64),
+                reason: "constraints exceed the local machine capacity".into(),
+            });
+        }
+        let id = core.ap.register(spec)?;
+        core.bodies.insert(id, Box::new(body));
+        core.constraints.insert(id, constraints);
+        drop(core);
+        self.shared.cv.notify_all();
+        Ok(id)
+    }
+
+    /// The machine's total capacity: free capacity plus everything
+    /// currently allocated to running tasks (pending tasks hold
+    /// nothing yet). Used to reject constraints that could never be
+    /// satisfied even on an idle machine.
+    fn capacity_upper_bound(&self, core: &Core) -> NodeCapacity {
+        let mut mem = core.free.memory_mb();
+        let mut gpus = core.free.gpus();
+        for node in core.ap.graph().nodes() {
+            if node.state() == continuum_dag::TaskState::Running {
+                if let Some(c) = core.constraints.get(&node.id()) {
+                    mem += c.required_memory_mb();
+                    gpus += c.required_gpus();
+                }
+            }
+        }
+        NodeCapacity::new(self.workers.len() as u32, mem)
+            .with_gpus(gpus)
+            .with_software(core.free.software().iter().cloned())
+            .with_arch(core.free.arch())
+    }
+
+    /// Blocks until every submitted task has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::TaskPanicked`] (or
+    /// [`RuntimeError::BadTaskIo`] mapped to a failure) if any task
+    /// body failed; the first failure wins.
+    pub fn wait_all(&self) -> Result<(), RuntimeError> {
+        let mut core = self.shared.core.lock();
+        loop {
+            if let Some((task, message)) = core.failure.clone() {
+                if core.running == 0 {
+                    return Err(RuntimeError::TaskPanicked { task, message });
+                }
+            } else if core.ap.graph().all_completed() && core.running == 0 {
+                return Ok(());
+            }
+            self.shared.cv.wait(&mut core);
+        }
+    }
+
+    /// Blocks until the *current* version of the datum exists and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::BadTaskIo`] if the value's type is not `T` or
+    ///   the datum has no producer and no initial value;
+    /// * [`RuntimeError::TaskPanicked`] if execution failed before the
+    ///   value was produced.
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        handle: &DataHandle<T>,
+    ) -> Result<Arc<T>, RuntimeError> {
+        let mut core = self.shared.core.lock();
+        let target = core.ap.current_version(handle.id)?;
+        loop {
+            if let Some(v) = core.values.get(&target) {
+                return v.clone().downcast::<T>().map_err(|_| RuntimeError::BadTaskIo {
+                    task: TaskId::from_raw(0),
+                    detail: format!("value {target} does not have the requested type"),
+                });
+            }
+            if let Some((task, message)) = core.failure.clone() {
+                return Err(RuntimeError::TaskPanicked { task, message });
+            }
+            if target.version.is_initial() {
+                return Err(RuntimeError::BadTaskIo {
+                    task: TaskId::from_raw(0),
+                    detail: format!("datum {target} has no initial value"),
+                });
+            }
+            self.shared.cv.wait(&mut core);
+        }
+    }
+
+    /// Current number of completed tasks.
+    pub fn completed_count(&self) -> usize {
+        self.shared.core.lock().ap.graph().completed_count()
+    }
+
+    /// Total number of submitted tasks.
+    pub fn submitted_count(&self) -> usize {
+        self.shared.core.lock().ap.graph().len()
+    }
+}
+
+impl Drop for LocalRuntime {
+    fn drop(&mut self) {
+        {
+            let mut core = self.shared.core.lock();
+            core.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // -- pick a runnable task -----------------------------------------
+        let mut core = shared.core.lock();
+        let picked = loop {
+            if core.shutdown {
+                return;
+            }
+            if core.failure.is_some() {
+                // Poisoned: stop starting new work.
+                shared.cv.notify_all();
+                shared.cv.wait(&mut core);
+                continue;
+            }
+            let candidate = core
+                .ap
+                .graph()
+                .ready_tasks()
+                .iter()
+                .copied()
+                .find(|t| {
+                    core.constraints
+                        .get(t)
+                        .is_some_and(|c| core.free.satisfies(c))
+                });
+            match candidate {
+                Some(t) => break t,
+                None => {
+                    shared.cv.wait(&mut core);
+                }
+            }
+        };
+        let constraints = core.constraints.get(&picked).expect("registered").clone();
+        core.ap
+            .graph_mut()
+            .mark_running(picked)
+            .expect("ready task can run");
+        core.free.allocate(&constraints);
+        core.running += 1;
+        let body = core.bodies.remove(&picked).expect("body pending");
+        let node = core.ap.graph().node(picked).expect("in graph");
+        let inputs: Vec<Value> = node
+            .consumed()
+            .iter()
+            .map(|vd| {
+                core.values
+                    .get(vd)
+                    .cloned()
+                    .unwrap_or_else(|| missing_input_placeholder())
+            })
+            .collect();
+        let produced: Vec<VersionedData> = node.produced().to_vec();
+        drop(core);
+
+        // -- run the body outside the lock --------------------------------
+        let mut ctx = TaskContext {
+            inputs,
+            outputs: vec![None; produced.len()],
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let body = body;
+            body(&mut ctx);
+        }));
+
+        // -- commit --------------------------------------------------------
+        let mut core = shared.core.lock();
+        core.free.release(&constraints);
+        core.running -= 1;
+        match result {
+            Ok(()) => {
+                let missing = ctx.outputs.iter().position(Option::is_none);
+                if let Some(i) = missing {
+                    core.ap
+                        .graph_mut()
+                        .mark_failed(picked)
+                        .expect("running task can fail");
+                    core.failure.get_or_insert((
+                        picked,
+                        format!("task body did not set output {i}"),
+                    ));
+                } else {
+                    for (vd, value) in produced.iter().zip(ctx.outputs.drain(..)) {
+                        core.values.insert(*vd, value.expect("checked above"));
+                    }
+                    core.ap
+                        .graph_mut()
+                        .complete(picked)
+                        .expect("running task can complete");
+                }
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                core.ap
+                    .graph_mut()
+                    .mark_failed(picked)
+                    .expect("running task can fail");
+                core.failure.get_or_insert((picked, message));
+            }
+        }
+        drop(core);
+        shared.cv.notify_all();
+    }
+}
+
+/// Placeholder for inputs whose value is missing (initial data never
+/// set). Task bodies that touch it fail with a type error, which the
+/// runtime reports as a task failure.
+fn missing_input_placeholder() -> Value {
+    struct MissingInput;
+    Arc::new(MissingInput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(workers: usize) -> LocalRuntime {
+        LocalRuntime::new(LocalConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn linear_pipeline_produces_result() {
+        let rt = rt(2);
+        let a = rt.data::<i64>("a");
+        let b = rt.data::<i64>("b");
+        rt.submit(TaskSpec::new("one").output(a.id()), Constraints::new(), |ctx| {
+            ctx.set_output(0, 20i64)
+        })
+        .unwrap();
+        rt.submit(
+            TaskSpec::new("double").input(a.id()).output(b.id()),
+            Constraints::new(),
+            |ctx| {
+                let x: &i64 = ctx.input(0);
+                ctx.set_output(0, x * 2);
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&b).unwrap(), 40);
+        rt.wait_all().unwrap();
+        assert_eq!(rt.completed_count(), 2);
+    }
+
+    #[test]
+    fn fan_out_fan_in_runs_in_parallel() {
+        let rt = rt(4);
+        let src = rt.data::<u64>("src");
+        let parts = rt.data_batch::<u64>("part", 8);
+        let total = rt.data::<u64>("total");
+        rt.submit(TaskSpec::new("src").output(src.id()), Constraints::new(), |ctx| {
+            ctx.set_output(0, 10u64)
+        })
+        .unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            let factor = i as u64;
+            rt.submit(
+                TaskSpec::new("mul").input(src.id()).output(p.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let x: &u64 = ctx.input(0);
+                    ctx.set_output(0, x * factor);
+                },
+            )
+            .unwrap();
+        }
+        let spec = TaskSpec::new("sum")
+            .inputs(parts.iter().map(|p| p.id()))
+            .output(total.id());
+        rt.submit(spec, Constraints::new(), |ctx| {
+            let mut s = 0u64;
+            for i in 0..ctx.input_count() {
+                s += *ctx.input::<u64>(i);
+            }
+            ctx.set_output(0, s);
+        })
+        .unwrap();
+        assert_eq!(*rt.get(&total).unwrap(), 10 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn inout_chain_accumulates() {
+        let rt = rt(4);
+        let acc = rt.data::<i64>("acc");
+        rt.set_initial(&acc, 0i64);
+        for _ in 0..10 {
+            rt.submit(TaskSpec::new("inc").inout(acc.id()), Constraints::new(), |ctx| {
+                let v: &i64 = ctx.input(0);
+                ctx.set_output(0, v + 1);
+            })
+            .unwrap();
+        }
+        assert_eq!(*rt.get(&acc).unwrap(), 10);
+    }
+
+    #[test]
+    fn initial_values_feed_tasks() {
+        let rt = rt(2);
+        let input = rt.data::<Vec<i32>>("input");
+        let out = rt.data::<i32>("out");
+        rt.set_initial(&input, vec![1, 2, 3]);
+        rt.submit(
+            TaskSpec::new("sum").input(input.id()).output(out.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &Vec<i32> = ctx.input(0);
+                ctx.set_output(0, v.iter().sum::<i32>());
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&out).unwrap(), 6);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_as_error() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        rt.submit(TaskSpec::new("boom").output(d.id()), Constraints::new(), |_| {
+            panic!("kaboom");
+        })
+        .unwrap();
+        let err = rt.wait_all().unwrap_err();
+        match err {
+            RuntimeError::TaskPanicked { message, .. } => assert!(message.contains("kaboom")),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_output_is_a_failure() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        rt.submit(TaskSpec::new("lazy").output(d.id()), Constraints::new(), |_| {})
+            .unwrap();
+        let err = rt.wait_all().unwrap_err();
+        assert!(err.to_string().contains("did not set output"));
+    }
+
+    #[test]
+    fn get_after_failure_errors_instead_of_hanging() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        rt.submit(TaskSpec::new("boom").output(d.id()), Constraints::new(), |_| {
+            panic!("dead");
+        })
+        .unwrap();
+        assert!(rt.get(&d).is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_rejected_at_submit() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        let err = rt
+            .submit(
+                TaskSpec::new("huge").output(d.id()),
+                Constraints::new().compute_units(64),
+                |_| {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn memory_constraints_serialize_heavy_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 4,
+            memory_mb: 1000,
+            ..LocalConfig::default()
+        });
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let outs = rt.data_batch::<()>("o", 4);
+        for o in &outs {
+            let peak = Arc::clone(&peak);
+            let cur = Arc::clone(&cur);
+            rt.submit(
+                TaskSpec::new("heavy").output(o.id()),
+                Constraints::new().memory_mb(600),
+                move |ctx| {
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    ctx.set_output(0, ());
+                },
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "600 MB tasks on a 1000 MB machine must serialise"
+        );
+    }
+
+    #[test]
+    fn independent_tasks_overlap_in_time() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = rt(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let outs = rt.data_batch::<()>("o", 4);
+        for o in &outs {
+            let peak = Arc::clone(&peak);
+            let cur = Arc::clone(&cur);
+            rt.submit(TaskSpec::new("t").output(o.id()), Constraints::new(), move |ctx| {
+                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                cur.fetch_sub(1, Ordering::SeqCst);
+                ctx.set_output(0, ());
+            })
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "independent tasks should overlap, peak = {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let rt = rt(3);
+        let d = rt.data::<i32>("d");
+        rt.submit(TaskSpec::new("t").output(d.id()), Constraints::new(), |ctx| {
+            ctx.set_output(0, 1)
+        })
+        .unwrap();
+        rt.wait_all().unwrap();
+        drop(rt); // must not hang
+    }
+
+    #[test]
+    fn software_constraints_respected() {
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 2,
+            software: vec!["blast".to_string()],
+            ..LocalConfig::default()
+        });
+        let d = rt.data::<i32>("d");
+        rt.submit(
+            TaskSpec::new("uses-blast").output(d.id()),
+            Constraints::new().software("blast"),
+            |ctx| ctx.set_output(0, 7),
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&d).unwrap(), 7);
+        let e = rt.data::<i32>("e");
+        let err = rt
+            .submit(
+                TaskSpec::new("uses-samtools").output(e.id()),
+                Constraints::new().software("samtools"),
+                |ctx| ctx.set_output(0, 7),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn out_of_order_execution_follows_dataflow_not_submission() {
+        // Submit a slow independent task first and a fast chain after;
+        // the chain result must not wait for the slow task.
+        let rt = rt(2);
+        let slow = rt.data::<()>("slow");
+        let fast = rt.data::<i32>("fast");
+        rt.submit(TaskSpec::new("slow").output(slow.id()), Constraints::new(), |ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            ctx.set_output(0, ());
+        })
+        .unwrap();
+        let t0 = std::time::Instant::now();
+        rt.submit(TaskSpec::new("fast").output(fast.id()), Constraints::new(), |ctx| {
+            ctx.set_output(0, 42)
+        })
+        .unwrap();
+        assert_eq!(*rt.get(&fast).unwrap(), 42);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(90),
+            "fast task must not queue behind the slow one"
+        );
+        rt.wait_all().unwrap();
+    }
+}

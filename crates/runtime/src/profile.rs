@@ -1,0 +1,126 @@
+//! Cost models for simulated tasks.
+
+use continuum_platform::Constraints;
+use serde::{Deserialize, Serialize};
+
+/// Execution profile of one simulated task: its resource constraints,
+/// a reference duration (seconds on a speed-1.0 node) and the size of
+/// each output it produces.
+///
+/// Workload generators calibrate these from the applications the paper
+/// reports on (GUIDANCE task duration/memory distributions, NMMB phase
+/// costs); the simulated engine turns them into virtual-time behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    duration_s: f64,
+    constraints: Constraints,
+    /// Bytes of each produced output, in the task's declaration order.
+    /// Missing entries fall back to `default_output_bytes`.
+    output_bytes: Vec<u64>,
+    default_output_bytes: u64,
+}
+
+impl Default for TaskProfile {
+    fn default() -> Self {
+        TaskProfile {
+            duration_s: 1.0,
+            constraints: Constraints::new(),
+            output_bytes: Vec::new(),
+            default_output_bytes: 0,
+        }
+    }
+}
+
+impl TaskProfile {
+    /// Creates a profile with the given reference duration, default
+    /// constraints and zero-sized outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is negative or not finite.
+    pub fn new(duration_s: f64) -> Self {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "duration must be finite and non-negative"
+        );
+        TaskProfile {
+            duration_s,
+            ..TaskProfile::default()
+        }
+    }
+
+    /// Sets the resource constraints.
+    pub fn constraints(mut self, c: Constraints) -> Self {
+        self.constraints = c;
+        self
+    }
+
+    /// Sets the byte size of every output.
+    pub fn outputs_bytes(mut self, all: u64) -> Self {
+        self.default_output_bytes = all;
+        self
+    }
+
+    /// Sets per-output byte sizes (declaration order).
+    pub fn output_bytes_per(mut self, sizes: Vec<u64>) -> Self {
+        self.output_bytes = sizes;
+        self
+    }
+
+    /// Reference duration in seconds on a speed-1.0 node.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// The task's resource constraints.
+    pub fn constraints_ref(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// Bytes of the `i`-th output.
+    pub fn output_size(&self, i: usize) -> u64 {
+        self.output_bytes
+            .get(i)
+            .copied()
+            .unwrap_or(self.default_output_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let p = TaskProfile::default();
+        assert_eq!(p.duration_s(), 1.0);
+        assert_eq!(p.output_size(0), 0);
+        assert_eq!(p.constraints_ref().required_compute_units(), 1);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let p = TaskProfile::new(5.0)
+            .constraints(Constraints::new().memory_mb(2048))
+            .outputs_bytes(1_000);
+        assert_eq!(p.duration_s(), 5.0);
+        assert_eq!(p.constraints_ref().required_memory_mb(), 2048);
+        assert_eq!(p.output_size(3), 1_000);
+    }
+
+    #[test]
+    fn per_output_sizes_override_default() {
+        let p = TaskProfile::new(1.0)
+            .outputs_bytes(10)
+            .output_bytes_per(vec![100, 200]);
+        assert_eq!(p.output_size(0), 100);
+        assert_eq!(p.output_size(1), 200);
+        assert_eq!(p.output_size(2), 10, "falls back to default");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_duration_rejected() {
+        let _ = TaskProfile::new(-1.0);
+    }
+}

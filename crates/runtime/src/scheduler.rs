@@ -1,0 +1,749 @@
+//! Pluggable task schedulers for the simulated engine.
+//!
+//! Each scheduling round the engine offers the current ready set and a
+//! [`PlacementView`] of the machine; the scheduler returns task→node
+//! assignments. Provided policies:
+//!
+//! * [`FifoScheduler`] — submission order, first node that fits;
+//! * [`LocalityScheduler`] — maximise input bytes already resident on
+//!   the chosen node (the SRI-`locations`-driven placement of §VI-A1);
+//! * [`HeftScheduler`] — classic static HEFT baseline computed from
+//!   *estimated* durations before execution starts;
+//! * [`EnergyScheduler`] — consolidating bin-packing that avoids
+//!   waking idle nodes.
+
+use crate::data::DataRegistry;
+use crate::workload::SimWorkload;
+use continuum_dag::{GraphAnalysis, TaskId};
+use continuum_platform::{NodeId, Platform, ZoneId};
+use continuum_sim::{NodeState, VirtualTime};
+use std::collections::HashMap;
+
+/// Read-only view of the machine offered to schedulers.
+#[derive(Debug)]
+pub struct PlacementView<'a> {
+    pub(crate) workload: &'a SimWorkload,
+    pub(crate) nodes: &'a [NodeState],
+    pub(crate) registry: &'a DataRegistry,
+    pub(crate) platform: &'a Platform,
+    pub(crate) link_busy: Option<&'a HashMap<(u16, u16), VirtualTime>>,
+    pub(crate) now: VirtualTime,
+}
+
+impl<'a> PlacementView<'a> {
+    /// Creates a view (used by the engine; exposed for custom
+    /// scheduler tests).
+    pub fn new(
+        workload: &'a SimWorkload,
+        nodes: &'a [NodeState],
+        registry: &'a DataRegistry,
+        platform: &'a Platform,
+    ) -> Self {
+        PlacementView {
+            workload,
+            nodes,
+            registry,
+            platform,
+            link_busy: None,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// Attaches the engine's inter-zone link occupancy and the current
+    /// virtual time, enabling contention-aware scoring.
+    pub fn with_link_state(
+        mut self,
+        link_busy: &'a HashMap<(u16, u16), VirtualTime>,
+        now: VirtualTime,
+    ) -> Self {
+        self.link_busy = Some(link_busy);
+        self.now = now;
+        self
+    }
+
+    /// Seconds until every uplink into `dst` is free (worst pair), or
+    /// 0 when no link state is attached. Cross-zone transfers started
+    /// now queue behind this.
+    pub fn pending_uplink_seconds_to(&self, dst: ZoneId) -> f64 {
+        let Some(map) = self.link_busy else { return 0.0 };
+        map.iter()
+            .filter(|((a, b), _)| *a == dst.index() as u16 || *b == dst.index() as u16)
+            .map(|(_, t)| t.since(self.now))
+            .fold(0.0, f64::max)
+    }
+
+    /// The node states, indexed by node id.
+    pub fn nodes(&self) -> &[NodeState] {
+        self.nodes
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// The workload being executed.
+    pub fn workload(&self) -> &SimWorkload {
+        self.workload
+    }
+
+    /// Returns `true` if `node` can host `task` right now.
+    pub fn can_host(&self, node: NodeId, task: TaskId) -> bool {
+        self.nodes[node.index()].can_host(self.workload.profile(task).constraints_ref())
+    }
+
+    /// Input bytes of `task` already resident on `node`.
+    pub fn local_input_bytes(&self, task: TaskId, node: NodeId) -> u64 {
+        let record = self.workload.graph().node(task).expect("task in workload");
+        record
+            .consumed()
+            .iter()
+            .filter(|vd| self.registry.is_on(**vd, node))
+            .map(|vd| self.registry.size_of(*vd))
+            .sum()
+    }
+
+    /// Total input bytes of `task`.
+    pub fn total_input_bytes(&self, task: TaskId) -> u64 {
+        let record = self.workload.graph().node(task).expect("task in workload");
+        record
+            .consumed()
+            .iter()
+            .map(|vd| self.registry.size_of(*vd))
+            .sum()
+    }
+
+    /// Estimated seconds to move `task`'s remote inputs to `node`.
+    pub fn estimated_transfer_seconds(&self, task: TaskId, node: NodeId) -> f64 {
+        let record = self.workload.graph().node(task).expect("task in workload");
+        let mut total = 0.0;
+        for vd in record.consumed() {
+            if self.registry.is_on(*vd, node) {
+                continue;
+            }
+            let bytes = self.registry.size_of(*vd);
+            if bytes == 0 {
+                continue;
+            }
+            // Cheapest live source.
+            let best = self
+                .registry
+                .locations(*vd)
+                .iter()
+                .map(|src| self.platform.transfer_seconds(bytes, *src, node))
+                .fold(f64::INFINITY, f64::min);
+            if best.is_finite() {
+                total += best;
+            }
+        }
+        total
+    }
+}
+
+/// A task placement policy.
+///
+/// Implementations must be deterministic for reproducible simulations.
+/// Returned assignments the engine cannot honour (capacity changed,
+/// node died) are skipped for the round; the task stays ready.
+pub trait Scheduler: Send {
+    /// Short policy name used in reports.
+    fn name(&self) -> &str;
+
+    /// Chooses placements for (a subset of) the ready tasks.
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)>;
+}
+
+/// First-come, first-served with first-fit placement.
+#[derive(Debug, Clone, Default)]
+pub struct FifoScheduler {
+    cursor: usize,
+}
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
+        let n = view.nodes().len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Track capacity we hand out within this round so one fat node
+        // is not over-assigned.
+        let mut pending: HashMap<NodeId, Vec<TaskId>> = HashMap::new();
+        let mut out = Vec::new();
+        for &task in ready {
+            let req = view.workload().profile(task).constraints_ref();
+            for off in 0..n {
+                let idx = (self.cursor + off) % n;
+                let node = view.nodes()[idx].id();
+                if !view.can_host(node, task) {
+                    continue;
+                }
+                // Budget check against same-round assignments.
+                let already = pending.get(&node).map_or(0, |v| v.len()) as u32;
+                let cores_left = view.nodes()[idx]
+                    .free_capacity()
+                    .cores()
+                    .saturating_sub(already * req.required_compute_units().max(1));
+                if cores_left < req.required_compute_units() {
+                    continue;
+                }
+                pending.entry(node).or_default().push(task);
+                out.push((task, node));
+                self.cursor = (idx + 1) % n;
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Locality-aware placement with *delay scheduling*: choose the
+/// feasible node holding the most input bytes; a data-bound task whose
+/// data-holding nodes are all momentarily full is **deferred** to a
+/// later round rather than executed remotely (Zaharia et al.'s delay
+/// scheduling, the behaviour `getLocations` enables in the paper) —
+/// unless the machine is otherwise idle, in which case running remote
+/// beats waiting.
+#[derive(Debug, Clone, Default)]
+pub struct LocalityScheduler {
+    strict: bool,
+}
+
+impl LocalityScheduler {
+    /// Creates a balanced locality scheduler: waits for a data-local
+    /// slot only when fetching would cost a meaningful fraction of the
+    /// task's runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a strict data-gravity scheduler: a task with resident
+    /// input data *always* waits for a slot on a data-holding node
+    /// while the machine is busy, minimising bytes moved at some
+    /// makespan cost (useful when the network is the scarce resource).
+    pub fn data_gravity() -> Self {
+        LocalityScheduler { strict: true }
+    }
+}
+
+impl Scheduler for LocalityScheduler {
+    fn name(&self) -> &str {
+        "locality"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
+        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        let mut out = Vec::new();
+        let machine_busy = view.nodes().iter().any(|n| n.running_count() > 0);
+        for &task in ready {
+            let req = view.workload().profile(task).constraints_ref();
+            let mut best: Option<(u64, i64, NodeId)> = None;
+            for st in view.nodes() {
+                let node = st.id();
+                if !view.can_host(node, task) {
+                    continue;
+                }
+                let extra = *extra_load.get(&node).unwrap_or(&0);
+                if st.free_capacity().cores() < extra * req.required_compute_units().max(1)
+                    + req.required_compute_units()
+                {
+                    continue;
+                }
+                let local = view.local_input_bytes(task, node);
+                let load = -(st.running_count() as i64 + extra as i64);
+                let candidate = (local, load, node);
+                if best.is_none_or(|b| (candidate.0, candidate.1) > (b.0, b.1)) {
+                    best = Some(candidate);
+                }
+            }
+            let Some((local, _, node)) = best else { continue };
+            // Delay scheduling: if the task has data somewhere, the
+            // best slot right now holds none of it, *and* fetching the
+            // data would cost a meaningful fraction of the task's own
+            // duration, wait for a local slot — other completions will
+            // free one soon. Only defer while the machine is busy, so
+            // progress is guaranteed; on fast fabrics (transfer cheap
+            // relative to compute) running remote immediately wins.
+            let busy_now = machine_busy || !out.is_empty();
+            if local == 0 && busy_now && self.has_local_potential(view, task) {
+                let fetch_s = view.estimated_transfer_seconds(task, node);
+                let exec_s = view.workload().profile(task).duration_s();
+                if self.strict || fetch_s > 0.25 * exec_s {
+                    continue;
+                }
+            }
+            *extra_load.entry(node).or_insert(0) += 1;
+            out.push((task, node));
+        }
+        out
+    }
+}
+
+impl LocalityScheduler {
+    /// Returns `true` if some *alive* node both holds input bytes of
+    /// the task and could ever host it (full-capacity check).
+    fn has_local_potential(&self, view: &PlacementView<'_>, task: TaskId) -> bool {
+        let req = view.workload().profile(task).constraints_ref();
+        view.nodes().iter().any(|st| {
+            st.is_alive()
+                && st.total_capacity().satisfies(req)
+                && view.local_input_bytes(task, st.id()) > 0
+        })
+    }
+}
+
+/// Static HEFT baseline: the full schedule is computed once from
+/// *estimated* task durations; at run time each task may only start on
+/// its pre-assigned node. When actual durations deviate from the
+/// estimates (the common case in scientific workflows), the static
+/// plan leaves resources idle — the gap dynamic runtimes exploit.
+#[derive(Debug, Clone)]
+pub struct HeftScheduler {
+    mapping: Vec<NodeId>,
+}
+
+impl HeftScheduler {
+    /// Plans the schedule for `workload` on `platform` using the
+    /// estimate function (seconds per task, speed-1.0 reference).
+    /// Use `|t| workload.profile(t).duration_s()` for oracle estimates.
+    pub fn plan<F: Fn(TaskId) -> f64>(
+        workload: &SimWorkload,
+        platform: &Platform,
+        estimate: F,
+    ) -> Self {
+        let graph = workload.graph();
+        let analysis = GraphAnalysis::new(graph);
+        let n_nodes = platform.num_nodes().max(1);
+        // Mean speed for the bottom-level weights.
+        let mean_speed: f64 = platform
+            .nodes()
+            .iter()
+            .map(|n| n.spec().speed())
+            .sum::<f64>()
+            / n_nodes as f64;
+        let bl = analysis.bottom_levels(|t| estimate(t) / mean_speed);
+        let mut order: Vec<TaskId> = graph.nodes().map(|n| n.id()).collect();
+        order.sort_by(|a, b| {
+            bl[b.index()]
+                .partial_cmp(&bl[a.index()])
+                .expect("finite weights")
+                .then(a.cmp(b))
+        });
+
+        let mut node_free_at = vec![0.0f64; n_nodes];
+        let mut task_finish = vec![0.0f64; graph.len()];
+        let mut task_node = vec![0usize; graph.len()];
+        let mut mapping = vec![NodeId::from_raw(0); graph.len()];
+        for task in order {
+            let mut best: Option<(f64, usize)> = None;
+            for (idx, node) in platform.nodes().iter().enumerate() {
+                if !node
+                    .capacity()
+                    .satisfies(workload.profile(task).constraints_ref())
+                {
+                    continue;
+                }
+                // Earliest start: node free AND inputs arrived.
+                let mut ready_at = node_free_at[idx];
+                for pred in graph.predecessors(task) {
+                    let mut arrive = task_finish[pred.index()];
+                    if task_node[pred.index()] != idx {
+                        let record = graph.node(task).expect("task exists");
+                        let bytes: u64 = record
+                            .consumed()
+                            .iter()
+                            .map(|vd| workload.initial_size(vd.data).max(1024))
+                            .sum();
+                        arrive += platform.transfer_seconds(
+                            bytes,
+                            platform.node_by_index(task_node[pred.index()]).id(),
+                            platform.node_by_index(idx).id(),
+                        );
+                    }
+                    ready_at = ready_at.max(arrive);
+                }
+                let finish = ready_at + estimate(task) / node.spec().speed();
+                if best.is_none_or(|(bf, _)| finish < bf) {
+                    best = Some((finish, idx));
+                }
+            }
+            let (finish, idx) = best.unwrap_or((node_free_at[0], 0));
+            node_free_at[idx] = finish;
+            task_finish[task.index()] = finish;
+            task_node[task.index()] = idx;
+            mapping[task.index()] = NodeId::from_raw(idx as u32);
+        }
+        HeftScheduler { mapping }
+    }
+
+    /// The planned node of a task.
+    pub fn planned_node(&self, task: TaskId) -> NodeId {
+        self.mapping[task.index()]
+    }
+}
+
+impl Scheduler for HeftScheduler {
+    fn name(&self) -> &str {
+        "heft"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
+        let mut out = Vec::new();
+        for &task in ready {
+            let node = self.mapping[task.index()];
+            if view.can_host(node, task) {
+                out.push((task, node));
+            }
+            // Otherwise: wait for the planned node — static schedules
+            // do not migrate.
+        }
+        out
+    }
+}
+
+/// Dynamic list scheduling: the runtime counterpart of HEFT. Ready
+/// tasks are considered in bottom-level priority order (computed once
+/// from duration *estimates*), but placement happens at run time on
+/// the node minimising estimated finish (transfer + execution at the
+/// node's speed, plus a queueing wave penalty) given the machine's
+/// *actual* state — so stragglers and surprises are routed around
+/// instead of being waited out, which is exactly the "dynamic
+/// fashion" the paper demands of intelligent runtimes.
+#[derive(Debug, Clone)]
+pub struct ListScheduler {
+    priority: Vec<f64>,
+}
+
+impl ListScheduler {
+    /// Computes task priorities from a duration-estimate function.
+    pub fn plan<F: Fn(TaskId) -> f64>(workload: &SimWorkload, estimate: F) -> Self {
+        let analysis = GraphAnalysis::new(workload.graph());
+        ListScheduler {
+            priority: analysis.bottom_levels(estimate),
+        }
+    }
+}
+
+impl Scheduler for ListScheduler {
+    fn name(&self) -> &str {
+        "dynamic-list"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
+        let mut ordered: Vec<TaskId> = ready.to_vec();
+        ordered.sort_by(|a, b| {
+            self.priority[b.index()]
+                .partial_cmp(&self.priority[a.index()])
+                .expect("finite priorities")
+                .then(a.cmp(b))
+        });
+        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        let mut out = Vec::new();
+        for task in ordered {
+            let req = view.workload().profile(task).constraints_ref();
+            let duration = view.workload().profile(task).duration_s();
+            let mut best: Option<(f64, NodeId)> = None;
+            for st in view.nodes() {
+                let node = st.id();
+                if !view.can_host(node, task) {
+                    continue;
+                }
+                let extra = *extra_load.get(&node).unwrap_or(&0);
+                let cu = req.required_compute_units().max(1);
+                if st.free_capacity().cores() < extra * cu + cu {
+                    continue;
+                }
+                let slots = (st.free_capacity().cores() / cu).max(1);
+                let waves = (extra / slots) as f64;
+                let score = view.estimated_transfer_seconds(task, node)
+                    + (waves + 1.0) * duration / st.speed();
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, node));
+                }
+            }
+            if let Some((_, node)) = best {
+                *extra_load.entry(node).or_insert(0) += 1;
+                out.push((task, node));
+            }
+        }
+        out
+    }
+}
+
+/// Energy-first consolidation: pack tasks onto already-busy nodes and
+/// only wake an idle node when nothing busy fits.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyScheduler;
+
+impl EnergyScheduler {
+    /// Creates an energy-aware scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for EnergyScheduler {
+    fn name(&self) -> &str {
+        "energy"
+    }
+
+    fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
+        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        let mut out = Vec::new();
+        for &task in ready {
+            let req = view.workload().profile(task).constraints_ref();
+            // Prefer busy nodes, most-loaded first (tightest packing);
+            // wake idle nodes only as a last resort, lowest index first.
+            let mut best: Option<(bool, i64, NodeId)> = None;
+            for st in view.nodes() {
+                let node = st.id();
+                if !view.can_host(node, task) {
+                    continue;
+                }
+                let extra = *extra_load.get(&node).unwrap_or(&0);
+                if st.free_capacity().cores()
+                    < extra * req.required_compute_units().max(1) + req.required_compute_units()
+                {
+                    continue;
+                }
+                let busy = st.running_count() > 0 || extra > 0;
+                let load = st.running_count() as i64 + extra as i64;
+                // Rank: busy first, then higher load, then lower index.
+                let candidate = (busy, load, node);
+                let better = match best {
+                    None => true,
+                    Some((bb, bload, bnode)) => {
+                        (busy, load, std::cmp::Reverse(node))
+                            > (bb, bload, std::cmp::Reverse(bnode))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            if let Some((_, _, node)) = best {
+                *extra_load.entry(node).or_insert(0) += 1;
+                out.push((task, node));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TaskProfile;
+    use continuum_dag::TaskSpec;
+    use continuum_platform::{NodeSpec, PlatformBuilder};
+
+    fn simple_workload() -> SimWorkload {
+        let mut w = SimWorkload::new();
+        let d = w.data_batch("d", 4);
+        for (i, id) in d.iter().enumerate() {
+            w.task(
+                TaskSpec::new(format!("t{i}")).output(*id),
+                TaskProfile::new(1.0),
+            )
+            .unwrap();
+        }
+        w
+    }
+
+    fn cluster(nodes: usize, cores: u32) -> Platform {
+        PlatformBuilder::new()
+            .cluster("c", nodes, NodeSpec::hpc(cores, 96_000))
+            .build()
+    }
+
+    fn states(p: &Platform) -> Vec<NodeState> {
+        p.nodes().iter().map(NodeState::new).collect()
+    }
+
+    #[test]
+    fn fifo_spreads_across_nodes() {
+        let w = simple_workload();
+        let p = cluster(4, 1);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = FifoScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 4);
+        let used: std::collections::HashSet<NodeId> =
+            placed.iter().map(|(_, n)| *n).collect();
+        assert_eq!(used.len(), 4, "1-core nodes force a spread");
+    }
+
+    #[test]
+    fn fifo_respects_round_budget() {
+        let w = simple_workload();
+        let p = cluster(1, 2);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = FifoScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 2, "2 cores => at most 2 tasks this round");
+    }
+
+    #[test]
+    fn locality_prefers_node_with_data() {
+        let mut w = SimWorkload::new();
+        let big = w.data("big");
+        let out = w.data("out");
+        let producer = w
+            .task(TaskSpec::new("p").output(big), TaskProfile::new(1.0).outputs_bytes(1_000_000))
+            .unwrap();
+        let consumer = w
+            .task(TaskSpec::new("c").input(big).output(out), TaskProfile::new(1.0))
+            .unwrap();
+        let p = cluster(3, 4);
+        let mut nodes = states(&p);
+        let mut reg = DataRegistry::new();
+        // Simulate: producer ran on node 2 and its output lives there.
+        let vd = w.graph().node(producer).unwrap().produced()[0];
+        reg.record_production(vd, NodeId::from_raw(2), 1_000_000);
+        nodes[0].advance(continuum_sim::VirtualTime::ZERO);
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let mut s = LocalityScheduler::new();
+        let placed = s.place(&view, &[consumer]);
+        assert_eq!(placed, vec![(consumer, NodeId::from_raw(2))]);
+    }
+
+    #[test]
+    fn locality_spreads_when_no_data_gravity() {
+        let w = simple_workload();
+        let p = cluster(2, 4);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = LocalityScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 4);
+        let on0 = placed.iter().filter(|(_, n)| n.index() == 0).count();
+        assert_eq!(on0, 2, "ties break toward least-loaded => even split");
+    }
+
+    #[test]
+    fn heft_plans_every_task_and_respects_constraints() {
+        let mut w = SimWorkload::new();
+        let d0 = w.data("d0");
+        let d1 = w.data("d1");
+        w.task(
+            TaskSpec::new("gpu").output(d0),
+            TaskProfile::new(10.0).constraints(continuum_platform::Constraints::new().gpus(1)),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("cpu").output(d1), TaskProfile::new(10.0))
+            .unwrap();
+        let p = PlatformBuilder::new()
+            .cluster("cpu", 1, NodeSpec::hpc(4, 96_000))
+            .cluster("gpu", 1, NodeSpec::hpc(4, 96_000).with_gpus(2))
+            .build();
+        let s = HeftScheduler::plan(&w, &p, |t| w.profile(t).duration_s());
+        assert_eq!(s.planned_node(TaskId::from_raw(0)), NodeId::from_raw(1));
+    }
+
+    #[test]
+    fn heft_balances_independent_tasks() {
+        let w = simple_workload();
+        let p = cluster(2, 48);
+        let s = HeftScheduler::plan(&w, &p, |t| w.profile(t).duration_s());
+        let on0 = (0..4)
+            .filter(|i| s.planned_node(TaskId::from_raw(*i)) == NodeId::from_raw(0))
+            .count();
+        assert_eq!(on0, 2, "equal tasks split across equal nodes");
+    }
+
+    #[test]
+    fn heft_waits_for_planned_node() {
+        let w = simple_workload();
+        let p = cluster(2, 48);
+        let mut s = HeftScheduler::plan(&w, &p, |t| w.profile(t).duration_s());
+        let mut nodes = states(&p);
+        // Kill node 1: tasks planned there must NOT migrate.
+        nodes[1].fail(continuum_sim::VirtualTime::ZERO);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 2, "only the tasks planned on node 0");
+        assert!(placed.iter().all(|(_, n)| n.index() == 0));
+    }
+
+    #[test]
+    fn energy_consolidates_on_one_node() {
+        let w = simple_workload();
+        let p = cluster(4, 48);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = EnergyScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 4);
+        let used: std::collections::HashSet<NodeId> =
+            placed.iter().map(|(_, n)| *n).collect();
+        assert_eq!(used.len(), 1, "all four fit on one 48-core node");
+    }
+
+    #[test]
+    fn energy_wakes_second_node_when_first_full() {
+        let w = simple_workload();
+        let p = cluster(4, 2);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = EnergyScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 4);
+        let used: std::collections::HashSet<NodeId> =
+            placed.iter().map(|(_, n)| *n).collect();
+        assert_eq!(used.len(), 2, "2-core nodes: exactly two nodes needed");
+    }
+
+    #[test]
+    fn view_transfer_estimates() {
+        let mut w = SimWorkload::new();
+        let big = w.data("big");
+        let out = w.data("out");
+        let producer = w
+            .task(
+                TaskSpec::new("p").output(big),
+                TaskProfile::new(1.0).outputs_bytes(120_000_000),
+            )
+            .unwrap();
+        let consumer = w
+            .task(TaskSpec::new("c").input(big).output(out), TaskProfile::new(1.0))
+            .unwrap();
+        let p = PlatformBuilder::new()
+            .cluster("a", 1, NodeSpec::hpc(4, 96_000))
+            .cloud("b", 1, NodeSpec::cloud_vm(4, 16_000))
+            .build();
+        let nodes = states(&p);
+        let mut reg = DataRegistry::new();
+        let vd = w.graph().node(producer).unwrap().produced()[0];
+        reg.record_production(vd, NodeId::from_raw(0), 120_000_000);
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        assert_eq!(view.estimated_transfer_seconds(consumer, NodeId::from_raw(0)), 0.0);
+        let cross = view.estimated_transfer_seconds(consumer, NodeId::from_raw(1));
+        assert!(cross > 0.5, "120 MB over 120 MB/s WAN ≈ 1 s, got {cross}");
+        assert_eq!(view.local_input_bytes(consumer, NodeId::from_raw(0)), 120_000_000);
+        assert_eq!(view.total_input_bytes(consumer), 120_000_000);
+    }
+}

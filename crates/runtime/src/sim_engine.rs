@@ -1,0 +1,1404 @@
+//! The simulated execution engine: runs cost-modelled workloads on
+//! simulated platforms under a pluggable scheduler, with data
+//! transfers, locality, persistence, failures, lineage recovery and
+//! elasticity.
+
+use crate::data::DataRegistry;
+use crate::error::RuntimeError;
+use crate::scheduler::{PlacementView, Scheduler};
+use crate::workload::SimWorkload;
+use continuum_dag::{GraphAnalysis, TaskGraph, TaskId, TaskState, VersionedData};
+use continuum_platform::{Constraints, ElasticityPolicy, NodeId, Platform, ZoneId};
+use continuum_sim::{
+    EventQueue, ExecutionTrace, FaultKind, FaultPlan, NodeState, RunReport, TraceRecord,
+    TransferLedger, TransferRecord, VirtualTime,
+};
+use std::collections::{HashMap, HashSet};
+
+/// What the engine does when a node failure destroys the only copy of
+/// a datum that is still needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLossMode {
+    /// Re-execute the producing tasks (lineage replay). Matches the
+    /// paper's agent recovery when outputs were persisted or can be
+    /// recomputed.
+    Replay,
+    /// Restart the whole workflow from scratch (the baseline without
+    /// any recovery support).
+    Restart,
+    /// Abort with [`RuntimeError::Stuck`].
+    Fail,
+}
+
+/// Elasticity configuration for one zone.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// The elastic zone.
+    pub zone: ZoneId,
+    /// Grow/shrink policy.
+    pub policy: ElasticityPolicy,
+    /// Seconds between policy evaluations.
+    pub period_s: f64,
+    /// Seconds between a grow decision and the node becoming usable.
+    pub provision_delay_s: f64,
+}
+
+/// Options of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// If set, every task output is asynchronously persisted to the
+    /// storage service homed on this node; persisted data survive node
+    /// failures and can be fetched from storage.
+    pub persistence: Option<NodeId>,
+    /// Execute the DAG level-by-level with a barrier between levels
+    /// (emulates synchronous stage-based engines). Default: dataflow.
+    pub barrier_levels: bool,
+    /// Reaction to lost, still-needed data.
+    pub data_loss: DataLossMode,
+    /// Suspend idle nodes (no idle power draw).
+    pub power_off_idle: bool,
+    /// Optional elastic pool management.
+    pub elastic: Option<ElasticConfig>,
+    /// Safety limit on virtual time.
+    pub max_virtual_seconds: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            persistence: None,
+            barrier_levels: false,
+            data_loss: DataLossMode::Replay,
+            power_off_idle: false,
+            elastic: None,
+            max_virtual_seconds: 1e9,
+        }
+    }
+}
+
+/// The simulated workflow engine.
+///
+/// # Example
+///
+/// ```
+/// use continuum_runtime::{SimRuntime, SimWorkload, SimOptions, TaskProfile, FifoScheduler};
+/// use continuum_dag::TaskSpec;
+/// use continuum_platform::{PlatformBuilder, NodeSpec};
+/// use continuum_sim::FaultPlan;
+///
+/// let mut w = SimWorkload::new();
+/// let d = w.data("d");
+/// w.task(TaskSpec::new("t").output(d), TaskProfile::new(10.0))?;
+///
+/// let platform = PlatformBuilder::new()
+///     .cluster("c", 2, NodeSpec::hpc(4, 8_000))
+///     .build();
+/// let runtime = SimRuntime::new(platform, SimOptions::default());
+/// let report = runtime.run(&w, &mut FifoScheduler::new(), &FaultPlan::new()).unwrap();
+/// assert_eq!(report.tasks_completed, 1);
+/// assert!((report.makespan_s - 10.0).abs() < 1e-9);
+/// # Ok::<(), continuum_dag::DagError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimRuntime {
+    platform: Platform,
+    options: SimOptions,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    hosts: Vec<NodeId>,
+    epoch: u64,
+    start_s: f64,
+    stall_s: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    TaskDone { task: TaskId, epoch: u64 },
+    Fault { node: NodeId, kind: FaultKind },
+    ElasticTick,
+    NodeJoin { node: NodeId },
+}
+
+struct Engine<'w, 's> {
+    workload: &'w SimWorkload,
+    scheduler: &'s mut dyn Scheduler,
+    options: SimOptions,
+    platform: Platform,
+    graph: TaskGraph,
+    nodes: Vec<NodeState>,
+    registry: DataRegistry,
+    ledger: TransferLedger,
+    queue: EventQueue<Event>,
+    /// Nodes hosting each in-flight execution plus its epoch and
+    /// start/stall times for tracing.
+    running: HashMap<TaskId, InFlight>,
+    epoch: u64,
+    /// Completed tasks being re-run to regenerate lost data.
+    replaying: HashSet<TaskId>,
+    started_once: HashSet<TaskId>,
+    reexecutions: usize,
+    producer_of: HashMap<VersionedData, TaskId>,
+    levels: Vec<usize>,
+    current_level: usize,
+    level_remaining: Vec<usize>,
+    last_completion: VirtualTime,
+    restarts: usize,
+    trace: ExecutionTrace,
+    /// Per inter-zone link pair: when the (shared, serialising) uplink
+    /// becomes free. Intra-zone fabrics are switched and do not
+    /// contend; asynchronous persistence writes are not counted.
+    link_busy: HashMap<(u16, u16), VirtualTime>,
+}
+
+impl SimRuntime {
+    /// Creates an engine over a platform with the given options.
+    pub fn new(platform: Platform, options: SimOptions) -> Self {
+        SimRuntime { platform, options }
+    }
+
+    /// The platform (initial state; elastic growth operates on a
+    /// per-run clone).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Executes a workload to completion under `scheduler` and the
+    /// given fault plan. The workload and platform are not mutated, so
+    /// the same inputs can be re-run under different configurations.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Unschedulable`] if ready tasks can never be
+    ///   placed on any node;
+    /// * [`RuntimeError::Stuck`] if progress stops (e.g. data lost
+    ///   with [`DataLossMode::Fail`], or the virtual-time limit hit).
+    pub fn run(
+        &self,
+        workload: &SimWorkload,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultPlan,
+    ) -> Result<RunReport, RuntimeError> {
+        self.run_traced(workload, scheduler, faults).map(|(r, _)| r)
+    }
+
+    /// Like [`SimRuntime::run`], additionally returning the full
+    /// execution trace (per-task placement and timing; the Paraver
+    /// trace of COMPSs).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SimRuntime::run`].
+    pub fn run_traced(
+        &self,
+        workload: &SimWorkload,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultPlan,
+    ) -> Result<(RunReport, ExecutionTrace), RuntimeError> {
+        let mut engine = Engine::new(workload, scheduler, self.options.clone(), self.platform.clone());
+        engine.prime(faults);
+        let report = engine.drive()?;
+        Ok((report, engine.trace))
+    }
+}
+
+impl<'w, 's> Engine<'w, 's> {
+    fn new(
+        workload: &'w SimWorkload,
+        scheduler: &'s mut dyn Scheduler,
+        options: SimOptions,
+        platform: Platform,
+    ) -> Self {
+        let graph = workload.graph().clone();
+        let mut nodes: Vec<NodeState> = platform.nodes().iter().map(NodeState::new).collect();
+        for n in &mut nodes {
+            n.set_idle_accounting(!options.power_off_idle);
+        }
+        let mut producer_of = HashMap::new();
+        for node in graph.nodes() {
+            for vd in node.produced() {
+                producer_of.insert(*vd, node.id());
+            }
+        }
+        let (levels, level_remaining) = if options.barrier_levels {
+            let levels = GraphAnalysis::new(&graph).levels();
+            let depth = levels.iter().map(|l| l + 1).max().unwrap_or(0);
+            let mut rem = vec![0usize; depth];
+            for l in &levels {
+                rem[*l] += 1;
+            }
+            (levels, rem)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Engine {
+            workload,
+            scheduler,
+            options,
+            platform,
+            graph,
+            nodes,
+            registry: DataRegistry::new(),
+            ledger: TransferLedger::new(),
+            queue: EventQueue::new(),
+            running: HashMap::new(),
+            epoch: 0,
+            replaying: HashSet::new(),
+            started_once: HashSet::new(),
+            reexecutions: 0,
+            producer_of,
+            levels,
+            current_level: 0,
+            level_remaining,
+            last_completion: VirtualTime::ZERO,
+            restarts: 0,
+            trace: ExecutionTrace::new(),
+            link_busy: HashMap::new(),
+        }
+    }
+
+    fn prime(&mut self, faults: &FaultPlan) {
+        self.seed_initial_data();
+        for f in faults.events() {
+            self.queue.push(
+                f.time,
+                Event::Fault {
+                    node: f.node,
+                    kind: f.kind,
+                },
+            );
+        }
+        if let Some(cfg) = &self.options.elastic {
+            self.queue
+                .push(VirtualTime::from_seconds(cfg.period_s), Event::ElasticTick);
+        }
+    }
+
+    fn seed_initial_data(&mut self) {
+        for (data, bytes, home) in self.workload.initial_data_entries() {
+            self.registry
+                .record_initial(VersionedData::initial(data), home, bytes);
+        }
+    }
+
+    fn drive(&mut self) -> Result<RunReport, RuntimeError> {
+        self.schedule_round(VirtualTime::ZERO)?;
+        while !self.graph.all_completed() {
+            let Some((now, event)) = self.queue.pop() else {
+                return self.stall_error("event queue drained");
+            };
+            if now.as_seconds() > self.options.max_virtual_seconds {
+                return self.stall_error("virtual time limit exceeded");
+            }
+            match event {
+                Event::TaskDone { task, epoch } => self.on_task_done(task, epoch, now)?,
+                Event::Fault { node, kind } => self.on_fault(node, kind, now)?,
+                Event::ElasticTick => self.on_elastic_tick(now)?,
+                Event::NodeJoin { node } => {
+                    self.nodes[node.index()].recover(now);
+                    self.schedule_round(now)?;
+                }
+            }
+        }
+        let makespan = self.last_completion;
+        for n in &mut self.nodes {
+            if n.is_alive() {
+                n.advance(makespan);
+            }
+        }
+        Ok(RunReport::from_parts(
+            makespan.as_seconds(),
+            self.graph.completed_count(),
+            self.reexecutions,
+            &self.nodes,
+            &self.ledger,
+        ))
+    }
+
+    fn stall_error(&self, reason: &str) -> Result<RunReport, RuntimeError> {
+        // Distinguish "nothing can ever be placed" from generic stalls.
+        let completed = self.graph.completed_count();
+        let remaining = self.graph.len() - completed;
+        if let Some(task) = self.graph.ready_tasks().iter().next().copied() {
+            let req = self.workload.profile(task).constraints_ref();
+            let feasible = self
+                .platform
+                .nodes()
+                .iter()
+                .any(|n| n.capacity().satisfies(req));
+            if !feasible {
+                return Err(RuntimeError::Unschedulable {
+                    task,
+                    reason: "no node in the platform satisfies its constraints".into(),
+                });
+            }
+        }
+        Err(RuntimeError::Stuck {
+            completed,
+            remaining,
+            reason: reason.to_string(),
+        })
+    }
+
+    // ---- task lifecycle --------------------------------------------------
+
+    fn on_task_done(
+        &mut self,
+        task: TaskId,
+        epoch: u64,
+        now: VirtualTime,
+    ) -> Result<(), RuntimeError> {
+        let Some(flight) = self.running.get(&task).cloned() else {
+            return Ok(()); // stale: lost to a failure or a restart
+        };
+        if flight.epoch != epoch {
+            return Ok(()); // stale epoch
+        }
+        self.running.remove(&task);
+        let hosts = flight.hosts;
+        for (i, host) in hosts.iter().enumerate() {
+            let req = self.reservation_for(task, hosts.len(), i, *host);
+            self.nodes[host.index()].finish(task, &req, now);
+        }
+        self.record_outputs(task, hosts[0], now);
+        let was_replay = self.replaying.contains(&task);
+        self.trace.record(TraceRecord {
+            task,
+            node: hosts[0],
+            start_s: flight.start_s,
+            end_s: now.as_seconds(),
+            transfer_stall_s: flight.stall_s,
+            replay: was_replay,
+        });
+        if self.replaying.remove(&task) {
+            self.reexecutions += 1;
+        } else {
+            self.graph.complete(task)?;
+            self.last_completion = self.last_completion.max(now);
+            if self.options.barrier_levels {
+                let lvl = self.levels[task.index()];
+                self.level_remaining[lvl] -= 1;
+                while self.current_level < self.level_remaining.len()
+                    && self.level_remaining[self.current_level] == 0
+                {
+                    self.current_level += 1;
+                }
+            }
+        }
+        self.schedule_round(now)
+    }
+
+    fn record_outputs(&mut self, task: TaskId, node: NodeId, now: VirtualTime) {
+        let record = self.graph.node(task).expect("task in graph").clone();
+        for (i, vd) in record.produced().iter().enumerate() {
+            let bytes = self.workload.profile(task).output_size(i);
+            self.registry.record_production(*vd, node, bytes);
+            if let Some(storage) = self.options.persistence {
+                self.registry.persist(*vd);
+                if bytes > 0 && storage != node {
+                    let secs = self.platform.transfer_seconds(bytes, node, storage);
+                    self.ledger.record(TransferRecord {
+                        from: node,
+                        to: storage,
+                        bytes,
+                        seconds: secs,
+                        start: now,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- faults ----------------------------------------------------------
+
+    fn on_fault(
+        &mut self,
+        node: NodeId,
+        kind: FaultKind,
+        now: VirtualTime,
+    ) -> Result<(), RuntimeError> {
+        if node.index() >= self.nodes.len() {
+            return Ok(()); // fault for a node that never joined
+        }
+        match kind {
+            FaultKind::Recover => {
+                self.nodes[node.index()].recover(now);
+            }
+            FaultKind::Fail => {
+                let lost_tasks = self.nodes[node.index()].fail(now);
+                // Tasks running on the dead node (and their co-hosts
+                // for rigid tasks) are lost.
+                for task in lost_tasks {
+                    if let Some(flight) = self.running.remove(&task) {
+                        let hosts = flight.hosts;
+                        for (i, host) in hosts.iter().enumerate().filter(|(_, h)| **h != node) {
+                            let req = self.reservation_for(task, hosts.len(), i, *host);
+                            self.nodes[host.index()].finish(task, &req, now);
+                        }
+                    }
+                    if self.replaying.contains(&task) {
+                        self.replaying.remove(&task);
+                    } else {
+                        self.graph.mark_failed(task)?;
+                        self.graph.requeue_failed(task)?;
+                    }
+                }
+                let lost_data = self.registry.drop_node(node);
+                if !lost_data.is_empty() {
+                    match self.options.data_loss {
+                        DataLossMode::Replay => {} // lineage replay on demand
+                        DataLossMode::Restart => {
+                            let needed = lost_data.iter().any(|vd| self.still_needed(*vd));
+                            if needed {
+                                self.restart(now)?;
+                            }
+                        }
+                        DataLossMode::Fail => {
+                            let needed = lost_data.iter().any(|vd| self.still_needed(*vd));
+                            if needed {
+                                return self.stall_error("data lost with recovery disabled").map(|_| ());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.schedule_round(now)
+    }
+
+    fn still_needed(&self, vd: VersionedData) -> bool {
+        // A datum is needed if any non-completed task consumes it.
+        self.graph.nodes().any(|n| {
+            n.state() != TaskState::Completed && n.consumed().contains(&vd)
+        })
+    }
+
+    /// Restart-from-scratch recovery: every completed task is counted
+    /// as a re-execution and the whole graph starts over.
+    fn restart(&mut self, now: VirtualTime) -> Result<(), RuntimeError> {
+        self.restarts += 1;
+        self.reexecutions += self.graph.completed_count();
+        // Cancel in-flight work.
+        let running: Vec<(TaskId, InFlight)> = self.running.drain().collect();
+        for (task, flight) in running {
+            let hosts = flight.hosts;
+            for (i, host) in hosts.iter().enumerate() {
+                let req = self.reservation_for(task, hosts.len(), i, *host);
+                if self.nodes[host.index()].is_alive() {
+                    self.nodes[host.index()].finish(task, &req, now);
+                }
+            }
+        }
+        self.epoch += 1; // stale-guard all pending TaskDone events
+        self.replaying.clear();
+        self.started_once.clear();
+        self.graph = self.workload.graph().clone();
+        if self.options.barrier_levels {
+            let levels = GraphAnalysis::new(&self.graph).levels();
+            let depth = levels.iter().map(|l| l + 1).max().unwrap_or(0);
+            let mut rem = vec![0usize; depth];
+            for l in &levels {
+                rem[*l] += 1;
+            }
+            self.levels = levels;
+            self.level_remaining = rem;
+            self.current_level = 0;
+        }
+        self.registry = DataRegistry::new();
+        self.seed_initial_data();
+        Ok(())
+    }
+
+    // ---- elasticity --------------------------------------------------------
+
+    fn on_elastic_tick(&mut self, now: VirtualTime) -> Result<(), RuntimeError> {
+        let Some(mut cfg) = self.options.elastic.take() else {
+            return Ok(());
+        };
+        let zone = cfg.zone;
+        let zone_nodes: Vec<NodeId> = self.platform.zone(zone).node_ids().to_vec();
+        let alive: Vec<NodeId> = zone_nodes
+            .iter()
+            .copied()
+            .filter(|n| self.nodes[n.index()].is_alive())
+            .collect();
+        let idle = alive
+            .iter()
+            .filter(|n| self.nodes[n.index()].is_idle())
+            .count();
+        let ready = self.graph.ready_tasks().len();
+        use continuum_platform::ElasticAction;
+        match cfg
+            .policy
+            .evaluate(now.as_seconds(), alive.len(), ready, idle)
+        {
+            ElasticAction::Grow(n) => {
+                for _ in 0..n {
+                    // Prefer resurrecting a released node of the zone.
+                    let dead = zone_nodes
+                        .iter()
+                        .copied()
+                        .find(|id| !self.nodes[id.index()].is_alive());
+                    let node = match dead {
+                        Some(id) => Some(id),
+                        None => {
+                            let added = self.platform.grow_zone(zone);
+                            if let Some(id) = added {
+                                debug_assert_eq!(id.index(), self.nodes.len());
+                                let mut st = NodeState::new_at(
+                                    self.platform.node(id).expect("just added"),
+                                    now,
+                                );
+                                st.set_idle_accounting(!self.options.power_off_idle);
+                                // Joins after the provisioning delay.
+                                st.fail(now);
+                                self.nodes.push(st);
+                                Some(id)
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    if let Some(id) = node {
+                        self.queue.push(
+                            now.after(cfg.provision_delay_s),
+                            Event::NodeJoin { node: id },
+                        );
+                    }
+                }
+            }
+            ElasticAction::Shrink(n) => {
+                let mut released = 0;
+                for id in alive {
+                    if released == n {
+                        break;
+                    }
+                    if self.nodes[id.index()].is_idle() {
+                        self.nodes[id.index()].fail(now);
+                        released += 1;
+                    }
+                }
+            }
+            ElasticAction::Hold => {}
+        }
+        self.queue.push_after(cfg.period_s, Event::ElasticTick);
+        self.options.elastic = Some(cfg);
+        self.schedule_round(now)
+    }
+
+    // ---- scheduling --------------------------------------------------------
+
+    fn schedule_round(&mut self, now: VirtualTime) -> Result<(), RuntimeError> {
+        loop {
+            let ready: Vec<TaskId> = self.graph.ready_tasks().iter().copied().collect();
+            if ready.is_empty() {
+                return Ok(());
+            }
+            let mut single = Vec::new();
+            let mut multi = Vec::new();
+            let mut waiting_on_replay = false;
+            for task in ready {
+                if self.options.barrier_levels && self.levels[task.index()] != self.current_level {
+                    continue;
+                }
+                if !self.inputs_ready(task, now)? {
+                    waiting_on_replay = true;
+                    continue;
+                }
+                if self
+                    .workload
+                    .profile(task)
+                    .constraints_ref()
+                    .is_multi_node()
+                {
+                    multi.push(task);
+                } else {
+                    single.push(task);
+                }
+            }
+            let mut placed_any = false;
+            // Rigid multi-node tasks: engine-managed placement.
+            for task in multi {
+                if self.try_start_multi(task, now)? {
+                    placed_any = true;
+                }
+            }
+            if !single.is_empty() {
+                let view =
+                    PlacementView::new(self.workload, &self.nodes, &self.registry, &self.platform)
+                        .with_link_state(&self.link_busy, now);
+                let assignments = self.scheduler.place(&view, &single);
+                for (task, node) in assignments {
+                    if self.graph.node(task).map(|n| n.state()) != Ok(TaskState::Ready) {
+                        continue; // scheduler returned a stale/duplicate id
+                    }
+                    if self.try_start_single(task, node, now)? {
+                        placed_any = true;
+                    }
+                }
+            }
+            if !placed_any {
+                let _ = waiting_on_replay;
+                return Ok(());
+            }
+            // Loop: placements may have freed per-round budgets.
+        }
+    }
+
+    /// Checks input availability; triggers lineage replays for lost
+    /// data. Returns `true` if every input can be read right now.
+    fn inputs_ready(&mut self, task: TaskId, now: VirtualTime) -> Result<bool, RuntimeError> {
+        let consumed: Vec<VersionedData> = self
+            .graph
+            .node(task)
+            .expect("task in graph")
+            .consumed()
+            .to_vec();
+        let mut all = true;
+        for vd in consumed {
+            if !self.ensure_available(vd, now)? {
+                all = false;
+            }
+        }
+        Ok(all)
+    }
+
+    fn ensure_available(
+        &mut self,
+        vd: VersionedData,
+        now: VirtualTime,
+    ) -> Result<bool, RuntimeError> {
+        if vd.version.is_initial() {
+            return Ok(true); // external inputs are durable
+        }
+        if self.registry.is_available(vd) {
+            return Ok(true);
+        }
+        match self.options.data_loss {
+            DataLossMode::Replay => {}
+            _ => return Ok(false), // restart/fail handled at loss time
+        }
+        let Some(producer) = self.producer_of.get(&vd).copied() else {
+            return Ok(false);
+        };
+        if self.replaying.contains(&producer) || self.running.contains_key(&producer) {
+            return Ok(false); // regeneration in flight
+        }
+        // Recursively make sure the producer's own inputs exist.
+        let mut deps_ok = true;
+        let deps: Vec<VersionedData> = self
+            .graph
+            .node(producer)
+            .expect("producer in graph")
+            .consumed()
+            .to_vec();
+        for dep in deps {
+            if !self.ensure_available(dep, now)? {
+                deps_ok = false;
+            }
+        }
+        if deps_ok {
+            self.start_replay(producer, now)?;
+        }
+        Ok(false)
+    }
+
+    fn start_replay(&mut self, task: TaskId, now: VirtualTime) -> Result<(), RuntimeError> {
+        // First-fit placement for replays.
+        let req = self.workload.profile(task).constraints_ref().clone();
+        if req.is_multi_node() {
+            self.replaying.insert(task);
+            if !self.try_start_multi_inner(task, now, true)? {
+                self.replaying.remove(&task);
+            }
+            return Ok(());
+        }
+        let node = self
+            .nodes
+            .iter()
+            .find(|n| n.can_host(&req))
+            .map(|n| n.id());
+        if let Some(node) = node {
+            self.replaying.insert(task);
+            self.begin_execution(task, vec![node], now);
+        }
+        Ok(())
+    }
+
+    fn try_start_single(
+        &mut self,
+        task: TaskId,
+        node: NodeId,
+        now: VirtualTime,
+    ) -> Result<bool, RuntimeError> {
+        let req = self.workload.profile(task).constraints_ref().clone();
+        if !self.nodes[node.index()].can_host(&req) {
+            return Ok(false);
+        }
+        self.graph.mark_running(task)?;
+        self.begin_execution(task, vec![node], now);
+        Ok(true)
+    }
+
+    fn try_start_multi(&mut self, task: TaskId, now: VirtualTime) -> Result<bool, RuntimeError> {
+        self.try_start_multi_inner(task, now, false)
+    }
+
+    fn try_start_multi_inner(
+        &mut self,
+        task: TaskId,
+        now: VirtualTime,
+        replay: bool,
+    ) -> Result<bool, RuntimeError> {
+        let req = self.workload.profile(task).constraints_ref().clone();
+        let want = req.required_nodes() as usize;
+        let hosts: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.is_alive() && n.is_idle() && n.total_capacity().satisfies(&req))
+            .map(|n| n.id())
+            .take(want)
+            .collect();
+        if hosts.len() < want {
+            return Ok(false);
+        }
+        if !replay {
+            self.graph.mark_running(task)?;
+        }
+        self.begin_execution(task, hosts, now);
+        Ok(true)
+    }
+
+    /// Starts the task on its host nodes: reserves resources, plans
+    /// input transfers, schedules the completion event.
+    fn begin_execution(&mut self, task: TaskId, hosts: Vec<NodeId>, now: VirtualTime) {
+        let head = hosts[0];
+        let transfer_s = self.plan_input_transfers(task, head, now);
+        let profile = self.workload.profile(task);
+        let n_hosts = hosts.len();
+        for (i, host) in hosts.iter().enumerate() {
+            let req = self.reservation_for(task, n_hosts, i, *host);
+            let ok = self.nodes[host.index()].try_start(task, &req, now);
+            debug_assert!(ok, "placement validated before start");
+        }
+        let slowest = hosts
+            .iter()
+            .map(|h| self.nodes[h.index()].speed())
+            .fold(f64::INFINITY, f64::min);
+        let exec_s = profile.duration_s() / slowest;
+        if self.started_once.contains(&task) && !self.replaying.contains(&task) {
+            self.reexecutions += 1;
+        }
+        self.started_once.insert(task);
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.running.insert(
+            task,
+            InFlight {
+                hosts,
+                epoch,
+                start_s: now.as_seconds(),
+                stall_s: transfer_s,
+            },
+        );
+        self.queue
+            .push(now.after(transfer_s + exec_s), Event::TaskDone { task, epoch });
+    }
+
+    /// The reservation actually charged to a host (rigid tasks occupy
+    /// the full node).
+    fn reservation_for(
+        &self,
+        task: TaskId,
+        n_hosts: usize,
+        _host_idx: usize,
+        host: NodeId,
+    ) -> Constraints {
+        let req = self.workload.profile(task).constraints_ref().clone();
+        if n_hosts <= 1 {
+            return req;
+        }
+        Constraints::new()
+            .compute_units(self.nodes[host.index()].total_capacity().cores())
+            .memory_mb(req.required_memory_mb())
+    }
+
+    /// Plans transfers for the task's inputs to `node`; returns the
+    /// total stall seconds before execution can begin.
+    fn plan_input_transfers(&mut self, task: TaskId, node: NodeId, now: VirtualTime) -> f64 {
+        let consumed: Vec<VersionedData> = self
+            .graph
+            .node(task)
+            .expect("task in graph")
+            .consumed()
+            .to_vec();
+        let mut total = 0.0;
+        for vd in consumed {
+            let bytes = if vd.version.is_initial() && !self.registry.is_known(vd) {
+                self.workload.initial_size(vd.data)
+            } else {
+                self.registry.size_of(vd)
+            };
+            if self.data_is_local(vd, node) {
+                if bytes > 0 {
+                    self.ledger.record_local_hit(bytes);
+                }
+                continue;
+            }
+            if bytes == 0 {
+                // Zero-sized control data: no transfer needed.
+                self.registry.add_replica(vd, node);
+                continue;
+            }
+            let src = self.cheapest_source(vd, node);
+            match src {
+                Some(src) => {
+                    total += self.perform_transfer(vd, bytes, src, node, now, total);
+                }
+                None => {
+                    // Persisted-only (or storage-homed initial) data:
+                    // fetch from the storage *service*. Deliberately no
+                    // liveness check on the home node — persistence
+                    // models a replicated, always-available service
+                    // (dataClay/Cassandra) that merely sits in that
+                    // node's network position; compute-node liveness
+                    // filtering (as in `cheapest_source`) does not
+                    // apply to it.
+                    if let Some(storage) = self.options.persistence {
+                        total += self.perform_transfer(vd, bytes, storage, node, now, total);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Executes one blocking input transfer, serialising with other
+    /// transfers on the same inter-zone link (the shared uplink is the
+    /// bottleneck of the continuum; intra-zone fabrics are switched
+    /// and contention-free). Returns the stall seconds added on top of
+    /// `already_stalled`.
+    fn perform_transfer(
+        &mut self,
+        vd: VersionedData,
+        bytes: u64,
+        src: NodeId,
+        dst: NodeId,
+        now: VirtualTime,
+        already_stalled: f64,
+    ) -> f64 {
+        let secs = self.platform.transfer_seconds(bytes, src, dst);
+        let src_zone = self.platform.node(src).expect("src in platform").zone();
+        let dst_zone = self.platform.node(dst).expect("dst in platform").zone();
+        let request_at = now.after(already_stalled);
+        let (start, finish) = if src_zone == dst_zone {
+            (request_at, request_at.after(secs))
+        } else {
+            let key = if src_zone <= dst_zone {
+                (src_zone.index() as u16, dst_zone.index() as u16)
+            } else {
+                (dst_zone.index() as u16, src_zone.index() as u16)
+            };
+            let free_at = self
+                .link_busy
+                .get(&key)
+                .copied()
+                .unwrap_or(VirtualTime::ZERO)
+                .max(request_at);
+            let finish = free_at.after(secs);
+            self.link_busy.insert(key, finish);
+            (free_at, finish)
+        };
+        self.ledger.record(TransferRecord {
+            from: src,
+            to: dst,
+            bytes,
+            seconds: secs,
+            start,
+        });
+        self.registry.add_replica(vd, dst);
+        finish.since(request_at)
+    }
+
+    fn data_is_local(&self, vd: VersionedData, node: NodeId) -> bool {
+        if self.registry.is_known(vd) {
+            self.registry.is_on(vd, node)
+        } else {
+            // Unregistered initial data: staged everywhere.
+            vd.version.is_initial()
+        }
+    }
+
+    fn cheapest_source(&self, vd: VersionedData, node: NodeId) -> Option<NodeId> {
+        self.registry
+            .locations(vd)
+            .into_iter()
+            .filter(|src| self.nodes[src.index()].is_alive())
+            .min_by(|a, b| {
+                let ta = self.platform.transfer_seconds(1_000_000, *a, node);
+                let tb = self.platform.transfer_seconds(1_000_000, *b, node);
+                ta.partial_cmp(&tb).expect("finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TaskProfile;
+    use crate::scheduler::{FifoScheduler, LocalityScheduler};
+    use continuum_dag::TaskSpec;
+    use continuum_platform::NodeSpec;
+    use continuum_platform::PlatformBuilder;
+
+    fn cluster(nodes: usize, cores: u32) -> Platform {
+        PlatformBuilder::new()
+            .cluster("c", nodes, NodeSpec::hpc(cores, 96_000))
+            .build()
+    }
+
+    fn chain_workload(n: usize, dur: f64) -> SimWorkload {
+        let mut w = SimWorkload::new();
+        let d = w.data("x");
+        w.task(TaskSpec::new("t0").output(d), TaskProfile::new(dur))
+            .unwrap();
+        for i in 1..n {
+            w.task(TaskSpec::new(format!("t{i}")).inout(d), TaskProfile::new(dur))
+                .unwrap();
+        }
+        w
+    }
+
+    fn fan_workload(width: usize, dur: f64) -> SimWorkload {
+        let mut w = SimWorkload::new();
+        let outs = w.data_batch("o", width);
+        for o in &outs {
+            w.task(TaskSpec::new("w").output(*o), TaskProfile::new(dur))
+                .unwrap();
+        }
+        w
+    }
+
+    fn run(
+        w: &SimWorkload,
+        p: Platform,
+        opts: SimOptions,
+        faults: &FaultPlan,
+    ) -> Result<RunReport, RuntimeError> {
+        SimRuntime::new(p, opts).run(w, &mut FifoScheduler::new(), faults)
+    }
+
+    #[test]
+    fn chain_executes_sequentially() {
+        let w = chain_workload(5, 10.0);
+        let r = run(&w, cluster(4, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert_eq!(r.tasks_completed, 5);
+        assert!((r.makespan_s - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_executes_in_parallel() {
+        let w = fan_workload(8, 10.0);
+        // 2 nodes × 4 cores = 8 slots: one wave.
+        let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 10.0).abs() < 1e-9);
+        // 1 node × 4 cores: two waves.
+        let r = run(&w, cluster(1, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_constraints_limit_concurrency() {
+        let mut w = SimWorkload::new();
+        let outs = w.data_batch("o", 4);
+        for o in &outs {
+            w.task(
+                TaskSpec::new("hungry").output(*o),
+                TaskProfile::new(10.0)
+                    .constraints(Constraints::new().memory_mb(60_000)),
+            )
+            .unwrap();
+        }
+        // One 96 GB node: only one 60 GB task at a time despite 48 cores.
+        let r = run(&w, cluster(1, 48), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unschedulable_task_is_reported() {
+        let mut w = SimWorkload::new();
+        let d = w.data("d");
+        w.task(
+            TaskSpec::new("gpu").output(d),
+            TaskProfile::new(1.0).constraints(Constraints::new().gpus(4)),
+        )
+        .unwrap();
+        let err = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Unschedulable { .. }), "{err}");
+    }
+
+    #[test]
+    fn transfers_are_planned_and_locality_hits_counted() {
+        let mut w = SimWorkload::new();
+        let a = w.data("a");
+        let b = w.data("b");
+        w.task(
+            TaskSpec::new("p").output(a),
+            TaskProfile::new(1.0).outputs_bytes(100_000_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("c").input(a).output(b), TaskProfile::new(1.0))
+            .unwrap();
+        // Locality scheduler: consumer runs where the data is.
+        let p = cluster(2, 1);
+        let r = SimRuntime::new(p, SimOptions::default())
+            .run(&w, &mut LocalityScheduler::new(), &FaultPlan::new())
+            .unwrap();
+        assert_eq!(r.transfer_count, 0);
+        assert_eq!(r.locality_hits, 1);
+        assert!((r.makespan_s - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remote_input_costs_transfer_time() {
+        let mut w = SimWorkload::new();
+        // Pin 120 MB of initial data to node 0 of a 2-zone platform and
+        // force the consumer onto the remote zone via constraints.
+        let raw = w.initial_data("raw", 120_000_000, Some(NodeId::from_raw(0)));
+        let out = w.data("out");
+        w.task(
+            TaskSpec::new("consume").input(raw).output(out),
+            TaskProfile::new(1.0).constraints(Constraints::new().software("cloud-only")),
+        )
+        .unwrap();
+        let p = PlatformBuilder::new()
+            .cluster("hpc", 1, NodeSpec::hpc(4, 96_000))
+            .cloud("cloud", 1, NodeSpec::cloud_vm(4, 16_000).with_software(["cloud-only"]))
+            .build();
+        let r = run(&w, p, SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert_eq!(r.transfer_count, 1);
+        assert_eq!(r.transfer_bytes, 120_000_000);
+        // ~1 s WAN transfer + 1 s execution.
+        assert!(r.makespan_s > 1.9, "transfer must delay start, got {}", r.makespan_s);
+    }
+
+    #[test]
+    fn barrier_mode_is_slower_on_imbalanced_levels() {
+        // Two pipelines with alternating heavy/light stages: dataflow
+        // overlaps them, barriers serialise the waves.
+        let mut w = SimWorkload::new();
+        for i in 0..2 {
+            let a = w.data(format!("a{i}"));
+            let b = w.data(format!("b{i}"));
+            let heavy = if i == 0 { 10.0 } else { 1.0 };
+            let light = if i == 0 { 1.0 } else { 10.0 };
+            w.task(TaskSpec::new("s1").output(a), TaskProfile::new(heavy))
+                .unwrap();
+            w.task(TaskSpec::new("s2").input(a).output(b), TaskProfile::new(light))
+                .unwrap();
+        }
+        let dataflow = run(&w, cluster(2, 1), SimOptions::default(), &FaultPlan::new()).unwrap();
+        let barrier = run(
+            &w,
+            cluster(2, 1),
+            SimOptions {
+                barrier_levels: true,
+                ..SimOptions::default()
+            },
+            &FaultPlan::new(),
+        )
+        .unwrap();
+        assert!((dataflow.makespan_s - 11.0).abs() < 1e-9);
+        assert!((barrier.makespan_s - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_node_task_occupies_full_nodes() {
+        let mut w = SimWorkload::new();
+        let sim = w.data("sim");
+        let o = w.data("o");
+        w.task(
+            TaskSpec::new("mpi").output(sim),
+            TaskProfile::new(10.0).constraints(Constraints::new().nodes(2)),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("post").input(sim).output(o), TaskProfile::new(1.0))
+            .unwrap();
+        let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        assert!((r.makespan_s - 11.0).abs() < 1e-9);
+        // Both nodes were fully busy during the MPI step.
+        assert!(r.node_usage[0].busy_core_seconds >= 40.0 - 1e-9);
+        assert!(r.node_usage[1].busy_core_seconds >= 40.0 - 1e-9);
+    }
+
+    #[test]
+    fn multi_node_task_waits_for_enough_idle_nodes() {
+        let mut w = SimWorkload::new();
+        let f = w.data("filler");
+        let sim = w.data("sim");
+        w.task(TaskSpec::new("filler").output(f), TaskProfile::new(5.0))
+            .unwrap();
+        w.task(
+            TaskSpec::new("mpi").output(sim),
+            TaskProfile::new(10.0).constraints(Constraints::new().nodes(2)),
+        )
+        .unwrap();
+        let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        // MPI can only start once the filler frees node 0 at t=5.
+        assert!((r.makespan_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_requeues_running_tasks() {
+        let w = fan_workload(4, 10.0);
+        let faults = FaultPlan::new()
+            .fail_at(5.0, NodeId::from_raw(0))
+            .recover_at(7.0, NodeId::from_raw(0));
+        let r = run(&w, cluster(2, 2), SimOptions::default(), &faults).unwrap();
+        assert_eq!(r.tasks_completed, 4);
+        assert!(r.tasks_reexecuted >= 1, "tasks on the dead node rerun");
+        assert!(r.makespan_s > 10.0);
+    }
+
+    #[test]
+    fn lost_data_is_replayed_via_lineage() {
+        // p -> c, where p's output lives only on node 0, which dies
+        // after p completes but before c starts (c is held busy).
+        let mut w = SimWorkload::new();
+        let a = w.data("a");
+        let blocker = w.data("blk");
+        let out = w.data("out");
+        w.task(
+            TaskSpec::new("p").output(a),
+            TaskProfile::new(1.0).outputs_bytes(1_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
+            .unwrap();
+        // Consumer needs both, so it cannot start before t=20.
+        w.task(
+            TaskSpec::new("c").input(a).input(blocker).output(out),
+            TaskProfile::new(1.0),
+        )
+        .unwrap();
+        // 2 × 1-core nodes: p and blocker run in parallel at t=0.
+        let faults = FaultPlan::new()
+            .fail_at(5.0, NodeId::from_raw(0))
+            .recover_at(6.0, NodeId::from_raw(0));
+        let r = run(&w, cluster(2, 1), SimOptions::default(), &faults).unwrap();
+        assert_eq!(r.tasks_completed, 3);
+        assert!(r.tasks_reexecuted >= 1, "p replayed to regenerate `a`");
+    }
+
+    #[test]
+    fn persisted_data_survives_failures_without_replay() {
+        let mut w = SimWorkload::new();
+        let a = w.data("a");
+        let blocker = w.data("blk");
+        let out = w.data("out");
+        w.task(
+            TaskSpec::new("p").output(a),
+            TaskProfile::new(1.0).outputs_bytes(1_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
+            .unwrap();
+        w.task(
+            TaskSpec::new("c").input(a).input(blocker).output(out),
+            TaskProfile::new(1.0),
+        )
+        .unwrap();
+        let faults = FaultPlan::new()
+            .fail_at(5.0, NodeId::from_raw(0))
+            .recover_at(6.0, NodeId::from_raw(0));
+        let opts = SimOptions {
+            persistence: Some(NodeId::from_raw(1)),
+            ..SimOptions::default()
+        };
+        let r = run(&w, cluster(2, 1), opts, &faults).unwrap();
+        assert_eq!(r.tasks_completed, 3);
+        assert_eq!(r.tasks_reexecuted, 0, "persisted output needs no replay");
+    }
+
+    #[test]
+    fn restart_mode_reruns_everything() {
+        let mut w = SimWorkload::new();
+        let a = w.data("a");
+        let blocker = w.data("blk");
+        let out = w.data("out");
+        w.task(
+            TaskSpec::new("p").output(a),
+            TaskProfile::new(1.0).outputs_bytes(1_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
+            .unwrap();
+        w.task(
+            TaskSpec::new("c").input(a).input(blocker).output(out),
+            TaskProfile::new(1.0),
+        )
+        .unwrap();
+        let faults = FaultPlan::new()
+            .fail_at(5.0, NodeId::from_raw(0))
+            .recover_at(6.0, NodeId::from_raw(0));
+        let opts = SimOptions {
+            data_loss: DataLossMode::Restart,
+            ..SimOptions::default()
+        };
+        let r = run(&w, cluster(2, 1), opts, &faults).unwrap();
+        assert_eq!(r.tasks_completed, 3);
+        // The completed producer counts as re-executed after restart.
+        assert!(r.tasks_reexecuted >= 1);
+        assert!(r.makespan_s > 21.0, "restart pushes completion well past 21 s");
+    }
+
+    #[test]
+    fn fail_mode_errors_on_needed_loss() {
+        let mut w = SimWorkload::new();
+        let a = w.data("a");
+        let blocker = w.data("blk");
+        let out = w.data("out");
+        w.task(
+            TaskSpec::new("p").output(a),
+            TaskProfile::new(1.0).outputs_bytes(1_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
+            .unwrap();
+        w.task(
+            TaskSpec::new("c").input(a).input(blocker).output(out),
+            TaskProfile::new(1.0),
+        )
+        .unwrap();
+        let faults = FaultPlan::new().fail_at(5.0, NodeId::from_raw(0));
+        let opts = SimOptions {
+            data_loss: DataLossMode::Fail,
+            ..SimOptions::default()
+        };
+        let err = run(&w, cluster(2, 1), opts, &faults).unwrap_err();
+        assert!(matches!(err, RuntimeError::Stuck { .. }), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_speed_scales_durations() {
+        let mut w = SimWorkload::new();
+        let d = w.data("d");
+        w.task(TaskSpec::new("t").output(d), TaskProfile::new(10.0))
+            .unwrap();
+        let p = PlatformBuilder::new()
+            .cluster("fast", 1, NodeSpec::hpc(4, 96_000).with_speed(2.0))
+            .build();
+        let r = run(&w, p, SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elastic_pool_grows_under_backlog() {
+        let w = fan_workload(32, 100.0);
+        let p = PlatformBuilder::new()
+            .elastic_cloud("ec2", 1, 8, NodeSpec::cloud_vm(1, 16_000))
+            .build();
+        let opts = SimOptions {
+            elastic: Some(ElasticConfig {
+                zone: p.zones()[0].id(),
+                policy: ElasticityPolicy::new(1, 8).cooldown_s(0.0).max_step(4),
+                period_s: 10.0,
+                provision_delay_s: 5.0,
+            }),
+            ..SimOptions::default()
+        };
+        let fixed = run(&w, p.clone(), SimOptions::default(), &FaultPlan::new()).unwrap();
+        let elastic = run(&w, p, opts, &FaultPlan::new()).unwrap();
+        assert_eq!(elastic.tasks_completed, 32);
+        assert!(
+            elastic.makespan_s < fixed.makespan_s / 2.0,
+            "elastic {} vs fixed {}",
+            elastic.makespan_s,
+            fixed.makespan_s
+        );
+        assert!(elastic.node_usage.len() > 1, "pool actually grew");
+    }
+
+    #[test]
+    fn power_off_idle_removes_idle_energy() {
+        let w = chain_workload(2, 10.0);
+        let on = run(&w, cluster(4, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        let off = run(
+            &w,
+            cluster(4, 4),
+            SimOptions {
+                power_off_idle: true,
+                ..SimOptions::default()
+            },
+            &FaultPlan::new(),
+        )
+        .unwrap();
+        assert!(off.energy.idle_joules < 1e-9);
+        assert!(on.energy.idle_joules > 0.0);
+        assert!(off.energy.total_joules() < on.energy.total_joules());
+    }
+
+    #[test]
+    fn inter_zone_transfers_contend_intra_zone_do_not() {
+        // N tasks each pulling 120 MB of pinned data to a remote zone
+        // over a shared WAN: transfers serialise, so makespan grows
+        // linearly with N.
+        let build = |n: usize| {
+            let mut w = SimWorkload::new();
+            for i in 0..n {
+                let raw = w.initial_data(format!("raw{i}"), 120_000_000, Some(NodeId::from_raw(0)));
+                let out = w.data(format!("out{i}"));
+                w.task(
+                    TaskSpec::new("consume").input(raw).output(out),
+                    TaskProfile::new(1.0).constraints(Constraints::new().software("cloud")),
+                )
+                .unwrap();
+            }
+            w
+        };
+        let platform = |vms: usize| {
+            PlatformBuilder::new()
+                .cluster("hpc", 1, NodeSpec::hpc(4, 96_000))
+                .cloud("dc", vms, NodeSpec::cloud_vm(4, 16_000).with_software(["cloud"]))
+                .build()
+        };
+        // 1 task: ~1 s WAN transfer + 1 s exec.
+        let one = run(&build(1), platform(4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        // 8 tasks on ample cloud slots: transfers serialise on the WAN.
+        let eight = run(&build(8), platform(4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!(
+            eight.makespan_s > 7.0 * (one.makespan_s - 1.0),
+            "8 WAN transfers must serialise: {} vs single {}",
+            eight.makespan_s,
+            one.makespan_s
+        );
+        // Same data, same zone: intra-cluster fabric does not contend.
+        let mut w = SimWorkload::new();
+        for i in 0..8 {
+            let raw = w.initial_data(format!("raw{i}"), 120_000_000, Some(NodeId::from_raw(0)));
+            let out = w.data(format!("out{i}"));
+            w.task(TaskSpec::new("consume").input(raw).output(out), TaskProfile::new(1.0))
+                .unwrap();
+        }
+        let p = PlatformBuilder::new()
+            .cluster("hpc", 4, NodeSpec::hpc(4, 96_000))
+            .build();
+        let intra = run(&w, p, SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!(
+            intra.makespan_s < 2.0,
+            "intra-cluster transfers are contention-free: {}",
+            intra.makespan_s
+        );
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_report() {
+        let w = chain_workload(20, 1.0);
+        let faults = FaultPlan::churn(3, (0..4).map(NodeId::from_raw), 40.0, 5.0, 60.0);
+        let a = run(&w, cluster(4, 2), SimOptions::default(), &faults).unwrap();
+        let b = run(&w, cluster(4, 2), SimOptions::default(), &faults).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulated workloads: a task graph plus per-task cost profiles.
+
+use crate::profile::TaskProfile;
+use continuum_dag::{
+    AccessProcessor, DagError, DataId, GraphAnalysis, TaskGraph, TaskId, TaskSpec,
+};
+use continuum_platform::NodeId;
+use std::collections::HashMap;
+
+/// Summary statistics of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+    /// Number of logical data.
+    pub data: usize,
+    /// Sum of all reference durations (sequential time), seconds.
+    pub total_duration_s: f64,
+    /// Critical-path length under reference durations, seconds.
+    pub critical_path_s: f64,
+    /// Inherent average parallelism (total / critical path).
+    pub average_parallelism: f64,
+}
+
+/// A cost-modelled workload for the simulated engine: the task graph
+/// built through an embedded access processor, one [`TaskProfile`] per
+/// task, and sizes/homes for initial (externally provided) data.
+///
+/// # Example
+///
+/// ```
+/// use continuum_runtime::{SimWorkload, TaskProfile};
+/// use continuum_dag::TaskSpec;
+///
+/// let mut w = SimWorkload::new();
+/// let raw = w.initial_data("raw", 1_000_000, None);
+/// let clean = w.data("clean");
+/// w.task(
+///     TaskSpec::new("filter").input(raw).output(clean),
+///     TaskProfile::new(10.0).outputs_bytes(500_000),
+/// )?;
+/// assert_eq!(w.stats().tasks, 1);
+/// # Ok::<(), continuum_dag::DagError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SimWorkload {
+    ap: AccessProcessor,
+    profiles: Vec<TaskProfile>,
+    initial_bytes: HashMap<DataId, u64>,
+    initial_home: HashMap<DataId, NodeId>,
+}
+
+impl SimWorkload {
+    /// Creates an empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a logical datum produced by tasks.
+    pub fn data(&mut self, name: impl Into<String>) -> DataId {
+        self.ap.new_data(name)
+    }
+
+    /// Registers `n` logical data with a shared prefix.
+    pub fn data_batch(&mut self, prefix: &str, n: usize) -> Vec<DataId> {
+        self.ap.new_data_batch(prefix, n)
+    }
+
+    /// Registers an initial (externally provided) datum of `bytes`
+    /// size. If `home` is given, the datum initially resides on that
+    /// node and reading it from elsewhere costs a transfer; without a
+    /// home it is considered staged everywhere (zero-cost reads).
+    pub fn initial_data(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        home: Option<NodeId>,
+    ) -> DataId {
+        let id = self.ap.new_data(name);
+        self.initial_bytes.insert(id, bytes);
+        if let Some(h) = home {
+            self.initial_home.insert(id, h);
+        }
+        id
+    }
+
+    /// Registers a task with its cost profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access-processor validation errors.
+    pub fn task(&mut self, spec: TaskSpec, profile: TaskProfile) -> Result<TaskId, DagError> {
+        let id = self.ap.register(spec)?;
+        debug_assert_eq!(id.index(), self.profiles.len());
+        self.profiles.push(profile);
+        Ok(id)
+    }
+
+    /// The task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        self.ap.graph()
+    }
+
+    /// The profile of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id is not from this workload.
+    pub fn profile(&self, task: TaskId) -> &TaskProfile {
+        &self.profiles[task.index()]
+    }
+
+    /// All profiles, indexed by task id.
+    pub fn profiles(&self) -> &[TaskProfile] {
+        &self.profiles
+    }
+
+    /// Size of an initial datum (0 if not initial or unspecified).
+    pub fn initial_size(&self, data: DataId) -> u64 {
+        self.initial_bytes.get(&data).copied().unwrap_or(0)
+    }
+
+    /// Home node of an initial datum, if pinned.
+    pub fn initial_home(&self, data: DataId) -> Option<NodeId> {
+        self.initial_home.get(&data).copied()
+    }
+
+    /// Iterates over all pinned initial data `(data, bytes, home)`.
+    pub fn initial_data_entries(&self) -> impl Iterator<Item = (DataId, u64, Option<NodeId>)> + '_ {
+        self.initial_bytes
+            .iter()
+            .map(|(d, b)| (*d, *b, self.initial_home.get(d).copied()))
+    }
+
+    /// Summary statistics under reference durations.
+    pub fn stats(&self) -> WorkloadStats {
+        let g = self.ap.graph();
+        let analysis = GraphAnalysis::new(g);
+        let weight = |t: TaskId| self.profiles[t.index()].duration_s();
+        let total: f64 = self.profiles.iter().map(|p| p.duration_s()).sum();
+        let cp = analysis.critical_path(weight);
+        WorkloadStats {
+            tasks: g.len(),
+            edges: g.edge_count(),
+            data: self.ap.catalog().len(),
+            total_duration_s: total,
+            critical_path_s: cp.length,
+            average_parallelism: if cp.length > 0.0 { total / cp.length } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_stats() {
+        let mut w = SimWorkload::new();
+        let raw = w.initial_data("raw", 100, Some(NodeId::from_raw(0)));
+        let mids = w.data_batch("mid", 3);
+        let out = w.data("out");
+        for m in &mids {
+            w.task(
+                TaskSpec::new("map").input(raw).output(*m),
+                TaskProfile::new(10.0),
+            )
+            .unwrap();
+        }
+        w.task(
+            TaskSpec::new("reduce").inputs(mids.clone()).output(out),
+            TaskProfile::new(5.0),
+        )
+        .unwrap();
+        let s = w.stats();
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.data, 5);
+        assert!((s.total_duration_s - 35.0).abs() < 1e-9);
+        assert!((s.critical_path_s - 15.0).abs() < 1e-9);
+        assert!((s.average_parallelism - 35.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_data_metadata() {
+        let mut w = SimWorkload::new();
+        let a = w.initial_data("a", 42, Some(NodeId::from_raw(3)));
+        let b = w.initial_data("b", 7, None);
+        let c = w.data("c");
+        assert_eq!(w.initial_size(a), 42);
+        assert_eq!(w.initial_home(a), Some(NodeId::from_raw(3)));
+        assert_eq!(w.initial_size(b), 7);
+        assert_eq!(w.initial_home(b), None);
+        assert_eq!(w.initial_size(c), 0);
+        assert_eq!(w.initial_data_entries().count(), 2);
+    }
+
+    #[test]
+    fn profiles_align_with_tasks() {
+        let mut w = SimWorkload::new();
+        let d = w.data("d");
+        let t = w
+            .task(TaskSpec::new("t").output(d), TaskProfile::new(3.5))
+            .unwrap();
+        assert_eq!(w.profile(t).duration_s(), 3.5);
+        assert_eq!(w.profiles().len(), 1);
+    }
+}

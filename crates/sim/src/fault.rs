@@ -1,0 +1,194 @@
+//! Fault injection: scheduled or stochastic node failures/recoveries
+//! (the fog-node churn of §VI-B).
+
+use crate::time::VirtualTime;
+use continuum_platform::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Whether the node fails or comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Node dies; running tasks are lost.
+    Fail,
+    /// Node returns, idle.
+    Recover,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When it happens.
+    pub time: VirtualTime,
+    /// Which node.
+    pub node: NodeId,
+    /// Failure or recovery.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered plan of fault events fed to the simulated engine.
+///
+/// # Example
+///
+/// ```
+/// use continuum_sim::{FaultPlan, VirtualTime};
+/// use continuum_platform::NodeId;
+///
+/// let plan = FaultPlan::new()
+///     .fail_at(10.0, NodeId::from_raw(2))
+///     .recover_at(60.0, NodeId::from_raw(2));
+/// assert_eq!(plan.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a failure.
+    pub fn fail_at(mut self, seconds: f64, node: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            time: VirtualTime::from_seconds(seconds),
+            node,
+            kind: FaultKind::Fail,
+        });
+        self.sort();
+        self
+    }
+
+    /// Schedules a recovery.
+    pub fn recover_at(mut self, seconds: f64, node: NodeId) -> Self {
+        self.events.push(FaultEvent {
+            time: VirtualTime::from_seconds(seconds),
+            node,
+            kind: FaultKind::Recover,
+        });
+        self.sort();
+        self
+    }
+
+    /// Generates exponential churn for a set of volatile nodes: each
+    /// node fails with mean time between failures `mtbf_s` and recovers
+    /// after a mean downtime `mttr_s`, until `horizon_s`. Deterministic
+    /// for a given seed.
+    pub fn churn(
+        seed: u64,
+        nodes: impl IntoIterator<Item = NodeId>,
+        mtbf_s: f64,
+        mttr_s: f64,
+        horizon_s: f64,
+    ) -> Self {
+        assert!(mtbf_s > 0.0 && mttr_s > 0.0, "mean times must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for node in nodes {
+            let mut t = 0.0f64;
+            loop {
+                // Exponential sample via inverse CDF.
+                let up: f64 = -mtbf_s * (1.0 - rng.gen::<f64>()).ln();
+                t += up.max(1e-6);
+                if t >= horizon_s {
+                    break;
+                }
+                events.push(FaultEvent {
+                    time: VirtualTime::from_seconds(t),
+                    node,
+                    kind: FaultKind::Fail,
+                });
+                let down: f64 = -mttr_s * (1.0 - rng.gen::<f64>()).ln();
+                t += down.max(1e-6);
+                if t >= horizon_s {
+                    break;
+                }
+                events.push(FaultEvent {
+                    time: VirtualTime::from_seconds(t),
+                    node,
+                    kind: FaultKind::Recover,
+                });
+            }
+        }
+        let mut plan = FaultPlan { events };
+        plan.sort();
+        plan
+    }
+
+    fn sort(&mut self) {
+        self.events
+            .sort_by(|a, b| a.time.cmp(&b.time).then(a.node.cmp(&b.node)));
+    }
+
+    /// The time-ordered events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Returns `true` if the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_events() {
+        let plan = FaultPlan::new()
+            .recover_at(60.0, NodeId::from_raw(1))
+            .fail_at(10.0, NodeId::from_raw(1));
+        assert_eq!(plan.events()[0].kind, FaultKind::Fail);
+        assert_eq!(plan.events()[1].kind, FaultKind::Recover);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_ordered() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
+        let a = FaultPlan::churn(7, nodes.clone(), 100.0, 20.0, 1000.0);
+        let b = FaultPlan::churn(7, nodes.clone(), 100.0, 20.0, 1000.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "1000 s horizon with 100 s MTBF must fail sometimes");
+        for w in a.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn churn_alternates_fail_recover_per_node() {
+        let plan = FaultPlan::churn(3, [NodeId::from_raw(0)], 50.0, 10.0, 2000.0);
+        let mut expect_fail = true;
+        for e in plan.events() {
+            let expected = if expect_fail { FaultKind::Fail } else { FaultKind::Recover };
+            assert_eq!(e.kind, expected);
+            expect_fail = !expect_fail;
+        }
+    }
+
+    #[test]
+    fn churn_respects_horizon() {
+        let plan = FaultPlan::churn(5, (0..8).map(NodeId::from_raw), 10.0, 5.0, 100.0);
+        for e in plan.events() {
+            assert!(e.time.as_seconds() < 100.0);
+        }
+    }
+
+    #[test]
+    fn higher_churn_rate_means_more_failures() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId::from_raw).collect();
+        let rare = FaultPlan::churn(1, nodes.clone(), 10_000.0, 10.0, 1000.0);
+        let frequent = FaultPlan::churn(1, nodes, 50.0, 10.0, 1000.0);
+        assert!(frequent.events().len() > rare.events().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "mean times must be positive")]
+    fn churn_rejects_zero_mtbf() {
+        let _ = FaultPlan::churn(0, [NodeId::from_raw(0)], 0.0, 1.0, 10.0);
+    }
+}

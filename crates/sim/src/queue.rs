@@ -1,0 +1,190 @@
+//! Deterministic event queue: min-heap over virtual time with stable
+//! FIFO tie-breaking for simultaneous events.
+
+use crate::time::VirtualTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct HeapItem<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; seq breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulation event queue.
+///
+/// Events are popped in non-decreasing time order; events scheduled for
+/// the same instant are popped in insertion order, making simulations
+/// fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use continuum_sim::{EventQueue, VirtualTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(VirtualTime::from_seconds(2.0), "late");
+/// q.push(VirtualTime::from_seconds(1.0), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    seq: u64,
+    now: VirtualTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// Schedules an event. Events scheduled in the past are clamped to
+    /// the current time (they fire "immediately").
+    pub fn push(&mut self, time: VirtualTime, event: E) {
+        let time = time.max(self.now);
+        self.heap.push(HeapItem {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules an event `delay` seconds after the current time.
+    pub fn push_after(&mut self, delay: f64, event: E) {
+        self.push(self.now.after(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let item = self.heap.pop()?;
+        self.now = item.time;
+        Some((item.time, item.event))
+    }
+
+    /// The time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|i| i.time)
+    }
+
+    /// The current simulation clock (time of the last popped event).
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_seconds(3.0), 3);
+        q.push(VirtualTime::from_seconds(1.0), 1);
+        q.push(VirtualTime::from_seconds(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = VirtualTime::from_seconds(1.0);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_seconds(5.0), ());
+        assert_eq!(q.now(), VirtualTime::ZERO);
+        q.pop();
+        assert_eq!(q.now().as_seconds(), 5.0);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_seconds(5.0), "a");
+        q.pop();
+        q.push(VirtualTime::from_seconds(1.0), "late-scheduled");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_seconds(), 5.0, "cannot travel back in time");
+    }
+
+    #[test]
+    fn push_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_seconds(10.0), "first");
+        q.pop();
+        q.push_after(2.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_seconds(), 12.5);
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(VirtualTime::from_seconds(1.0), ());
+        q.push(VirtualTime::from_seconds(0.5), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time().unwrap().as_seconds(), 0.5);
+    }
+}

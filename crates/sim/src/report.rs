@@ -1,0 +1,187 @@
+//! Run metrics: the bundle every simulated experiment reports.
+
+use crate::node_state::NodeState;
+use crate::transfer::TransferLedger;
+use continuum_platform::EnergyAccount;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-node usage summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeUsage {
+    /// Node index in the platform.
+    pub node_index: usize,
+    /// Core-seconds spent running tasks.
+    pub busy_core_seconds: f64,
+    /// Seconds the node was powered on.
+    pub alive_seconds: f64,
+    /// Mean core utilisation in `[0, 1]`.
+    pub utilisation: f64,
+}
+
+/// Metrics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Virtual seconds from start to last task completion.
+    pub makespan_s: f64,
+    /// Tasks completed.
+    pub tasks_completed: usize,
+    /// Task executions beyond the first attempt (failure recovery).
+    pub tasks_reexecuted: usize,
+    /// Number of network transfers performed.
+    pub transfer_count: usize,
+    /// Bytes moved across the network.
+    pub transfer_bytes: u64,
+    /// Reads served locally without a transfer.
+    pub locality_hits: u64,
+    /// Fraction of reads served locally.
+    pub locality_rate: f64,
+    /// Aggregate energy over all nodes.
+    pub energy: EnergyAccount,
+    /// Per-node usage.
+    pub node_usage: Vec<NodeUsage>,
+    /// Node-hours consumed (alive time summed over nodes, in hours).
+    pub node_hours: f64,
+}
+
+impl RunReport {
+    /// Assembles a report from engine state.
+    pub fn from_parts(
+        makespan_s: f64,
+        tasks_completed: usize,
+        tasks_reexecuted: usize,
+        nodes: &[NodeState],
+        transfers: &TransferLedger,
+    ) -> Self {
+        let mut energy = EnergyAccount::new();
+        let mut node_usage = Vec::with_capacity(nodes.len());
+        let mut alive_total = 0.0;
+        for (i, n) in nodes.iter().enumerate() {
+            energy.merge(n.energy());
+            alive_total += n.alive_seconds();
+            node_usage.push(NodeUsage {
+                node_index: i,
+                busy_core_seconds: n.busy_core_seconds(),
+                alive_seconds: n.alive_seconds(),
+                utilisation: n.utilisation(),
+            });
+        }
+        RunReport {
+            makespan_s,
+            tasks_completed,
+            tasks_reexecuted,
+            transfer_count: transfers.count(),
+            transfer_bytes: transfers.total_bytes(),
+            locality_hits: transfers.local_hits(),
+            locality_rate: transfers.locality_rate(),
+            energy,
+            node_usage,
+            node_hours: alive_total / 3600.0,
+        }
+    }
+
+    /// Mean utilisation across nodes that were ever alive.
+    pub fn mean_utilisation(&self) -> f64 {
+        let alive: Vec<&NodeUsage> = self
+            .node_usage
+            .iter()
+            .filter(|u| u.alive_seconds > 0.0)
+            .collect();
+        if alive.is_empty() {
+            return 0.0;
+        }
+        alive.iter().map(|u| u.utilisation).sum::<f64>() / alive.len() as f64
+    }
+
+    /// Speedup of this run relative to a baseline makespan.
+    pub fn speedup_vs(&self, baseline_makespan_s: f64) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        baseline_makespan_s / self.makespan_s
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "makespan           {:>12.2} s", self.makespan_s)?;
+        writeln!(f, "tasks completed    {:>12}", self.tasks_completed)?;
+        writeln!(f, "tasks re-executed  {:>12}", self.tasks_reexecuted)?;
+        writeln!(
+            f,
+            "transfers          {:>12}  ({:.1} MB)",
+            self.transfer_count,
+            self.transfer_bytes as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "locality           {:>11.1}%  ({} hits)",
+            self.locality_rate * 100.0,
+            self.locality_hits
+        )?;
+        writeln!(f, "energy             {:>12.3} kWh", self.energy.total_kwh())?;
+        writeln!(f, "node-hours         {:>12.3}", self.node_hours)?;
+        write!(
+            f,
+            "mean utilisation   {:>11.1}%",
+            self.mean_utilisation() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualTime;
+    use continuum_dag::TaskId;
+    use continuum_platform::{Constraints, NodeSpec, PlatformBuilder};
+
+    fn sample_report() -> RunReport {
+        let platform = PlatformBuilder::new()
+            .cluster("c", 2, NodeSpec::hpc(4, 1000))
+            .build();
+        let mut nodes: Vec<NodeState> =
+            platform.nodes().iter().map(NodeState::new).collect();
+        let req = Constraints::new().compute_units(4);
+        nodes[0].try_start(TaskId::from_raw(0), &req, VirtualTime::ZERO);
+        nodes[0].finish(TaskId::from_raw(0), &req, VirtualTime::from_seconds(10.0));
+        nodes[1].advance(VirtualTime::from_seconds(10.0));
+        let mut ledger = TransferLedger::new();
+        ledger.record_local_hit(100);
+        RunReport::from_parts(10.0, 1, 0, &nodes, &ledger)
+    }
+
+    #[test]
+    fn aggregates_node_usage() {
+        let r = sample_report();
+        assert_eq!(r.makespan_s, 10.0);
+        assert_eq!(r.node_usage.len(), 2);
+        assert!((r.node_usage[0].utilisation - 1.0).abs() < 1e-9);
+        assert_eq!(r.node_usage[1].utilisation, 0.0);
+        assert!((r.mean_utilisation() - 0.5).abs() < 1e-9);
+        assert!((r.node_hours - 20.0 / 3600.0).abs() < 1e-9);
+        assert!(r.energy.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn locality_propagates() {
+        let r = sample_report();
+        assert_eq!(r.locality_hits, 1);
+        assert_eq!(r.locality_rate, 1.0);
+        assert_eq!(r.transfer_count, 0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let r = sample_report();
+        assert!((r.speedup_vs(100.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_non_empty() {
+        let r = sample_report();
+        let s = r.to_string();
+        assert!(s.contains("makespan"));
+        assert!(s.contains("energy"));
+    }
+}

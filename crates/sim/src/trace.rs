@@ -1,0 +1,168 @@
+//! Execution traces: per-task placement and timing records, the
+//! equivalent of the Paraver traces the COMPSs runtime emits for
+//! post-mortem analysis.
+
+use continuum_dag::TaskId;
+use continuum_platform::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One task execution (re-executions appear as separate records).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The executed task.
+    pub task: TaskId,
+    /// Head node of the execution (first host for rigid tasks).
+    pub node: NodeId,
+    /// Start time (transfer stall included), seconds.
+    pub start_s: f64,
+    /// Completion time, seconds.
+    pub end_s: f64,
+    /// Seconds spent waiting for input transfers before compute.
+    pub transfer_stall_s: f64,
+    /// `true` for lineage replays of already-completed tasks.
+    pub replay: bool,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records executed on a given node.
+    pub fn on_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.node == node)
+    }
+
+    /// Total seconds stalled on transfers across all executions.
+    pub fn total_transfer_stall_s(&self) -> f64 {
+        self.records.iter().map(|r| r.transfer_stall_s).sum()
+    }
+
+    /// Renders an ASCII Gantt chart: one row per node, time bucketed
+    /// into `width` columns. Busy buckets show `#`, replays `r`.
+    pub fn gantt(&self, nodes: usize, width: usize) -> String {
+        let end = self
+            .records
+            .iter()
+            .map(|r| r.end_s)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut out = String::new();
+        for n in 0..nodes {
+            let mut row = vec![b' '; width];
+            for r in self.on_node(NodeId::from_raw(n as u32)) {
+                let a = ((r.start_s / end) * width as f64).floor() as usize;
+                let b = ((r.end_s / end) * width as f64).ceil() as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = if r.replay { b'r' } else { b'#' };
+                }
+            }
+            out.push_str(&format!(
+                "n{n:<3} |{}|\n",
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+        out.push_str(&format!("      0s {:>width$.1}s\n", end, width = width - 2));
+        out
+    }
+}
+
+impl fmt::Display for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(
+                f,
+                "{}{} on {}: {:.3}s → {:.3}s (stall {:.3}s)",
+                r.task,
+                if r.replay { " (replay)" } else { "" },
+                r.node,
+                r.start_s,
+                r.end_s,
+                r.transfer_stall_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(task: u64, node: u32, start: f64, end: f64) -> TraceRecord {
+        TraceRecord {
+            task: TaskId::from_raw(task),
+            node: NodeId::from_raw(node),
+            start_s: start,
+            end_s: end,
+            transfer_stall_s: 0.1,
+            replay: false,
+        }
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = ExecutionTrace::new();
+        assert!(t.is_empty());
+        t.record(rec(0, 0, 0.0, 5.0));
+        t.record(rec(1, 1, 0.0, 3.0));
+        t.record(rec(2, 0, 5.0, 8.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.on_node(NodeId::from_raw(0)).count(), 2);
+        assert!((t.total_transfer_stall_s() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_busy_cells() {
+        let mut t = ExecutionTrace::new();
+        t.record(rec(0, 0, 0.0, 10.0));
+        t.record(rec(1, 1, 5.0, 10.0));
+        let g = t.gantt(2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("n0"));
+        assert!(lines[0].contains("####"));
+        // Node 1 is idle in the first half.
+        let n1 = lines[1];
+        let bar = &n1[n1.find('|').unwrap() + 1..n1.rfind('|').unwrap()];
+        assert!(bar.starts_with(' '));
+        assert!(bar.ends_with('#'));
+    }
+
+    #[test]
+    fn replays_render_differently() {
+        let mut t = ExecutionTrace::new();
+        let mut r = rec(0, 0, 0.0, 10.0);
+        r.replay = true;
+        t.record(r);
+        assert!(t.gantt(1, 10).contains('r'));
+        assert!(t.to_string().contains("(replay)"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Accounting of simulated data transfers.
+
+use crate::time::VirtualTime;
+use continuum_platform::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One recorded transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Link occupancy time.
+    pub seconds: f64,
+    /// Start time of the transfer.
+    pub start: VirtualTime,
+}
+
+/// Ledger of all transfers performed during a run, plus locality hits
+/// (reads served without any transfer because the data was already on
+/// the consuming node).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransferLedger {
+    records: Vec<TransferRecord>,
+    total_bytes: u64,
+    total_seconds: f64,
+    local_hits: u64,
+    local_bytes: u64,
+}
+
+impl TransferLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transfer between distinct nodes.
+    pub fn record(&mut self, record: TransferRecord) {
+        self.total_bytes += record.bytes;
+        self.total_seconds += record.seconds;
+        self.records.push(record);
+    }
+
+    /// Records a read served locally (no transfer needed).
+    pub fn record_local_hit(&mut self, bytes: u64) {
+        self.local_hits += 1;
+        self.local_bytes += bytes;
+    }
+
+    /// Number of transfers performed.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total bytes moved across the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total seconds of link occupancy.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// Reads served from local data.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits
+    }
+
+    /// Bytes that did **not** move thanks to locality.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_bytes
+    }
+
+    /// Fraction of reads served locally, in `[0, 1]`.
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.local_hits + self.records.len() as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_hits as f64 / total as f64
+    }
+
+    /// All transfer records.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bytes: u64, seconds: f64) -> TransferRecord {
+        TransferRecord {
+            from: NodeId::from_raw(0),
+            to: NodeId::from_raw(1),
+            bytes,
+            seconds,
+            start: VirtualTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut l = TransferLedger::new();
+        l.record(rec(100, 1.0));
+        l.record(rec(50, 0.5));
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.total_bytes(), 150);
+        assert!((l.total_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_rate() {
+        let mut l = TransferLedger::new();
+        assert_eq!(l.locality_rate(), 0.0);
+        l.record(rec(100, 1.0));
+        l.record_local_hit(100);
+        l.record_local_hit(100);
+        l.record_local_hit(100);
+        assert!((l.locality_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(l.local_bytes(), 300);
+        assert_eq!(l.local_hits(), 3);
+    }
+}

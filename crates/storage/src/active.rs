@@ -1,0 +1,369 @@
+//! dataClay-like active object store: objects live together with their
+//! class methods, and methods execute *inside* the store node that
+//! holds the object, so only small results cross the network.
+
+use crate::error::StorageError;
+use crate::interface::{ObjectKey, StorageRuntime, StoredValue};
+use crate::kv::{KvConfig, KvStore};
+use bytes::Bytes;
+use continuum_platform::NodeId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A method registered with a class: `(object_payload, args) -> result`.
+pub type MethodFn = Arc<dyn Fn(&[u8], &[u8]) -> Bytes + Send + Sync>;
+
+/// A class registered with an [`ActiveStore`]: a name plus executable
+/// methods (the paper: "dataClay also holds a registry of the classes
+/// where the objects belong, including their methods").
+#[derive(Clone)]
+pub struct ClassDef {
+    name: String,
+    methods: HashMap<String, MethodFn>,
+}
+
+impl ClassDef {
+    /// Creates an empty class.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef {
+            name: name.into(),
+            methods: HashMap::new(),
+        }
+    }
+
+    /// Registers a method.
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[u8], &[u8]) -> Bytes + Send + Sync + 'static,
+    ) -> Self {
+        self.methods.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registered method names.
+    pub fn method_names(&self) -> impl Iterator<Item = &str> {
+        self.methods.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Debug for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassDef")
+            .field("name", &self.name)
+            .field("methods", &self.methods.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Bytes that crossed the network under each access style, used to
+/// quantify the paper's claim that in-store execution "minimises the
+/// number of data transfers".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShippingStats {
+    /// Bytes moved by fetching whole objects to the caller.
+    pub object_bytes_shipped: u64,
+    /// Bytes moved by shipping method arguments to the store.
+    pub args_bytes_shipped: u64,
+    /// Bytes moved by shipping method results back to the caller.
+    pub result_bytes_shipped: u64,
+    /// Number of whole-object fetches.
+    pub fetches: u64,
+    /// Number of in-store method executions.
+    pub executions: u64,
+}
+
+impl ShippingStats {
+    /// Total bytes moved under the active (method-shipping) style.
+    pub fn active_bytes(&self) -> u64 {
+        self.args_bytes_shipped + self.result_bytes_shipped
+    }
+
+    /// Total bytes moved under the passive (object-fetch) style.
+    pub fn passive_bytes(&self) -> u64 {
+        self.object_bytes_shipped
+    }
+}
+
+/// An active object store: a replicated KV store plus a class registry
+/// and in-store method execution.
+///
+/// # Example
+///
+/// ```
+/// use continuum_storage::{ActiveStore, ClassDef, ObjectKey, StorageRuntime, StoredValue};
+/// use continuum_platform::NodeId;
+/// use bytes::Bytes;
+///
+/// let nodes: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
+/// let store = ActiveStore::new(nodes, 1)?;
+/// store.register_class(
+///     ClassDef::new("Vector").method("sum", |payload, _args| {
+///         let s: u64 = payload.iter().map(|b| *b as u64).sum();
+///         Bytes::copy_from_slice(&s.to_le_bytes())
+///     }),
+/// );
+/// store.put("v".into(), StoredValue::object(vec![1, 2, 3], "Vector"), None)?;
+/// let result = store.execute(&"v".into(), "sum", &[])?;
+/// assert_eq!(u64::from_le_bytes(result[..8].try_into().unwrap()), 6);
+/// # Ok::<(), continuum_storage::StorageError>(())
+/// ```
+#[derive(Debug)]
+pub struct ActiveStore {
+    kv: KvStore,
+    classes: Mutex<HashMap<String, ClassDef>>,
+    stats: Mutex<ShippingStats>,
+}
+
+impl ActiveStore {
+    /// Creates an active store over the given nodes with the given
+    /// replication factor.
+    ///
+    /// # Errors
+    ///
+    /// Same config validation as [`KvStore::new`].
+    pub fn new(nodes: Vec<NodeId>, replication: usize) -> Result<Self, StorageError> {
+        Ok(ActiveStore {
+            kv: KvStore::new(nodes, KvConfig { replication })?,
+            classes: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ShippingStats::default()),
+        })
+    }
+
+    /// Registers (or replaces) a class and its methods.
+    pub fn register_class(&self, class: ClassDef) {
+        self.classes.lock().insert(class.name().to_string(), class);
+    }
+
+    /// Executes a registered method *inside* the store node holding the
+    /// object: only `args` travel in and the result travels out.
+    ///
+    /// # Errors
+    ///
+    /// * [`StorageError::NotFound`] / [`StorageError::AllReplicasDown`]
+    ///   if the object is unavailable;
+    /// * [`StorageError::NoClass`] if the object is a plain blob;
+    /// * [`StorageError::UnknownMethod`] if the method is not
+    ///   registered for the object's class.
+    pub fn execute(
+        &self,
+        key: &ObjectKey,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Bytes, StorageError> {
+        let value = self.kv.get(key)?;
+        let class_name = value
+            .class
+            .clone()
+            .ok_or_else(|| StorageError::NoClass(key.clone()))?;
+        let func = {
+            let classes = self.classes.lock();
+            let class = classes
+                .get(&class_name)
+                .ok_or_else(|| StorageError::UnknownMethod {
+                    class: class_name.clone(),
+                    method: method.to_string(),
+                })?;
+            class
+                .methods
+                .get(method)
+                .cloned()
+                .ok_or_else(|| StorageError::UnknownMethod {
+                    class: class_name.clone(),
+                    method: method.to_string(),
+                })?
+        };
+        let result = func(&value.payload, args);
+        let mut stats = self.stats.lock();
+        stats.executions += 1;
+        stats.args_bytes_shipped += args.len() as u64;
+        stats.result_bytes_shipped += result.len() as u64;
+        Ok(result)
+    }
+
+    /// Fetches the whole object to the caller (the *passive* style the
+    /// paper contrasts against), accounting the full payload as moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StorageError`] from the underlying store.
+    pub fn fetch(&self, key: &ObjectKey) -> Result<StoredValue, StorageError> {
+        let value = self.kv.get(key)?;
+        let mut stats = self.stats.lock();
+        stats.fetches += 1;
+        stats.object_bytes_shipped += value.size() as u64;
+        Ok(value)
+    }
+
+    /// Current shipping statistics.
+    pub fn shipping_stats(&self) -> ShippingStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the shipping statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ShippingStats::default();
+    }
+
+    /// The underlying KV store (placement, liveness, SRI operations).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+}
+
+impl StorageRuntime for ActiveStore {
+    fn put(
+        &self,
+        key: ObjectKey,
+        value: StoredValue,
+        hint: Option<NodeId>,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        self.kv.put(key, value, hint)
+    }
+
+    fn get(&self, key: &ObjectKey) -> Result<StoredValue, StorageError> {
+        self.kv.get(key)
+    }
+
+    fn locations(&self, key: &ObjectKey) -> Result<Vec<NodeId>, StorageError> {
+        self.kv.locations(key)
+    }
+
+    fn delete(&self, key: &ObjectKey) {
+        self.kv.delete(key)
+    }
+
+    fn contains(&self, key: &ObjectKey) -> bool {
+        self.kv.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_store() -> ActiveStore {
+        let store =
+            ActiveStore::new((0..3).map(NodeId::from_raw).collect(), 2).unwrap();
+        store.register_class(
+            ClassDef::new("Vector")
+                .method("sum", |payload, _| {
+                    let s: u64 = payload.iter().map(|b| *b as u64).sum();
+                    Bytes::copy_from_slice(&s.to_le_bytes())
+                })
+                .method("count_above", |payload, args| {
+                    let threshold = args.first().copied().unwrap_or(0);
+                    let c = payload.iter().filter(|b| **b > threshold).count() as u64;
+                    Bytes::copy_from_slice(&c.to_le_bytes())
+                }),
+        );
+        store
+    }
+
+    #[test]
+    fn method_execution_returns_result() {
+        let s = vector_store();
+        s.put("v".into(), StoredValue::object(vec![1, 2, 3, 4], "Vector"), None)
+            .unwrap();
+        let r = s.execute(&"v".into(), "sum", &[]).unwrap();
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 10);
+    }
+
+    #[test]
+    fn method_with_args() {
+        let s = vector_store();
+        s.put("v".into(), StoredValue::object(vec![1, 5, 9], "Vector"), None)
+            .unwrap();
+        let r = s.execute(&"v".into(), "count_above", &[4]).unwrap();
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn unknown_method_and_class_errors() {
+        let s = vector_store();
+        s.put("v".into(), StoredValue::object(vec![1], "Vector"), None)
+            .unwrap();
+        assert!(matches!(
+            s.execute(&"v".into(), "nope", &[]),
+            Err(StorageError::UnknownMethod { .. })
+        ));
+        s.put("w".into(), StoredValue::object(vec![1], "Ghost"), None)
+            .unwrap();
+        assert!(matches!(
+            s.execute(&"w".into(), "sum", &[]),
+            Err(StorageError::UnknownMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn blob_objects_cannot_run_methods() {
+        let s = vector_store();
+        s.put("b".into(), StoredValue::blob(vec![1, 2]), None)
+            .unwrap();
+        assert_eq!(
+            s.execute(&"b".into(), "sum", &[]),
+            Err(StorageError::NoClass("b".into()))
+        );
+    }
+
+    #[test]
+    fn shipping_stats_quantify_the_savings() {
+        let s = vector_store();
+        let big = vec![1u8; 1_000_000];
+        s.put("v".into(), StoredValue::object(big, "Vector"), None)
+            .unwrap();
+        // Active style: ship 0-byte args + 8-byte result.
+        s.execute(&"v".into(), "sum", &[]).unwrap();
+        // Passive style: fetch the whole megabyte.
+        s.fetch(&"v".into()).unwrap();
+        let stats = s.shipping_stats();
+        assert_eq!(stats.active_bytes(), 8);
+        assert_eq!(stats.passive_bytes(), 1_000_000);
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.fetches, 1);
+        assert!(stats.passive_bytes() > 1000 * stats.active_bytes());
+        s.reset_stats();
+        assert_eq!(s.shipping_stats(), ShippingStats::default());
+    }
+
+    #[test]
+    fn execution_fails_when_object_unavailable() {
+        let s = vector_store();
+        let reps = s
+            .put("v".into(), StoredValue::object(vec![1], "Vector"), None)
+            .unwrap();
+        for r in reps {
+            s.kv().fail_node(r);
+        }
+        assert!(matches!(
+            s.execute(&"v".into(), "sum", &[]),
+            Err(StorageError::AllReplicasDown(_))
+        ));
+    }
+
+    #[test]
+    fn sri_passthrough() {
+        let s = vector_store();
+        s.put("v".into(), StoredValue::blob(vec![1]), None).unwrap();
+        assert!(s.contains(&"v".into()));
+        assert!(!s.locations(&"v".into()).unwrap().is_empty());
+        s.delete(&"v".into());
+        assert!(!s.contains(&"v".into()));
+    }
+
+    #[test]
+    fn class_def_introspection() {
+        let c = ClassDef::new("C").method("m", |_, _| Bytes::new());
+        assert_eq!(c.name(), "C");
+        assert_eq!(c.method_names().collect::<Vec<_>>(), vec!["m"]);
+        assert!(format!("{c:?}").contains("\"m\""));
+    }
+}

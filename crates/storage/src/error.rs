@@ -1,0 +1,73 @@
+//! Error type for storage operations.
+
+use crate::interface::ObjectKey;
+use continuum_platform::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by storage backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The key is not present in the store.
+    NotFound(ObjectKey),
+    /// All replicas of the key are on failed nodes.
+    AllReplicasDown(ObjectKey),
+    /// The referenced storage node is not part of this store.
+    UnknownNode(NodeId),
+    /// A class or method name was not registered with an active store.
+    UnknownMethod {
+        /// Class name looked up.
+        class: String,
+        /// Method name looked up.
+        method: String,
+    },
+    /// The object was stored without a class, so methods cannot run on it.
+    NoClass(ObjectKey),
+    /// The store was configured inconsistently (e.g. replication factor
+    /// larger than the node count).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(k) => write!(f, "object `{k}` not found"),
+            StorageError::AllReplicasDown(k) => {
+                write!(f, "all replicas of `{k}` are on failed nodes")
+            }
+            StorageError::UnknownNode(n) => write!(f, "node {n} is not a storage node"),
+            StorageError::UnknownMethod { class, method } => {
+                write!(f, "method `{method}` not registered for class `{class}`")
+            }
+            StorageError::NoClass(k) => {
+                write!(f, "object `{k}` has no registered class")
+            }
+            StorageError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let k = ObjectKey::new("x");
+        assert!(StorageError::NotFound(k.clone()).to_string().contains("`x`"));
+        let e = StorageError::UnknownMethod {
+            class: "Matrix".into(),
+            method: "sum".into(),
+        };
+        assert!(e.to_string().contains("`sum`"));
+        assert!(e.to_string().contains("`Matrix`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

@@ -1,0 +1,188 @@
+//! The storage interfaces: SOI (programmer-facing) and SRI
+//! (runtime-facing), as defined in §VI-A1 of the paper.
+
+use crate::error::StorageError;
+use bytes::Bytes;
+use continuum_platform::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Key identifying a persisted object.
+///
+/// Runtimes typically derive keys from versioned data
+/// (`"d12@v3"`-style); applications may use arbitrary strings.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectKey(String);
+
+impl ObjectKey {
+    /// Creates a key.
+    pub fn new(key: impl Into<String>) -> Self {
+        ObjectKey(key.into())
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ObjectKey {
+    fn from(s: &str) -> Self {
+        ObjectKey::new(s)
+    }
+}
+
+impl From<String> for ObjectKey {
+    fn from(s: String) -> Self {
+        ObjectKey(s)
+    }
+}
+
+/// A stored value with its (optional) class tag, enabling active-store
+/// method execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredValue {
+    /// Serialized payload.
+    pub payload: Bytes,
+    /// Class name for active objects, `None` for plain blobs.
+    pub class: Option<String>,
+}
+
+impl StoredValue {
+    /// A plain blob without class information.
+    pub fn blob(payload: impl Into<Bytes>) -> Self {
+        StoredValue {
+            payload: payload.into(),
+            class: None,
+        }
+    }
+
+    /// An object of a registered class.
+    pub fn object(payload: impl Into<Bytes>, class: impl Into<String>) -> Self {
+        StoredValue {
+            payload: payload.into(),
+            class: Some(class.into()),
+        }
+    }
+
+    /// Size of the payload in bytes.
+    pub fn size(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// The **Storage Runtime Interface** (SRI): the contract between the
+/// workflow runtime and a storage backend.
+///
+/// This mirrors the paper's interface: the runtime pushes and pulls
+/// values and — crucially for scheduling — asks `locations` (the
+/// paper's `getLocations`) where replicas live so tasks can be placed
+/// next to their data.
+pub trait StorageRuntime: Send + Sync {
+    /// Stores a value, preferring placement near `hint` if given.
+    /// Returns the nodes holding replicas.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; e.g. the hint names an unknown node.
+    fn put(
+        &self,
+        key: ObjectKey,
+        value: StoredValue,
+        hint: Option<NodeId>,
+    ) -> Result<Vec<NodeId>, StorageError>;
+
+    /// Retrieves a value.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if absent,
+    /// [`StorageError::AllReplicasDown`] if no live replica remains.
+    fn get(&self, key: &ObjectKey) -> Result<StoredValue, StorageError>;
+
+    /// Live replica locations of a key (the paper's `getLocations`).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the key was never stored.
+    fn locations(&self, key: &ObjectKey) -> Result<Vec<NodeId>, StorageError>;
+
+    /// Removes a key. Removing an absent key is not an error.
+    fn delete(&self, key: &ObjectKey);
+
+    /// Returns `true` if at least one live replica exists.
+    fn contains(&self, key: &ObjectKey) -> bool;
+}
+
+/// The **Storage Object Interface** (SOI): the programmer-facing trait.
+///
+/// Implemented by application object wrappers; calling
+/// [`make_persistent`](PersistentObject::make_persistent) pushes the
+/// object to the backend, after which it is used like a regular value
+/// (the backend keeps it durable and replicated).
+pub trait PersistentObject {
+    /// Serializes the object for storage.
+    fn to_payload(&self) -> Bytes;
+
+    /// Class name, for active-store method registration.
+    fn class_name(&self) -> Option<&str> {
+        None
+    }
+
+    /// Pushes the object to `store` under `key`, making it persistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from `put`.
+    fn make_persistent(
+        &self,
+        store: &dyn StorageRuntime,
+        key: ObjectKey,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let value = match self.class_name() {
+            Some(c) => StoredValue::object(self.to_payload(), c),
+            None => StoredValue::blob(self.to_payload()),
+        };
+        store.put(key, value, None)
+    }
+
+    /// Removes the object from `store`.
+    fn delete_persistent(&self, store: &dyn StorageRuntime, key: &ObjectKey) {
+        store.delete(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_conversions() {
+        let a: ObjectKey = "k1".into();
+        let b: ObjectKey = String::from("k1").into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "k1");
+        assert_eq!(a.to_string(), "k1");
+    }
+
+    #[test]
+    fn stored_value_kinds() {
+        let blob = StoredValue::blob(vec![1, 2, 3]);
+        assert_eq!(blob.size(), 3);
+        assert!(blob.class.is_none());
+        let obj = StoredValue::object(vec![0; 10], "Matrix");
+        assert_eq!(obj.class.as_deref(), Some("Matrix"));
+        assert_eq!(obj.size(), 10);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn StorageRuntime) {}
+    }
+}

@@ -1,0 +1,125 @@
+//! Write-ahead persistence log used by agents to survive fog-node
+//! churn: every value produced by a task is appended before being
+//! consumed, so a failed node's outputs can be restored elsewhere
+//! (paper §VI-B: "any value produced during a task execution is stored
+//! on dataClay so any other agent can use that value").
+
+use crate::interface::{ObjectKey, StorageRuntime, StoredValue};
+use parking_lot::Mutex;
+
+/// One logged record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Key of the persisted value.
+    pub key: ObjectKey,
+    /// The value at append time.
+    pub value: StoredValue,
+}
+
+/// An append-only, in-process write-ahead log.
+///
+/// # Example
+///
+/// ```
+/// use continuum_storage::{WriteAheadLog, ObjectKey, StoredValue};
+///
+/// let wal = WriteAheadLog::new();
+/// wal.append("task7:out".into(), StoredValue::blob(vec![1, 2]));
+/// assert_eq!(wal.len(), 1);
+/// let restored = wal.replay();
+/// assert_eq!(restored[0].key, ObjectKey::new("task7:out"));
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteAheadLog {
+    entries: Mutex<Vec<WalEntry>>,
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&self, key: ObjectKey, value: StoredValue) {
+        self.entries.lock().push(WalEntry { key, value });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of all records in append order. Later records for the
+    /// same key supersede earlier ones when restoring.
+    pub fn replay(&self) -> Vec<WalEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Restores every logged value into `store` (later duplicates win).
+    /// Returns the number of put operations performed.
+    pub fn restore_into(&self, store: &dyn StorageRuntime) -> usize {
+        let entries = self.replay();
+        let n = entries.len();
+        for e in entries {
+            // Best-effort: a degraded store may reject puts; recovery
+            // proceeds with whatever can be restored.
+            let _ = store.put(e.key, e.value, None);
+        }
+        n
+    }
+
+    /// Drops all records (e.g. after a checkpoint).
+    pub fn truncate(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvConfig, KvStore};
+    use continuum_platform::NodeId;
+
+    #[test]
+    fn append_and_replay_preserve_order() {
+        let wal = WriteAheadLog::new();
+        wal.append("a".into(), StoredValue::blob(vec![1]));
+        wal.append("b".into(), StoredValue::blob(vec![2]));
+        wal.append("a".into(), StoredValue::blob(vec![3]));
+        let entries = wal.replay();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].key, ObjectKey::new("a"));
+        assert_eq!(&entries[2].value.payload[..], &[3]);
+    }
+
+    #[test]
+    fn restore_into_store_with_last_write_wins() {
+        let wal = WriteAheadLog::new();
+        wal.append("a".into(), StoredValue::blob(vec![1]));
+        wal.append("a".into(), StoredValue::blob(vec![9, 9]));
+        let store = KvStore::new(
+            (0..2).map(NodeId::from_raw).collect(),
+            KvConfig { replication: 1 },
+        )
+        .unwrap();
+        use crate::interface::StorageRuntime;
+        assert_eq!(wal.restore_into(&store), 2);
+        assert_eq!(&store.get(&"a".into()).unwrap().payload[..], &[9, 9]);
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let wal = WriteAheadLog::new();
+        wal.append("a".into(), StoredValue::blob(vec![1]));
+        assert!(!wal.is_empty());
+        wal.truncate();
+        assert!(wal.is_empty());
+        assert_eq!(wal.len(), 0);
+    }
+}

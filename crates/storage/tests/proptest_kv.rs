@@ -1,0 +1,151 @@
+//! Property-based tests of the KV store: replication invariants,
+//! availability under failures, and byte accounting.
+
+use continuum_platform::NodeId;
+use continuum_storage::{KvConfig, KvStore, ObjectKey, StorageRuntime, StoredValue};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, size: u16, hint: Option<u8> },
+    Delete { key: u8 },
+    Fail { node: u8 },
+    Recover { node: u8 },
+}
+
+fn op_strategy(nodes: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..32, 0u16..2048, proptest::option::of(0..nodes))
+            .prop_map(|(key, size, hint)| Op::Put { key, size, hint }),
+        1 => (0u8..32).prop_map(|key| Op::Delete { key }),
+        1 => (0..nodes).prop_map(|node| Op::Fail { node }),
+        1 => (0..nodes).prop_map(|node| Op::Recover { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replicas are always distinct live-at-write nodes and respect
+    /// the replication factor when enough nodes are alive.
+    #[test]
+    fn replica_sets_are_valid(
+        ops in proptest::collection::vec(op_strategy(6), 1..60),
+        replication in 1usize..4,
+    ) {
+        let nodes: Vec<NodeId> = (0..6).map(NodeId::from_raw).collect();
+        let store = KvStore::new(nodes.clone(), KvConfig { replication }).unwrap();
+        let mut down: HashSet<u8> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Put { key, size, hint } => {
+                    let result = store.put(
+                        ObjectKey::new(format!("k{key}")),
+                        StoredValue::blob(vec![0u8; size as usize]),
+                        hint.map(|h| NodeId::from_raw(h as u32)),
+                    );
+                    if down.len() == 6 {
+                        prop_assert!(result.is_err(), "no live node can accept a put");
+                        continue;
+                    }
+                    let replicas = result.unwrap();
+                    let unique: HashSet<_> = replicas.iter().collect();
+                    prop_assert_eq!(unique.len(), replicas.len(), "replicas distinct");
+                    let live = 6 - down.len();
+                    prop_assert_eq!(replicas.len(), replication.min(live));
+                    for r in &replicas {
+                        prop_assert!(
+                            !down.contains(&(r.index() as u8)),
+                            "never placed on a down node"
+                        );
+                    }
+                }
+                Op::Delete { key } => store.delete(&ObjectKey::new(format!("k{key}"))),
+                Op::Fail { node } => {
+                    store.fail_node(NodeId::from_raw(node as u32));
+                    down.insert(node);
+                }
+                Op::Recover { node } => {
+                    store.recover_node(NodeId::from_raw(node as u32));
+                    down.remove(&node);
+                }
+            }
+        }
+    }
+
+    /// With replication >= 2, any single node failure leaves every key
+    /// readable with its latest value.
+    #[test]
+    fn single_failure_never_loses_data(
+        keys in proptest::collection::vec((0u8..16, 1u16..512), 1..32),
+        victim in 0u32..4,
+    ) {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
+        let store = KvStore::new(nodes, KvConfig { replication: 2 }).unwrap();
+        let mut latest = std::collections::HashMap::new();
+        for (key, size) in keys {
+            store
+                .put(
+                    ObjectKey::new(format!("k{key}")),
+                    StoredValue::blob(vec![key; size as usize]),
+                    None,
+                )
+                .unwrap();
+            latest.insert(key, size);
+        }
+        store.fail_node(NodeId::from_raw(victim));
+        for (key, size) in latest {
+            let v = store.get(&ObjectKey::new(format!("k{key}"))).unwrap();
+            prop_assert_eq!(v.payload.len(), size as usize);
+            prop_assert!(v.payload.iter().all(|b| *b == key));
+            let locs = store.locations(&ObjectKey::new(format!("k{key}"))).unwrap();
+            prop_assert!(!locs.contains(&NodeId::from_raw(victim)));
+        }
+    }
+
+    /// Byte accounting: the sum over nodes equals stored payloads ×
+    /// replication, regardless of overwrite order.
+    #[test]
+    fn byte_accounting_balances(
+        puts in proptest::collection::vec((0u8..8, 0u16..1024), 1..40),
+    ) {
+        let nodes: Vec<NodeId> = (0..5).map(NodeId::from_raw).collect();
+        let store = KvStore::new(nodes.clone(), KvConfig { replication: 2 }).unwrap();
+        let mut latest = std::collections::HashMap::new();
+        for (key, size) in puts {
+            store
+                .put(
+                    ObjectKey::new(format!("k{key}")),
+                    StoredValue::blob(vec![0u8; size as usize]),
+                    None,
+                )
+                .unwrap();
+            latest.insert(key, size as u64);
+        }
+        let expected: u64 = latest.values().map(|s| s * 2).sum();
+        let actual: u64 = nodes.iter().map(|n| store.bytes_on(*n)).sum();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Deterministic placement: two stores with the same config place
+    /// every key identically (no hidden state).
+    #[test]
+    fn placement_is_pure(keys in proptest::collection::vec(0u16..512, 1..30)) {
+        let mk = || {
+            KvStore::new((0..7).map(NodeId::from_raw).collect(), KvConfig { replication: 3 })
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        for key in keys {
+            let ka = a
+                .put(ObjectKey::new(format!("k{key}")), StoredValue::blob(vec![1]), None)
+                .unwrap();
+            let kb = b
+                .put(ObjectKey::new(format!("k{key}")), StoredValue::blob(vec![1]), None)
+                .unwrap();
+            prop_assert_eq!(ka, kb);
+        }
+    }
+}

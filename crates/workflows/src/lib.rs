@@ -1,0 +1,37 @@
+//! Synthetic scientific workloads calibrated to the applications the
+//! paper reports on.
+//!
+//! * [`GwasWorkload`] — a GUIDANCE-like genome-wide association
+//!   campaign: per-chromosome, per-chunk pipelines (filter → impute →
+//!   association) with merge stages, lognormal task durations and the
+//!   *variable memory* property the paper highlights (most tasks are
+//!   light; a fraction needs most of a node's memory);
+//! * [`NmmbWorkload`] — an NMMB-Monarch-like multi-day weather
+//!   pipeline: per-day initialisation scripts (sequential in the
+//!   original, parallelised in the PyCOMPSs port), one rigid
+//!   multi-node MPI simulation, post-processing and archiving, with a
+//!   day-to-day restart dependency;
+//! * [`patterns`] — generic DAG shapes (embarrassingly parallel,
+//!   map-reduce, chains, fork-join ensembles, random layered DAGs)
+//!   used by tests and micro-benchmarks;
+//! * [`parse_wdl`]/[`to_wdl`] — a textual workflow description
+//!   language (the Pegasus-style modality of the paper's taxonomy),
+//!   round-tripping with [`continuum_runtime::SimWorkload`].
+//!
+//! All generators are deterministic for a given seed and produce
+//! [`continuum_runtime::SimWorkload`] values ready for the simulated
+//! engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gwas;
+mod nmmb;
+pub mod patterns;
+mod rng;
+mod wdl;
+
+pub use gwas::GwasWorkload;
+pub use nmmb::NmmbWorkload;
+pub use rng::LogNormal;
+pub use wdl::{parse_wdl, to_wdl, WdlError};

@@ -1,0 +1,329 @@
+//! Generic DAG patterns for tests, micro-benchmarks and ablations.
+
+use continuum_dag::TaskSpec;
+use continuum_runtime::{SimWorkload, TaskProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` independent tasks of `duration_s` each.
+pub fn embarrassingly_parallel(n: usize, duration_s: f64) -> SimWorkload {
+    let mut w = SimWorkload::new();
+    let outs = w.data_batch("ep_out", n);
+    for o in &outs {
+        w.task(TaskSpec::new("work").output(*o), TaskProfile::new(duration_s))
+            .expect("valid pattern task");
+    }
+    w
+}
+
+/// `mappers` parallel map tasks feeding one reduce; each map output is
+/// `bytes` large (for locality/transfer experiments).
+pub fn map_reduce(mappers: usize, map_s: f64, reduce_s: f64, bytes: u64) -> SimWorkload {
+    let mut w = SimWorkload::new();
+    let outs = w.data_batch("map_out", mappers);
+    let result = w.data("reduced");
+    for o in &outs {
+        w.task(
+            TaskSpec::new("map").output(*o),
+            TaskProfile::new(map_s).outputs_bytes(bytes),
+        )
+        .expect("valid pattern task");
+    }
+    w.task(
+        TaskSpec::new("reduce").inputs(outs).output(result),
+        TaskProfile::new(reduce_s),
+    )
+    .expect("valid pattern task");
+    w
+}
+
+/// A chain of `n` tasks, each depending on the previous.
+pub fn chain(n: usize, duration_s: f64) -> SimWorkload {
+    let mut w = SimWorkload::new();
+    let d = w.data("chain");
+    w.task(TaskSpec::new("stage0").output(d), TaskProfile::new(duration_s))
+        .expect("valid pattern task");
+    for i in 1..n {
+        w.task(
+            TaskSpec::new(format!("stage{i}")).inout(d),
+            TaskProfile::new(duration_s),
+        )
+        .expect("valid pattern task");
+    }
+    w
+}
+
+/// `ensembles` independent fork-join pipelines: fork into `width`
+/// branches of `depth` stages, then join.
+pub fn fork_join(ensembles: usize, width: usize, depth: usize, duration_s: f64) -> SimWorkload {
+    let mut w = SimWorkload::new();
+    for e in 0..ensembles {
+        let root = w.data(format!("fj{e}_root"));
+        w.task(
+            TaskSpec::new("fork").group(format!("ens{e}")).output(root),
+            TaskProfile::new(duration_s),
+        )
+        .expect("valid pattern task");
+        let mut lasts = Vec::with_capacity(width);
+        for b in 0..width {
+            let mut prev = root;
+            for s in 0..depth {
+                let next = w.data(format!("fj{e}_b{b}_s{s}"));
+                w.task(
+                    TaskSpec::new("branch")
+                        .group(format!("ens{e}"))
+                        .input(prev)
+                        .output(next),
+                    TaskProfile::new(duration_s),
+                )
+                .expect("valid pattern task");
+                prev = next;
+            }
+            lasts.push(prev);
+        }
+        let joined = w.data(format!("fj{e}_join"));
+        w.task(
+            TaskSpec::new("join")
+                .group(format!("ens{e}"))
+                .inputs(lasts)
+                .output(joined),
+            TaskProfile::new(duration_s),
+        )
+        .expect("valid pattern task");
+    }
+    w
+}
+
+/// A binary tree reduction over `leaves` inputs: the classic
+/// Montage-style aggregation shape. Returns the workload; level 0 are
+/// the leaf producers.
+pub fn tree_reduce(leaves: usize, leaf_s: f64, merge_s: f64, bytes: u64) -> SimWorkload {
+    assert!(leaves > 0, "need at least one leaf");
+    let mut w = SimWorkload::new();
+    let mut frontier: Vec<continuum_dag::DataId> = Vec::with_capacity(leaves);
+    for i in 0..leaves {
+        let out = w.data(format!("leaf{i}"));
+        w.task(
+            TaskSpec::new("produce").group("leaves").output(out),
+            TaskProfile::new(leaf_s).outputs_bytes(bytes),
+        )
+        .expect("valid pattern task");
+        frontier.push(out);
+    }
+    let mut level = 0;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        for (i, pair) in frontier.chunks(2).enumerate() {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let out = w.data(format!("merge_{level}_{i}"));
+            w.task(
+                TaskSpec::new("merge")
+                    .group(format!("level{level}"))
+                    .input(pair[0])
+                    .input(pair[1])
+                    .output(out),
+                TaskProfile::new(merge_s).outputs_bytes(bytes),
+            )
+            .expect("valid pattern task");
+            next.push(out);
+        }
+        frontier = next;
+        level += 1;
+    }
+    w
+}
+
+/// A streaming pipeline: `batches` data batches arrive from an edge
+/// source every `interval_s` seconds (modelled by a chain of tick
+/// tasks, so batch `i` becomes available at `i × interval_s`); each
+/// batch then flows through the given processing stages. Batch latency
+/// (completion − arrival) is measurable from the execution trace.
+///
+/// The arrival process must be *open-loop*: if ticks shared cores with
+/// the processing stages, back-pressure would throttle arrivals to the
+/// service rate and hide saturation. Tick tasks therefore require the
+/// `"edge-source"` software tag (run them on a dedicated sensor node),
+/// and stage tasks require 1 GB of memory so they can never crowd onto
+/// a tiny sensor device.
+pub fn streaming_pipeline(
+    batches: usize,
+    interval_s: f64,
+    stage_durations: &[f64],
+    batch_bytes: u64,
+) -> SimWorkload {
+    assert!(batches > 0 && !stage_durations.is_empty(), "empty stream");
+    let mut w = SimWorkload::new();
+    let mut prev_tick: Option<continuum_dag::DataId> = None;
+    for b in 0..batches {
+        // The tick chain models the arrival process on the source
+        // device: batch b's raw data exists at b × interval.
+        let tick = w.data(format!("batch{b}"));
+        let mut spec = TaskSpec::new("arrive").group("source").output(tick);
+        if let Some(prev) = prev_tick {
+            spec = spec.input(prev);
+        }
+        w.task(
+            spec,
+            TaskProfile::new(interval_s)
+                .constraints(continuum_platform::Constraints::new().software("edge-source"))
+                .outputs_bytes(batch_bytes),
+        )
+        .expect("valid pattern task");
+        prev_tick = Some(tick);
+        // Per-batch processing stages.
+        let mut upstream = tick;
+        for (s, dur) in stage_durations.iter().enumerate() {
+            let out = w.data(format!("b{b}_s{s}"));
+            w.task(
+                TaskSpec::new(format!("stage{s}"))
+                    .group(format!("batch{b}"))
+                    .input(upstream)
+                    .output(out),
+                TaskProfile::new(*dur)
+                    .constraints(continuum_platform::Constraints::new().memory_mb(1_000))
+                    .outputs_bytes(batch_bytes / 2),
+            )
+            .expect("valid pattern task");
+            upstream = out;
+        }
+    }
+    w
+}
+
+/// A random layered DAG: `layers` levels of `width` tasks; each task
+/// reads each task of the previous layer with probability `p_edge`.
+/// Durations are uniform in `[min_s, max_s]`. Deterministic per seed.
+pub fn random_layered(
+    seed: u64,
+    layers: usize,
+    width: usize,
+    p_edge: f64,
+    min_s: f64,
+    max_s: f64,
+) -> SimWorkload {
+    assert!(layers > 0 && width > 0, "empty dag");
+    assert!(max_s >= min_s && min_s >= 0.0, "bad duration range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = SimWorkload::new();
+    let mut prev_layer: Vec<continuum_dag::DataId> = Vec::new();
+    for layer in 0..layers {
+        let mut this_layer = Vec::with_capacity(width);
+        for i in 0..width {
+            let out = w.data(format!("l{layer}_t{i}"));
+            let mut spec = TaskSpec::new(format!("task_l{layer}"))
+                .group(format!("layer{layer}"))
+                .output(out);
+            let mut has_input = false;
+            for p in &prev_layer {
+                if rng.gen::<f64>() < p_edge {
+                    spec = spec.input(*p);
+                    has_input = true;
+                }
+            }
+            // Guarantee connectivity below the first layer.
+            if layer > 0 && !has_input {
+                let pick = prev_layer[rng.gen_range(0..prev_layer.len())];
+                spec = spec.input(pick);
+            }
+            let duration = min_s + rng.gen::<f64>() * (max_s - min_s);
+            w.task(spec, TaskProfile::new(duration).outputs_bytes(1_000_000))
+                .expect("valid pattern task");
+            this_layer.push(out);
+        }
+        prev_layer = this_layer;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep_shape() {
+        let w = embarrassingly_parallel(10, 2.0);
+        let s = w.stats();
+        assert_eq!(s.tasks, 10);
+        assert_eq!(s.edges, 0);
+        assert!((s.critical_path_s - 2.0).abs() < 1e-9);
+        assert!((s.average_parallelism - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_reduce_shape() {
+        let w = map_reduce(8, 5.0, 3.0, 100);
+        let s = w.stats();
+        assert_eq!(s.tasks, 9);
+        assert_eq!(s.edges, 8);
+        assert!((s.critical_path_s - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let w = chain(6, 1.0);
+        let s = w.stats();
+        assert_eq!(s.tasks, 6);
+        assert_eq!(s.edges, 5);
+        assert!((s.average_parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let w = fork_join(2, 3, 2, 1.0);
+        let s = w.stats();
+        // Per ensemble: 1 fork + 3×2 branch + 1 join = 8.
+        assert_eq!(s.tasks, 16);
+        // Depth: fork + 2 stages + join = 4.
+        assert!((s.critical_path_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_reduce_shape() {
+        let w = tree_reduce(8, 2.0, 1.0, 100);
+        let s = w.stats();
+        assert_eq!(s.tasks, 8 + 7, "n leaves need n-1 merges");
+        // Depth: leaf + 3 merge levels.
+        assert!((s.critical_path_s - (2.0 + 3.0)).abs() < 1e-9);
+        // Odd leaf counts promote the straggler.
+        let w = tree_reduce(5, 1.0, 1.0, 0);
+        assert_eq!(w.stats().tasks, 5 + 4);
+    }
+
+    #[test]
+    fn streaming_pipeline_arrivals_are_spaced() {
+        let w = streaming_pipeline(4, 10.0, &[2.0, 3.0], 1000);
+        let s = w.stats();
+        assert_eq!(s.tasks, 4 * 3);
+        // Critical path: 4 ticks then the last batch's two stages.
+        assert!((s.critical_path_s - (40.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_layered_is_connected_and_deterministic() {
+        let a = random_layered(5, 4, 6, 0.3, 1.0, 10.0);
+        let b = random_layered(5, 4, 6, 0.3, 1.0, 10.0);
+        assert_eq!(a.stats(), b.stats());
+        let g = a.graph();
+        // Every non-first-layer task has at least one predecessor.
+        for node in g.nodes().skip(6) {
+            assert!(
+                !node.predecessors().is_empty(),
+                "task {} disconnected",
+                node.id()
+            );
+        }
+        assert_eq!(g.len(), 24);
+    }
+
+    #[test]
+    fn random_layered_durations_in_range() {
+        let w = random_layered(9, 3, 5, 0.5, 2.0, 4.0);
+        for t in 0..w.stats().tasks {
+            let d = w.profile(continuum_dag::TaskId::from_raw(t as u64)).duration_s();
+            assert!((2.0..=4.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Small distribution helpers (lognormal via Box–Muller).
+
+use rand::Rng;
+
+/// A lognormal distribution parameterised by the mean and coefficient
+/// of variation of the *underlying* value (not the log), which is how
+/// task-duration measurements are usually reported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with the given mean and coefficient of
+    /// variation (std/mean) of the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `cv >= 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0, "mean must be positive, cv non-negative");
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let dist = LogNormal::from_mean_cv(10.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        assert!((var.sqrt() / mean - 0.5).abs() < 0.05, "cv {}", var.sqrt() / mean);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let dist = LogNormal::from_mean_cv(1.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..1000).all(|_| dist.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let dist = LogNormal::from_mean_cv(5.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert!((dist.sample(&mut rng) - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn invalid_params_rejected() {
+        let _ = LogNormal::from_mean_cv(0.0, 1.0);
+    }
+}

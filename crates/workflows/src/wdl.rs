@@ -1,0 +1,384 @@
+//! A textual workflow description language.
+//!
+//! The paper surveys three ways to express workflows: graphically
+//! (Kepler/Taverna), **textually** (Pegasus/ASKALON) and
+//! programmatically (COMPSs). `continuum` is programmatic-first, but
+//! this module adds the textual modality: a plain line-based format
+//! that parses into a [`SimWorkload`] and can be regenerated from one,
+//! so workflows can be stored, diffed and shared as files.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! data <name> size=<bytes|K|M|G> [home=<node-index>]
+//! task <type> [in=<d1,d2,..>] [inout=<d,..>] out=<d,..> dur=<seconds>
+//!      [mem=<bytes|K|M|G>] [cores=<n>] [nodes=<n>] [out_bytes=<..>]
+//!      [group=<label>]
+//! ```
+//!
+//! `data` lines declare initial (externally provided) inputs; every
+//! other datum is declared implicitly by first use in a task line.
+
+use continuum_dag::{DataId, TaskSpec};
+use continuum_platform::{Constraints, NodeId};
+use continuum_runtime::{SimWorkload, TaskProfile};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WdlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for WdlError {}
+
+fn err(line: usize, message: impl Into<String>) -> WdlError {
+    WdlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a byte quantity with optional K/M/G suffix.
+fn parse_bytes(s: &str, line: usize) -> Result<u64, WdlError> {
+    let (digits, mult) = match s.chars().last() {
+        Some('K') => (&s[..s.len() - 1], 1_000),
+        Some('M') => (&s[..s.len() - 1], 1_000_000),
+        Some('G') => (&s[..s.len() - 1], 1_000_000_000),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| err(line, format!("invalid byte quantity `{s}`")))
+}
+
+fn split_kv(token: &str, line: usize) -> Result<(&str, &str), WdlError> {
+    token
+        .split_once('=')
+        .ok_or_else(|| err(line, format!("expected key=value, got `{token}`")))
+}
+
+/// Parses a workflow description into a [`SimWorkload`].
+///
+/// # Errors
+///
+/// Returns a [`WdlError`] naming the offending line for syntax errors,
+/// unknown keys, duplicate data declarations or dependency-validation
+/// failures.
+///
+/// # Example
+///
+/// ```
+/// let text = "
+/// data raw size=40M
+/// task filter in=raw out=clean dur=12 mem=4G out_bytes=20M
+/// task analyze in=clean out=stats dur=30 cores=4
+/// ";
+/// let w = continuum_workflows::parse_wdl(text)?;
+/// assert_eq!(w.stats().tasks, 2);
+/// assert_eq!(w.stats().edges, 1);
+/// # Ok::<(), continuum_workflows::WdlError>(())
+/// ```
+pub fn parse_wdl(text: &str) -> Result<SimWorkload, WdlError> {
+    let mut w = SimWorkload::new();
+    let mut names: HashMap<String, DataId> = HashMap::new();
+
+    let resolve = |w: &mut SimWorkload, names: &mut HashMap<String, DataId>, name: &str| {
+        *names
+            .entry(name.to_string())
+            .or_insert_with(|| w.data(name))
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("data") => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "data needs a name"))?;
+                if names.contains_key(name) {
+                    return Err(err(line_no, format!("datum `{name}` already declared")));
+                }
+                let mut size = 0u64;
+                let mut home = None;
+                for token in tokens {
+                    let (k, v) = split_kv(token, line_no)?;
+                    match k {
+                        "size" => size = parse_bytes(v, line_no)?,
+                        "home" => {
+                            let n: u32 = v
+                                .parse()
+                                .map_err(|_| err(line_no, format!("invalid home `{v}`")))?;
+                            home = Some(NodeId::from_raw(n));
+                        }
+                        other => return Err(err(line_no, format!("unknown data key `{other}`"))),
+                    }
+                }
+                let id = w.initial_data(name, size, home);
+                names.insert(name.to_string(), id);
+            }
+            Some("task") => {
+                let ty = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "task needs a type name"))?;
+                let mut spec = TaskSpec::new(ty);
+                let mut dur = None;
+                let mut constraints = Constraints::new();
+                let mut out_bytes = 0u64;
+                let mut n_outputs = 0usize;
+                for token in tokens {
+                    let (k, v) = split_kv(token, line_no)?;
+                    match k {
+                        "in" => {
+                            for name in v.split(',').filter(|s| !s.is_empty()) {
+                                let id = resolve(&mut w, &mut names, name);
+                                spec = spec.input(id);
+                            }
+                        }
+                        "inout" => {
+                            for name in v.split(',').filter(|s| !s.is_empty()) {
+                                let id = resolve(&mut w, &mut names, name);
+                                spec = spec.inout(id);
+                            }
+                        }
+                        "out" => {
+                            for name in v.split(',').filter(|s| !s.is_empty()) {
+                                let id = resolve(&mut w, &mut names, name);
+                                spec = spec.output(id);
+                                n_outputs += 1;
+                            }
+                        }
+                        "dur" => {
+                            dur = Some(v.parse::<f64>().map_err(|_| {
+                                err(line_no, format!("invalid duration `{v}`"))
+                            })?);
+                        }
+                        "mem" => constraints = constraints.memory_mb(parse_bytes(v, line_no)? / 1_000_000),
+                        "cores" => {
+                            constraints = constraints.compute_units(v.parse().map_err(|_| {
+                                err(line_no, format!("invalid cores `{v}`"))
+                            })?)
+                        }
+                        "nodes" => {
+                            constraints = constraints.nodes(v.parse().map_err(|_| {
+                                err(line_no, format!("invalid nodes `{v}`"))
+                            })?)
+                        }
+                        "gpus" => {
+                            constraints = constraints.gpus(v.parse().map_err(|_| {
+                                err(line_no, format!("invalid gpus `{v}`"))
+                            })?)
+                        }
+                        "out_bytes" => out_bytes = parse_bytes(v, line_no)?,
+                        "group" => spec = spec.group(v),
+                        other => return Err(err(line_no, format!("unknown task key `{other}`"))),
+                    }
+                }
+                let dur = dur.ok_or_else(|| err(line_no, "task needs dur=<seconds>"))?;
+                let _ = n_outputs;
+                let profile = TaskProfile::new(dur)
+                    .constraints(constraints)
+                    .outputs_bytes(out_bytes);
+                w.task(spec, profile)
+                    .map_err(|e| err(line_no, format!("invalid task: {e}")))?;
+            }
+            Some(other) => return Err(err(line_no, format!("unknown directive `{other}`"))),
+            None => unreachable!("blank lines skipped"),
+        }
+    }
+    Ok(w)
+}
+
+/// Serialises a workload back to the textual format. Data are written
+/// with their registered names where unique; the output round-trips
+/// through [`parse_wdl`] to a structurally identical workload.
+pub fn to_wdl(w: &SimWorkload) -> String {
+    let mut out = String::from("# continuum workflow description\n");
+    // Initial data first.
+    let mut initial: Vec<(DataId, u64, Option<NodeId>)> = w.initial_data_entries().collect();
+    initial.sort_by_key(|(d, _, _)| *d);
+    for (d, bytes, home) in initial {
+        out.push_str(&format!("data d{} size={bytes}", d.as_u64()));
+        if let Some(h) = home {
+            out.push_str(&format!(" home={}", h.index()));
+        }
+        out.push('\n');
+    }
+    for node in w.graph().nodes() {
+        let spec = node.spec();
+        out.push_str(&format!("task {}", spec.name().replace(' ', "_")));
+        let fmt_list = |ids: Vec<DataId>| {
+            ids.iter()
+                .map(|d| format!("d{}", d.as_u64()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let ins: Vec<DataId> = spec
+            .params()
+            .iter()
+            .filter(|p| p.direction == continuum_dag::Direction::In)
+            .map(|p| p.data)
+            .collect();
+        let inouts: Vec<DataId> = spec
+            .params()
+            .iter()
+            .filter(|p| p.direction == continuum_dag::Direction::InOut)
+            .map(|p| p.data)
+            .collect();
+        let outs: Vec<DataId> = spec
+            .params()
+            .iter()
+            .filter(|p| p.direction == continuum_dag::Direction::Out)
+            .map(|p| p.data)
+            .collect();
+        if !ins.is_empty() {
+            out.push_str(&format!(" in={}", fmt_list(ins)));
+        }
+        if !inouts.is_empty() {
+            out.push_str(&format!(" inout={}", fmt_list(inouts)));
+        }
+        if !outs.is_empty() {
+            out.push_str(&format!(" out={}", fmt_list(outs)));
+        }
+        let profile = w.profile(node.id());
+        out.push_str(&format!(" dur={}", profile.duration_s()));
+        let c = profile.constraints_ref();
+        if c.required_memory_mb() > 0 {
+            out.push_str(&format!(" mem={}M", c.required_memory_mb()));
+        }
+        if c.required_compute_units() > 1 {
+            out.push_str(&format!(" cores={}", c.required_compute_units()));
+        }
+        if c.required_nodes() > 1 {
+            out.push_str(&format!(" nodes={}", c.required_nodes()));
+        }
+        if c.required_gpus() > 0 {
+            out.push_str(&format!(" gpus={}", c.required_gpus()));
+        }
+        if profile.output_size(0) > 0 {
+            out.push_str(&format!(" out_bytes={}", profile.output_size(0)));
+        }
+        if let Some(g) = spec.group_label() {
+            out.push_str(&format!(" group={}", g.replace(' ', "_")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use continuum_dag::TaskId;
+
+    const PIPELINE: &str = "
+# a small pipeline
+data raw size=40M home=2
+task filter in=raw out=clean dur=12.5 mem=4G out_bytes=20M group=qc
+task impute in=clean out=full dur=60 mem=48G out_bytes=40M
+task merge in=full inout=summary dur=8 cores=2
+task simulate in=summary out=result dur=300 nodes=4
+";
+
+    #[test]
+    fn parses_structure_and_profiles() {
+        let w = parse_wdl(PIPELINE).unwrap();
+        let s = w.stats();
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(w.initial_size(DataId::from_raw(0)), 40_000_000);
+        assert_eq!(w.initial_home(DataId::from_raw(0)), Some(NodeId::from_raw(2)));
+        let filter = w.profile(TaskId::from_raw(0));
+        assert_eq!(filter.duration_s(), 12.5);
+        assert_eq!(filter.constraints_ref().required_memory_mb(), 4_000);
+        assert_eq!(filter.output_size(0), 20_000_000);
+        let merge = w.profile(TaskId::from_raw(2));
+        assert_eq!(merge.constraints_ref().required_compute_units(), 2);
+        let sim = w.profile(TaskId::from_raw(3));
+        assert_eq!(sim.constraints_ref().required_nodes(), 4);
+        assert_eq!(w.graph().node(TaskId::from_raw(0)).unwrap().spec().group_label(), Some("qc"));
+    }
+
+    #[test]
+    fn inout_chains_parse() {
+        let text = "
+task a out=x dur=1
+task b inout=x dur=1
+task c inout=x dur=1
+";
+        let w = parse_wdl(text).unwrap();
+        assert_eq!(w.stats().edges, 2);
+        assert!((w.stats().critical_path_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("task nodur out=x", 1, "dur"),
+            ("data raw size=40M\ndata raw size=1", 2, "already declared"),
+            ("bogus directive", 1, "unknown directive"),
+            ("task t out=x dur=abc", 1, "invalid duration"),
+            ("task t out=x dur=1 wat=1", 1, "unknown task key"),
+            ("data d size=4X", 1, "invalid byte quantity"),
+            ("task t foo", 1, "key=value"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_wdl(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.to_string().contains(needle), "{e} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("17", 1).unwrap(), 17);
+        assert_eq!(parse_bytes("2K", 1).unwrap(), 2_000);
+        assert_eq!(parse_bytes("3M", 1).unwrap(), 3_000_000);
+        assert_eq!(parse_bytes("4G", 1).unwrap(), 4_000_000_000);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let w = parse_wdl(PIPELINE).unwrap();
+        let text = to_wdl(&w);
+        let w2 = parse_wdl(&text).unwrap();
+        assert_eq!(w.stats(), w2.stats());
+        for t in 0..w.stats().tasks {
+            let id = TaskId::from_raw(t as u64);
+            assert_eq!(w.profile(id), w2.profile(id), "task {t} profile");
+            assert_eq!(
+                w.graph().predecessors(id),
+                w2.graph().predecessors(id),
+                "task {t} deps"
+            );
+        }
+        // Initial data metadata survives.
+        assert_eq!(w2.initial_size(DataId::from_raw(0)), 40_000_000);
+        assert_eq!(w2.initial_home(DataId::from_raw(0)), Some(NodeId::from_raw(2)));
+    }
+
+    #[test]
+    fn generated_workloads_round_trip() {
+        let w = crate::GwasWorkload::new().chromosomes(2).chunks_per_chromosome(3).build();
+        let w2 = parse_wdl(&to_wdl(&w)).unwrap();
+        assert_eq!(w.stats(), w2.stats());
+    }
+}

@@ -1,0 +1,68 @@
+//! A GUIDANCE-like GWAS campaign on a simulated 100-node cluster.
+//!
+//! Reproduces the §VI-A scenario: thousands of tasks with *variable
+//! memory* requirements, scheduled with per-task constraints and full
+//! dataflow asynchrony on a MareNostrum-like machine, and compared
+//! against the static worst-case-sizing baseline.
+//!
+//! ```text
+//! cargo run --release --example gwas_campaign
+//! ```
+
+use continuum::platform::{NodeSpec, PlatformBuilder};
+use continuum::runtime::{LocalityScheduler, SimOptions, SimRuntime};
+use continuum::sim::FaultPlan;
+use continuum::workflows::GwasWorkload;
+
+fn main() {
+    let platform = PlatformBuilder::new()
+        .cluster("marenostrum", 100, NodeSpec::hpc(48, 96_000))
+        .build();
+    println!(
+        "platform: {} nodes / {} cores",
+        platform.num_nodes(),
+        platform.total_cores()
+    );
+
+    let campaign = GwasWorkload::new()
+        .chromosomes(22)
+        .chunks_per_chromosome(24)
+        .memory_mb(8_000, 48_000)
+        .heavy_fraction(0.15)
+        .seed(7);
+    let workload = campaign.build();
+    let stats = workload.stats();
+    println!(
+        "campaign: {} tasks, {} dependency edges, sequential time {:.1} h, \
+         inherent parallelism {:.0}",
+        stats.tasks,
+        stats.edges,
+        stats.total_duration_s / 3600.0,
+        stats.average_parallelism
+    );
+
+    let runtime = SimRuntime::new(platform.clone(), SimOptions::default());
+    let report = runtime
+        .run(&workload, &mut LocalityScheduler::new(), &FaultPlan::new())
+        .expect("campaign completes");
+    println!("\n— per-task memory constraints + asynchronous dataflow —\n{report}");
+
+    // The baseline the paper's 50% claim is measured against: size
+    // every task for the worst case and run level by level.
+    let baseline_workload = campaign.clone().worst_case_memory(true).build();
+    let baseline = SimRuntime::new(
+        platform,
+        SimOptions {
+            barrier_levels: true,
+            ..SimOptions::default()
+        },
+    )
+    .run(&baseline_workload, &mut LocalityScheduler::new(), &FaultPlan::new())
+    .expect("baseline completes");
+    println!("\n— worst-case sizing + stage barriers (static baseline) —\n{baseline}");
+
+    println!(
+        "\nreduction from constraints + asynchrony: {:.0}% (paper reports ~50%)",
+        (1.0 - report.makespan_s / baseline.makespan_s) * 100.0
+    );
+}

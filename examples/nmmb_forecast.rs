@@ -1,0 +1,56 @@
+//! An NMMB-Monarch-like weather forecast: the paper's Fig. 1 inference
+//! cycle in one DAG — data preparation (HDA), a rigid multi-node MPI
+//! simulation (HPC) and post-processing analytics, repeated per
+//! simulated day with restart-file dependencies.
+//!
+//! ```text
+//! cargo run --release --example nmmb_forecast
+//! ```
+
+use continuum::platform::{NodeSpec, PlatformBuilder};
+use continuum::runtime::{FifoScheduler, SimOptions, SimRuntime};
+use continuum::sim::FaultPlan;
+use continuum::workflows::NmmbWorkload;
+
+fn main() {
+    let platform = PlatformBuilder::new()
+        .cluster("mn4", 6, NodeSpec::hpc(48, 96_000))
+        .build();
+    let mut last_trace = None;
+
+    for (label, parallel) in [
+        ("original driver (sequential init scripts)", false),
+        ("PyCOMPSs-style port (parallel init scripts)", true),
+    ] {
+        let workload = NmmbWorkload::new()
+            .days(5)
+            .init_scripts(12)
+            .init_script_s(90.0)
+            .mpi_s(1_800.0)
+            .mpi_nodes(4)
+            .parallel_init(parallel)
+            .build();
+        let stats = workload.stats();
+        let (report, trace) = SimRuntime::new(platform.clone(), SimOptions::default())
+            .run_traced(&workload, &mut FifoScheduler::new(), &FaultPlan::new())
+            .expect("forecast completes");
+        last_trace = Some(trace);
+        println!(
+            "{label}\n  tasks {}, critical path {:.0} s, makespan {:.0} s \
+             ({:.2} h), mean utilisation {:.0}%\n",
+            stats.tasks,
+            stats.critical_path_s,
+            report.makespan_s,
+            report.makespan_s / 3600.0,
+            report.mean_utilisation() * 100.0
+        );
+    }
+    println!(
+        "the PyCOMPSs port overlaps the twelve 90 s init scripts that the original \
+         driver runs back-to-back, shortening every simulated day (paper §VI-A)"
+    );
+    if let Some(trace) = last_trace {
+        println!("\nexecution gantt of the parallel-init run (# = busy):");
+        print!("{}", trace.gantt(6, 72));
+    }
+}
