@@ -232,7 +232,11 @@ fn agent_loop(
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Shutdown => break,
-            Msg::StartApplication { app, mut policy, reply } => {
+            Msg::StartApplication {
+                app,
+                mut policy,
+                reply,
+            } => {
                 // The agent becomes the application's orchestrator
                 // (fog-to-fog / cloud-to-fog, paper Fig. 6). The run is
                 // handled on a separate thread so the agent can keep
@@ -249,7 +253,13 @@ fn agent_loop(
                     .name(format!("agent-{id}-orchestrator"))
                     .spawn(move || {
                         let result = match network.upgrade() {
-                            Some(inner) => run_application(&inner, &app, policy.as_mut(), 10),
+                            Some(inner) => run_application(
+                                &inner,
+                                &app,
+                                policy.as_mut(),
+                                10,
+                                &continuum_telemetry::RecorderHandle::noop(),
+                            ),
                             None => Err(crate::error::AgentError::NoAgentAvailable {
                                 op: app.name().to_string(),
                             }),
@@ -367,7 +377,14 @@ mod tests {
         let st = store();
         st.put("in".into(), StoredValue::blob(vec![1, 2, 3]), None)
             .unwrap();
-        let agent = Agent::spawn(AgentId(0), "fog-0".into(), DeviceClass::Fog, ops, Arc::clone(&st), std::sync::Weak::new());
+        let agent = Agent::spawn(
+            AgentId(0),
+            "fog-0".into(),
+            DeviceClass::Fog,
+            ops,
+            Arc::clone(&st),
+            std::sync::Weak::new(),
+        );
         let reply = exec(&agent, "double", vec!["in".into()], "out".into());
         assert_eq!(reply, ExecReply::Done);
         assert_eq!(&st.get(&"out".into()).unwrap().payload[..], &[2, 4, 6]);
@@ -379,7 +396,14 @@ mod tests {
         let ops = OpRegistry::new();
         ops.register("nop", |_| Bytes::new());
         let st = store();
-        let agent = Agent::spawn(AgentId(0), "fog-0".into(), DeviceClass::Fog, ops, Arc::clone(&st), std::sync::Weak::new());
+        let agent = Agent::spawn(
+            AgentId(0),
+            "fog-0".into(),
+            DeviceClass::Fog,
+            ops,
+            Arc::clone(&st),
+            std::sync::Weak::new(),
+        );
         agent.kill();
         assert_eq!(agent.status(), AgentStatus::Dead);
         let reply = exec(&agent, "nop", vec![], "out".into());
@@ -395,7 +419,14 @@ mod tests {
         let ops = OpRegistry::new();
         ops.register("use", |ins| ins[0].clone());
         let st = store();
-        let agent = Agent::spawn(AgentId(0), "a".into(), DeviceClass::CloudVm, ops, st, std::sync::Weak::new());
+        let agent = Agent::spawn(
+            AgentId(0),
+            "a".into(),
+            DeviceClass::CloudVm,
+            ops,
+            st,
+            std::sync::Weak::new(),
+        );
         assert!(matches!(
             exec(&agent, "ghost", vec![], "o".into()),
             ExecReply::Failed(_)
@@ -409,7 +440,14 @@ mod tests {
     #[test]
     fn probe_returns_info() {
         let ops = OpRegistry::new();
-        let agent = Agent::spawn(AgentId(3), "edge-3".into(), DeviceClass::Edge, ops, store(), std::sync::Weak::new());
+        let agent = Agent::spawn(
+            AgentId(3),
+            "edge-3".into(),
+            DeviceClass::Edge,
+            ops,
+            store(),
+            std::sync::Weak::new(),
+        );
         let (tx, rx) = unbounded();
         agent.sender().send(Msg::Probe { reply: tx }).unwrap();
         let info = rx.recv().unwrap();
@@ -423,7 +461,14 @@ mod tests {
     #[test]
     fn drop_shuts_agent_down() {
         let ops = OpRegistry::new();
-        let agent = Agent::spawn(AgentId(0), "a".into(), DeviceClass::Fog, ops, store(), std::sync::Weak::new());
+        let agent = Agent::spawn(
+            AgentId(0),
+            "a".into(),
+            DeviceClass::Fog,
+            ops,
+            store(),
+            std::sync::Weak::new(),
+        );
         drop(agent); // must join without hanging
     }
 }

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(AgentError::UnknownAgent("a1".into()).to_string().contains("`a1`"));
+        assert!(AgentError::UnknownAgent("a1".into())
+            .to_string()
+            .contains("`a1`"));
         assert!(AgentError::NoAgentAvailable { op: "f".into() }
             .to_string()
             .contains("`f`"));

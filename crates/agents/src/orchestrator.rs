@@ -7,6 +7,7 @@ use crate::network::{AgentNetwork, NetworkInner};
 use crate::offload::OffloadPolicy;
 use continuum_platform::DeviceClass;
 use continuum_storage::ObjectKey;
+use continuum_telemetry::{CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track};
 use crossbeam::channel::{unbounded, Receiver};
 use std::collections::{HashMap, HashSet};
 
@@ -116,6 +117,7 @@ pub struct AppReport {
 pub struct Orchestrator<'n> {
     network: &'n AgentNetwork,
     max_attempts: usize,
+    telemetry: RecorderHandle,
 }
 
 impl<'n> Orchestrator<'n> {
@@ -125,12 +127,21 @@ impl<'n> Orchestrator<'n> {
         Orchestrator {
             network,
             max_attempts: 10,
+            telemetry: RecorderHandle::noop(),
         }
     }
 
     /// Sets the per-task attempt budget.
     pub fn max_attempts(mut self, attempts: usize) -> Self {
         self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Plugs in a telemetry sink: per-task submit/reply spans on the
+    /// executing agent's track, stamped with wall-clock microseconds
+    /// since the run started.
+    pub fn telemetry(mut self, telemetry: RecorderHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -152,7 +163,13 @@ impl<'n> Orchestrator<'n> {
         app: &Application,
         policy: &mut dyn OffloadPolicy,
     ) -> Result<AppReport, AgentError> {
-        run_application(self.network.inner(), app, policy, self.max_attempts)
+        run_application(
+            self.network.inner(),
+            app,
+            policy,
+            self.max_attempts,
+            &self.telemetry,
+        )
     }
 }
 
@@ -169,8 +186,11 @@ pub(crate) fn run_application(
     app: &Application,
     policy: &mut dyn OffloadPolicy,
     max_attempts: usize,
+    telemetry: &RecorderHandle,
 ) -> Result<AppReport, AgentError> {
     validate(network, app)?;
+    let origin = std::time::Instant::now();
+    let now_us = || origin.elapsed().as_micros() as u64;
     let total = app.tasks().len();
     let mut done: HashSet<usize> = HashSet::new();
     let mut attempts: Vec<usize> = vec![0; total];
@@ -179,7 +199,7 @@ pub(crate) fn run_application(
 
     while done.len() < total {
         // A wave: submit every task whose inputs are in the store.
-        let mut in_flight: Vec<(usize, AgentId, Receiver<ExecReply>)> = Vec::new();
+        let mut in_flight: Vec<(usize, AgentId, u64, Receiver<ExecReply>)> = Vec::new();
         for (idx, task) in app.tasks().iter().enumerate() {
             if done.contains(&idx) {
                 continue;
@@ -190,7 +210,9 @@ pub(crate) fn run_application(
             }
             let infos = network.infos();
             let Some(agent) = policy.choose(task, &infos) else {
-                return Err(AgentError::NoAgentAvailable { op: task.op.clone() });
+                return Err(AgentError::NoAgentAvailable {
+                    op: task.op.clone(),
+                });
             };
             attempts[idx] += 1;
             if attempts[idx] > max_attempts {
@@ -210,7 +232,23 @@ pub(crate) fn run_application(
                     reply: tx,
                 })
                 .map_err(|_| AgentError::UnknownAgent(agent.to_string()))?;
-            in_flight.push((idx, agent, rx));
+            let sent_us = now_us();
+            if telemetry.enabled() {
+                telemetry.record(TelemetryEvent::Instant {
+                    track: Track::Agent(agent.index() as u32),
+                    name: task.op.clone(),
+                    phase: TaskPhase::Submitted,
+                    at_us: sent_us,
+                });
+            }
+            in_flight.push((idx, agent, sent_us, rx));
+        }
+        if telemetry.enabled() {
+            telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::RunningTasks,
+                at_us: now_us(),
+                value: in_flight.len() as f64,
+            });
         }
         if in_flight.is_empty() {
             return Err(AgentError::InvalidApplication(format!(
@@ -218,8 +256,32 @@ pub(crate) fn run_application(
                 total - done.len()
             )));
         }
-        for (idx, agent, rx) in in_flight {
-            match rx.recv() {
+        for (idx, agent, sent_us, rx) in in_flight {
+            let reply = rx.recv();
+            let outcome = match &reply {
+                Ok(ExecReply::Done) => TaskPhase::Committed,
+                Ok(ExecReply::Lost) | Err(_) => TaskPhase::Replayed,
+                Ok(ExecReply::Failed(_)) => TaskPhase::Failed,
+            };
+            if telemetry.enabled() {
+                let op = app.tasks()[idx].op.clone();
+                let track = Track::Agent(agent.index() as u32);
+                let end_us = now_us();
+                telemetry.record(TelemetryEvent::Span {
+                    track,
+                    name: op.clone(),
+                    phase: TaskPhase::Executing,
+                    start_us: sent_us,
+                    dur_us: end_us.saturating_sub(sent_us),
+                });
+                telemetry.record(TelemetryEvent::Instant {
+                    track,
+                    name: op,
+                    phase: outcome,
+                    at_us: end_us,
+                });
+            }
+            match reply {
                 Ok(ExecReply::Done) => {
                     done.insert(idx);
                     *per_agent.entry(agent).or_insert(0) += 1;
@@ -279,7 +341,13 @@ mod tests {
         let ops = OpRegistry::new();
         ops.register("sense", |_| Bytes::from(vec![1u8; 100]));
         ops.register("filter", |ins| {
-            Bytes::from(ins[0].iter().filter(|b| **b > 0).copied().collect::<Vec<u8>>())
+            Bytes::from(
+                ins[0]
+                    .iter()
+                    .filter(|b| **b > 0)
+                    .copied()
+                    .collect::<Vec<u8>>(),
+            )
         });
         ops.register("aggregate", |ins| {
             let sum: u64 = ins.iter().flat_map(|b| b.iter()).map(|b| *b as u64).sum();
@@ -324,6 +392,62 @@ mod tests {
         let result = net.store().get(&"result".into()).unwrap();
         let sum = u64::from_le_bytes(result.payload[..8].try_into().unwrap());
         assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn telemetry_captures_message_bus_events() {
+        use continuum_telemetry::TraceBuffer;
+        let net = network(2, 1);
+        let (buffer, handle) = TraceBuffer::collector();
+        Orchestrator::new(&net)
+            .telemetry(handle)
+            .run(&pipeline(), &mut RoundRobinOffload::new())
+            .unwrap();
+        let events = buffer.events();
+        let submits = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::Instant {
+                        phase: TaskPhase::Submitted,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let commits = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::Instant {
+                        phase: TaskPhase::Committed,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::Span { .. }))
+            .count();
+        assert_eq!(submits, 3, "one submit marker per task");
+        assert_eq!(commits, 3, "every task commits");
+        assert_eq!(spans, 3, "one executing span per dispatch");
+        assert!(
+            events.iter().all(|e| !matches!(
+                e,
+                TelemetryEvent::Span {
+                    track: Track::Node(_) | Track::Worker(_),
+                    ..
+                } | TelemetryEvent::Instant {
+                    track: Track::Node(_) | Track::Worker(_),
+                    ..
+                }
+            )),
+            "agent runs only touch agent tracks"
+        );
     }
 
     #[test]
@@ -414,7 +538,9 @@ mod tests {
             .start_application(AgentId(0), pipeline(), Box::new(RoundRobinOffload::new()))
             .unwrap_err();
         assert!(matches!(err, AgentError::NoAgentAvailable { .. }), "{err}");
-        assert!(net.start_application(AgentId(9), pipeline(), Box::new(RoundRobinOffload::new())).is_err());
+        assert!(net
+            .start_application(AgentId(9), pipeline(), Box::new(RoundRobinOffload::new()))
+            .is_err());
     }
 
     #[test]
@@ -423,8 +549,11 @@ mod tests {
         net.store()
             .put("raw".into(), StoredValue::blob(vec![3u8; 10]), None)
             .unwrap();
-        let app = Application::new("from-store")
-            .task(AppTask::new("filter", vec!["raw".into()], "clean"));
+        let app = Application::new("from-store").task(AppTask::new(
+            "filter",
+            vec!["raw".into()],
+            "clean",
+        ));
         let report = Orchestrator::new(&net)
             .run(&app, &mut RoundRobinOffload::new())
             .unwrap();

@@ -24,7 +24,10 @@ impl ContinuumPolicy {
     fn allows(self, class: DeviceClass) -> bool {
         match self {
             ContinuumPolicy::FogOnly => {
-                matches!(class, DeviceClass::Fog | DeviceClass::Edge | DeviceClass::Sensor)
+                matches!(
+                    class,
+                    DeviceClass::Fog | DeviceClass::Edge | DeviceClass::Sensor
+                )
             }
             ContinuumPolicy::CloudOnly => {
                 matches!(class, DeviceClass::CloudVm | DeviceClass::Hpc)
@@ -99,11 +102,7 @@ impl Scheduler for ContinuumScheduler {
                         let slots = (st.total_capacity().cores() / cu).max(1);
                         let waves = (queue / slots) as f64;
                         let transfer = view.estimated_transfer_seconds(task, node);
-                        let zone = view
-                            .platform()
-                            .node(node)
-                            .expect("node in platform")
-                            .zone();
+                        let zone = view.platform().node(node).expect("node in platform").zone();
                         let backlog = if transfer > 0.0 {
                             // In-flight occupancy of the uplink plus
                             // what this round already committed to it.

@@ -25,7 +25,8 @@ fn bench_access_processor(c: &mut Criterion) {
                 let d = ap.new_data("x");
                 ap.register(TaskSpec::new("t0").output(d)).unwrap();
                 for i in 1..n {
-                    ap.register(TaskSpec::new(format!("t{i}")).inout(d)).unwrap();
+                    ap.register(TaskSpec::new(format!("t{i}")).inout(d))
+                        .unwrap();
                 }
                 black_box(ap.graph().len())
             })
@@ -81,7 +82,11 @@ fn bench_kv_store(c: &mut Criterion) {
     .unwrap();
     for i in 0..1024 {
         store
-            .put(format!("k{i}").into(), StoredValue::blob(vec![0u8; 256]), None)
+            .put(
+                format!("k{i}").into(),
+                StoredValue::blob(vec![0u8; 256]),
+                None,
+            )
             .unwrap();
     }
     c.bench_function("kv/put_256B", |b| {
@@ -190,6 +195,61 @@ fn bench_local_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the task submission/execution path: the same
+/// trivial-task workload with the default no-op recorder, a collecting
+/// recorder, and disabled telemetry on the simulated engine. The no-op
+/// case must track the uninstrumented baseline above (< 2% target: a
+/// single virtual `enabled()` call per instrumentation site).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use continuum_runtime::TraceBuffer;
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    let run_local = |config: LocalConfig| {
+        let rt = LocalRuntime::new(config);
+        let outs = rt.data_batch::<u64>("o", 1000);
+        for (i, o) in outs.iter().enumerate() {
+            rt.submit(
+                TaskSpec::new("w").output(o.id()),
+                continuum_platform::Constraints::new(),
+                move |ctx| ctx.set_output(0, i as u64),
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        rt.completed_count()
+    };
+    group.bench_function("local_1000_tasks_noop_recorder", |b| {
+        b.iter(|| black_box(run_local(LocalConfig::with_workers(4))))
+    });
+    group.bench_function("local_1000_tasks_trace_buffer", |b| {
+        b.iter(|| {
+            let (buffer, telemetry) = TraceBuffer::collector();
+            let done = run_local(LocalConfig {
+                workers: 4,
+                telemetry,
+                ..LocalConfig::default()
+            });
+            black_box((done, buffer.len()))
+        })
+    });
+    group.bench_function("sim_gwas_noop_recorder", |b| {
+        let workload = GwasWorkload::new()
+            .chromosomes(2)
+            .chunks_per_chromosome(8)
+            .build();
+        let platform = PlatformBuilder::new()
+            .cluster("c", 8, NodeSpec::hpc(48, 96_000))
+            .build();
+        b.iter(|| {
+            let report = SimRuntime::new(platform.clone(), SimOptions::default())
+                .run(&workload, &mut LocalityScheduler::new(), &FaultPlan::new())
+                .unwrap();
+            black_box(report.tasks_completed)
+        })
+    });
+    group.finish();
+}
+
 /// dislib kernels: blocked matmul, Gram partials and dense solve.
 fn bench_dislib_kernels(c: &mut Criterion) {
     let a = Matrix::from_vec(128, 128, (0..128 * 128).map(|i| i as f64 * 1e-4).collect());
@@ -205,7 +265,15 @@ fn bench_dislib_kernels(c: &mut Criterion) {
         let mut m = Matrix::zeros(32, 32);
         for i in 0..32 {
             for j in 0..32 {
-                m.set(i, j, if i == j { 10.0 } else { 1.0 / (1.0 + (i + j) as f64) });
+                m.set(
+                    i,
+                    j,
+                    if i == j {
+                        10.0
+                    } else {
+                        1.0 / (1.0 + (i + j) as f64)
+                    },
+                );
             }
         }
         let rhs = Matrix::from_vec(32, 1, (0..32).map(|i| i as f64).collect());
@@ -221,6 +289,7 @@ criterion_group!(
     bench_event_queue,
     bench_sim_engine,
     bench_local_runtime,
+    bench_telemetry_overhead,
     bench_dislib_kernels
 );
 criterion_main!(benches);

@@ -38,7 +38,11 @@ pub fn run(scale: Scale) -> ExperimentTable {
         ("PyCOMPSs port (parallel init scripts)", true),
     ] {
         let report = SimRuntime::new(platform.clone(), SimOptions::default())
-            .run(&forecast(scale, parallel), &mut FifoScheduler::new(), &FaultPlan::new())
+            .run(
+                &forecast(scale, parallel),
+                &mut FifoScheduler::new(),
+                &FaultPlan::new(),
+            )
             .expect("forecast completes");
         results.push((name, report.makespan_s));
     }

@@ -14,11 +14,7 @@ use continuum_storage::{KvConfig, KvStore, StorageRuntime, StoredValue};
 /// Builds a map-reduce workload whose inputs are partitions of a
 /// replicated KV store (Hecuba-style): partition homes come from the
 /// store's `locations` — the real SRI call.
-fn partitioned_workload(
-    store: &KvStore,
-    partitions: usize,
-    bytes: u64,
-) -> (SimWorkload, usize) {
+fn partitioned_workload(store: &KvStore, partitions: usize, bytes: u64) -> (SimWorkload, usize) {
     let mut w = SimWorkload::new();
     let mut outs = Vec::with_capacity(partitions);
     for i in 0..partitions {
@@ -63,7 +59,13 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "e4",
         "getLocations-driven placement avoids transfers (Hecuba/SRI, §VI-A1)",
-        &["scheduler", "makespan_s", "transfers", "moved_gb", "locality"],
+        &[
+            "scheduler",
+            "makespan_s",
+            "transfers",
+            "moved_gb",
+            "locality",
+        ],
     );
     let mut blind = FifoScheduler::new();
     let mut aware = LocalityScheduler::new();
@@ -117,7 +119,10 @@ mod tests {
             strict_gb < blind_gb / 20.0,
             "data gravity must nearly eliminate movement: {strict_gb} vs {blind_gb}"
         );
-        assert!(aware_makespan <= blind_makespan, "balanced mode never slower");
+        assert!(
+            aware_makespan <= blind_makespan,
+            "balanced mode never slower"
+        );
         assert!(
             strict_makespan <= blind_makespan * 2.0,
             "data gravity pays bounded makespan: {strict_makespan} vs {blind_makespan}"
@@ -126,6 +131,9 @@ mod tests {
         // remote nodes, so perfect locality is impossible; the map
         // stage itself should be almost fully local.
         let locality = t.cell_f64(1, 4);
-        assert!(locality > 45.0, "map reads should be local, got {locality}%");
+        assert!(
+            locality > 45.0,
+            "map reads should be local, got {locality}%"
+        );
     }
 }

@@ -18,11 +18,17 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "e5",
         "executing methods inside the store minimises transfers (dataClay, §VI-A1)",
-        &["object_mb", "objects", "passive_moved_mb", "active_moved_mb", "saving"],
+        &[
+            "object_mb",
+            "objects",
+            "passive_moved_mb",
+            "active_moved_mb",
+            "saving",
+        ],
     );
     for &mb in &sizes_mb {
-        let store = ActiveStore::new((0..4).map(NodeId::from_raw).collect(), 2)
-            .expect("valid store");
+        let store =
+            ActiveStore::new((0..4).map(NodeId::from_raw).collect(), 2).expect("valid store");
         store.register_class(ClassDef::new("TimeSeries").method("mean", |payload, _| {
             let sum: u64 = payload.iter().map(|b| *b as u64).sum();
             let mean = sum as f64 / payload.len().max(1) as f64;

@@ -79,16 +79,21 @@ pub fn run(scale: Scale) -> ExperimentTable {
         ];
         for (name, opts) in configs {
             let mut sched = ContinuumScheduler::new(ContinuumPolicy::FogOnly);
-            let row = match SimRuntime::new(fog_platform(), opts).run(&workload, &mut sched, &faults)
-            {
-                Ok(report) => [
-                    format!("{mtbf:.0}"),
-                    name.to_string(),
-                    fmt_s(report.makespan_s),
-                    report.tasks_reexecuted.to_string(),
-                ],
-                Err(e) => [format!("{mtbf:.0}"), name.to_string(), "stuck".into(), e.to_string()],
-            };
+            let row =
+                match SimRuntime::new(fog_platform(), opts).run(&workload, &mut sched, &faults) {
+                    Ok(report) => [
+                        format!("{mtbf:.0}"),
+                        name.to_string(),
+                        fmt_s(report.makespan_s),
+                        report.tasks_reexecuted.to_string(),
+                    ],
+                    Err(e) => [
+                        format!("{mtbf:.0}"),
+                        name.to_string(),
+                        "stuck".into(),
+                        e.to_string(),
+                    ],
+                };
             table.row(row);
         }
     }

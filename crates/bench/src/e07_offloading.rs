@@ -90,8 +90,14 @@ mod tests {
         let fast_adaptive: f64 = t.rows[5][2].parse().unwrap();
         assert!(slow_fog < slow_cloud, "slow uplink: fog must win");
         assert!(fast_cloud < fast_fog, "fast uplink: cloud must win");
-        assert!(slow_adaptive <= slow_fog * 1.1 + 1.0, "adaptive tracks fog side");
-        assert!(fast_adaptive <= fast_cloud * 1.1 + 1.0, "adaptive tracks cloud side");
+        assert!(
+            slow_adaptive <= slow_fog * 1.1 + 1.0,
+            "adaptive tracks fog side"
+        );
+        assert!(
+            fast_adaptive <= fast_cloud * 1.1 + 1.0,
+            "adaptive tracks cloud side"
+        );
         // Fog-only never ships inputs.
         assert_eq!(t.rows[0][3], "0.00");
     }

@@ -2,11 +2,11 @@
 //! in clouds, federated clouds and in SLURM managed clusters."
 
 use crate::table::{fmt_s, ExperimentTable, Scale};
+use continuum_dag::TaskSpec;
 use continuum_platform::{ElasticityPolicy, NodeSpec, PlatformBuilder};
 use continuum_runtime::{ElasticConfig, FifoScheduler, SimOptions, SimRuntime};
-use continuum_sim::FaultPlan;
-use continuum_dag::TaskSpec;
 use continuum_runtime::{SimWorkload, TaskProfile};
+use continuum_sim::FaultPlan;
 
 /// A phased campaign: a wide burst of independent tasks followed (in
 /// wall-clock terms) by a long sequential analysis chain that keeps
@@ -52,7 +52,11 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let r = SimRuntime::new(small, SimOptions::default())
         .run(&workload, &mut FifoScheduler::new(), &FaultPlan::new())
         .expect("completes");
-    table.row(["fixed 2 nodes".into(), fmt_s(r.makespan_s), format!("{:.3}", r.node_hours)]);
+    table.row([
+        "fixed 2 nodes".into(),
+        fmt_s(r.makespan_s),
+        format!("{:.3}", r.node_hours),
+    ]);
 
     // Fixed large.
     let large = PlatformBuilder::new()
@@ -61,7 +65,11 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let r = SimRuntime::new(large, SimOptions::default())
         .run(&workload, &mut FifoScheduler::new(), &FaultPlan::new())
         .expect("completes");
-    table.row(["fixed 16 nodes".into(), fmt_s(r.makespan_s), format!("{:.3}", r.node_hours)]);
+    table.row([
+        "fixed 16 nodes".into(),
+        fmt_s(r.makespan_s),
+        format!("{:.3}", r.node_hours),
+    ]);
 
     // Elastic 2 → 16.
     let elastic_platform = PlatformBuilder::new()
@@ -84,7 +92,11 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let r = SimRuntime::new(elastic_platform, opts)
         .run(&workload, &mut FifoScheduler::new(), &FaultPlan::new())
         .expect("completes");
-    table.row(["elastic 2..16 nodes".into(), fmt_s(r.makespan_s), format!("{:.3}", r.node_hours)]);
+    table.row([
+        "elastic 2..16 nodes".into(),
+        fmt_s(r.makespan_s),
+        format!("{:.3}", r.node_hours),
+    ]);
 
     let large_hours: f64 = table.rows[1][2].parse().unwrap();
     let elastic_hours: f64 = table.rows[2][2].parse().unwrap();
@@ -123,6 +135,9 @@ mod tests {
             "the elastic pool must shrink during the sequential tail and bill \
              clearly less: {elastic_hours} vs {large_hours}"
         );
-        assert!(large_makespan <= elastic_makespan, "big static is the speed bound");
+        assert!(
+            large_makespan <= elastic_makespan,
+            "big static is the speed bound"
+        );
     }
 }

@@ -12,13 +12,29 @@ fn chain(storage_price: f64) -> LineageChain {
     LineageChain::new(
         vec![
             // A curation stage: cheap to store, hot.
-            Stage { compute_s: 300.0, size_mb: 50.0, accesses: 20 },
+            Stage {
+                compute_s: 300.0,
+                size_mb: 50.0,
+                accesses: 20,
+            },
             // A huge intermediate: rarely touched.
-            Stage { compute_s: 60.0, size_mb: 20_000.0, accesses: 1 },
+            Stage {
+                compute_s: 60.0,
+                size_mb: 20_000.0,
+                accesses: 1,
+            },
             // An expensive simulation output.
-            Stage { compute_s: 3_600.0, size_mb: 2_000.0, accesses: 4 },
+            Stage {
+                compute_s: 3_600.0,
+                size_mb: 2_000.0,
+                accesses: 4,
+            },
             // A small analysis product, very hot.
-            Stage { compute_s: 120.0, size_mb: 10.0, accesses: 50 },
+            Stage {
+                compute_s: 120.0,
+                size_mb: 10.0,
+                accesses: 50,
+            },
         ],
         storage_price,
         1.0, // one currency unit per compute-second
@@ -34,7 +50,13 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "e9",
         "store-vs-recompute trade-off: hybrid policy dominates both extremes (§VI-C)",
-        &["storage_price", "store_all", "recompute_all", "cost_based", "stored_stages"],
+        &[
+            "storage_price",
+            "store_all",
+            "recompute_all",
+            "cost_based",
+            "stored_stages",
+        ],
     );
     for &p in &prices {
         let c = chain(p);

@@ -98,7 +98,11 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let mut heft_oracle =
         HeftScheduler::plan(&workload, &platform, |t| workload.profile(t).duration_s());
     run_one("static HEFT (oracle durations)", &mut heft_oracle, false);
-    run_one("stage barriers + fifo (batch engine)", &mut FifoScheduler::new(), true);
+    run_one(
+        "stage barriers + fifo (batch engine)",
+        &mut FifoScheduler::new(),
+        true,
+    );
     run_one("dynamic fifo", &mut FifoScheduler::new(), false);
     run_one("dynamic locality", &mut LocalityScheduler::new(), false);
     // The COMPSs-style intelligent runtime: same pre-run estimates as

@@ -23,8 +23,11 @@ use std::time::Instant;
 fn kmeans_dag(iters: usize, blocks: usize, partial_s: f64) -> SimWorkload {
     let mut w = SimWorkload::new();
     let mut centroids = w.data("centroids0");
-    w.task(TaskSpec::new("init").output(centroids), TaskProfile::new(0.1))
-        .expect("valid task");
+    w.task(
+        TaskSpec::new("init").output(centroids),
+        TaskProfile::new(0.1),
+    )
+    .expect("valid task");
     for it in 0..iters {
         let parts = w.data_batch(&format!("part{it}_"), blocks);
         for p in &parts {
@@ -49,8 +52,10 @@ fn kmeans_dag(iters: usize, blocks: usize, partial_s: f64) -> SimWorkload {
 /// by the host's physical cores) plus the same task graph on simulated
 /// workers (the paper-scale shape).
 pub fn run(scale: Scale) -> ExperimentTable {
-    let (samples, dims, k, workers): (usize, usize, usize, Vec<usize>) =
-        scale.pick((20_000, 8, 8, vec![1, 2, 4]), (200_000, 16, 16, vec![1, 2, 4, 8]));
+    let (samples, dims, k, workers): (usize, usize, usize, Vec<usize>) = scale.pick(
+        (20_000, 8, 8, vec![1, 2, 4]),
+        (200_000, 16, 16, vec![1, 2, 4, 8]),
+    );
     let mut table = ExperimentTable::new(
         "e12",
         "dislib: fit/predict ML parallelised over the task runtime (§VI-C)",
@@ -127,6 +132,9 @@ mod tests {
         let sim1 = t.cell_f64(3, 3);
         let sim8 = t.cell_f64(6, 3);
         assert_eq!(sim1, 1.0);
-        assert!(sim8 > 5.0, "8 simulated workers should give >5x, got {sim8}");
+        assert!(
+            sim8 > 5.0,
+            "8 simulated workers should give >5x, got {sim8}"
+        );
     }
 }

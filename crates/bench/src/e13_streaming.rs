@@ -23,7 +23,11 @@ fn platform() -> Platform {
     // (the open-loop arrival source), two small fog devices and one
     // 2-core cloud VM — the stream must fit their service capacity.
     PlatformBuilder::new()
-        .edge_field("sensor", 1, NodeSpec::sensor().with_software(["edge-source"]))
+        .edge_field(
+            "sensor",
+            1,
+            NodeSpec::sensor().with_software(["edge-source"]),
+        )
         .fog_area("field", 2, NodeSpec::fog(2, 4_000))
         .cloud("dc", 1, NodeSpec::cloud_vm(2, 16_000).with_speed(4.0))
         .link_zones(0, 1, LinkSpec::new(60.0, 0.005))
@@ -52,7 +56,9 @@ fn batch_latencies(trace: &ExecutionTrace, batches: usize, stages: usize) -> Vec
             done[batch] = done[batch].max(r.end_s);
         }
     }
-    (0..batches).map(|b| (done[b] - arrival[b]).max(0.0)).collect()
+    (0..batches)
+        .map(|b| (done[b] - arrival[b]).max(0.0))
+        .collect()
 }
 
 /// Sweeps the arrival interval and reports latency statistics.
@@ -65,7 +71,12 @@ pub fn run(scale: Scale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "e13",
         "edge streams need latency-stable pipelines for interactivity (§I/III)",
-        &["interval_s", "mean_latency_s", "p95_latency_s", "last_batch_latency_s"],
+        &[
+            "interval_s",
+            "mean_latency_s",
+            "p95_latency_s",
+            "last_batch_latency_s",
+        ],
     );
     let intervals = scale.pick(vec![0.5, 2.0, 6.0], vec![0.5, 1.0, 2.0, 4.0, 6.0, 10.0]);
     for &interval in &intervals {

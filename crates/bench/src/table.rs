@@ -1,5 +1,6 @@
 //! Table formatting shared by all experiments.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Scale of an experiment run.
@@ -22,7 +23,7 @@ impl Scale {
 }
 
 /// One experiment's output: a titled table plus free-form findings.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentTable {
     /// Experiment id (`e1` …).
     pub id: String,
@@ -70,7 +71,9 @@ impl ExperimentTable {
             .trim_end_matches(['%', 'x', 's'])
             .trim()
             .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+            .unwrap_or_else(|_| {
+                panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+            })
     }
 }
 

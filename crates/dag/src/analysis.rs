@@ -122,16 +122,11 @@ impl<'g> GraphAnalysis<'g> {
         let mut tasks = vec![start];
         let mut cur = start;
         loop {
-            let next = self
-                .graph
-                .successors(cur)
-                .iter()
-                .copied()
-                .max_by(|a, b| {
-                    bl[a.index()]
-                        .partial_cmp(&bl[b.index()])
-                        .expect("weights are finite")
-                });
+            let next = self.graph.successors(cur).iter().copied().max_by(|a, b| {
+                bl[a.index()]
+                    .partial_cmp(&bl[b.index()])
+                    .expect("weights are finite")
+            });
             match next {
                 Some(n) => {
                     tasks.push(n);
@@ -175,7 +170,8 @@ mod tests {
         let x = ap.new_data("x");
         ap.register(TaskSpec::new("t0").output(x)).unwrap();
         for i in 1..n {
-            ap.register(TaskSpec::new(format!("t{i}")).inout(x)).unwrap();
+            ap.register(TaskSpec::new(format!("t{i}")).inout(x))
+                .unwrap();
         }
         ap
     }
@@ -258,8 +254,12 @@ mod tests {
         let h = ap.new_data("h");
         let o = ap.new_data("o");
         let src = ap.register(TaskSpec::new("src").output(s)).unwrap();
-        let _cheap = ap.register(TaskSpec::new("cheap").input(s).output(l)).unwrap();
-        let heavy = ap.register(TaskSpec::new("heavy").input(s).output(h)).unwrap();
+        let _cheap = ap
+            .register(TaskSpec::new("cheap").input(s).output(l))
+            .unwrap();
+        let heavy = ap
+            .register(TaskSpec::new("heavy").input(s).output(h))
+            .unwrap();
         let sink = ap
             .register(TaskSpec::new("sink").input(l).input(h).output(o))
             .unwrap();

@@ -89,7 +89,13 @@ fn state_color(state: TaskState) -> &'static str {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "workflow".to_string()
@@ -110,7 +116,8 @@ mod tests {
         let y = ap.new_data("y");
         ap.register(TaskSpec::new("gen").group("init").output(x))
             .unwrap();
-        ap.register(TaskSpec::new("use").input(x).output(y)).unwrap();
+        ap.register(TaskSpec::new("use").input(x).output(y))
+            .unwrap();
         ap
     }
 
@@ -128,7 +135,9 @@ mod tests {
     #[test]
     fn state_colors_reflect_lifecycle() {
         let mut ap = small_graph();
-        ap.graph_mut().mark_running(crate::TaskId::from_raw(0)).unwrap();
+        ap.graph_mut()
+            .mark_running(crate::TaskId::from_raw(0))
+            .unwrap();
         let dot = DotOptions::default().render(ap.graph());
         assert!(dot.contains("lightblue"));
         assert!(dot.contains("lightgray"));

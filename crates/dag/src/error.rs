@@ -40,10 +40,9 @@ impl fmt::Display for DagError {
             DagError::EmptyTask(name) => {
                 write!(f, "task `{name}` declares no parameter accesses")
             }
-            DagError::ConflictingAccess { task, data } => write!(
-                f,
-                "task `{task}` declares conflicting accesses to {data}"
-            ),
+            DagError::ConflictingAccess { task, data } => {
+                write!(f, "task `{task}` declares conflicting accesses to {data}")
+            }
             DagError::InvalidTransition { task, detail } => {
                 write!(f, "invalid state transition for {task}: {detail}")
             }

@@ -171,7 +171,10 @@ mod tests {
     fn versioned_data_display() {
         let vd = VersionedData::new(DataId::from_raw(2), DataVersion::from_raw(5));
         assert_eq!(vd.to_string(), "d2@v5");
-        assert_eq!(VersionedData::initial(DataId::from_raw(2)).version, DataVersion::INITIAL);
+        assert_eq!(
+            VersionedData::initial(DataId::from_raw(2)).version,
+            DataVersion::INITIAL
+        );
     }
 
     #[test]

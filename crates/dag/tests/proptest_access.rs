@@ -24,13 +24,14 @@ fn direction_strategy() -> impl Strategy<Value = Direction> {
 }
 
 fn trace_strategy(num_data: usize, max_tasks: usize) -> impl Strategy<Value = Vec<TraceOp>> {
-    let op = proptest::collection::vec((0..num_data, direction_strategy()), 1..4)
-        .prop_map(|mut accesses| {
+    let op = proptest::collection::vec((0..num_data, direction_strategy()), 1..4).prop_map(
+        |mut accesses| {
             // Deduplicate data ids so specs are always valid.
             accesses.sort_by_key(|(d, _)| *d);
             accesses.dedup_by_key(|(d, _)| *d);
             TraceOp { accesses }
-        });
+        },
+    );
     proptest::collection::vec(op, 1..max_tasks)
 }
 

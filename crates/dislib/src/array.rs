@@ -246,10 +246,15 @@ mod tests {
         let rt = rt();
         let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
         let dm = DistMatrix::from_matrix(&rt, &m, 1);
-        let sq = dm.map_blocks(&rt, "square", |b| {
-            Matrix::from_vec(b.rows(), b.cols(), b.as_slice().iter().map(|v| v * v).collect())
-        })
-        .unwrap();
+        let sq = dm
+            .map_blocks(&rt, "square", |b| {
+                Matrix::from_vec(
+                    b.rows(),
+                    b.cols(),
+                    b.as_slice().iter().map(|v| v * v).collect(),
+                )
+            })
+            .unwrap();
         let out = sq.collect(&rt).unwrap();
         assert_eq!(out.as_slice(), &[1.0, 4.0, 9.0, 16.0]);
     }

@@ -295,7 +295,11 @@ mod tests {
                 .fold(f64::INFINITY, f64::min);
             assert!(min_d < 2.0, "centroid {c} off by {min_d}");
         }
-        assert!(model.inertia < 60.0, "tight clusters, inertia {}", model.inertia);
+        assert!(
+            model.inertia < 60.0,
+            "tight clusters, inertia {}",
+            model.inertia
+        );
     }
 
     #[test]

@@ -105,11 +105,7 @@ impl KnnModel {
     /// * [`DislibError::ShapeMismatch`] if the query width differs
     ///   from the training width;
     /// * runtime errors from the task graph.
-    pub fn predict(
-        &self,
-        rt: &LocalRuntime,
-        queries: &Matrix,
-    ) -> Result<Vec<usize>, DislibError> {
+    pub fn predict(&self, rt: &LocalRuntime, queries: &Matrix) -> Result<Vec<usize>, DislibError> {
         if queries.cols() != self.train.cols() {
             return Err(DislibError::ShapeMismatch(format!(
                 "queries have {} features, training data {}",
@@ -132,7 +128,9 @@ impl KnnModel {
             let q = Arc::clone(&shared_q);
             let labels = Arc::clone(labels);
             rt.submit(
-                TaskSpec::new("knn_partial").input(block.id()).output(out.id()),
+                TaskSpec::new("knn_partial")
+                    .input(block.id())
+                    .output(out.id()),
                 Constraints::new(),
                 move |ctx| {
                     let b: &Matrix = ctx.input(0);
@@ -221,15 +219,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.gen(), rng.gen()]).collect();
         let labels: Vec<usize> = (0..40).map(|i| i % 4).collect();
-        let queries =
-            Matrix::from_rows(&(0..10).map(|_| vec![rng.gen(), rng.gen()]).collect::<Vec<_>>());
+        let queries = Matrix::from_rows(
+            &(0..10)
+                .map(|_| vec![rng.gen(), rng.gen()])
+                .collect::<Vec<_>>(),
+        );
         let blocked = KnnClassifier::new(3)
-            .fit(&rt, &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 7), &labels)
+            .fit(
+                &rt,
+                &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 7),
+                &labels,
+            )
             .unwrap()
             .predict(&rt, &queries)
             .unwrap();
         let single = KnnClassifier::new(3)
-            .fit(&rt, &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 40), &labels)
+            .fit(
+                &rt,
+                &DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 40),
+                &labels,
+            )
             .unwrap()
             .predict(&rt, &queries)
             .unwrap();

@@ -166,9 +166,7 @@ impl LinearModel {
     pub fn predict(&self, rt: &LocalRuntime, x: &DistMatrix) -> Result<Matrix, DislibError> {
         let w = self.weights.clone();
         let t = w.cols();
-        let projected = x.map_blocks(rt, "linreg_predict", move |b| {
-            augment_ones(b).matmul(&w)
-        })?;
+        let projected = x.map_blocks(rt, "linreg_predict", move |b| augment_ones(b).matmul(&w))?;
         projected.with_cols(t).collect(rt)
     }
 }
@@ -277,7 +275,9 @@ mod tests {
         // Blocked and unblocked fits must agree exactly.
         let rt = rt();
         let mut rng = StdRng::seed_from_u64(3);
-        let rows: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen(), rng.gen(), rng.gen()]).collect();
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+            .collect();
         let ys: Vec<Vec<f64>> = rows
             .iter()
             .map(|r| vec![1.5 * r[0] - 0.5 * r[1] + 2.0 * r[2] + 0.25])

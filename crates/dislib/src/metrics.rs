@@ -44,11 +44,7 @@ pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(a, b)| a == b)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(a, b)| a == b).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -95,7 +91,11 @@ pub fn r2_score(truth: &Matrix, predicted: &Matrix) -> f64 {
         .zip(predicted.as_slice())
         .map(|(a, b)| (a - b) * (a - b))
         .sum();
-    let ss_tot: f64 = truth.as_slice().iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_tot: f64 = truth
+        .as_slice()
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }

@@ -96,13 +96,14 @@ impl GaussianNb {
         let mut partials = Vec::with_capacity(x.num_blocks());
         for (i, block) in x.blocks().iter().enumerate() {
             let rows = x.rows_per_block()[i];
-            let block_labels: Arc<Vec<usize>> =
-                Arc::new(labels[offset..offset + rows].to_vec());
+            let block_labels: Arc<Vec<usize>> = Arc::new(labels[offset..offset + rows].to_vec());
             offset += rows;
             let out = rt.data::<Matrix>(format!("gnb_part_{i}"));
             let bl = Arc::clone(&block_labels);
             rt.submit(
-                TaskSpec::new("gnb_partial").input(block.id()).output(out.id()),
+                TaskSpec::new("gnb_partial")
+                    .input(block.id())
+                    .output(out.id()),
                 Constraints::new(),
                 move |ctx| {
                     let b: &Matrix = ctx.input(0);
@@ -177,11 +178,7 @@ impl GaussianNbModel {
     /// # Errors
     ///
     /// [`DislibError::ShapeMismatch`] on feature-width mismatch.
-    pub fn predict(
-        &self,
-        _rt: &LocalRuntime,
-        queries: &Matrix,
-    ) -> Result<Vec<usize>, DislibError> {
+    pub fn predict(&self, _rt: &LocalRuntime, queries: &Matrix) -> Result<Vec<usize>, DislibError> {
         if queries.cols() != self.features {
             return Err(DislibError::ShapeMismatch(format!(
                 "queries have {} features, model has {}",
@@ -240,7 +237,10 @@ mod tests {
         let model = GaussianNb::new().fit(&rt, &data, &labels).unwrap();
         assert_eq!(model.labels(), vec![0, 1, 2]);
         let pred = model
-            .predict(&rt, &Matrix::from_rows(&[vec![0.1, 0.1], vec![6.1, 0.2], vec![0.2, 5.8]]))
+            .predict(
+                &rt,
+                &Matrix::from_rows(&[vec![0.1, 0.1], vec![6.1, 0.2], vec![0.2, 5.8]]),
+            )
             .unwrap();
         assert_eq!(pred, vec![0, 1, 2]);
         // Training accuracy should be essentially perfect here.
@@ -262,7 +262,9 @@ mod tests {
         }
         let data = DistMatrix::from_matrix(&rt, &Matrix::from_rows(&rows), 20);
         let model = GaussianNb::new().fit(&rt, &data, &labels).unwrap();
-        let pred = model.predict(&rt, &Matrix::from_rows(&[vec![0.05]])).unwrap();
+        let pred = model
+            .predict(&rt, &Matrix::from_rows(&[vec![0.05]]))
+            .unwrap();
         assert_eq!(pred, vec![0]);
     }
 
@@ -270,10 +272,15 @@ mod tests {
     fn blocked_matches_single_block() {
         let rt = rt();
         let mut rng = StdRng::seed_from_u64(12);
-        let rows: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen(), rng.gen(), rng.gen()]).collect();
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+            .collect();
         let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
-        let queries =
-            Matrix::from_rows(&(0..15).map(|_| vec![rng.gen(), rng.gen(), rng.gen()]).collect::<Vec<_>>());
+        let queries = Matrix::from_rows(
+            &(0..15)
+                .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+                .collect::<Vec<_>>(),
+        );
         let x = Matrix::from_rows(&rows);
         let blocked = GaussianNb::new()
             .fit(&rt, &DistMatrix::from_matrix(&rt, &x, 7), &labels)
@@ -309,7 +316,9 @@ mod tests {
         let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![7.0], vec![7.0]]);
         let data = DistMatrix::from_matrix(&rt, &x, 2);
         let model = GaussianNb::new().fit(&rt, &data, &[0, 0, 1, 1]).unwrap();
-        let pred = model.predict(&rt, &Matrix::from_rows(&[vec![5.1], vec![6.9]])).unwrap();
+        let pred = model
+            .predict(&rt, &Matrix::from_rows(&[vec![5.1], vec![6.9]]))
+            .unwrap();
         assert_eq!(pred, vec![0, 1]);
     }
 }

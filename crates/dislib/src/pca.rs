@@ -309,12 +309,16 @@ mod tests {
     #[test]
     fn too_many_components_rejected() {
         let rt = rt();
-        let dm = DistMatrix::from_matrix(&rt, &Matrix::zeros(4, 2).add(&Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-            vec![0.5, 0.5],
-        ])), 2);
+        let dm = DistMatrix::from_matrix(
+            &rt,
+            &Matrix::zeros(4, 2).add(&Matrix::from_rows(&[
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                vec![0.5, 0.5],
+            ])),
+            2,
+        );
         assert!(matches!(
             Pca::new(3).fit(&rt, &dm),
             Err(DislibError::InvalidParam(_))

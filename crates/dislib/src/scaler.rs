@@ -107,11 +107,7 @@ impl StandardScaler {
     /// # Errors
     ///
     /// Propagates runtime errors.
-    pub fn transform(
-        &self,
-        rt: &LocalRuntime,
-        x: &DistMatrix,
-    ) -> Result<DistMatrix, DislibError> {
+    pub fn transform(&self, rt: &LocalRuntime, x: &DistMatrix) -> Result<DistMatrix, DislibError> {
         let mean = self.mean.clone();
         let std = self.std.clone();
         x.map_blocks(rt, "scaler_transform", move |b| {
@@ -161,7 +157,12 @@ mod tests {
         let s = StandardScaler::fit(&rt, &dm).unwrap();
         let t = s.transform(&rt, &dm).unwrap().collect(&rt).unwrap();
         let mean: f64 = t.as_slice().iter().sum::<f64>() / 4.0;
-        let var: f64 = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 4.0;
         assert!(mean.abs() < 1e-12);
         assert!((var - 1.0).abs() < 1e-12);
     }

@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn compute_units_clamped_to_one() {
-        assert_eq!(Constraints::new().compute_units(0).required_compute_units(), 1);
+        assert_eq!(
+            Constraints::new().compute_units(0).required_compute_units(),
+            1
+        );
         assert_eq!(Constraints::new().nodes(0).required_nodes(), 1);
     }
 

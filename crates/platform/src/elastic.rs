@@ -119,7 +119,9 @@ impl ElasticityPolicy {
         let backlog = ready_tasks as f64 / current_nodes as f64;
         if backlog > self.grow_threshold && current_nodes < self.max_nodes {
             let want = ((backlog / self.grow_threshold).ceil() as usize).saturating_sub(1);
-            let step = want.clamp(1, self.max_step).min(self.max_nodes - current_nodes);
+            let step = want
+                .clamp(1, self.max_step)
+                .min(self.max_nodes - current_nodes);
             self.last_action_at = Some(now);
             ElasticAction::Grow(step)
         } else if backlog < self.shrink_threshold

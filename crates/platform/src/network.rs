@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn link_transfer_math() {
         let link = LinkSpec::new(100.0, 0.01); // 100 MB/s, 10 ms
-        // 200 MB => 2 s + 10 ms.
+                                               // 200 MB => 2 s + 10 ms.
         assert!((link.transfer_seconds(200_000_000) - 2.01).abs() < 1e-9);
         // Zero bytes still pay latency.
         assert!((link.transfer_seconds(0) - 0.01).abs() < 1e-12);

@@ -56,7 +56,10 @@ impl DeviceClass {
 
     /// Returns `true` for battery-powered classes subject to churn.
     pub fn is_volatile(self) -> bool {
-        matches!(self, DeviceClass::Fog | DeviceClass::Edge | DeviceClass::Sensor)
+        matches!(
+            self,
+            DeviceClass::Fog | DeviceClass::Edge | DeviceClass::Sensor
+        )
     }
 }
 
@@ -251,7 +254,10 @@ mod tests {
     #[test]
     fn class_constructors() {
         assert_eq!(NodeSpec::hpc(48, 96_000).device_class(), DeviceClass::Hpc);
-        assert_eq!(NodeSpec::cloud_vm(8, 16_000).device_class(), DeviceClass::CloudVm);
+        assert_eq!(
+            NodeSpec::cloud_vm(8, 16_000).device_class(),
+            DeviceClass::CloudVm
+        );
         assert_eq!(NodeSpec::fog(4, 4_000).device_class(), DeviceClass::Fog);
         assert_eq!(NodeSpec::edge(2, 1_000).device_class(), DeviceClass::Edge);
         assert_eq!(NodeSpec::sensor().device_class(), DeviceClass::Sensor);

@@ -83,7 +83,8 @@ impl Zone {
 
     /// Returns `true` if the zone can still grow.
     pub fn can_grow(&self) -> bool {
-        matches!(self.kind, ZoneKind::Cloud | ZoneKind::Cluster) && self.nodes.len() < self.max_nodes
+        matches!(self.kind, ZoneKind::Cloud | ZoneKind::Cluster)
+            && self.nodes.len() < self.max_nodes
     }
 }
 
@@ -154,10 +155,7 @@ impl Platform {
 
     /// Total core count across all nodes.
     pub fn total_cores(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(|n| n.capacity().cores() as u64)
-            .sum()
+        self.nodes.iter().map(|n| n.capacity().cores() as u64).sum()
     }
 
     /// Nodes of a given device class.
@@ -256,7 +254,14 @@ impl PlatformBuilder {
 
     /// Adds a fixed-size cluster with an InfiniBand-class fabric.
     pub fn cluster(mut self, name: &str, nodes: usize, spec: NodeSpec) -> Self {
-        self.add_zone(name, ZoneKind::Cluster, nodes, nodes, spec, LinkSpec::infiniband());
+        self.add_zone(
+            name,
+            ZoneKind::Cluster,
+            nodes,
+            nodes,
+            spec,
+            LinkSpec::infiniband(),
+        );
         self
     }
 
@@ -281,7 +286,14 @@ impl PlatformBuilder {
 
     /// Adds a cloud pool with `initial` VMs (datacenter fabric inside).
     pub fn cloud(mut self, name: &str, initial: usize, spec: NodeSpec) -> Self {
-        self.add_zone(name, ZoneKind::Cloud, initial, initial.max(64), spec, LinkSpec::datacenter());
+        self.add_zone(
+            name,
+            ZoneKind::Cloud,
+            initial,
+            initial.max(64),
+            spec,
+            LinkSpec::datacenter(),
+        );
         self
     }
 
@@ -306,13 +318,27 @@ impl PlatformBuilder {
 
     /// Adds a fog area (wireless fabric inside).
     pub fn fog_area(mut self, name: &str, nodes: usize, spec: NodeSpec) -> Self {
-        self.add_zone(name, ZoneKind::FogArea, nodes, nodes, spec, LinkSpec::wireless());
+        self.add_zone(
+            name,
+            ZoneKind::FogArea,
+            nodes,
+            nodes,
+            spec,
+            LinkSpec::wireless(),
+        );
         self
     }
 
     /// Adds an edge/sensor field (mobile uplinks inside).
     pub fn edge_field(mut self, name: &str, nodes: usize, spec: NodeSpec) -> Self {
-        self.add_zone(name, ZoneKind::EdgeField, nodes, nodes, spec, LinkSpec::mobile());
+        self.add_zone(
+            name,
+            ZoneKind::EdgeField,
+            nodes,
+            nodes,
+            spec,
+            LinkSpec::mobile(),
+        );
         self
     }
 

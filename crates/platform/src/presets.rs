@@ -18,14 +18,15 @@ pub fn marenostrum(nodes: usize) -> Platform {
 /// cloud pool that can grow, joined by a WAN — the "HPC systems will
 /// be coupled with public and private Cloud infrastructures" platform
 /// of §I/§III.
-pub fn hybrid_hpc_cloud(
-    cluster_nodes: usize,
-    cloud_initial: usize,
-    cloud_max: usize,
-) -> Platform {
+pub fn hybrid_hpc_cloud(cluster_nodes: usize, cloud_initial: usize, cloud_max: usize) -> Platform {
     PlatformBuilder::new()
         .cluster("hpc", cluster_nodes, NodeSpec::hpc(48, 96_000))
-        .elastic_cloud("cloud", cloud_initial, cloud_max, NodeSpec::cloud_vm(8, 32_000))
+        .elastic_cloud(
+            "cloud",
+            cloud_initial,
+            cloud_max,
+            NodeSpec::cloud_vm(8, 32_000),
+        )
         .link_zones(0, 1, LinkSpec::wan())
         .build()
 }
@@ -36,9 +37,17 @@ pub fn hybrid_hpc_cloud(
 /// field and a shared wireless fog↔cloud link.
 pub fn smart_city(sensors: usize, fog_devices: usize, cloud_vms: usize) -> Platform {
     PlatformBuilder::new()
-        .edge_field("sensors", sensors, NodeSpec::sensor().with_software(["edge-source"]))
+        .edge_field(
+            "sensors",
+            sensors,
+            NodeSpec::sensor().with_software(["edge-source"]),
+        )
         .fog_area("gateways", fog_devices, NodeSpec::fog(4, 8_000))
-        .cloud("dc", cloud_vms, NodeSpec::cloud_vm(8, 32_000).with_speed(4.0))
+        .cloud(
+            "dc",
+            cloud_vms,
+            NodeSpec::cloud_vm(8, 32_000).with_speed(4.0),
+        )
         .link_zones(0, 1, LinkSpec::wireless())
         .link_zones(0, 2, LinkSpec::mobile())
         .link_zones(1, 2, LinkSpec::wireless())
@@ -57,7 +66,11 @@ mod tests {
         assert_eq!(p.total_cores(), 4800);
         assert_eq!(p.nodes_of_class(DeviceClass::Hpc).count(), 100);
         // Intra-cluster fabric is fast: 1 GB in well under a second.
-        let t = p.transfer_seconds(1_000_000_000, p.node_by_index(0).id(), p.node_by_index(99).id());
+        let t = p.transfer_seconds(
+            1_000_000_000,
+            p.node_by_index(0).id(),
+            p.node_by_index(99).id(),
+        );
         assert!(t < 0.2, "{t}");
     }
 
@@ -69,7 +82,11 @@ mod tests {
         assert!(p.zone(cloud).can_grow());
         assert!(p.grow_zone(cloud).is_some());
         // Cluster→cloud crossing pays WAN cost.
-        let wan = p.transfer_seconds(120_000_000, p.node_by_index(0).id(), p.node_by_index(4).id());
+        let wan = p.transfer_seconds(
+            120_000_000,
+            p.node_by_index(0).id(),
+            p.node_by_index(4).id(),
+        );
         assert!(wan > 0.5, "{wan}");
     }
 
@@ -81,8 +98,13 @@ mod tests {
         assert_eq!(p.nodes_of_class(DeviceClass::Fog).count(), 4);
         assert_eq!(p.nodes_of_class(DeviceClass::CloudVm).count(), 2);
         // Sensor→cloud is slower than fog→cloud (mobile vs wireless).
-        let sensor_up = p.transfer_seconds(6_000_000, p.node_by_index(0).id(), p.node_by_index(14).id());
-        let fog_up = p.transfer_seconds(6_000_000, p.node_by_index(10).id(), p.node_by_index(14).id());
+        let sensor_up =
+            p.transfer_seconds(6_000_000, p.node_by_index(0).id(), p.node_by_index(14).id());
+        let fog_up = p.transfer_seconds(
+            6_000_000,
+            p.node_by_index(10).id(),
+            p.node_by_index(14).id(),
+        );
         assert!(sensor_up > fog_up);
         // Sensors advertise the edge-source tag used by streaming
         // workloads.

@@ -44,8 +44,13 @@ pub use lineage::{LineageChain, LineagePolicy, LineageReport, Stage};
 pub use local::{DataHandle, LocalConfig, LocalRuntime, TaskContext};
 pub use profile::TaskProfile;
 pub use scheduler::{
-    EnergyScheduler, FifoScheduler, HeftScheduler, ListScheduler, LocalityScheduler,
-    PlacementView, Scheduler,
+    EnergyScheduler, FifoScheduler, HeftScheduler, ListScheduler, LocalityScheduler, PlacementView,
+    Scheduler,
 };
 pub use sim_engine::{DataLossMode, ElasticConfig, SimOptions, SimRuntime};
 pub use workload::{SimWorkload, WorkloadStats};
+
+/// Telemetry surface both engines accept in their configs
+/// ([`LocalConfig::telemetry`], [`SimOptions::telemetry`]), re-exported
+/// from [`continuum_telemetry`] for convenience.
+pub use continuum_telemetry::{Recorder, RecorderHandle, TraceBuffer};

@@ -161,9 +161,21 @@ mod tests {
     fn chain(storage_price: f64, compute_price: f64) -> LineageChain {
         LineageChain::new(
             vec![
-                Stage { compute_s: 100.0, size_mb: 10.0, accesses: 5 },
-                Stage { compute_s: 10.0, size_mb: 1000.0, accesses: 1 },
-                Stage { compute_s: 50.0, size_mb: 5.0, accesses: 10 },
+                Stage {
+                    compute_s: 100.0,
+                    size_mb: 10.0,
+                    accesses: 5,
+                },
+                Stage {
+                    compute_s: 10.0,
+                    size_mb: 1000.0,
+                    accesses: 1,
+                },
+                Stage {
+                    compute_s: 50.0,
+                    size_mb: 5.0,
+                    accesses: 10,
+                },
             ],
             storage_price,
             compute_price,
@@ -195,7 +207,10 @@ mod tests {
         let recompute = c.evaluate(LineagePolicy::RecomputeAll).total_cost();
         let hybrid = c.evaluate(LineagePolicy::CostBased).total_cost();
         assert!(hybrid <= store, "hybrid {hybrid} vs store {store}");
-        assert!(hybrid <= recompute, "hybrid {hybrid} vs recompute {recompute}");
+        assert!(
+            hybrid <= recompute,
+            "hybrid {hybrid} vs recompute {recompute}"
+        );
         // It keeps the cheap-to-store hot stages and drops the huge one.
         let r = c.evaluate(LineagePolicy::CostBased);
         assert!(r.stored[0], "hot + cheap to store");

@@ -10,6 +10,7 @@
 use crate::error::RuntimeError;
 use continuum_dag::{AccessProcessor, DataId, TaskId, TaskSpec, VersionedData};
 use continuum_platform::{Constraints, NodeCapacity};
+use continuum_telemetry::{CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
@@ -120,6 +121,11 @@ pub struct LocalConfig {
     pub software: Vec<String>,
     /// Advertised GPU count.
     pub gpus: u32,
+    /// Telemetry sink for task-lifecycle events, stamped with
+    /// wall-clock microseconds since runtime start. Defaults to the
+    /// no-op recorder (instrumentation sites then skip event
+    /// construction entirely).
+    pub telemetry: RecorderHandle,
 }
 
 impl Default for LocalConfig {
@@ -129,6 +135,7 @@ impl Default for LocalConfig {
             memory_mb: 16_384,
             software: Vec::new(),
             gpus: 0,
+            telemetry: RecorderHandle::noop(),
         }
     }
 }
@@ -159,6 +166,15 @@ struct Core {
 struct Shared {
     core: Mutex<Core>,
     cv: Condvar,
+    telemetry: RecorderHandle,
+    origin: std::time::Instant,
+}
+
+impl Shared {
+    /// Wall-clock microseconds since the runtime started.
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
 }
 
 /// A multithreaded dataflow executor for closures.
@@ -222,11 +238,13 @@ impl LocalRuntime {
                 failure: None,
             }),
             cv: Condvar::new(),
+            telemetry: config.telemetry.clone(),
+            origin: std::time::Instant::now(),
         });
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared))
+                thread::spawn(move || worker_loop(&shared, i as u32))
             })
             .collect();
         LocalRuntime { shared, workers }
@@ -287,10 +305,23 @@ impl LocalRuntime {
                 reason: "constraints exceed the local machine capacity".into(),
             });
         }
+        let submitted_name = self
+            .shared
+            .telemetry
+            .enabled()
+            .then(|| spec.name().to_string());
         let id = core.ap.register(spec)?;
         core.bodies.insert(id, Box::new(body));
         core.constraints.insert(id, constraints);
         drop(core);
+        if let Some(name) = submitted_name {
+            self.shared.telemetry.record(TelemetryEvent::Instant {
+                track: Track::Run,
+                name,
+                phase: TaskPhase::Submitted,
+                at_us: self.shared.now_us(),
+            });
+        }
         self.shared.cv.notify_all();
         Ok(id)
     }
@@ -354,10 +385,13 @@ impl LocalRuntime {
         let target = core.ap.current_version(handle.id)?;
         loop {
             if let Some(v) = core.values.get(&target) {
-                return v.clone().downcast::<T>().map_err(|_| RuntimeError::BadTaskIo {
-                    task: TaskId::from_raw(0),
-                    detail: format!("value {target} does not have the requested type"),
-                });
+                return v
+                    .clone()
+                    .downcast::<T>()
+                    .map_err(|_| RuntimeError::BadTaskIo {
+                        task: TaskId::from_raw(0),
+                        detail: format!("value {target} does not have the requested type"),
+                    });
             }
             if let Some((task, message)) = core.failure.clone() {
                 return Err(RuntimeError::TaskPanicked { task, message });
@@ -393,10 +427,20 @@ impl Drop for LocalRuntime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // The run span closes last, covering every task span.
+        if self.shared.telemetry.enabled() {
+            self.shared.telemetry.record(TelemetryEvent::Span {
+                track: Track::Run,
+                name: "local-run".to_string(),
+                phase: TaskPhase::Executing,
+                start_us: 0,
+                dur_us: self.shared.now_us(),
+            });
+        }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: u32) {
     loop {
         // -- pick a runnable task -----------------------------------------
         let mut core = shared.core.lock();
@@ -410,17 +454,11 @@ fn worker_loop(shared: &Shared) {
                 shared.cv.wait(&mut core);
                 continue;
             }
-            let candidate = core
-                .ap
-                .graph()
-                .ready_tasks()
-                .iter()
-                .copied()
-                .find(|t| {
-                    core.constraints
-                        .get(t)
-                        .is_some_and(|c| core.free.satisfies(c))
-                });
+            let candidate = core.ap.graph().ready_tasks().iter().copied().find(|t| {
+                core.constraints
+                    .get(t)
+                    .is_some_and(|c| core.free.satisfies(c))
+            });
             match candidate {
                 Some(t) => break t,
                 None => {
@@ -448,9 +486,22 @@ fn worker_loop(shared: &Shared) {
             })
             .collect();
         let produced: Vec<VersionedData> = node.produced().to_vec();
+        let span_name = shared
+            .telemetry
+            .enabled()
+            .then(|| node.spec().name().to_string());
         drop(core);
 
         // -- run the body outside the lock --------------------------------
+        if let Some(name) = &span_name {
+            shared.telemetry.record(TelemetryEvent::Instant {
+                track: Track::Worker(worker),
+                name: name.clone(),
+                phase: TaskPhase::Scheduled,
+                at_us: shared.now_us(),
+            });
+        }
+        let start_us = shared.now_us();
         let mut ctx = TaskContext {
             inputs,
             outputs: vec![None; produced.len()],
@@ -459,11 +510,13 @@ fn worker_loop(shared: &Shared) {
             let body = body;
             body(&mut ctx);
         }));
+        let end_us = shared.now_us();
 
         // -- commit --------------------------------------------------------
         let mut core = shared.core.lock();
         core.free.release(&constraints);
         core.running -= 1;
+        let mut committed = false;
         match result {
             Ok(()) => {
                 let missing = ctx.outputs.iter().position(Option::is_none);
@@ -472,10 +525,8 @@ fn worker_loop(shared: &Shared) {
                         .graph_mut()
                         .mark_failed(picked)
                         .expect("running task can fail");
-                    core.failure.get_or_insert((
-                        picked,
-                        format!("task body did not set output {i}"),
-                    ));
+                    core.failure
+                        .get_or_insert((picked, format!("task body did not set output {i}")));
                 } else {
                     for (vd, value) in produced.iter().zip(ctx.outputs.drain(..)) {
                         core.values.insert(*vd, value.expect("checked above"));
@@ -484,6 +535,7 @@ fn worker_loop(shared: &Shared) {
                         .graph_mut()
                         .complete(picked)
                         .expect("running task can complete");
+                    committed = true;
                 }
             }
             Err(payload) => {
@@ -499,7 +551,39 @@ fn worker_loop(shared: &Shared) {
                 core.failure.get_or_insert((picked, message));
             }
         }
+        let running_now = core.running;
+        let queue_depth = core.ap.graph().ready_tasks().len();
         drop(core);
+        if let Some(name) = span_name {
+            let track = Track::Worker(worker);
+            shared.telemetry.record(TelemetryEvent::Span {
+                track,
+                name: name.clone(),
+                phase: TaskPhase::Executing,
+                start_us,
+                dur_us: end_us.saturating_sub(start_us),
+            });
+            shared.telemetry.record(TelemetryEvent::Instant {
+                track,
+                name,
+                phase: if committed {
+                    TaskPhase::Committed
+                } else {
+                    TaskPhase::Failed
+                },
+                at_us: end_us,
+            });
+            shared.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::RunningTasks,
+                at_us: end_us,
+                value: running_now as f64,
+            });
+            shared.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::QueueDepth,
+                at_us: end_us,
+                value: queue_depth as f64,
+            });
+        }
         shared.cv.notify_all();
     }
 }
@@ -525,9 +609,11 @@ mod tests {
         let rt = rt(2);
         let a = rt.data::<i64>("a");
         let b = rt.data::<i64>("b");
-        rt.submit(TaskSpec::new("one").output(a.id()), Constraints::new(), |ctx| {
-            ctx.set_output(0, 20i64)
-        })
+        rt.submit(
+            TaskSpec::new("one").output(a.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 20i64),
+        )
         .unwrap();
         rt.submit(
             TaskSpec::new("double").input(a.id()).output(b.id()),
@@ -549,9 +635,11 @@ mod tests {
         let src = rt.data::<u64>("src");
         let parts = rt.data_batch::<u64>("part", 8);
         let total = rt.data::<u64>("total");
-        rt.submit(TaskSpec::new("src").output(src.id()), Constraints::new(), |ctx| {
-            ctx.set_output(0, 10u64)
-        })
+        rt.submit(
+            TaskSpec::new("src").output(src.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 10u64),
+        )
         .unwrap();
         for (i, p) in parts.iter().enumerate() {
             let factor = i as u64;
@@ -585,10 +673,14 @@ mod tests {
         let acc = rt.data::<i64>("acc");
         rt.set_initial(&acc, 0i64);
         for _ in 0..10 {
-            rt.submit(TaskSpec::new("inc").inout(acc.id()), Constraints::new(), |ctx| {
-                let v: &i64 = ctx.input(0);
-                ctx.set_output(0, v + 1);
-            })
+            rt.submit(
+                TaskSpec::new("inc").inout(acc.id()),
+                Constraints::new(),
+                |ctx| {
+                    let v: &i64 = ctx.input(0);
+                    ctx.set_output(0, v + 1);
+                },
+            )
             .unwrap();
         }
         assert_eq!(*rt.get(&acc).unwrap(), 10);
@@ -616,9 +708,13 @@ mod tests {
     fn panicking_task_surfaces_as_error() {
         let rt = rt(2);
         let d = rt.data::<i32>("d");
-        rt.submit(TaskSpec::new("boom").output(d.id()), Constraints::new(), |_| {
-            panic!("kaboom");
-        })
+        rt.submit(
+            TaskSpec::new("boom").output(d.id()),
+            Constraints::new(),
+            |_| {
+                panic!("kaboom");
+            },
+        )
         .unwrap();
         let err = rt.wait_all().unwrap_err();
         match err {
@@ -631,8 +727,12 @@ mod tests {
     fn missing_output_is_a_failure() {
         let rt = rt(2);
         let d = rt.data::<i32>("d");
-        rt.submit(TaskSpec::new("lazy").output(d.id()), Constraints::new(), |_| {})
-            .unwrap();
+        rt.submit(
+            TaskSpec::new("lazy").output(d.id()),
+            Constraints::new(),
+            |_| {},
+        )
+        .unwrap();
         let err = rt.wait_all().unwrap_err();
         assert!(err.to_string().contains("did not set output"));
     }
@@ -641,9 +741,13 @@ mod tests {
     fn get_after_failure_errors_instead_of_hanging() {
         let rt = rt(2);
         let d = rt.data::<i32>("d");
-        rt.submit(TaskSpec::new("boom").output(d.id()), Constraints::new(), |_| {
-            panic!("dead");
-        })
+        rt.submit(
+            TaskSpec::new("boom").output(d.id()),
+            Constraints::new(),
+            |_| {
+                panic!("dead");
+            },
+        )
         .unwrap();
         assert!(rt.get(&d).is_err());
     }
@@ -707,13 +811,17 @@ mod tests {
         for o in &outs {
             let peak = Arc::clone(&peak);
             let cur = Arc::clone(&cur);
-            rt.submit(TaskSpec::new("t").output(o.id()), Constraints::new(), move |ctx| {
-                let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(now, Ordering::SeqCst);
-                std::thread::sleep(std::time::Duration::from_millis(30));
-                cur.fetch_sub(1, Ordering::SeqCst);
-                ctx.set_output(0, ());
-            })
+            rt.submit(
+                TaskSpec::new("t").output(o.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    ctx.set_output(0, ());
+                },
+            )
             .unwrap();
         }
         rt.wait_all().unwrap();
@@ -728,9 +836,11 @@ mod tests {
     fn drop_joins_workers_cleanly() {
         let rt = rt(3);
         let d = rt.data::<i32>("d");
-        rt.submit(TaskSpec::new("t").output(d.id()), Constraints::new(), |ctx| {
-            ctx.set_output(0, 1)
-        })
+        rt.submit(
+            TaskSpec::new("t").output(d.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 1),
+        )
         .unwrap();
         rt.wait_all().unwrap();
         drop(rt); // must not hang
@@ -769,15 +879,21 @@ mod tests {
         let rt = rt(2);
         let slow = rt.data::<()>("slow");
         let fast = rt.data::<i32>("fast");
-        rt.submit(TaskSpec::new("slow").output(slow.id()), Constraints::new(), |ctx| {
-            std::thread::sleep(std::time::Duration::from_millis(100));
-            ctx.set_output(0, ());
-        })
+        rt.submit(
+            TaskSpec::new("slow").output(slow.id()),
+            Constraints::new(),
+            |ctx| {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                ctx.set_output(0, ());
+            },
+        )
         .unwrap();
         let t0 = std::time::Instant::now();
-        rt.submit(TaskSpec::new("fast").output(fast.id()), Constraints::new(), |ctx| {
-            ctx.set_output(0, 42)
-        })
+        rt.submit(
+            TaskSpec::new("fast").output(fast.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 42),
+        )
         .unwrap();
         assert_eq!(*rt.get(&fast).unwrap(), 42);
         assert!(

@@ -65,7 +65,9 @@ impl<'a> PlacementView<'a> {
     /// 0 when no link state is attached. Cross-zone transfers started
     /// now queue behind this.
     pub fn pending_uplink_seconds_to(&self, dst: ZoneId) -> f64 {
-        let Some(map) = self.link_busy else { return 0.0 };
+        let Some(map) = self.link_busy else {
+            return 0.0;
+        };
         map.iter()
             .filter(|((a, b), _)| *a == dst.index() as u16 || *b == dst.index() as u16)
             .map(|(_, t)| t.since(self.now))
@@ -254,8 +256,8 @@ impl Scheduler for LocalityScheduler {
                     continue;
                 }
                 let extra = *extra_load.get(&node).unwrap_or(&0);
-                if st.free_capacity().cores() < extra * req.required_compute_units().max(1)
-                    + req.required_compute_units()
+                if st.free_capacity().cores()
+                    < extra * req.required_compute_units().max(1) + req.required_compute_units()
                 {
                     continue;
                 }
@@ -266,7 +268,9 @@ impl Scheduler for LocalityScheduler {
                     best = Some(candidate);
                 }
             }
-            let Some((local, _, node)) = best else { continue };
+            let Some((local, _, node)) = best else {
+                continue;
+            };
             // Delay scheduling: if the task has data somewhere, the
             // best slot right now holds none of it, *and* fetching the
             // data would cost a meaningful fraction of the task's own
@@ -581,8 +585,7 @@ mod tests {
         let mut s = FifoScheduler::new();
         let placed = s.place(&view, &ready);
         assert_eq!(placed.len(), 4);
-        let used: std::collections::HashSet<NodeId> =
-            placed.iter().map(|(_, n)| *n).collect();
+        let used: std::collections::HashSet<NodeId> = placed.iter().map(|(_, n)| *n).collect();
         assert_eq!(used.len(), 4, "1-core nodes force a spread");
     }
 
@@ -605,10 +608,16 @@ mod tests {
         let big = w.data("big");
         let out = w.data("out");
         let producer = w
-            .task(TaskSpec::new("p").output(big), TaskProfile::new(1.0).outputs_bytes(1_000_000))
+            .task(
+                TaskSpec::new("p").output(big),
+                TaskProfile::new(1.0).outputs_bytes(1_000_000),
+            )
             .unwrap();
         let consumer = w
-            .task(TaskSpec::new("c").input(big).output(out), TaskProfile::new(1.0))
+            .task(
+                TaskSpec::new("c").input(big).output(out),
+                TaskProfile::new(1.0),
+            )
             .unwrap();
         let p = cluster(3, 4);
         let mut nodes = states(&p);
@@ -696,8 +705,7 @@ mod tests {
         let mut s = EnergyScheduler::new();
         let placed = s.place(&view, &ready);
         assert_eq!(placed.len(), 4);
-        let used: std::collections::HashSet<NodeId> =
-            placed.iter().map(|(_, n)| *n).collect();
+        let used: std::collections::HashSet<NodeId> = placed.iter().map(|(_, n)| *n).collect();
         assert_eq!(used.len(), 1, "all four fit on one 48-core node");
     }
 
@@ -712,8 +720,7 @@ mod tests {
         let mut s = EnergyScheduler::new();
         let placed = s.place(&view, &ready);
         assert_eq!(placed.len(), 4);
-        let used: std::collections::HashSet<NodeId> =
-            placed.iter().map(|(_, n)| *n).collect();
+        let used: std::collections::HashSet<NodeId> = placed.iter().map(|(_, n)| *n).collect();
         assert_eq!(used.len(), 2, "2-core nodes: exactly two nodes needed");
     }
 
@@ -729,7 +736,10 @@ mod tests {
             )
             .unwrap();
         let consumer = w
-            .task(TaskSpec::new("c").input(big).output(out), TaskProfile::new(1.0))
+            .task(
+                TaskSpec::new("c").input(big).output(out),
+                TaskProfile::new(1.0),
+            )
             .unwrap();
         let p = PlatformBuilder::new()
             .cluster("a", 1, NodeSpec::hpc(4, 96_000))
@@ -740,10 +750,16 @@ mod tests {
         let vd = w.graph().node(producer).unwrap().produced()[0];
         reg.record_production(vd, NodeId::from_raw(0), 120_000_000);
         let view = PlacementView::new(&w, &nodes, &reg, &p);
-        assert_eq!(view.estimated_transfer_seconds(consumer, NodeId::from_raw(0)), 0.0);
+        assert_eq!(
+            view.estimated_transfer_seconds(consumer, NodeId::from_raw(0)),
+            0.0
+        );
         let cross = view.estimated_transfer_seconds(consumer, NodeId::from_raw(1));
         assert!(cross > 0.5, "120 MB over 120 MB/s WAN ≈ 1 s, got {cross}");
-        assert_eq!(view.local_input_bytes(consumer, NodeId::from_raw(0)), 120_000_000);
+        assert_eq!(
+            view.local_input_bytes(consumer, NodeId::from_raw(0)),
+            120_000_000
+        );
         assert_eq!(view.total_input_bytes(consumer), 120_000_000);
     }
 }

@@ -13,6 +13,9 @@ use continuum_sim::{
     EventQueue, ExecutionTrace, FaultKind, FaultPlan, NodeState, RunReport, TraceRecord,
     TransferLedger, TransferRecord, VirtualTime,
 };
+use continuum_telemetry::{
+    micros_from_seconds, CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track,
+};
 use std::collections::{HashMap, HashSet};
 
 /// What the engine does when a node failure destroys the only copy of
@@ -61,6 +64,9 @@ pub struct SimOptions {
     pub elastic: Option<ElasticConfig>,
     /// Safety limit on virtual time.
     pub max_virtual_seconds: f64,
+    /// Telemetry sink for task-lifecycle events, stamped with virtual
+    /// microseconds. Defaults to the no-op recorder.
+    pub telemetry: RecorderHandle,
 }
 
 impl Default for SimOptions {
@@ -72,6 +78,7 @@ impl Default for SimOptions {
             power_off_idle: false,
             elastic: None,
             max_virtual_seconds: 1e9,
+            telemetry: RecorderHandle::noop(),
         }
     }
 }
@@ -196,7 +203,12 @@ impl SimRuntime {
         scheduler: &mut dyn Scheduler,
         faults: &FaultPlan,
     ) -> Result<(RunReport, ExecutionTrace), RuntimeError> {
-        let mut engine = Engine::new(workload, scheduler, self.options.clone(), self.platform.clone());
+        let mut engine = Engine::new(
+            workload,
+            scheduler,
+            self.options.clone(),
+            self.platform.clone(),
+        );
         engine.prime(faults);
         let report = engine.drive()?;
         Ok((report, engine.trace))
@@ -282,7 +294,24 @@ impl<'w, 's> Engine<'w, 's> {
         }
     }
 
+    /// The task's spec name, for telemetry labels.
+    fn task_name(&self, task: TaskId) -> String {
+        self.graph
+            .node(task)
+            .map_or_else(|_| task.to_string(), |n| n.spec().name().to_string())
+    }
+
     fn drive(&mut self) -> Result<RunReport, RuntimeError> {
+        if self.options.telemetry.enabled() {
+            for node in self.graph.nodes() {
+                self.options.telemetry.record(TelemetryEvent::Instant {
+                    track: Track::Run,
+                    name: node.spec().name().to_string(),
+                    phase: TaskPhase::Submitted,
+                    at_us: 0,
+                });
+            }
+        }
         self.schedule_round(VirtualTime::ZERO)?;
         while !self.graph.all_completed() {
             let Some((now, event)) = self.queue.pop() else {
@@ -307,10 +336,31 @@ impl<'w, 's> Engine<'w, 's> {
                 n.advance(makespan);
             }
         }
+        if self.options.telemetry.enabled() {
+            let end_us = micros_from_seconds(makespan.as_seconds());
+            self.options.telemetry.record(TelemetryEvent::Span {
+                track: Track::Run,
+                name: "sim-run".to_string(),
+                phase: TaskPhase::Executing,
+                start_us: 0,
+                dur_us: end_us,
+            });
+            self.options.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::TransferBytes,
+                at_us: end_us,
+                value: self.ledger.total_bytes() as f64,
+            });
+            self.options.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::LineageReplays,
+                at_us: end_us,
+                value: self.reexecutions as f64,
+            });
+        }
         Ok(RunReport::from_parts(
             makespan.as_seconds(),
             self.graph.completed_count(),
             self.reexecutions,
+            self.trace.total_transfer_stall_s(),
             &self.nodes,
             &self.ledger,
         ))
@@ -363,14 +413,26 @@ impl<'w, 's> Engine<'w, 's> {
         }
         self.record_outputs(task, hosts[0], now);
         let was_replay = self.replaying.contains(&task);
-        self.trace.record(TraceRecord {
+        let record = TraceRecord {
             task,
             node: hosts[0],
             start_s: flight.start_s,
             end_s: now.as_seconds(),
             transfer_stall_s: flight.stall_s,
             replay: was_replay,
-        });
+        };
+        if self.options.telemetry.enabled() {
+            for event in record.to_events(&self.task_name(task)) {
+                self.options.telemetry.record(event);
+            }
+            self.options.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::TransferStallMicros,
+                at_us: micros_from_seconds(now.as_seconds()),
+                value: micros_from_seconds(self.trace.total_transfer_stall_s() + flight.stall_s)
+                    as f64,
+            });
+        }
+        self.trace.record(record);
         if self.replaying.remove(&task) {
             self.reexecutions += 1;
         } else {
@@ -457,7 +519,9 @@ impl<'w, 's> Engine<'w, 's> {
                         DataLossMode::Fail => {
                             let needed = lost_data.iter().any(|vd| self.still_needed(*vd));
                             if needed {
-                                return self.stall_error("data lost with recovery disabled").map(|_| ());
+                                return self
+                                    .stall_error("data lost with recovery disabled")
+                                    .map(|_| ());
                             }
                         }
                     }
@@ -469,9 +533,9 @@ impl<'w, 's> Engine<'w, 's> {
 
     fn still_needed(&self, vd: VersionedData) -> bool {
         // A datum is needed if any non-completed task consumes it.
-        self.graph.nodes().any(|n| {
-            n.state() != TaskState::Completed && n.consumed().contains(&vd)
-        })
+        self.graph
+            .nodes()
+            .any(|n| n.state() != TaskState::Completed && n.consumed().contains(&vd))
     }
 
     /// Restart-from-scratch recovery: every completed task is counted
@@ -590,6 +654,13 @@ impl<'w, 's> Engine<'w, 's> {
     // ---- scheduling --------------------------------------------------------
 
     fn schedule_round(&mut self, now: VirtualTime) -> Result<(), RuntimeError> {
+        if self.options.telemetry.enabled() {
+            self.options.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::QueueDepth,
+                at_us: micros_from_seconds(now.as_seconds()),
+                value: self.graph.ready_tasks().len() as f64,
+            });
+        }
         loop {
             let ready: Vec<TaskId> = self.graph.ready_tasks().iter().copied().collect();
             if ready.is_empty() {
@@ -714,11 +785,7 @@ impl<'w, 's> Engine<'w, 's> {
             }
             return Ok(());
         }
-        let node = self
-            .nodes
-            .iter()
-            .find(|n| n.can_host(&req))
-            .map(|n| n.id());
+        let node = self.nodes.iter().find(|n| n.can_host(&req)).map(|n| n.id());
         if let Some(node) = node {
             self.replaying.insert(task);
             self.begin_execution(task, vec![node], now);
@@ -774,6 +841,14 @@ impl<'w, 's> Engine<'w, 's> {
     /// input transfers, schedules the completion event.
     fn begin_execution(&mut self, task: TaskId, hosts: Vec<NodeId>, now: VirtualTime) {
         let head = hosts[0];
+        if self.options.telemetry.enabled() {
+            self.options.telemetry.record(TelemetryEvent::Instant {
+                track: Track::Node(head.index() as u32),
+                name: self.task_name(task),
+                phase: TaskPhase::Scheduled,
+                at_us: micros_from_seconds(now.as_seconds()),
+            });
+        }
         let transfer_s = self.plan_input_transfers(task, head, now);
         let profile = self.workload.profile(task);
         let n_hosts = hosts.len();
@@ -802,8 +877,10 @@ impl<'w, 's> Engine<'w, 's> {
                 stall_s: transfer_s,
             },
         );
-        self.queue
-            .push(now.after(transfer_s + exec_s), Event::TaskDone { task, epoch });
+        self.queue.push(
+            now.after(transfer_s + exec_s),
+            Event::TaskDone { task, epoch },
+        );
     }
 
     /// The reservation actually charged to a host (rigid tasks occupy
@@ -964,8 +1041,11 @@ mod tests {
         w.task(TaskSpec::new("t0").output(d), TaskProfile::new(dur))
             .unwrap();
         for i in 1..n {
-            w.task(TaskSpec::new(format!("t{i}")).inout(d), TaskProfile::new(dur))
-                .unwrap();
+            w.task(
+                TaskSpec::new(format!("t{i}")).inout(d),
+                TaskProfile::new(dur),
+            )
+            .unwrap();
         }
         w
     }
@@ -1015,8 +1095,7 @@ mod tests {
         for o in &outs {
             w.task(
                 TaskSpec::new("hungry").output(*o),
-                TaskProfile::new(10.0)
-                    .constraints(Constraints::new().memory_mb(60_000)),
+                TaskProfile::new(10.0).constraints(Constraints::new().memory_mb(60_000)),
             )
             .unwrap();
         }
@@ -1074,13 +1153,21 @@ mod tests {
         .unwrap();
         let p = PlatformBuilder::new()
             .cluster("hpc", 1, NodeSpec::hpc(4, 96_000))
-            .cloud("cloud", 1, NodeSpec::cloud_vm(4, 16_000).with_software(["cloud-only"]))
+            .cloud(
+                "cloud",
+                1,
+                NodeSpec::cloud_vm(4, 16_000).with_software(["cloud-only"]),
+            )
             .build();
         let r = run(&w, p, SimOptions::default(), &FaultPlan::new()).unwrap();
         assert_eq!(r.transfer_count, 1);
         assert_eq!(r.transfer_bytes, 120_000_000);
         // ~1 s WAN transfer + 1 s execution.
-        assert!(r.makespan_s > 1.9, "transfer must delay start, got {}", r.makespan_s);
+        assert!(
+            r.makespan_s > 1.9,
+            "transfer must delay start, got {}",
+            r.makespan_s
+        );
     }
 
     #[test]
@@ -1095,8 +1182,11 @@ mod tests {
             let light = if i == 0 { 1.0 } else { 10.0 };
             w.task(TaskSpec::new("s1").output(a), TaskProfile::new(heavy))
                 .unwrap();
-            w.task(TaskSpec::new("s2").input(a).output(b), TaskProfile::new(light))
-                .unwrap();
+            w.task(
+                TaskSpec::new("s2").input(a).output(b),
+                TaskProfile::new(light),
+            )
+            .unwrap();
         }
         let dataflow = run(&w, cluster(2, 1), SimOptions::default(), &FaultPlan::new()).unwrap();
         let barrier = run(
@@ -1123,8 +1213,11 @@ mod tests {
             TaskProfile::new(10.0).constraints(Constraints::new().nodes(2)),
         )
         .unwrap();
-        w.task(TaskSpec::new("post").input(sim).output(o), TaskProfile::new(1.0))
-            .unwrap();
+        w.task(
+            TaskSpec::new("post").input(sim).output(o),
+            TaskProfile::new(1.0),
+        )
+        .unwrap();
         let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
         assert_eq!(r.tasks_completed, 2);
         assert!((r.makespan_s - 11.0).abs() < 1e-9);
@@ -1175,8 +1268,11 @@ mod tests {
             TaskProfile::new(1.0).outputs_bytes(1_000),
         )
         .unwrap();
-        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
-            .unwrap();
+        w.task(
+            TaskSpec::new("blocker").output(blocker),
+            TaskProfile::new(20.0),
+        )
+        .unwrap();
         // Consumer needs both, so it cannot start before t=20.
         w.task(
             TaskSpec::new("c").input(a).input(blocker).output(out),
@@ -1203,8 +1299,11 @@ mod tests {
             TaskProfile::new(1.0).outputs_bytes(1_000),
         )
         .unwrap();
-        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
-            .unwrap();
+        w.task(
+            TaskSpec::new("blocker").output(blocker),
+            TaskProfile::new(20.0),
+        )
+        .unwrap();
         w.task(
             TaskSpec::new("c").input(a).input(blocker).output(out),
             TaskProfile::new(1.0),
@@ -1233,8 +1332,11 @@ mod tests {
             TaskProfile::new(1.0).outputs_bytes(1_000),
         )
         .unwrap();
-        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
-            .unwrap();
+        w.task(
+            TaskSpec::new("blocker").output(blocker),
+            TaskProfile::new(20.0),
+        )
+        .unwrap();
         w.task(
             TaskSpec::new("c").input(a).input(blocker).output(out),
             TaskProfile::new(1.0),
@@ -1251,7 +1353,10 @@ mod tests {
         assert_eq!(r.tasks_completed, 3);
         // The completed producer counts as re-executed after restart.
         assert!(r.tasks_reexecuted >= 1);
-        assert!(r.makespan_s > 21.0, "restart pushes completion well past 21 s");
+        assert!(
+            r.makespan_s > 21.0,
+            "restart pushes completion well past 21 s"
+        );
     }
 
     #[test]
@@ -1265,8 +1370,11 @@ mod tests {
             TaskProfile::new(1.0).outputs_bytes(1_000),
         )
         .unwrap();
-        w.task(TaskSpec::new("blocker").output(blocker), TaskProfile::new(20.0))
-            .unwrap();
+        w.task(
+            TaskSpec::new("blocker").output(blocker),
+            TaskProfile::new(20.0),
+        )
+        .unwrap();
         w.task(
             TaskSpec::new("c").input(a).input(blocker).output(out),
             TaskProfile::new(1.0),
@@ -1361,13 +1469,29 @@ mod tests {
         let platform = |vms: usize| {
             PlatformBuilder::new()
                 .cluster("hpc", 1, NodeSpec::hpc(4, 96_000))
-                .cloud("dc", vms, NodeSpec::cloud_vm(4, 16_000).with_software(["cloud"]))
+                .cloud(
+                    "dc",
+                    vms,
+                    NodeSpec::cloud_vm(4, 16_000).with_software(["cloud"]),
+                )
                 .build()
         };
         // 1 task: ~1 s WAN transfer + 1 s exec.
-        let one = run(&build(1), platform(4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        let one = run(
+            &build(1),
+            platform(4),
+            SimOptions::default(),
+            &FaultPlan::new(),
+        )
+        .unwrap();
         // 8 tasks on ample cloud slots: transfers serialise on the WAN.
-        let eight = run(&build(8), platform(4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        let eight = run(
+            &build(8),
+            platform(4),
+            SimOptions::default(),
+            &FaultPlan::new(),
+        )
+        .unwrap();
         assert!(
             eight.makespan_s > 7.0 * (one.makespan_s - 1.0),
             "8 WAN transfers must serialise: {} vs single {}",
@@ -1379,8 +1503,11 @@ mod tests {
         for i in 0..8 {
             let raw = w.initial_data(format!("raw{i}"), 120_000_000, Some(NodeId::from_raw(0)));
             let out = w.data(format!("out{i}"));
-            w.task(TaskSpec::new("consume").input(raw).output(out), TaskProfile::new(1.0))
-                .unwrap();
+            w.task(
+                TaskSpec::new("consume").input(raw).output(out),
+                TaskProfile::new(1.0),
+            )
+            .unwrap();
         }
         let p = PlatformBuilder::new()
             .cluster("hpc", 4, NodeSpec::hpc(4, 96_000))

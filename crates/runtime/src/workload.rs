@@ -147,7 +147,11 @@ impl SimWorkload {
             data: self.ap.catalog().len(),
             total_duration_s: total,
             critical_path_s: cp.length,
-            average_parallelism: if cp.length > 0.0 { total / cp.length } else { 0.0 },
+            average_parallelism: if cp.length > 0.0 {
+                total / cp.length
+            } else {
+                0.0
+            },
         }
     }
 }

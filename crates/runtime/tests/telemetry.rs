@@ -1,0 +1,208 @@
+//! Integration tests of the telemetry subsystem against both engines:
+//! the simulated engine must produce byte-identical Chrome traces for
+//! identical runs (virtual clock), and the local engine's wall-clock
+//! traces must be well-formed (every task span closed, nested inside
+//! the run span, no impossible timings).
+
+use continuum_dag::TaskSpec;
+use continuum_platform::{Constraints, NodeSpec, PlatformBuilder};
+use continuum_runtime::{
+    FifoScheduler, LocalConfig, LocalRuntime, SimOptions, SimRuntime, SimWorkload, TaskProfile,
+    TraceBuffer,
+};
+use continuum_sim::FaultPlan;
+use continuum_telemetry::{chrome_trace, paraver_trace, Event, MetricsSnapshot, TaskPhase, Track};
+
+/// A small diamond-heavy workload with transfers, so traces contain
+/// `Transferring` spans as well as `Executing` spans.
+fn sim_workload() -> SimWorkload {
+    let mut w = SimWorkload::new();
+    let src = w.data("src");
+    w.task(
+        TaskSpec::new("produce").output(src),
+        TaskProfile::new(2.0).outputs_bytes(200_000_000),
+    )
+    .unwrap();
+    let mut mids = Vec::new();
+    for i in 0..6 {
+        let mid = w.data(format!("mid{i}"));
+        w.task(
+            TaskSpec::new(format!("map{i}")).input(src).output(mid),
+            TaskProfile::new(1.0 + i as f64 * 0.5).outputs_bytes(50_000_000),
+        )
+        .unwrap();
+        mids.push(mid);
+    }
+    let out = w.data("out");
+    let mut spec = TaskSpec::new("reduce").output(out);
+    for mid in mids {
+        spec = spec.input(mid);
+    }
+    w.task(spec, TaskProfile::new(3.0)).unwrap();
+    w
+}
+
+fn sim_events() -> Vec<Event> {
+    let platform = PlatformBuilder::new()
+        .cluster("c", 3, NodeSpec::hpc(2, 96_000))
+        .build();
+    let (buffer, telemetry) = TraceBuffer::collector();
+    let options = SimOptions {
+        telemetry,
+        ..SimOptions::default()
+    };
+    SimRuntime::new(platform, options)
+        .run(
+            &sim_workload(),
+            &mut FifoScheduler::new(),
+            &FaultPlan::new(),
+        )
+        .expect("completes");
+    buffer.events()
+}
+
+#[test]
+fn sim_traces_are_byte_identical_across_runs() {
+    let a = sim_events();
+    let b = sim_events();
+    assert_eq!(chrome_trace(&a), chrome_trace(&b));
+    assert_eq!(paraver_trace(&a), paraver_trace(&b));
+}
+
+#[test]
+fn sim_trace_covers_the_full_lifecycle() {
+    let events = sim_events();
+    let has = |phase: TaskPhase| {
+        events.iter().any(|e| match e {
+            Event::Span { phase: p, .. } | Event::Instant { phase: p, .. } => *p == phase,
+            Event::Counter { .. } => false,
+        })
+    };
+    assert!(has(TaskPhase::Submitted), "graph registration markers");
+    assert!(has(TaskPhase::Scheduled), "placement markers");
+    assert!(has(TaskPhase::Transferring), "input-stall spans");
+    assert!(has(TaskPhase::Executing), "compute spans");
+    assert!(has(TaskPhase::Committed), "completion markers");
+    // The run span closes everything: it starts at 0 and no event
+    // extends past its end.
+    let run_end = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Span {
+                track: Track::Run,
+                name,
+                start_us: 0,
+                dur_us,
+                ..
+            } if name == "sim-run" => Some(*dur_us),
+            _ => None,
+        })
+        .expect("sim-run span present");
+    for e in &events {
+        assert!(e.end_us() <= run_end, "event past run end: {e:?}");
+    }
+    // The snapshot agrees with the workload: 8 tasks committed.
+    let snapshot = MetricsSnapshot::from_events(&events);
+    assert_eq!(snapshot.instants.get(&TaskPhase::Committed), Some(&8));
+}
+
+#[test]
+fn local_traces_are_well_formed() {
+    let (buffer, telemetry) = TraceBuffer::collector();
+    {
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 3,
+            telemetry,
+            ..LocalConfig::default()
+        });
+        let stage1 = rt.data_batch::<u64>("s1", 5);
+        let total = rt.data::<u64>("total");
+        for (i, d) in stage1.iter().enumerate() {
+            rt.submit(
+                TaskSpec::new(format!("gen{i}")).output(d.id()),
+                Constraints::new(),
+                move |ctx| ctx.set_output(0, i as u64 + 1),
+            )
+            .unwrap();
+        }
+        rt.submit(
+            TaskSpec::new("sum")
+                .inputs(stage1.iter().map(|d| d.id()))
+                .output(total.id()),
+            Constraints::new(),
+            |ctx| {
+                let s: u64 = (0..ctx.input_count()).map(|i| *ctx.input::<u64>(i)).sum();
+                ctx.set_output(0, s);
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&total).unwrap(), 15);
+        rt.wait_all().unwrap();
+    } // drop closes the run span
+    let events = buffer.events();
+
+    // The run span exists, starts at 0, and closes last.
+    let run_end = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Span {
+                track: Track::Run,
+                name,
+                start_us: 0,
+                dur_us,
+                ..
+            } if name == "local-run" => Some(*dur_us),
+            _ => None,
+        })
+        .expect("local-run span present");
+    for e in &events {
+        assert!(e.end_us() <= run_end, "event outside run span: {e:?}");
+    }
+
+    // Every task (worker-track) executing span has a matching commit
+    // marker at its end and fits inside the run span; the unsigned
+    // types make negative durations unrepresentable.
+    let mut exec_spans = 0;
+    for e in &events {
+        if let Event::Span {
+            track: track @ Track::Worker(_),
+            name,
+            phase: TaskPhase::Executing,
+            start_us,
+            dur_us,
+        } = e
+        {
+            assert!(start_us + dur_us <= run_end);
+            exec_spans += 1;
+            let closed = events.iter().any(|m| {
+                matches!(
+                    m,
+                    Event::Instant { track: t, name: n, phase: TaskPhase::Committed | TaskPhase::Failed, at_us }
+                        if t == track && n == name && *at_us == start_us + dur_us
+                )
+            });
+            assert!(closed, "span for `{name}` has no commit/fail marker");
+        }
+    }
+    assert_eq!(exec_spans, 6, "one span per task");
+
+    // One submission marker per task, on the engine track.
+    let submitted = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::Instant {
+                    track: Track::Run,
+                    phase: TaskPhase::Submitted,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(submitted, 6);
+
+    // The Chrome export of a wall-clock trace is still valid JSON.
+    let json = serde::json::parse(&chrome_trace(&events)).expect("valid JSON");
+    assert!(json.as_arr().is_some_and(|a| !a.is_empty()));
+}

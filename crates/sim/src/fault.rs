@@ -153,7 +153,10 @@ mod tests {
         let a = FaultPlan::churn(7, nodes.clone(), 100.0, 20.0, 1000.0);
         let b = FaultPlan::churn(7, nodes.clone(), 100.0, 20.0, 1000.0);
         assert_eq!(a, b);
-        assert!(!a.is_empty(), "1000 s horizon with 100 s MTBF must fail sometimes");
+        assert!(
+            !a.is_empty(),
+            "1000 s horizon with 100 s MTBF must fail sometimes"
+        );
         for w in a.events().windows(2) {
             assert!(w[0].time <= w[1].time);
         }
@@ -164,7 +167,11 @@ mod tests {
         let plan = FaultPlan::churn(3, [NodeId::from_raw(0)], 50.0, 10.0, 2000.0);
         let mut expect_fail = true;
         for e in plan.events() {
-            let expected = if expect_fail { FaultKind::Fail } else { FaultKind::Recover };
+            let expected = if expect_fail {
+                FaultKind::Fail
+            } else {
+                FaultKind::Recover
+            };
             assert_eq!(e.kind, expected);
             expect_fail = !expect_fail;
         }

@@ -152,7 +152,11 @@ impl NodeState {
     ///
     /// Panics if the task is not running here.
     pub fn finish(&mut self, task: TaskId, req: &Constraints, now: VirtualTime) {
-        assert!(self.running.remove(&task), "task {task} not running on {}", self.id);
+        assert!(
+            self.running.remove(&task),
+            "task {task} not running on {}",
+            self.id
+        );
         self.advance(now);
         self.free.release(req);
         self.cores_in_use -= req.required_compute_units();

@@ -36,6 +36,9 @@ pub struct RunReport {
     pub locality_hits: u64,
     /// Fraction of reads served locally.
     pub locality_rate: f64,
+    /// Seconds task starts were stalled waiting for input transfers,
+    /// summed over all executions.
+    pub transfer_stall_s: f64,
     /// Aggregate energy over all nodes.
     pub energy: EnergyAccount,
     /// Per-node usage.
@@ -50,6 +53,7 @@ impl RunReport {
         makespan_s: f64,
         tasks_completed: usize,
         tasks_reexecuted: usize,
+        transfer_stall_s: f64,
         nodes: &[NodeState],
         transfers: &TransferLedger,
     ) -> Self {
@@ -74,6 +78,7 @@ impl RunReport {
             transfer_bytes: transfers.total_bytes(),
             locality_hits: transfers.local_hits(),
             locality_rate: transfers.locality_rate(),
+            transfer_stall_s,
             energy,
             node_usage,
             node_hours: alive_total / 3600.0,
@@ -119,7 +124,12 @@ impl fmt::Display for RunReport {
             self.locality_rate * 100.0,
             self.locality_hits
         )?;
-        writeln!(f, "energy             {:>12.3} kWh", self.energy.total_kwh())?;
+        writeln!(f, "transfer stall     {:>12.2} s", self.transfer_stall_s)?;
+        writeln!(
+            f,
+            "energy             {:>12.3} kWh",
+            self.energy.total_kwh()
+        )?;
         writeln!(f, "node-hours         {:>12.3}", self.node_hours)?;
         write!(
             f,
@@ -140,15 +150,14 @@ mod tests {
         let platform = PlatformBuilder::new()
             .cluster("c", 2, NodeSpec::hpc(4, 1000))
             .build();
-        let mut nodes: Vec<NodeState> =
-            platform.nodes().iter().map(NodeState::new).collect();
+        let mut nodes: Vec<NodeState> = platform.nodes().iter().map(NodeState::new).collect();
         let req = Constraints::new().compute_units(4);
         nodes[0].try_start(TaskId::from_raw(0), &req, VirtualTime::ZERO);
         nodes[0].finish(TaskId::from_raw(0), &req, VirtualTime::from_seconds(10.0));
         nodes[1].advance(VirtualTime::from_seconds(10.0));
         let mut ledger = TransferLedger::new();
         ledger.record_local_hit(100);
-        RunReport::from_parts(10.0, 1, 0, &nodes, &ledger)
+        RunReport::from_parts(10.0, 1, 0, 0.25, &nodes, &ledger)
     }
 
     #[test]
@@ -183,5 +192,14 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("makespan"));
         assert!(s.contains("energy"));
+        assert!(s.contains("transfer stall"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        assert_eq!(r.transfer_stall_s, 0.25);
+        let back: RunReport = serde::from_str(&serde::to_string(&r)).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -59,7 +59,9 @@ impl Eq for VirtualTime {}
 impl Ord for VirtualTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Finite by construction, so partial_cmp never fails.
-        self.0.partial_cmp(&other.0).expect("virtual time is finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual time is finite")
     }
 }
 

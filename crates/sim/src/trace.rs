@@ -4,6 +4,7 @@
 
 use continuum_dag::TaskId;
 use continuum_platform::NodeId;
+use continuum_telemetry::{micros_from_seconds, Event, GanttSpan, TaskPhase, Track};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -22,6 +23,49 @@ pub struct TraceRecord {
     pub transfer_stall_s: f64,
     /// `true` for lineage replays of already-completed tasks.
     pub replay: bool,
+}
+
+impl TraceRecord {
+    /// Expands the record into engine-independent telemetry events on
+    /// the execution node's track, in virtual microseconds: a
+    /// `Transferring` span for any input stall, an `Executing` span,
+    /// and a `Committed` (or `Replayed`) marker. This is the single
+    /// conversion the simulated engine and post-hoc trace exports
+    /// share.
+    pub fn to_events(&self, name: &str) -> Vec<Event> {
+        let track = Track::Node(self.node.index() as u32);
+        let start_us = micros_from_seconds(self.start_s);
+        let exec_start_us = micros_from_seconds(self.start_s + self.transfer_stall_s);
+        let end_us = micros_from_seconds(self.end_s);
+        let mut events = Vec::with_capacity(3);
+        if exec_start_us > start_us {
+            events.push(Event::Span {
+                track,
+                name: name.to_string(),
+                phase: TaskPhase::Transferring,
+                start_us,
+                dur_us: exec_start_us - start_us,
+            });
+        }
+        events.push(Event::Span {
+            track,
+            name: name.to_string(),
+            phase: TaskPhase::Executing,
+            start_us: exec_start_us,
+            dur_us: end_us.saturating_sub(exec_start_us),
+        });
+        events.push(Event::Instant {
+            track,
+            name: name.to_string(),
+            phase: if self.replay {
+                TaskPhase::Replayed
+            } else {
+                TaskPhase::Committed
+            },
+            at_us: end_us,
+        });
+        events
+    }
 }
 
 /// A full execution trace.
@@ -68,30 +112,31 @@ impl ExecutionTrace {
 
     /// Renders an ASCII Gantt chart: one row per node, time bucketed
     /// into `width` columns. Busy buckets show `#`, replays `r`.
+    /// Rendering is delegated to [`continuum_telemetry::gantt`].
     pub fn gantt(&self, nodes: usize, width: usize) -> String {
-        let end = self
-            .records
+        let rows: Vec<(String, Vec<GanttSpan>)> = (0..nodes)
+            .map(|n| {
+                let spans = self
+                    .on_node(NodeId::from_raw(n as u32))
+                    .map(|r| GanttSpan {
+                        start_s: r.start_s,
+                        end_s: r.end_s,
+                        replay: r.replay,
+                    })
+                    .collect();
+                (format!("n{n}"), spans)
+            })
+            .collect();
+        continuum_telemetry::gantt::render(&rows, width)
+    }
+
+    /// Converts the whole trace to telemetry events (see
+    /// [`TraceRecord::to_events`]), labelling spans with the task id.
+    pub fn to_events(&self) -> Vec<Event> {
+        self.records
             .iter()
-            .map(|r| r.end_s)
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
-        let mut out = String::new();
-        for n in 0..nodes {
-            let mut row = vec![b' '; width];
-            for r in self.on_node(NodeId::from_raw(n as u32)) {
-                let a = ((r.start_s / end) * width as f64).floor() as usize;
-                let b = ((r.end_s / end) * width as f64).ceil() as usize;
-                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
-                    *cell = if r.replay { b'r' } else { b'#' };
-                }
-            }
-            out.push_str(&format!(
-                "n{n:<3} |{}|\n",
-                String::from_utf8(row).expect("ascii")
-            ));
-        }
-        out.push_str(&format!("      0s {:>width$.1}s\n", end, width = width - 2));
-        out
+            .flat_map(|r| r.to_events(&r.task.to_string()))
+            .collect()
     }
 }
 
@@ -154,6 +199,41 @@ mod tests {
         let bar = &n1[n1.find('|').unwrap() + 1..n1.rfind('|').unwrap()];
         assert!(bar.starts_with(' '));
         assert!(bar.ends_with('#'));
+    }
+
+    #[test]
+    fn to_events_carries_stalls_and_commits() {
+        let mut t = ExecutionTrace::new();
+        let mut r = rec(3, 1, 1.0, 4.0); // 0.1 s stall from rec()
+        r.transfer_stall_s = 0.5;
+        t.record(r);
+        let events = t.to_events();
+        assert_eq!(events.len(), 3, "transfer span + exec span + marker");
+        match &events[0] {
+            Event::Span {
+                phase,
+                start_us,
+                dur_us,
+                ..
+            } => {
+                assert_eq!(*phase, TaskPhase::Transferring);
+                assert_eq!((*start_us, *dur_us), (1_000_000, 500_000));
+            }
+            other => panic!("expected transfer span, got {other:?}"),
+        }
+        match &events[2] {
+            Event::Instant {
+                phase,
+                at_us,
+                track,
+                ..
+            } => {
+                assert_eq!(*phase, TaskPhase::Committed);
+                assert_eq!(*at_us, 4_000_000);
+                assert_eq!(*track, Track::Node(1));
+            }
+            other => panic!("expected commit marker, got {other:?}"),
+        }
     }
 
     #[test]

@@ -251,8 +251,7 @@ mod tests {
     use super::*;
 
     fn vector_store() -> ActiveStore {
-        let store =
-            ActiveStore::new((0..3).map(NodeId::from_raw).collect(), 2).unwrap();
+        let store = ActiveStore::new((0..3).map(NodeId::from_raw).collect(), 2).unwrap();
         store.register_class(
             ClassDef::new("Vector")
                 .method("sum", |payload, _| {
@@ -271,8 +270,12 @@ mod tests {
     #[test]
     fn method_execution_returns_result() {
         let s = vector_store();
-        s.put("v".into(), StoredValue::object(vec![1, 2, 3, 4], "Vector"), None)
-            .unwrap();
+        s.put(
+            "v".into(),
+            StoredValue::object(vec![1, 2, 3, 4], "Vector"),
+            None,
+        )
+        .unwrap();
         let r = s.execute(&"v".into(), "sum", &[]).unwrap();
         assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 10);
     }
@@ -280,8 +283,12 @@ mod tests {
     #[test]
     fn method_with_args() {
         let s = vector_store();
-        s.put("v".into(), StoredValue::object(vec![1, 5, 9], "Vector"), None)
-            .unwrap();
+        s.put(
+            "v".into(),
+            StoredValue::object(vec![1, 5, 9], "Vector"),
+            None,
+        )
+        .unwrap();
         let r = s.execute(&"v".into(), "count_above", &[4]).unwrap();
         assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 2);
     }

@@ -56,7 +56,9 @@ mod tests {
     #[test]
     fn messages_name_the_offender() {
         let k = ObjectKey::new("x");
-        assert!(StorageError::NotFound(k.clone()).to_string().contains("`x`"));
+        assert!(StorageError::NotFound(k.clone())
+            .to_string()
+            .contains("`x`"));
         let e = StorageError::UnknownMethod {
             class: "Matrix".into(),
             method: "sum".into(),

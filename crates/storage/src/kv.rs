@@ -200,9 +200,7 @@ impl StorageRuntime for KvStore {
         let mut inner = self.inner.lock();
         let replicas = self.place(&inner, &key, hint);
         if replicas.is_empty() {
-            return Err(StorageError::InvalidConfig(
-                "no live storage nodes".into(),
-            ));
+            return Err(StorageError::InvalidConfig("no live storage nodes".into()));
         }
         let size = value.size() as u64;
         inner.stats.puts += 1;
@@ -233,10 +231,7 @@ impl StorageRuntime for KvStore {
             .data
             .get(key)
             .ok_or_else(|| StorageError::NotFound(key.clone()))?;
-        let live = entry
-            .replicas
-            .iter()
-            .any(|r| !inner.down.contains(r));
+        let live = entry.replicas.iter().any(|r| !inner.down.contains(r));
         if !live {
             return Err(StorageError::AllReplicasDown(key.clone()));
         }
@@ -366,9 +361,7 @@ mod tests {
     #[test]
     fn unavailable_when_all_replicas_down() {
         let s = store(3, 2);
-        let reps = s
-            .put("k".into(), StoredValue::blob(vec![1]), None)
-            .unwrap();
+        let reps = s.put("k".into(), StoredValue::blob(vec![1]), None).unwrap();
         for r in &reps {
             s.fail_node(*r);
         }
@@ -385,9 +378,7 @@ mod tests {
     #[test]
     fn wipe_node_loses_solo_replicas() {
         let s = store(2, 1);
-        let reps = s
-            .put("k".into(), StoredValue::blob(vec![1]), None)
-            .unwrap();
+        let reps = s.put("k".into(), StoredValue::blob(vec![1]), None).unwrap();
         s.wipe_node(reps[0]);
         let locs = s.locations(&"k".into()).unwrap();
         assert!(locs.is_empty());

@@ -8,10 +8,20 @@ use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key: u8, size: u16, hint: Option<u8> },
-    Delete { key: u8 },
-    Fail { node: u8 },
-    Recover { node: u8 },
+    Put {
+        key: u8,
+        size: u16,
+        hint: Option<u8>,
+    },
+    Delete {
+        key: u8,
+    },
+    Fail {
+        node: u8,
+    },
+    Recover {
+        node: u8,
+    },
 }
 
 fn op_strategy(nodes: u8) -> impl Strategy<Value = Op> {

@@ -1,0 +1,254 @@
+//! The event model: typed records of what an engine did and when.
+//!
+//! Both engines speak this vocabulary — the local runtime stamps events
+//! with wall-clock time, the simulator with virtual time — so every
+//! exporter ([`crate::chrome`], [`crate::paraver`], [`crate::metrics`])
+//! works on either without knowing which engine produced the stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Event timestamps, in integer microseconds since the run origin.
+///
+/// Integer microseconds are what Chrome's `trace_event` format uses
+/// natively, keep virtual-time exports byte-deterministic, and are
+/// cheap to produce on the hot path.
+pub type Micros = u64;
+
+/// Converts engine seconds (wall-clock or virtual) to [`Micros`].
+pub fn micros_from_seconds(seconds: f64) -> Micros {
+    (seconds * 1e6).round().max(0.0) as Micros
+}
+
+/// The timeline an event belongs to. Exporters render one row (Chrome
+/// thread, Paraver line, Gantt row) per distinct track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Track {
+    /// The whole run (engine-level events and counters).
+    Run,
+    /// A simulated platform node.
+    Node(u32),
+    /// A local-runtime worker thread.
+    Worker(u32),
+    /// An autonomous agent on the message bus.
+    Agent(u32),
+}
+
+impl Track {
+    /// Human-readable row label.
+    pub fn label(&self) -> String {
+        match self {
+            Track::Run => "run".to_string(),
+            Track::Node(i) => format!("node {i}"),
+            Track::Worker(i) => format!("worker {i}"),
+            Track::Agent(i) => format!("agent {i}"),
+        }
+    }
+
+    /// Chrome `pid`: one process per track family.
+    pub fn chrome_pid(&self) -> u64 {
+        match self {
+            Track::Run => 1,
+            Track::Node(_) => 2,
+            Track::Worker(_) => 3,
+            Track::Agent(_) => 4,
+        }
+    }
+
+    /// Chrome `tid`: the row within the family.
+    pub fn chrome_tid(&self) -> u64 {
+        match self {
+            Track::Run => 0,
+            Track::Node(i) | Track::Worker(i) | Track::Agent(i) => u64::from(*i),
+        }
+    }
+
+    /// Name of the Chrome process grouping this family's rows.
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            Track::Run => "engine",
+            Track::Node(_) => "sim nodes",
+            Track::Worker(_) => "local workers",
+            Track::Agent(_) => "agents",
+        }
+    }
+}
+
+/// Where a task is in its lifecycle:
+/// `submitted → ready → scheduled → transferring → executing →
+/// committed | failed | replayed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TaskPhase {
+    /// Registered with the engine; dependencies may be unmet.
+    Submitted,
+    /// All dependencies satisfied, waiting for resources.
+    Ready,
+    /// Placed on a node/worker/agent.
+    Scheduled,
+    /// Stalled moving inputs to the execution site.
+    Transferring,
+    /// Running the task body.
+    Executing,
+    /// Outputs committed; the task is done.
+    Committed,
+    /// The task body failed.
+    Failed,
+    /// A lineage replay of an already-completed task.
+    Replayed,
+}
+
+impl TaskPhase {
+    /// Lower-case label, used as the Chrome `cat` field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TaskPhase::Submitted => "submitted",
+            TaskPhase::Ready => "ready",
+            TaskPhase::Scheduled => "scheduled",
+            TaskPhase::Transferring => "transferring",
+            TaskPhase::Executing => "executing",
+            TaskPhase::Committed => "committed",
+            TaskPhase::Failed => "failed",
+            TaskPhase::Replayed => "replayed",
+        }
+    }
+
+    /// Paraver state code: `1` is the conventional "running" state;
+    /// the rest use a stable private numbering.
+    pub fn paraver_state(&self) -> u32 {
+        match self {
+            TaskPhase::Executing => 1,
+            TaskPhase::Submitted => 2,
+            TaskPhase::Ready => 3,
+            TaskPhase::Scheduled => 4,
+            TaskPhase::Transferring => 5,
+            TaskPhase::Committed => 6,
+            TaskPhase::Failed => 7,
+            TaskPhase::Replayed => 8,
+        }
+    }
+}
+
+/// A metric an engine samples over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CounterKey {
+    /// Tasks ready but not yet placed.
+    QueueDepth,
+    /// Tasks currently executing.
+    RunningTasks,
+    /// Cumulative bytes moved between nodes.
+    TransferBytes,
+    /// Cumulative microseconds stalled on input transfers.
+    TransferStallMicros,
+    /// Cumulative lineage replays of completed tasks.
+    LineageReplays,
+    /// Microseconds between a task becoming ready and being placed.
+    ScheduleLatencyMicros,
+}
+
+impl CounterKey {
+    /// Lower-snake-case label, used as the Chrome counter name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CounterKey::QueueDepth => "queue_depth",
+            CounterKey::RunningTasks => "running_tasks",
+            CounterKey::TransferBytes => "transfer_bytes",
+            CounterKey::TransferStallMicros => "transfer_stall_us",
+            CounterKey::LineageReplays => "lineage_replays",
+            CounterKey::ScheduleLatencyMicros => "schedule_latency_us",
+        }
+    }
+}
+
+/// One telemetry record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A closed interval on a track (e.g. a task body execution).
+    Span {
+        /// Row the span lives on.
+        track: Track,
+        /// Span label (usually the task name).
+        name: String,
+        /// Lifecycle phase the interval covers.
+        phase: TaskPhase,
+        /// Interval start.
+        start_us: Micros,
+        /// Interval length.
+        dur_us: Micros,
+    },
+    /// A point-in-time marker (e.g. a task commit).
+    Instant {
+        /// Row the marker lives on.
+        track: Track,
+        /// Marker label (usually the task name).
+        name: String,
+        /// Lifecycle phase the marker records.
+        phase: TaskPhase,
+        /// When it happened.
+        at_us: Micros,
+    },
+    /// A sampled metric value.
+    Counter {
+        /// Which metric.
+        key: CounterKey,
+        /// Sample time.
+        at_us: Micros,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The event's timestamp (span start for spans).
+    pub fn at_us(&self) -> Micros {
+        match self {
+            Event::Span { start_us, .. } => *start_us,
+            Event::Instant { at_us, .. } | Event::Counter { at_us, .. } => *at_us,
+        }
+    }
+
+    /// The event's end (start for instants and counters).
+    pub fn end_us(&self) -> Micros {
+        match self {
+            Event::Span {
+                start_us, dur_us, ..
+            } => start_us + dur_us,
+            Event::Instant { at_us, .. } | Event::Counter { at_us, .. } => *at_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_conversion_rounds() {
+        assert_eq!(micros_from_seconds(0.0), 0);
+        assert_eq!(micros_from_seconds(1.5), 1_500_000);
+        assert_eq!(micros_from_seconds(-1.0), 0, "clamped at zero");
+        assert_eq!(micros_from_seconds(1e-7), 0, "sub-microsecond rounds down");
+    }
+
+    #[test]
+    fn events_report_bounds() {
+        let span = Event::Span {
+            track: Track::Node(0),
+            name: "t".into(),
+            phase: TaskPhase::Executing,
+            start_us: 10,
+            dur_us: 5,
+        };
+        assert_eq!(span.at_us(), 10);
+        assert_eq!(span.end_us(), 15);
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = Event::Counter {
+            key: CounterKey::QueueDepth,
+            at_us: 7,
+            value: 3.0,
+        };
+        let back: Event = serde::from_str(&serde::to_string(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,37 @@
+//! # continuum-telemetry
+//!
+//! Engine-independent observability for the continuum workflow
+//! environment — the reproduction of the Paraver-centric tracing the
+//! paper's COMPSs runtime ships with, generalised over both of this
+//! workspace's engines.
+//!
+//! The crate deliberately depends on **no engine code**: it defines
+//!
+//! * a typed [`Event`] model — task-lifecycle spans and instants on
+//!   [`Track`]s, plus sampled [`CounterKey`] metrics — stamped in
+//!   integer microseconds ([`Micros`]), wall-clock or virtual;
+//! * a cheap [`Recorder`] sink behind a [`RecorderHandle`] whose
+//!   default ([`NoopRecorder`]) makes disabled telemetry cost one
+//!   virtual call per site;
+//! * exporters: [`chrome_trace`] (Chrome `trace_event` JSON),
+//!   [`paraver_trace`] (Paraver-style `.prv`), [`MetricsSnapshot`]
+//!   (in-memory aggregates with a summary table) and an ASCII
+//!   [`gantt`] renderer.
+//!
+//! Engines embed a [`RecorderHandle`] in their config; users who want a
+//! trace plug in a [`TraceBuffer`] via [`TraceBuffer::collector`] and
+//! export the buffered events after the run.
+
+pub mod chrome;
+pub mod event;
+pub mod gantt;
+pub mod metrics;
+pub mod paraver;
+pub mod recorder;
+
+pub use chrome::chrome_trace;
+pub use event::{micros_from_seconds, CounterKey, Event, Micros, TaskPhase, Track};
+pub use gantt::GanttSpan;
+pub use metrics::{Histogram, MetricsSnapshot, PhaseStat};
+pub use paraver::paraver_trace;
+pub use recorder::{NoopRecorder, Recorder, RecorderHandle, TraceBuffer};

@@ -1,0 +1,251 @@
+//! In-memory metrics: aggregate an event stream into counts, totals,
+//! latency histograms and a human-readable summary table.
+
+use crate::event::{CounterKey, Event, Micros, TaskPhase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A log2-bucketed histogram of microsecond durations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts values in `[2^(i-1), 2^i)` µs (`buckets[0]`
+    /// counts zeros).
+    buckets: Vec<u64>,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&mut self, us: Micros) {
+        let bucket = if us == 0 {
+            0
+        } else {
+            64 - us.leading_zeros() as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded duration.
+    pub fn max_us(&self) -> Micros {
+        self.max_us
+    }
+
+    /// Upper bound (µs) of the first bucket holding the q-quantile
+    /// value (q in [0, 1]); a cheap percentile estimate.
+    pub fn quantile_bound_us(&self, q: f64) -> Micros {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1 << i };
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Per-phase span statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Number of spans in the phase.
+    pub count: u64,
+    /// Summed span durations.
+    pub total_us: u64,
+    /// Longest span.
+    pub max_us: u64,
+}
+
+/// An aggregate view of one run's event stream.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Span statistics per lifecycle phase.
+    pub spans: BTreeMap<TaskPhase, PhaseStat>,
+    /// Instant-marker counts per lifecycle phase.
+    pub instants: BTreeMap<TaskPhase, u64>,
+    /// Last sampled value per counter.
+    pub counters_last: BTreeMap<CounterKey, f64>,
+    /// Peak sampled value per counter.
+    pub counters_peak: BTreeMap<CounterKey, f64>,
+    /// Distribution of `Executing` span durations.
+    pub exec_histogram: Histogram,
+    /// Timestamp of the latest event edge.
+    pub end_us: Micros,
+}
+
+impl MetricsSnapshot {
+    /// Aggregates an event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut snap = MetricsSnapshot::default();
+        for event in events {
+            snap.end_us = snap.end_us.max(event.end_us());
+            match event {
+                Event::Span { phase, dur_us, .. } => {
+                    let stat = snap.spans.entry(*phase).or_default();
+                    stat.count += 1;
+                    stat.total_us += dur_us;
+                    stat.max_us = stat.max_us.max(*dur_us);
+                    if *phase == TaskPhase::Executing {
+                        snap.exec_histogram.record(*dur_us);
+                    }
+                }
+                Event::Instant { phase, .. } => {
+                    *snap.instants.entry(*phase).or_default() += 1;
+                }
+                Event::Counter { key, value, .. } => {
+                    snap.counters_last.insert(*key, *value);
+                    let peak = snap.counters_peak.entry(*key).or_insert(f64::MIN);
+                    *peak = peak.max(*value);
+                }
+            }
+        }
+        snap
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics over {:.3} s", self.end_us as f64 / 1e6)?;
+        writeln!(
+            f,
+            "  {:<14} {:>8} {:>12} {:>12}",
+            "phase", "spans", "total_s", "max_s"
+        )?;
+        for (phase, stat) in &self.spans {
+            writeln!(
+                f,
+                "  {:<14} {:>8} {:>12.3} {:>12.3}",
+                phase.as_str(),
+                stat.count,
+                stat.total_us as f64 / 1e6,
+                stat.max_us as f64 / 1e6
+            )?;
+        }
+        for (phase, n) in &self.instants {
+            writeln!(f, "  {:<14} {:>8} (markers)", phase.as_str(), n)?;
+        }
+        for (key, last) in &self.counters_last {
+            writeln!(
+                f,
+                "  {:<22} last {:>12.1} peak {:>12.1}",
+                key.as_str(),
+                last,
+                self.counters_peak.get(key).copied().unwrap_or(*last)
+            )?;
+        }
+        if self.exec_histogram.count() > 0 {
+            writeln!(
+                f,
+                "  exec durations: n={} mean={:.3}s p90<={:.3}s max={:.3}s",
+                self.exec_histogram.count(),
+                self.exec_histogram.mean_us() / 1e6,
+                self.exec_histogram.quantile_bound_us(0.9) as f64 / 1e6,
+                self.exec_histogram.max_us() as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    fn span(dur_us: u64) -> Event {
+        Event::Span {
+            track: Track::Node(0),
+            name: "t".into(),
+            phase: TaskPhase::Executing,
+            start_us: 0,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_distribution() {
+        let mut h = Histogram::default();
+        for us in [0, 1, 2, 1000, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(h.quantile_bound_us(0.0), 0);
+        assert!(h.quantile_bound_us(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn snapshot_aggregates_phases_and_counters() {
+        let events = vec![
+            span(10),
+            span(30),
+            Event::Instant {
+                track: Track::Node(0),
+                name: "t".into(),
+                phase: TaskPhase::Committed,
+                at_us: 40,
+            },
+            Event::Counter {
+                key: CounterKey::QueueDepth,
+                at_us: 5,
+                value: 7.0,
+            },
+            Event::Counter {
+                key: CounterKey::QueueDepth,
+                at_us: 40,
+                value: 2.0,
+            },
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        let exec = snap.spans[&TaskPhase::Executing];
+        assert_eq!(exec.count, 2);
+        assert_eq!(exec.total_us, 40);
+        assert_eq!(exec.max_us, 30);
+        assert_eq!(snap.instants[&TaskPhase::Committed], 1);
+        assert_eq!(snap.counters_last[&CounterKey::QueueDepth], 2.0);
+        assert_eq!(snap.counters_peak[&CounterKey::QueueDepth], 7.0);
+        assert_eq!(snap.end_us, 40);
+        let text = snap.summary();
+        assert!(text.contains("executing"));
+        assert!(text.contains("queue_depth"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = MetricsSnapshot::from_events(&[span(10)]);
+        let back: MetricsSnapshot = serde::from_str(&serde::to_string(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+}

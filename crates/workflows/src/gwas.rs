@@ -157,11 +157,13 @@ impl GwasWorkload {
                 let assoc = w.data(format!("assoc_{tag}"));
 
                 w.task(
-                    TaskSpec::new("filter").group("qc").input(raw).output(filtered),
+                    TaskSpec::new("filter")
+                        .group("qc")
+                        .input(raw)
+                        .output(filtered),
                     TaskProfile::new(draw(&mut rng) * 0.3)
                         .constraints(
-                            Constraints::new()
-                                .memory_mb(memory_of(false, self.worst_case_memory)),
+                            Constraints::new().memory_mb(memory_of(false, self.worst_case_memory)),
                         )
                         .outputs_bytes(self.chunk_bytes / 2),
                 )
@@ -175,8 +177,7 @@ impl GwasWorkload {
                         .output(imputed),
                     TaskProfile::new(draw(&mut rng) * if heavy { 2.0 } else { 1.0 })
                         .constraints(
-                            Constraints::new()
-                                .memory_mb(memory_of(heavy, self.worst_case_memory)),
+                            Constraints::new().memory_mb(memory_of(heavy, self.worst_case_memory)),
                         )
                         .outputs_bytes(self.chunk_bytes),
                 )
@@ -189,8 +190,7 @@ impl GwasWorkload {
                         .output(assoc),
                     TaskProfile::new(draw(&mut rng) * 0.5)
                         .constraints(
-                            Constraints::new()
-                                .memory_mb(memory_of(false, self.worst_case_memory)),
+                            Constraints::new().memory_mb(memory_of(false, self.worst_case_memory)),
                         )
                         .outputs_bytes(self.chunk_bytes / 10),
                 )
@@ -218,9 +218,7 @@ impl GwasWorkload {
                 .inputs(chrom_outputs)
                 .output(final_out),
             TaskProfile::new(self.mean_task_s)
-                .constraints(
-                    Constraints::new().memory_mb(memory_of(false, self.worst_case_memory)),
-                )
+                .constraints(Constraints::new().memory_mb(memory_of(false, self.worst_case_memory)))
                 .outputs_bytes(self.chunk_bytes),
         )
         .expect("valid gwas task");
@@ -245,8 +243,16 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = GwasWorkload::new().chromosomes(2).chunks_per_chromosome(3).seed(5).build();
-        let b = GwasWorkload::new().chromosomes(2).chunks_per_chromosome(3).seed(5).build();
+        let a = GwasWorkload::new()
+            .chromosomes(2)
+            .chunks_per_chromosome(3)
+            .seed(5)
+            .build();
+        let b = GwasWorkload::new()
+            .chromosomes(2)
+            .chunks_per_chromosome(3)
+            .seed(5)
+            .build();
         assert_eq!(a.stats(), b.stats());
         for t in 0..a.stats().tasks {
             let id = continuum_dag::TaskId::from_raw(t as u64);
@@ -291,7 +297,10 @@ mod tests {
 
     #[test]
     fn campaign_has_high_inherent_parallelism() {
-        let w = GwasWorkload::new().chromosomes(8).chunks_per_chromosome(16).build();
+        let w = GwasWorkload::new()
+            .chromosomes(8)
+            .chunks_per_chromosome(16)
+            .build();
         let stats = w.stats();
         assert!(
             stats.average_parallelism > 10.0,
@@ -302,9 +311,15 @@ mod tests {
 
     #[test]
     fn durations_are_positive_and_varied() {
-        let w = GwasWorkload::new().chromosomes(2).chunks_per_chromosome(8).build();
+        let w = GwasWorkload::new()
+            .chromosomes(2)
+            .chunks_per_chromosome(8)
+            .build();
         let durations: Vec<f64> = (0..w.stats().tasks)
-            .map(|t| w.profile(continuum_dag::TaskId::from_raw(t as u64)).duration_s())
+            .map(|t| {
+                w.profile(continuum_dag::TaskId::from_raw(t as u64))
+                    .duration_s()
+            })
             .collect();
         assert!(durations.iter().all(|d| *d >= 1.0));
         let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);

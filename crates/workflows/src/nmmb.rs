@@ -202,8 +202,16 @@ mod tests {
 
     #[test]
     fn sequential_init_chains_scripts() {
-        let seq = NmmbWorkload::new().days(1).init_scripts(6).parallel_init(false).build();
-        let par = NmmbWorkload::new().days(1).init_scripts(6).parallel_init(true).build();
+        let seq = NmmbWorkload::new()
+            .days(1)
+            .init_scripts(6)
+            .parallel_init(false)
+            .build();
+        let par = NmmbWorkload::new()
+            .days(1)
+            .init_scripts(6)
+            .parallel_init(true)
+            .build();
         // Critical path difference: 6 chained scripts vs 1 script depth.
         let seq_cp = seq.stats().critical_path_s;
         let par_cp = par.stats().critical_path_s;

@@ -10,8 +10,11 @@ pub fn embarrassingly_parallel(n: usize, duration_s: f64) -> SimWorkload {
     let mut w = SimWorkload::new();
     let outs = w.data_batch("ep_out", n);
     for o in &outs {
-        w.task(TaskSpec::new("work").output(*o), TaskProfile::new(duration_s))
-            .expect("valid pattern task");
+        w.task(
+            TaskSpec::new("work").output(*o),
+            TaskProfile::new(duration_s),
+        )
+        .expect("valid pattern task");
     }
     w
 }
@@ -41,8 +44,11 @@ pub fn map_reduce(mappers: usize, map_s: f64, reduce_s: f64, bytes: u64) -> SimW
 pub fn chain(n: usize, duration_s: f64) -> SimWorkload {
     let mut w = SimWorkload::new();
     let d = w.data("chain");
-    w.task(TaskSpec::new("stage0").output(d), TaskProfile::new(duration_s))
-        .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("stage0").output(d),
+        TaskProfile::new(duration_s),
+    )
+    .expect("valid pattern task");
     for i in 1..n {
         w.task(
             TaskSpec::new(format!("stage{i}")).inout(d),
@@ -322,7 +328,9 @@ mod tests {
     fn random_layered_durations_in_range() {
         let w = random_layered(9, 3, 5, 0.5, 2.0, 4.0);
         for t in 0..w.stats().tasks {
-            let d = w.profile(continuum_dag::TaskId::from_raw(t as u64)).duration_s();
+            let d = w
+                .profile(continuum_dag::TaskId::from_raw(t as u64))
+                .duration_s();
             assert!((2.0..=4.0).contains(&d));
         }
     }

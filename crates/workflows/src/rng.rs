@@ -19,7 +19,10 @@ impl LogNormal {
     ///
     /// Panics unless `mean > 0` and `cv >= 0`.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 0.0 && cv >= 0.0, "mean must be positive, cv non-negative");
+        assert!(
+            mean > 0.0 && cv >= 0.0,
+            "mean must be positive, cv non-negative"
+        );
         let sigma2 = (1.0 + cv * cv).ln();
         LogNormal {
             mu: mean.ln() - sigma2 / 2.0,
@@ -52,7 +55,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
-        assert!((var.sqrt() / mean - 0.5).abs() < 0.05, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - 0.5).abs() < 0.05,
+            "cv {}",
+            var.sqrt() / mean
+        );
     }
 
     #[test]

@@ -167,25 +167,32 @@ pub fn parse_wdl(text: &str) -> Result<SimWorkload, WdlError> {
                             }
                         }
                         "dur" => {
-                            dur = Some(v.parse::<f64>().map_err(|_| {
-                                err(line_no, format!("invalid duration `{v}`"))
-                            })?);
+                            dur =
+                                Some(v.parse::<f64>().map_err(|_| {
+                                    err(line_no, format!("invalid duration `{v}`"))
+                                })?);
                         }
-                        "mem" => constraints = constraints.memory_mb(parse_bytes(v, line_no)? / 1_000_000),
+                        "mem" => {
+                            constraints =
+                                constraints.memory_mb(parse_bytes(v, line_no)? / 1_000_000)
+                        }
                         "cores" => {
-                            constraints = constraints.compute_units(v.parse().map_err(|_| {
-                                err(line_no, format!("invalid cores `{v}`"))
-                            })?)
+                            constraints = constraints.compute_units(
+                                v.parse()
+                                    .map_err(|_| err(line_no, format!("invalid cores `{v}`")))?,
+                            )
                         }
                         "nodes" => {
-                            constraints = constraints.nodes(v.parse().map_err(|_| {
-                                err(line_no, format!("invalid nodes `{v}`"))
-                            })?)
+                            constraints = constraints.nodes(
+                                v.parse()
+                                    .map_err(|_| err(line_no, format!("invalid nodes `{v}`")))?,
+                            )
                         }
                         "gpus" => {
-                            constraints = constraints.gpus(v.parse().map_err(|_| {
-                                err(line_no, format!("invalid gpus `{v}`"))
-                            })?)
+                            constraints = constraints.gpus(
+                                v.parse()
+                                    .map_err(|_| err(line_no, format!("invalid gpus `{v}`")))?,
+                            )
                         }
                         "out_bytes" => out_bytes = parse_bytes(v, line_no)?,
                         "group" => spec = spec.group(v),
@@ -305,7 +312,10 @@ task simulate in=summary out=result dur=300 nodes=4
         assert_eq!(s.tasks, 4);
         assert_eq!(s.edges, 3);
         assert_eq!(w.initial_size(DataId::from_raw(0)), 40_000_000);
-        assert_eq!(w.initial_home(DataId::from_raw(0)), Some(NodeId::from_raw(2)));
+        assert_eq!(
+            w.initial_home(DataId::from_raw(0)),
+            Some(NodeId::from_raw(2))
+        );
         let filter = w.profile(TaskId::from_raw(0));
         assert_eq!(filter.duration_s(), 12.5);
         assert_eq!(filter.constraints_ref().required_memory_mb(), 4_000);
@@ -314,7 +324,14 @@ task simulate in=summary out=result dur=300 nodes=4
         assert_eq!(merge.constraints_ref().required_compute_units(), 2);
         let sim = w.profile(TaskId::from_raw(3));
         assert_eq!(sim.constraints_ref().required_nodes(), 4);
-        assert_eq!(w.graph().node(TaskId::from_raw(0)).unwrap().spec().group_label(), Some("qc"));
+        assert_eq!(
+            w.graph()
+                .node(TaskId::from_raw(0))
+                .unwrap()
+                .spec()
+                .group_label(),
+            Some("qc")
+        );
     }
 
     #[test]
@@ -372,12 +389,18 @@ task c inout=x dur=1
         }
         // Initial data metadata survives.
         assert_eq!(w2.initial_size(DataId::from_raw(0)), 40_000_000);
-        assert_eq!(w2.initial_home(DataId::from_raw(0)), Some(NodeId::from_raw(2)));
+        assert_eq!(
+            w2.initial_home(DataId::from_raw(0)),
+            Some(NodeId::from_raw(2))
+        );
     }
 
     #[test]
     fn generated_workloads_round_trip() {
-        let w = crate::GwasWorkload::new().chromosomes(2).chunks_per_chromosome(3).build();
+        let w = crate::GwasWorkload::new()
+            .chromosomes(2)
+            .chunks_per_chromosome(3)
+            .build();
         let w2 = parse_wdl(&to_wdl(&w)).unwrap();
         assert_eq!(w.stats(), w2.stats());
     }

@@ -13,8 +13,8 @@
 
 use bytes::Bytes;
 use continuum::agents::{
-    AgentNetwork, Application, AppTask, LatencyAwareOffload, OpRegistry, Orchestrator,
-    PreferClass, RoundRobinOffload, OffloadPolicy,
+    AgentNetwork, AppTask, Application, LatencyAwareOffload, OffloadPolicy, OpRegistry,
+    Orchestrator, PreferClass, RoundRobinOffload,
 };
 use continuum::platform::{DeviceClass, NodeId};
 use continuum::storage::{KvConfig, KvStore};
@@ -28,7 +28,13 @@ fn ops() -> OpRegistry {
         Bytes::from(vec![3u8; 512 * 1024])
     });
     ops.register("filter", |ins| {
-        Bytes::from(ins[0].iter().filter(|b| **b > 1).copied().collect::<Vec<u8>>())
+        Bytes::from(
+            ins[0]
+                .iter()
+                .filter(|b| **b > 1)
+                .copied()
+                .collect::<Vec<u8>>(),
+        )
     });
     ops.register("aggregate", |ins| {
         let sum: u64 = ins.iter().flat_map(|b| b.iter()).map(|b| *b as u64).sum();
@@ -41,13 +47,15 @@ fn app(sensors: usize) -> Application {
     let mut app = Application::new("sense-filter-aggregate");
     let mut filtered = Vec::new();
     for s in 0..sensors {
+        app = app
+            .task(AppTask::new("sense", vec![], format!("raw{s}")).prefer_class(DeviceClass::Fog));
         app = app.task(
-            AppTask::new("sense", vec![], format!("raw{s}"))
-                .prefer_class(DeviceClass::Fog),
-        );
-        app = app.task(
-            AppTask::new("filter", vec![format!("raw{s}").into()], format!("clean{s}"))
-                .input_bytes_hint(512 * 1024),
+            AppTask::new(
+                "filter",
+                vec![format!("raw{s}").into()],
+                format!("clean{s}"),
+            )
+            .input_bytes_hint(512 * 1024),
         );
         filtered.push(format!("clean{s}").into());
     }

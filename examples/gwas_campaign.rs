@@ -57,7 +57,11 @@ fn main() {
             ..SimOptions::default()
         },
     )
-    .run(&baseline_workload, &mut LocalityScheduler::new(), &FaultPlan::new())
+    .run(
+        &baseline_workload,
+        &mut LocalityScheduler::new(),
+        &FaultPlan::new(),
+    )
     .expect("baseline completes");
     println!("\n— worst-case sizing + stage barriers (static baseline) —\n{baseline}");
 

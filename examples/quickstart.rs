@@ -86,8 +86,13 @@ fn main() -> Result<(), RuntimeError> {
     let mut ap = continuum::dag::AccessProcessor::new();
     let d = ap.new_data("raw");
     let m = ap.new_data("mean");
-    ap.register(TaskSpec::new("acquire").output(d)).expect("valid");
-    ap.register(TaskSpec::new("reduce").input(d).output(m)).expect("valid");
-    println!("\nworkflow graph (DOT):\n{}", DotOptions::default().render(ap.graph()));
+    ap.register(TaskSpec::new("acquire").output(d))
+        .expect("valid");
+    ap.register(TaskSpec::new("reduce").input(d).output(m))
+        .expect("valid");
+    println!(
+        "\nworkflow graph (DOT):\n{}",
+        DotOptions::default().render(ap.graph())
+    );
     Ok(())
 }

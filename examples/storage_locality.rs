@@ -56,7 +56,10 @@ fn main() {
         )
         .expect("valid task");
 
-    for (label, locality) in [("locality-blind (fifo)", false), ("getLocations-driven", true)] {
+    for (label, locality) in [
+        ("locality-blind (fifo)", false),
+        ("getLocations-driven", true),
+    ] {
         let rt = SimRuntime::new(platform.clone(), SimOptions::default());
         let report = if locality {
             rt.run(&workload, &mut LocalityScheduler::new(), &FaultPlan::new())
@@ -75,17 +78,16 @@ fn main() {
 
     // --- Active store: method shipping ----------------------------------
     println!("\nactive object store (dataClay-style method execution):");
-    let active = ActiveStore::new(
-        platform.nodes().iter().map(|n| n.id()).collect(),
-        2,
-    )
-    .expect("valid store");
-    active.register_class(ClassDef::new("Histogram").method("quantile99", |payload, _| {
-        let mut sorted: Vec<u8> = payload.to_vec();
-        sorted.sort_unstable();
-        let q = sorted[sorted.len() * 99 / 100];
-        Bytes::copy_from_slice(&[q])
-    }));
+    let active = ActiveStore::new(platform.nodes().iter().map(|n| n.id()).collect(), 2)
+        .expect("valid store");
+    active.register_class(
+        ClassDef::new("Histogram").method("quantile99", |payload, _| {
+            let mut sorted: Vec<u8> = payload.to_vec();
+            sorted.sort_unstable();
+            let q = sorted[sorted.len() * 99 / 100];
+            Bytes::copy_from_slice(&[q])
+        }),
+    );
     active
         .put(
             "hist".into(),
@@ -93,7 +95,9 @@ fn main() {
             None,
         )
         .expect("put");
-    let q = active.execute(&"hist".into(), "quantile99", &[]).expect("execute");
+    let q = active
+        .execute(&"hist".into(), "quantile99", &[])
+        .expect("execute");
     let _ = active.fetch(&"hist".into()).expect("fetch");
     let stats = active.shipping_stats();
     println!(

@@ -1,0 +1,85 @@
+//! Telemetry: trace a local-runtime workflow and export it for
+//! `chrome://tracing` / Perfetto.
+//!
+//! Runs a fan-out/fan-in pipeline on the threaded engine with a
+//! [`TraceBuffer`] attached, then writes the captured task-lifecycle
+//! events as Chrome `trace_event` JSON and prints a metrics summary.
+//!
+//! ```text
+//! cargo run --example telemetry_demo            # writes telemetry_demo.trace.json
+//! cargo run --example telemetry_demo -- out.json
+//! ```
+
+use continuum::dag::TaskSpec;
+use continuum::platform::Constraints;
+use continuum::runtime::{LocalConfig, LocalRuntime, TraceBuffer};
+use continuum::telemetry::{chrome_trace, MetricsSnapshot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "telemetry_demo.trace.json".to_string());
+
+    // Attach a collecting recorder to the runtime. The buffer half
+    // accumulates events; the handle half goes into the engine config.
+    let (buffer, telemetry) = TraceBuffer::collector();
+    {
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 4,
+            telemetry,
+            ..LocalConfig::default()
+        });
+
+        // A fan-out/fan-in Monte Carlo estimate of π: 8 independent
+        // sampling tasks, one reduction.
+        let counts = rt.data_batch::<u64>("hits", 8);
+        let estimate = rt.data::<f64>("pi");
+        const SAMPLES: u64 = 200_000;
+        for (i, c) in counts.iter().enumerate() {
+            rt.submit(
+                TaskSpec::new(format!("sample_{i}")).output(c.id()),
+                Constraints::new(),
+                move |ctx| {
+                    // Cheap deterministic quasi-random points.
+                    let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1);
+                    let mut hits = 0u64;
+                    for _ in 0..SAMPLES {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let x = (state >> 11) as f64 / (1u64 << 53) as f64;
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let y = (state >> 11) as f64 / (1u64 << 53) as f64;
+                        if x * x + y * y <= 1.0 {
+                            hits += 1;
+                        }
+                    }
+                    ctx.set_output(0, hits);
+                },
+            )?;
+        }
+        rt.submit(
+            TaskSpec::new("reduce")
+                .inputs(counts.iter().map(|c| c.id()))
+                .output(estimate.id()),
+            Constraints::new(),
+            |ctx| {
+                let hits: u64 = (0..ctx.input_count()).map(|i| *ctx.input::<u64>(i)).sum();
+                ctx.set_output(0, 4.0 * hits as f64 / (8 * SAMPLES) as f64);
+            },
+        )?;
+        println!("π ≈ {:.4}", *rt.get(&estimate)?);
+        rt.wait_all()?;
+    } // dropping the runtime closes the run span
+
+    let events = buffer.events();
+    std::fs::write(&out_path, chrome_trace(&events))?;
+    println!(
+        "wrote {} events to {out_path} (open in chrome://tracing or Perfetto)\n",
+        events.len()
+    );
+    println!("{}", MetricsSnapshot::from_events(&events));
+    Ok(())
+}

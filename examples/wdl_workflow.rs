@@ -32,8 +32,9 @@ task archive in=anomalies,maps out=bundle dur=30 group=publish
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
     let workload = match parse_wdl(&text) {
@@ -52,8 +53,7 @@ fn main() {
     let platform = PlatformBuilder::new()
         .cluster("hpc", 4, NodeSpec::hpc(8, 64_000))
         .build();
-    let mut scheduler =
-        ListScheduler::plan(&workload, |t| workload.profile(t).duration_s());
+    let mut scheduler = ListScheduler::plan(&workload, |t| workload.profile(t).duration_s());
     let (report, trace) = SimRuntime::new(platform, SimOptions::default())
         .run_traced(&workload, &mut scheduler, &FaultPlan::new())
         .expect("workflow completes");

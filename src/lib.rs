@@ -20,7 +20,10 @@
 //! * [`dislib`] — distributed machine learning (K-means, linear
 //!   regression, PCA, scaling) over the runtime;
 //! * [`workflows`] — synthetic scientific workload generators (GWAS
-//!   campaign, NMMB weather pipeline, generic patterns).
+//!   campaign, NMMB weather pipeline, generic patterns);
+//! * [`telemetry`] — engine-independent tracing and metrics: task
+//!   lifecycle events from either engine, Chrome `trace_event` and
+//!   Paraver exporters, metric snapshots.
 //!
 //! # Quickstart
 //!
@@ -47,4 +50,5 @@ pub use continuum_platform as platform;
 pub use continuum_runtime as runtime;
 pub use continuum_sim as sim;
 pub use continuum_storage as storage;
+pub use continuum_telemetry as telemetry;
 pub use continuum_workflows as workflows;

@@ -59,7 +59,10 @@ fn textual_workflow_through_simulated_continuum_with_faults() {
     assert_eq!(trace.records().len(), 7 + report.tasks_reexecuted);
     // The rigid MPI step really spanned two nodes' worth of cores.
     let busy: f64 = report.node_usage.iter().map(|u| u.busy_core_seconds).sum();
-    assert!(busy >= 2.0 * 8.0 * 600.0 * 0.9, "rigid step occupied 2 full nodes");
+    assert!(
+        busy >= 2.0 * 8.0 * 600.0 * 0.9,
+        "rigid step occupied 2 full nodes"
+    );
     // The gantt renders all nodes.
     let gantt = trace.gantt(4, 40);
     assert_eq!(gantt.lines().count(), 5);
@@ -91,7 +94,7 @@ fn agents_and_dislib_share_the_same_ecosystem() {
     net.deploy("fog-0", DeviceClass::Fog);
     let report = net
         .start_application(
-            continuum::agents::AgentId::from(net.infos()[1].id),
+            net.infos()[1].id,
             Application::new("acquire").task(AppTask::new("sample", vec![], "points")),
             Box::new(RoundRobinOffload::new()),
         )

@@ -19,9 +19,11 @@ fn etl_pipeline_with_side_branch() {
     let loaded = rt.data::<i64>("loaded");
     let stats = rt.data::<(i64, i64)>("stats");
 
-    rt.submit(TaskSpec::new("extract").output(raw.id()), Constraints::new(), |ctx| {
-        ctx.set_output(0, (1..=100i64).collect::<Vec<i64>>())
-    })
+    rt.submit(
+        TaskSpec::new("extract").output(raw.id()),
+        Constraints::new(),
+        |ctx| ctx.set_output(0, (1..=100i64).collect::<Vec<i64>>()),
+    )
     .unwrap();
 
     for (i, t) in transformed.iter().enumerate() {
@@ -33,7 +35,13 @@ fn etl_pipeline_with_side_branch() {
             move |ctx| {
                 let v: &Vec<i64> = ctx.input(0);
                 let n = v.len() / 4;
-                ctx.set_output(0, v[i * n..(i + 1) * n].iter().map(|x| x * 10).collect::<Vec<i64>>());
+                ctx.set_output(
+                    0,
+                    v[i * n..(i + 1) * n]
+                        .iter()
+                        .map(|x| x * 10)
+                        .collect::<Vec<i64>>(),
+                );
             },
         )
         .unwrap();
@@ -81,10 +89,14 @@ fn iterative_refinement_with_monitoring() {
     rt.set_initial(&model, 1.0);
     for m in &monitors {
         // Update halves the distance to 2.0.
-        rt.submit(TaskSpec::new("update").inout(model.id()), Constraints::new(), |ctx| {
-            let v: &f64 = ctx.input(0);
-            ctx.set_output(0, v + (2.0 - v) / 2.0);
-        })
+        rt.submit(
+            TaskSpec::new("update").inout(model.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &f64 = ctx.input(0);
+                ctx.set_output(0, v + (2.0 - v) / 2.0);
+            },
+        )
         .unwrap();
         // Monitor reads the freshly produced version.
         rt.submit(
@@ -150,9 +162,11 @@ fn mid_pipeline_failure_poisons_run() {
     let c = rt.data::<u32>("c");
     let executed_after = Arc::new(AtomicUsize::new(0));
 
-    rt.submit(TaskSpec::new("ok").output(a.id()), Constraints::new(), |ctx| {
-        ctx.set_output(0, 1)
-    })
+    rt.submit(
+        TaskSpec::new("ok").output(a.id()),
+        Constraints::new(),
+        |ctx| ctx.set_output(0, 1),
+    )
     .unwrap();
     rt.submit(
         TaskSpec::new("boom").input(a.id()).output(b.id()),
@@ -174,7 +188,11 @@ fn mid_pipeline_failure_poisons_run() {
     let err = rt.wait_all().unwrap_err();
     assert!(err.to_string().contains("sensor exploded"));
     assert!(rt.get(&c).is_err());
-    assert_eq!(executed_after.load(Ordering::SeqCst), 0, "downstream never ran");
+    assert_eq!(
+        executed_after.load(Ordering::SeqCst),
+        0,
+        "downstream never ran"
+    );
 }
 
 /// The runtime is shared-state safe: many application threads submit
@@ -182,7 +200,9 @@ fn mid_pipeline_failure_poisons_run() {
 #[test]
 fn concurrent_submitters_share_one_runtime() {
     let rt = LocalRuntime::new(LocalConfig::with_workers(4));
-    let totals: Vec<_> = (0..4).map(|i| rt.data::<u64>(format!("total{i}"))).collect();
+    let totals: Vec<_> = (0..4)
+        .map(|i| rt.data::<u64>(format!("total{i}")))
+        .collect();
     std::thread::scope(|scope| {
         for (t, total) in totals.iter().enumerate() {
             let rt = &rt;
@@ -225,9 +245,11 @@ fn thousand_task_smoke() {
     let rt = LocalRuntime::new(LocalConfig::with_workers(8));
     let outs = rt.data_batch::<usize>("o", 1000);
     for (i, o) in outs.iter().enumerate() {
-        rt.submit(TaskSpec::new("w").output(o.id()), Constraints::new(), move |ctx| {
-            ctx.set_output(0, i * 2)
-        })
+        rt.submit(
+            TaskSpec::new("w").output(o.id()),
+            Constraints::new(),
+            move |ctx| ctx.set_output(0, i * 2),
+        )
         .unwrap();
     }
     rt.wait_all().unwrap();

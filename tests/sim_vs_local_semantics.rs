@@ -113,7 +113,11 @@ fn sim_makespan_respects_theoretical_bounds() {
 fn single_slot_platform_is_sequential() {
     let workload = patterns::random_layered(11, 4, 4, 0.3, 1.0, 3.0);
     let seq: f64 = (0..workload.stats().tasks)
-        .map(|t| workload.profile(continuum::dag::TaskId::from_raw(t as u64)).duration_s())
+        .map(|t| {
+            workload
+                .profile(continuum::dag::TaskId::from_raw(t as u64))
+                .duration_s()
+        })
         .sum();
     let platform = PlatformBuilder::new()
         .cluster("c", 1, NodeSpec::hpc(1, 8_000))
@@ -140,8 +144,11 @@ fn mixed_rigid_and_elastic_tasks() {
         TaskProfile::new(20.0).constraints(Constraints::new().nodes(3)),
     )
     .unwrap();
-    w.task(TaskSpec::new("post").input(sim).output(post), TaskProfile::new(2.0))
-        .unwrap();
+    w.task(
+        TaskSpec::new("post").input(sim).output(post),
+        TaskProfile::new(2.0),
+    )
+    .unwrap();
     let platform = PlatformBuilder::new()
         .cluster("c", 3, NodeSpec::hpc(4, 8_000))
         .build();

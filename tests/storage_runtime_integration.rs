@@ -11,8 +11,7 @@ use continuum::platform::{DeviceClass, NodeId, NodeSpec, PlatformBuilder};
 use continuum::runtime::{LocalityScheduler, SimOptions, SimRuntime, SimWorkload, TaskProfile};
 use continuum::sim::FaultPlan;
 use continuum::storage::{
-    ActiveStore, ClassDef, KvConfig, KvStore, ObjectKey, StorageRuntime, StoredValue,
-    WriteAheadLog,
+    ActiveStore, ClassDef, KvConfig, KvStore, ObjectKey, StorageRuntime, StoredValue, WriteAheadLog,
 };
 use std::sync::Arc;
 
@@ -46,7 +45,10 @@ fn kv_locations_feed_locality_scheduler() {
     let report = SimRuntime::new(platform, SimOptions::default())
         .run(&w, &mut LocalityScheduler::new(), &FaultPlan::new())
         .expect("completes");
-    assert_eq!(report.transfer_count, 0, "all scans ran on their partition's node");
+    assert_eq!(
+        report.transfer_count, 0,
+        "all scans ran on their partition's node"
+    );
     assert_eq!(report.locality_hits, 12);
 }
 
@@ -114,14 +116,17 @@ fn agent_app_survives_storage_replica_failure() {
     let replicas = store.locations(&"mid".into()).unwrap();
     store.fail_node(replicas[0]);
 
-    let stage2 = Application::new("consume")
-        .task(AppTask::new("consume", vec!["mid".into()], "result"));
+    let stage2 =
+        Application::new("consume").task(AppTask::new("consume", vec!["mid".into()], "result"));
     let report = Orchestrator::new(&net)
         .run(&stage2, &mut RoundRobinOffload::new())
         .unwrap();
     assert_eq!(report.completed, 1);
     let result = store.get(&"result".into()).unwrap();
-    assert_eq!(u64::from_le_bytes(result.payload[..8].try_into().unwrap()), 4096);
+    assert_eq!(
+        u64::from_le_bytes(result.payload[..8].try_into().unwrap()),
+        4096
+    );
 }
 
 /// Persistence in the simulated engine exercises the storage-homed
@@ -173,6 +178,9 @@ fn sim_persistence_reads_back_from_storage_home() {
     let report = SimRuntime::new(platform, opts)
         .run(&w, &mut LocalityScheduler::new(), &faults)
         .expect("faulted run completes");
-    assert_eq!(report.tasks_reexecuted, 0, "persisted output needs no replay");
+    assert_eq!(
+        report.tasks_reexecuted, 0,
+        "persisted output needs no replay"
+    );
     assert_eq!(report.tasks_completed, 3);
 }
