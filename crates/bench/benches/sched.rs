@@ -1,0 +1,39 @@
+//! Criterion wrapper around the scheduling macro-bench: one benchmark
+//! per (case, scheduler) pair at smoke scale on the 100-node platform.
+//!
+//! ```text
+//! cargo bench -p continuum-bench --bench sched
+//! ```
+//!
+//! For the full-scale runs, allocation counts and the labelled
+//! `BENCH_sched.json` trajectory, use the dedicated binary instead:
+//! `cargo run --release -p continuum-bench --bin sched_bench`.
+
+use continuum_bench::sched_bench::{cases, make_scheduler, SCHEDULERS};
+use continuum_runtime::{SimOptions, SimRuntime};
+use continuum_sim::FaultPlan;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    let faults = FaultPlan::new();
+    for case in cases(true) {
+        let runtime = SimRuntime::new(case.platform.clone(), SimOptions::default());
+        for sched in SCHEDULERS {
+            group.bench_with_input(BenchmarkId::new(case.name, sched), &sched, |b, &sched| {
+                b.iter(|| {
+                    let mut scheduler = make_scheduler(sched, &case.workload);
+                    let report = runtime
+                        .run(&case.workload, scheduler.as_mut(), &faults)
+                        .expect("bench workload completes");
+                    black_box(report.tasks_completed)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -342,6 +342,164 @@ impl TaskGraph {
     }
 }
 
+/// Mutable execution state over a borrowed, structurally-immutable
+/// [`TaskGraph`].
+///
+/// Cloning a whole `TaskGraph` to run it copies every spec string and
+/// dependency list — several heap allocations per task that the run
+/// never mutates. `GraphRun` snapshots only the evolving part (task
+/// states, unfinished-predecessor counts, the ready set) so an engine
+/// can execute the same graph repeatedly against a shared immutable
+/// structure. State transitions mirror [`TaskGraph`]'s exactly,
+/// including the error conditions.
+#[derive(Debug, Clone)]
+pub struct GraphRun {
+    states: Vec<TaskState>,
+    unfinished: Vec<usize>,
+    ready: BTreeSet<TaskId>,
+    completed_count: usize,
+}
+
+impl GraphRun {
+    /// Snapshots the current lifecycle state of `graph`.
+    pub fn new(graph: &TaskGraph) -> Self {
+        GraphRun {
+            states: graph.nodes.iter().map(|n| n.state).collect(),
+            unfinished: graph.nodes.iter().map(|n| n.unfinished_preds).collect(),
+            ready: graph.ready.clone(),
+            completed_count: graph.completed_count,
+        }
+    }
+
+    /// Current lifecycle state of a task, or `None` for unknown ids.
+    pub fn state(&self, id: TaskId) -> Option<TaskState> {
+        self.states.get(id.index()).copied()
+    }
+
+    /// Tasks whose dependencies are satisfied, in ascending id order.
+    pub fn ready_tasks(&self) -> &BTreeSet<TaskId> {
+        &self.ready
+    }
+
+    /// Number of completed tasks.
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Returns `true` once every task has completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed_count == self.states.len()
+    }
+
+    /// Marks a ready task as running (see [`TaskGraph::mark_running`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// currently `Ready`, and [`DagError::UnknownTask`] for unknown ids.
+    pub fn mark_running(&mut self, id: TaskId) -> Result<(), DagError> {
+        let state = self
+            .states
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if *state != TaskState::Ready {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("mark_running from {state:?}"),
+            });
+        }
+        *state = TaskState::Running;
+        self.ready.remove(&id);
+        Ok(())
+    }
+
+    /// Marks a running task as completed and releases its successors
+    /// (read from `graph`, which must be the graph this run was built
+    /// from). Returns how many successors became ready — unlike
+    /// [`TaskGraph::complete`] no list is built, keeping completions
+    /// allocation-free apart from ready-set maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Running` (or `Ready`, accepted so single-threaded drivers may
+    /// skip the explicit running transition).
+    pub fn complete(&mut self, graph: &TaskGraph, id: TaskId) -> Result<usize, DagError> {
+        let state = self
+            .states
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        match *state {
+            TaskState::Running => {}
+            TaskState::Ready => {
+                self.ready.remove(&id);
+            }
+            other => {
+                return Err(DagError::InvalidTransition {
+                    task: id,
+                    detail: format!("complete from {other:?}"),
+                });
+            }
+        }
+        *state = TaskState::Completed;
+        self.completed_count += 1;
+        let mut newly_ready = 0;
+        for &s in &graph.nodes[id.index()].succs {
+            self.unfinished[s.index()] -= 1;
+            if self.unfinished[s.index()] == 0 && self.states[s.index()] == TaskState::Pending {
+                self.states[s.index()] = TaskState::Ready;
+                self.ready.insert(s);
+                newly_ready += 1;
+            }
+        }
+        Ok(newly_ready)
+    }
+
+    /// Marks a running task as failed (see [`TaskGraph::mark_failed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Running`.
+    pub fn mark_failed(&mut self, id: TaskId) -> Result<(), DagError> {
+        let state = self
+            .states
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if *state != TaskState::Running {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("mark_failed from {state:?}"),
+            });
+        }
+        *state = TaskState::Failed;
+        Ok(())
+    }
+
+    /// Re-queues a failed task as ready (see
+    /// [`TaskGraph::requeue_failed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Failed`.
+    pub fn requeue_failed(&mut self, id: TaskId) -> Result<(), DagError> {
+        let state = self
+            .states
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        if *state != TaskState::Failed {
+            return Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("requeue_failed from {state:?}"),
+            });
+        }
+        *state = TaskState::Ready;
+        self.ready.insert(id);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +569,41 @@ mod tests {
         g.requeue_failed(a).unwrap();
         assert!(g.ready_tasks().contains(&a));
         assert!(g.requeue_failed(a).is_err(), "no longer failed");
+    }
+
+    #[test]
+    fn graph_run_mirrors_task_graph_lifecycle() {
+        let (ap, [a, b, c, d]) = diamond();
+        let graph = ap.graph();
+        let mut run = GraphRun::new(graph);
+        // Mirror `ready_set_evolves_with_completions` without cloning
+        // or mutating the structure.
+        assert_eq!(
+            run.ready_tasks().iter().copied().collect::<Vec<_>>(),
+            vec![a]
+        );
+        run.mark_running(a).unwrap();
+        assert_eq!(run.complete(graph, a).unwrap(), 2, "b and c released");
+        assert_eq!(run.state(a), Some(TaskState::Completed));
+        run.mark_running(b).unwrap();
+        run.mark_running(c).unwrap();
+        assert_eq!(run.complete(graph, b).unwrap(), 0);
+        assert_eq!(run.complete(graph, c).unwrap(), 1, "d released");
+        // Complete-from-ready shortcut, invalid transitions, failure
+        // and requeue all behave as on TaskGraph.
+        assert!(run.mark_running(d).is_ok());
+        run.mark_failed(d).unwrap();
+        assert!(!run.ready_tasks().contains(&d));
+        run.requeue_failed(d).unwrap();
+        assert!(run.ready_tasks().contains(&d));
+        assert!(run.requeue_failed(d).is_err(), "no longer failed");
+        assert!(run.complete(graph, d).is_ok(), "complete from ready");
+        assert!(run.complete(graph, d).is_err(), "already completed");
+        assert!(run.all_completed());
+        assert_eq!(run.completed_count(), 4);
+        // The underlying graph never changed.
+        assert_eq!(graph.completed_count(), 0);
+        assert!(graph.ready_tasks().contains(&a));
     }
 
     #[test]

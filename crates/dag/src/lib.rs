@@ -51,7 +51,7 @@ pub use access::{AccessProcessor, DataCatalog, VersionInfo};
 pub use analysis::{CriticalPath, GraphAnalysis, LevelStats};
 pub use dot::DotOptions;
 pub use error::DagError;
-pub use graph::{TaskGraph, TaskNode, TaskState};
+pub use graph::{GraphRun, TaskGraph, TaskNode, TaskState};
 pub use ids::{DataId, DataVersion, TaskId, VersionedData};
 pub use param::{Direction, Param};
 pub use spec::TaskSpec;

@@ -10,6 +10,11 @@ use std::fmt;
 pub struct ZoneId(pub(crate) u16);
 
 impl ZoneId {
+    /// A zone id from its raw index (inverse of [`ZoneId::index`]).
+    pub fn from_index(index: usize) -> Self {
+        ZoneId(index as u16)
+    }
+
     /// The raw index.
     pub fn index(self) -> usize {
         self.0 as usize

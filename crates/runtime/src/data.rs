@@ -4,10 +4,19 @@
 //! [`VersionedData`], the set of nodes holding a copy, its size, and
 //! whether the value was persisted to the storage backend (which makes
 //! it survive node failures — the recovery mechanism of §VI-B).
+//!
+//! Placement queries are the hottest path of paper-scale simulations
+//! (every scheduler probe asks "where does this input live?" for every
+//! candidate node), so the registry keeps a **locality index**
+//! alongside the entries: replica sets are stored sorted in inline
+//! small-vector storage (most data has ≤ 4 replicas, so probes touch
+//! no heap at all), and per-node resident-byte totals are maintained
+//! incrementally on every mutation, making [`DataRegistry::bytes_on`]
+//! O(1) and [`DataRegistry::locations_iter`] allocation-free.
 
 use continuum_dag::VersionedData;
 use continuum_platform::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Whether a datum is additionally held by the persistent store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,10 +27,105 @@ pub enum StorageResidency {
     Persisted,
 }
 
+/// Replicas rarely exceed a handful of nodes, so the set lives inline
+/// until the fifth copy; it is kept sorted ascending so membership is
+/// a short scan and iteration order is deterministic.
+const INLINE_REPLICAS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum ReplicaSet {
+    Inline {
+        len: u8,
+        slots: [NodeId; INLINE_REPLICAS],
+    },
+    Heap(Vec<NodeId>),
+}
+
+impl ReplicaSet {
+    fn new() -> Self {
+        ReplicaSet::Inline {
+            len: 0,
+            slots: [NodeId::from_raw(0); INLINE_REPLICAS],
+        }
+    }
+
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            ReplicaSet::Inline { len, slots } => &slots[..*len as usize],
+            ReplicaSet::Heap(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.as_slice().binary_search(&node).is_ok()
+    }
+
+    /// Inserts keeping sorted order; returns `true` if newly added.
+    fn insert(&mut self, node: NodeId) -> bool {
+        match self {
+            ReplicaSet::Inline { len, slots } => {
+                let n = *len as usize;
+                let Err(pos) = slots[..n].binary_search(&node) else {
+                    return false;
+                };
+                if n < INLINE_REPLICAS {
+                    slots.copy_within(pos..n, pos + 1);
+                    slots[pos] = node;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_REPLICAS * 2);
+                    v.extend_from_slice(&slots[..pos]);
+                    v.push(node);
+                    v.extend_from_slice(&slots[pos..]);
+                    *self = ReplicaSet::Heap(v);
+                }
+                true
+            }
+            ReplicaSet::Heap(v) => {
+                let Err(pos) = v.binary_search(&node) else {
+                    return false;
+                };
+                v.insert(pos, node);
+                true
+            }
+        }
+    }
+
+    /// Removes the node; returns `true` if it was present.
+    fn remove(&mut self, node: NodeId) -> bool {
+        match self {
+            ReplicaSet::Inline { len, slots } => {
+                let n = *len as usize;
+                let Ok(pos) = slots[..n].binary_search(&node) else {
+                    return false;
+                };
+                slots.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                true
+            }
+            ReplicaSet::Heap(v) => {
+                let Ok(pos) = v.binary_search(&node) else {
+                    return false;
+                };
+                v.remove(pos);
+                true
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct DataEntry {
     bytes: u64,
-    locations: HashSet<NodeId>,
+    replicas: ReplicaSet,
     residency: StorageResidency,
     /// Staged everywhere (initial data without a pinned home).
     ubiquitous: bool,
@@ -31,6 +135,10 @@ struct DataEntry {
 #[derive(Debug, Clone, Default)]
 pub struct DataRegistry {
     entries: HashMap<VersionedData, DataEntry>,
+    /// Locality index: resident bytes per node (indexed by
+    /// [`NodeId::index`]), maintained incrementally on every replica
+    /// mutation so `bytes_on` never scans the entries.
+    node_bytes: Vec<u64>,
 }
 
 impl DataRegistry {
@@ -39,43 +147,89 @@ impl DataRegistry {
         Self::default()
     }
 
+    fn add_node_bytes(&mut self, node: NodeId, bytes: u64) {
+        let idx = node.index();
+        if idx >= self.node_bytes.len() {
+            self.node_bytes.resize(idx + 1, 0);
+        }
+        self.node_bytes[idx] += bytes;
+    }
+
+    fn sub_node_bytes(&mut self, node: NodeId, bytes: u64) {
+        let idx = node.index();
+        if let Some(total) = self.node_bytes.get_mut(idx) {
+            *total -= bytes;
+        }
+    }
+
     /// Records production of a datum on a node.
     pub fn record_production(&mut self, vd: VersionedData, node: NodeId, bytes: u64) {
         let entry = self.entries.entry(vd).or_insert_with(|| DataEntry {
             bytes,
-            locations: HashSet::new(),
+            replicas: ReplicaSet::new(),
             residency: StorageResidency::VolatileOnly,
             ubiquitous: false,
         });
+        let old_bytes = entry.bytes;
         entry.bytes = bytes;
-        entry.locations.insert(node);
+        let inserted = entry.replicas.insert(node);
+        // Reconcile the index: existing replicas were accounted at the
+        // old size, and the producing node gains a copy at the new one.
+        if old_bytes != bytes {
+            let prior: Vec<NodeId> = entry
+                .replicas
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|&r| !(inserted && r == node))
+                .collect();
+            for holder in prior {
+                self.sub_node_bytes(holder, old_bytes);
+                self.add_node_bytes(holder, bytes);
+            }
+        }
+        if inserted {
+            self.add_node_bytes(node, bytes);
+        }
     }
 
     /// Registers an initial datum pinned to a home node.
     pub fn record_initial(&mut self, vd: VersionedData, home: Option<NodeId>, bytes: u64) {
-        let mut locations = HashSet::new();
+        let mut replicas = ReplicaSet::new();
         let ubiquitous = match home {
             Some(h) => {
-                locations.insert(h);
+                replicas.insert(h);
                 false
             }
             None => true,
         };
-        self.entries.insert(
+        let previous = self.entries.insert(
             vd,
             DataEntry {
                 bytes,
-                locations,
+                replicas,
                 residency: StorageResidency::VolatileOnly,
                 ubiquitous,
             },
         );
+        if let Some(prev) = previous {
+            let old_nodes: Vec<NodeId> = prev.replicas.as_slice().to_vec();
+            for node in old_nodes {
+                self.sub_node_bytes(node, prev.bytes);
+            }
+        }
+        if let Some(h) = home {
+            self.add_node_bytes(h, bytes);
+        }
     }
 
     /// Adds a replica after a transfer.
     pub fn add_replica(&mut self, vd: VersionedData, node: NodeId) {
         if let Some(e) = self.entries.get_mut(&vd) {
-            e.locations.insert(node);
+            let bytes = e.bytes;
+            if e.replicas.insert(node) {
+                self.add_node_bytes(node, bytes);
+            }
         }
     }
 
@@ -108,24 +262,42 @@ impl DataRegistry {
     pub fn is_on(&self, vd: VersionedData, node: NodeId) -> bool {
         self.entries
             .get(&vd)
-            .is_some_and(|e| e.ubiquitous || e.locations.contains(&node))
+            .is_some_and(|e| e.ubiquitous || e.replicas.contains(node))
     }
 
     /// Returns `true` if the datum can be read from somewhere: a node
     /// copy, ubiquitous staging, or the persistent store.
     pub fn is_available(&self, vd: VersionedData) -> bool {
         self.entries.get(&vd).is_some_and(|e| {
-            e.ubiquitous || !e.locations.is_empty() || e.residency == StorageResidency::Persisted
+            e.ubiquitous || !e.replicas.is_empty() || e.residency == StorageResidency::Persisted
         })
     }
 
     /// Live replica locations (empty for ubiquitous or storage-only
-    /// data, which are readable anywhere).
+    /// data, which are readable anywhere). Allocates; hot paths should
+    /// prefer [`DataRegistry::locations_iter`].
     pub fn locations(&self, vd: VersionedData) -> Vec<NodeId> {
+        self.locations_slice(vd).to_vec()
+    }
+
+    /// Live replica locations as a sorted slice — the allocation-free
+    /// view used by the placement hot path.
+    pub fn locations_slice(&self, vd: VersionedData) -> &[NodeId] {
         self.entries
             .get(&vd)
-            .map(|e| e.locations.iter().copied().collect())
-            .unwrap_or_default()
+            .map(|e| e.replicas.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates live replica locations in ascending node order without
+    /// allocating.
+    pub fn locations_iter(&self, vd: VersionedData) -> impl Iterator<Item = NodeId> + '_ {
+        self.locations_slice(vd).iter().copied()
+    }
+
+    /// Number of live replicas.
+    pub fn replica_count(&self, vd: VersionedData) -> usize {
+        self.locations_slice(vd).len()
     }
 
     /// Returns `true` if the datum is staged everywhere.
@@ -139,25 +311,26 @@ impl DataRegistry {
     pub fn drop_node(&mut self, node: NodeId) -> Vec<VersionedData> {
         let mut lost = Vec::new();
         for (vd, e) in self.entries.iter_mut() {
-            if e.locations.remove(&node)
-                && e.locations.is_empty()
+            if e.replicas.remove(node)
+                && e.replicas.is_empty()
                 && !e.ubiquitous
                 && e.residency != StorageResidency::Persisted
             {
                 lost.push(*vd);
             }
         }
+        // Everything the node held is gone with it.
+        if let Some(total) = self.node_bytes.get_mut(node.index()) {
+            *total = 0;
+        }
         lost.sort_unstable();
         lost
     }
 
-    /// Bytes of task-produced data resident on a node.
+    /// Bytes of data resident on a node: an O(1) read of the locality
+    /// index.
     pub fn bytes_on(&self, node: NodeId) -> u64 {
-        self.entries
-            .values()
-            .filter(|e| e.locations.contains(&node))
-            .map(|e| e.bytes)
-            .sum()
+        self.node_bytes.get(node.index()).copied().unwrap_or(0)
     }
 
     /// Number of tracked data.
@@ -255,6 +428,7 @@ mod tests {
         assert!(!r.is_on(vd(9, 9), n(0)));
         assert_eq!(r.size_of(vd(9, 9)), 0);
         assert!(r.is_empty());
+        assert_eq!(r.locations_iter(vd(9, 9)).count(), 0);
     }
 
     #[test]
@@ -277,5 +451,67 @@ mod tests {
         r.record_production(vd(0, 1), n(1), 10);
         assert!(r.is_available(vd(0, 1)));
         assert!(r.is_on(vd(0, 1), n(1)));
+    }
+
+    #[test]
+    fn replica_set_spills_inline_to_heap_and_stays_sorted() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(5), 10);
+        // Insert out of order, past the inline capacity of 4.
+        for i in [3u32, 9, 1, 7, 0, 4] {
+            r.add_replica(vd(0, 1), n(i));
+        }
+        let locs: Vec<usize> = r.locations_iter(vd(0, 1)).map(|x| x.index()).collect();
+        assert_eq!(locs, vec![0, 1, 3, 4, 5, 7, 9]);
+        assert_eq!(r.replica_count(vd(0, 1)), 7);
+        // Duplicate insertion is a no-op on both set and index.
+        let before = r.bytes_on(n(5));
+        r.add_replica(vd(0, 1), n(5));
+        assert_eq!(r.bytes_on(n(5)), before);
+    }
+
+    /// The incremental locality index must always agree with a naive
+    /// recomputation over the entries, across every mutation kind.
+    #[test]
+    fn locality_index_matches_naive_recomputation() {
+        let naive = |r: &DataRegistry, node: NodeId| -> u64 {
+            r.entries
+                .values()
+                .filter(|e| e.replicas.contains(node))
+                .map(|e| e.bytes)
+                .sum()
+        };
+        let check = |r: &DataRegistry| {
+            for i in 0..12u32 {
+                assert_eq!(r.bytes_on(n(i)), naive(r, n(i)), "node {i}");
+            }
+        };
+        let mut r = DataRegistry::new();
+        // A deterministic pseudo-random mutation schedule.
+        let mut state = 0x9e3779b9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for step in 0..400 {
+            let datum = vd(u64::from(next() % 20), 1);
+            let node = n(next() % 10);
+            match next() % 6 {
+                0 => r.record_production(datum, node, u64::from(next() % 500)),
+                1 => r.add_replica(datum, node),
+                2 => r.record_initial(datum, Some(node), u64::from(next() % 500)),
+                3 => r.record_initial(datum, None, u64::from(next() % 500)),
+                4 => {
+                    let _ = r.drop_node(node);
+                }
+                _ => r.persist(datum),
+            }
+            if step % 7 == 0 {
+                check(&r);
+            }
+        }
+        check(&r);
     }
 }

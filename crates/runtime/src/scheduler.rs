@@ -17,7 +17,6 @@ use crate::workload::SimWorkload;
 use continuum_dag::{GraphAnalysis, TaskId};
 use continuum_platform::{NodeId, Platform, ZoneId};
 use continuum_sim::{NodeState, VirtualTime};
-use std::collections::HashMap;
 
 /// Read-only view of the machine offered to schedulers.
 #[derive(Debug)]
@@ -26,7 +25,10 @@ pub struct PlacementView<'a> {
     pub(crate) nodes: &'a [NodeState],
     pub(crate) registry: &'a DataRegistry,
     pub(crate) platform: &'a Platform,
-    pub(crate) link_busy: Option<&'a HashMap<(u16, u16), VirtualTime>>,
+    /// Worst busy-until time of any inter-zone link touching each zone
+    /// (indexed by [`ZoneId::index`]), maintained by the engine as a
+    /// running max so queries are O(1) instead of a link-map scan.
+    pub(crate) zone_uplink_busy: Option<&'a [VirtualTime]>,
     pub(crate) now: VirtualTime,
 }
 
@@ -44,19 +46,20 @@ impl<'a> PlacementView<'a> {
             nodes,
             registry,
             platform,
-            link_busy: None,
+            zone_uplink_busy: None,
             now: VirtualTime::ZERO,
         }
     }
 
-    /// Attaches the engine's inter-zone link occupancy and the current
-    /// virtual time, enabling contention-aware scoring.
-    pub fn with_link_state(
+    /// Attaches the engine's per-zone uplink occupancy (worst
+    /// busy-until per zone) and the current virtual time, enabling
+    /// contention-aware scoring.
+    pub fn with_uplink_state(
         mut self,
-        link_busy: &'a HashMap<(u16, u16), VirtualTime>,
+        zone_uplink_busy: &'a [VirtualTime],
         now: VirtualTime,
     ) -> Self {
-        self.link_busy = Some(link_busy);
+        self.zone_uplink_busy = Some(zone_uplink_busy);
         self.now = now;
         self
     }
@@ -65,13 +68,16 @@ impl<'a> PlacementView<'a> {
     /// 0 when no link state is attached. Cross-zone transfers started
     /// now queue behind this.
     pub fn pending_uplink_seconds_to(&self, dst: ZoneId) -> f64 {
-        let Some(map) = self.link_busy else {
+        let Some(busy) = self.zone_uplink_busy else {
             return 0.0;
         };
-        map.iter()
-            .filter(|((a, b), _)| *a == dst.index() as u16 || *b == dst.index() as u16)
-            .map(|(_, t)| t.since(self.now))
-            .fold(0.0, f64::max)
+        busy.get(dst.index()).map_or(0.0, |t| t.since(self.now))
+    }
+
+    /// The data registry backing locality queries (for custom
+    /// schedulers and equivalence tests).
+    pub fn registry(&self) -> &DataRegistry {
+        self.registry
     }
 
     /// The node states, indexed by node id.
@@ -127,18 +133,159 @@ impl<'a> PlacementView<'a> {
             if bytes == 0 {
                 continue;
             }
-            // Cheapest live source.
+            // Cheapest live source (allocation-free index probe).
             let best = self
                 .registry
-                .locations(*vd)
-                .iter()
-                .map(|src| self.platform.transfer_seconds(bytes, *src, node))
+                .locations_iter(*vd)
+                .map(|src| self.platform.transfer_seconds(bytes, src, node))
                 .fold(f64::INFINITY, f64::min);
             if best.is_finite() {
                 total += best;
             }
         }
         total
+    }
+}
+
+/// A task's inputs resolved once for repeated per-node scoring.
+///
+/// Scoring a task against every node with [`PlacementView`] probes the
+/// registry's hash map per (node, input) pair; at 100 nodes that is
+/// thousands of hash lookups per task. `InputScratch` resolves each
+/// input exactly once — bytes, ubiquity, replica list, and (optionally)
+/// the cheapest fetch cost into every zone — and then answers per-node
+/// queries with a binary search over at most a handful of replicas.
+///
+/// The struct owns its buffers (replica ids are copied, not borrowed)
+/// so schedulers keep one instance across rounds and reuse it
+/// allocation-free after warm-up. All query methods reproduce the
+/// corresponding [`PlacementView`] computation bit-for-bit: the same
+/// inputs are visited in the same order with the same floating-point
+/// operations.
+#[derive(Debug, Clone, Default)]
+pub struct InputScratch {
+    items: Vec<InputItem>,
+    replicas: Vec<NodeId>,
+    /// `items.len() × zones` row-major: cheapest seconds to fetch input
+    /// `i` from any live replica into zone `z` (`INFINITY` when the
+    /// input has no live replica). Filled by [`InputScratch::resolve`]
+    /// only when `with_costs` is set.
+    zone_cost: Vec<f64>,
+    zones: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InputItem {
+    bytes: u64,
+    ubiquitous: bool,
+    /// Range of this input's replicas within `InputScratch::replicas`.
+    lo: u32,
+    hi: u32,
+}
+
+impl InputItem {
+    fn on(&self, replicas: &[NodeId], node: NodeId) -> bool {
+        self.ubiquitous
+            || replicas[self.lo as usize..self.hi as usize]
+                .binary_search(&node)
+                .is_ok()
+    }
+}
+
+impl InputScratch {
+    /// Resolves `task`'s inputs from the view's registry. With
+    /// `with_costs`, also fills the per-zone cheapest-fetch table used
+    /// by [`InputScratch::transfer_seconds`].
+    pub fn resolve(&mut self, view: &PlacementView<'_>, task: TaskId, with_costs: bool) {
+        self.items.clear();
+        self.replicas.clear();
+        self.zone_cost.clear();
+        self.zones = view.platform.zones().len();
+        let record = view.workload.graph().node(task).expect("task in workload");
+        for vd in record.consumed() {
+            let registry = view.registry;
+            let bytes = registry.size_of(*vd);
+            let locs = registry.locations_slice(*vd);
+            let lo = self.replicas.len() as u32;
+            self.replicas.extend_from_slice(locs);
+            self.items.push(InputItem {
+                bytes,
+                ubiquitous: registry.is_ubiquitous(*vd),
+                lo,
+                hi: self.replicas.len() as u32,
+            });
+            if with_costs {
+                // Identical fold to the per-node path in
+                // `PlacementView::estimated_transfer_seconds`: within a
+                // destination zone the candidate costs depend only on
+                // the source zone, and the replica order is the same
+                // sorted sequence, so the minima are bitwise equal.
+                let network = view.platform.network();
+                for z in 0..self.zones {
+                    let zone = ZoneId::from_index(z);
+                    let best = locs
+                        .iter()
+                        .map(|src| {
+                            let src_zone = view.platform.node(*src).expect("replica node").zone();
+                            network.transfer_seconds(bytes, src_zone, zone)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    self.zone_cost.push(best);
+                }
+            }
+        }
+    }
+
+    /// Input bytes already resident on `node`; equals
+    /// [`PlacementView::local_input_bytes`].
+    pub fn local_bytes(&self, node: NodeId) -> u64 {
+        self.items
+            .iter()
+            .filter(|item| item.on(&self.replicas, node))
+            .map(|item| item.bytes)
+            .sum()
+    }
+
+    /// Estimated seconds to move the remote inputs to `node` (which
+    /// lives in zone `zone`); equals
+    /// [`PlacementView::estimated_transfer_seconds`]. Requires
+    /// `resolve(.., with_costs: true)`.
+    pub fn transfer_seconds(&self, node: NodeId, zone: ZoneId) -> f64 {
+        let mut total = 0.0;
+        for (i, item) in self.items.iter().enumerate() {
+            if item.on(&self.replicas, node) || item.bytes == 0 {
+                continue;
+            }
+            let best = self.zone_cost[i * self.zones + zone.index()];
+            if best.is_finite() {
+                total += best;
+            }
+        }
+        total
+    }
+
+    /// Returns `true` if some *alive* node both holds input bytes of
+    /// the resolved task and satisfies `req` at full capacity; equals
+    /// the node scan `∃ node: alive ∧ satisfies ∧ local_bytes > 0`
+    /// (distributing the existential over inputs).
+    pub fn has_local_potential(
+        &self,
+        view: &PlacementView<'_>,
+        req: &continuum_platform::Constraints,
+    ) -> bool {
+        let eligible = |st: &NodeState| st.is_alive() && st.total_capacity().satisfies(req);
+        self.items.iter().any(|item| {
+            if item.bytes == 0 {
+                return false;
+            }
+            if item.ubiquitous {
+                // Resident everywhere: any eligible node counts.
+                return view.nodes.iter().any(eligible);
+            }
+            self.replicas[item.lo as usize..item.hi as usize]
+                .iter()
+                .any(|r| eligible(&view.nodes[r.index()]))
+        })
     }
 }
 
@@ -155,10 +302,58 @@ pub trait Scheduler: Send {
     fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)>;
 }
 
+/// Per-node same-round assignment counters, kept inside each scheduler
+/// and reused across rounds so the placement loop allocates nothing
+/// after warm-up. Also tracks how many nodes can still take at least
+/// one more minimum-size (1-compute-unit) task, so a full machine ends
+/// the round after a single node sweep instead of O(ready × nodes).
+#[derive(Debug, Clone, Default)]
+struct RoundScratch {
+    extra: Vec<u32>,
+    open: usize,
+}
+
+impl RoundScratch {
+    /// Resets the counters for a round over `nodes`.
+    fn reset(&mut self, nodes: &[NodeState]) {
+        self.extra.clear();
+        self.extra.resize(nodes.len(), 0);
+        self.open = nodes
+            .iter()
+            .filter(|st| st.free_capacity().cores() > 0)
+            .count();
+    }
+
+    /// Assignments already made to `node` this round.
+    fn extra(&self, node: NodeId) -> u32 {
+        self.extra[node.index()]
+    }
+
+    /// Commits one assignment to `node`.
+    fn commit(&mut self, nodes: &[NodeState], node: NodeId) {
+        let idx = node.index();
+        self.extra[idx] += 1;
+        // Every budget check requires free >= extra*cu + cu with
+        // cu >= 1, so a node stops accepting once free <= extra.
+        if nodes[idx].free_capacity().cores() <= self.extra[idx] {
+            self.open -= 1;
+        }
+    }
+
+    /// `true` when no node can accept even a 1-unit task: since
+    /// compute-unit requirements are clamped to >= 1, none of the
+    /// remaining ready tasks can pass any budget check, so the round
+    /// can stop early without changing what gets placed.
+    fn exhausted(&self) -> bool {
+        self.open == 0
+    }
+}
+
 /// First-come, first-served with first-fit placement.
 #[derive(Debug, Clone, Default)]
 pub struct FifoScheduler {
     cursor: usize,
+    scratch: RoundScratch,
 }
 
 impl FifoScheduler {
@@ -180,10 +375,14 @@ impl Scheduler for FifoScheduler {
         }
         // Track capacity we hand out within this round so one fat node
         // is not over-assigned.
-        let mut pending: HashMap<NodeId, Vec<TaskId>> = HashMap::new();
+        self.scratch.reset(view.nodes());
         let mut out = Vec::new();
         for &task in ready {
+            if self.scratch.exhausted() {
+                break;
+            }
             let req = view.workload().profile(task).constraints_ref();
+            let cu = req.required_compute_units().max(1);
             for off in 0..n {
                 let idx = (self.cursor + off) % n;
                 let node = view.nodes()[idx].id();
@@ -191,15 +390,15 @@ impl Scheduler for FifoScheduler {
                     continue;
                 }
                 // Budget check against same-round assignments.
-                let already = pending.get(&node).map_or(0, |v| v.len()) as u32;
+                let already = self.scratch.extra(node);
                 let cores_left = view.nodes()[idx]
                     .free_capacity()
                     .cores()
-                    .saturating_sub(already * req.required_compute_units().max(1));
-                if cores_left < req.required_compute_units() {
+                    .saturating_sub(already * cu);
+                if cores_left < cu {
                     continue;
                 }
-                pending.entry(node).or_default().push(task);
+                self.scratch.commit(view.nodes(), node);
                 out.push((task, node));
                 self.cursor = (idx + 1) % n;
                 break;
@@ -219,6 +418,8 @@ impl Scheduler for FifoScheduler {
 #[derive(Debug, Clone, Default)]
 pub struct LocalityScheduler {
     strict: bool,
+    scratch: RoundScratch,
+    inputs: InputScratch,
 }
 
 impl LocalityScheduler {
@@ -234,7 +435,10 @@ impl LocalityScheduler {
     /// while the machine is busy, minimising bytes moved at some
     /// makespan cost (useful when the network is the scarce resource).
     pub fn data_gravity() -> Self {
-        LocalityScheduler { strict: true }
+        LocalityScheduler {
+            strict: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -244,24 +448,29 @@ impl Scheduler for LocalityScheduler {
     }
 
     fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
-        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        self.scratch.reset(view.nodes());
         let mut out = Vec::new();
         let machine_busy = view.nodes().iter().any(|n| n.running_count() > 0);
         for &task in ready {
+            if self.scratch.exhausted() {
+                break;
+            }
             let req = view.workload().profile(task).constraints_ref();
+            let cu = req.required_compute_units().max(1);
+            // One registry probe per input; per-node locality is then a
+            // binary search over the resolved replica lists.
+            self.inputs.resolve(view, task, false);
             let mut best: Option<(u64, i64, NodeId)> = None;
             for st in view.nodes() {
                 let node = st.id();
                 if !view.can_host(node, task) {
                     continue;
                 }
-                let extra = *extra_load.get(&node).unwrap_or(&0);
-                if st.free_capacity().cores()
-                    < extra * req.required_compute_units().max(1) + req.required_compute_units()
-                {
+                let extra = self.scratch.extra(node);
+                if st.free_capacity().cores() < extra * cu + cu {
                     continue;
                 }
-                let local = view.local_input_bytes(task, node);
+                let local = self.inputs.local_bytes(node);
                 let load = -(st.running_count() as i64 + extra as i64);
                 let candidate = (local, load, node);
                 if best.is_none_or(|b| (candidate.0, candidate.1) > (b.0, b.1)) {
@@ -279,30 +488,17 @@ impl Scheduler for LocalityScheduler {
             // progress is guaranteed; on fast fabrics (transfer cheap
             // relative to compute) running remote immediately wins.
             let busy_now = machine_busy || !out.is_empty();
-            if local == 0 && busy_now && self.has_local_potential(view, task) {
+            if local == 0 && busy_now && self.inputs.has_local_potential(view, req) {
                 let fetch_s = view.estimated_transfer_seconds(task, node);
                 let exec_s = view.workload().profile(task).duration_s();
                 if self.strict || fetch_s > 0.25 * exec_s {
                     continue;
                 }
             }
-            *extra_load.entry(node).or_insert(0) += 1;
+            self.scratch.commit(view.nodes(), node);
             out.push((task, node));
         }
         out
-    }
-}
-
-impl LocalityScheduler {
-    /// Returns `true` if some *alive* node both holds input bytes of
-    /// the task and could ever host it (full-capacity check).
-    fn has_local_potential(&self, view: &PlacementView<'_>, task: TaskId) -> bool {
-        let req = view.workload().profile(task).constraints_ref();
-        view.nodes().iter().any(|st| {
-            st.is_alive()
-                && st.total_capacity().satisfies(req)
-                && view.local_input_bytes(task, st.id()) > 0
-        })
     }
 }
 
@@ -426,6 +622,9 @@ impl Scheduler for HeftScheduler {
 #[derive(Debug, Clone)]
 pub struct ListScheduler {
     priority: Vec<f64>,
+    ordered: Vec<TaskId>,
+    scratch: RoundScratch,
+    inputs: InputScratch,
 }
 
 impl ListScheduler {
@@ -434,6 +633,9 @@ impl ListScheduler {
         let analysis = GraphAnalysis::new(workload.graph());
         ListScheduler {
             priority: analysis.bottom_levels(estimate),
+            ordered: Vec::new(),
+            scratch: RoundScratch::default(),
+            inputs: InputScratch::default(),
         }
     }
 }
@@ -444,39 +646,51 @@ impl Scheduler for ListScheduler {
     }
 
     fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
-        let mut ordered: Vec<TaskId> = ready.to_vec();
-        ordered.sort_by(|a, b| {
-            self.priority[b.index()]
-                .partial_cmp(&self.priority[a.index()])
+        self.ordered.clear();
+        self.ordered.extend_from_slice(ready);
+        let priority = &self.priority;
+        // The comparator is total (priority, then id), so the unstable
+        // sort is deterministic and allocation-free.
+        self.ordered.sort_unstable_by(|a, b| {
+            priority[b.index()]
+                .partial_cmp(&priority[a.index()])
                 .expect("finite priorities")
                 .then(a.cmp(b))
         });
-        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        self.scratch.reset(view.nodes());
         let mut out = Vec::new();
-        for task in ordered {
+        for &task in &self.ordered {
+            if self.scratch.exhausted() {
+                break;
+            }
             let req = view.workload().profile(task).constraints_ref();
             let duration = view.workload().profile(task).duration_s();
+            let cu = req.required_compute_units().max(1);
+            // Transfer costs depend only on the (source zone, dest
+            // zone) pair, so resolve each input's cheapest per-zone
+            // fetch once and score all N nodes against the table.
+            self.inputs.resolve(view, task, true);
             let mut best: Option<(f64, NodeId)> = None;
             for st in view.nodes() {
                 let node = st.id();
                 if !view.can_host(node, task) {
                     continue;
                 }
-                let extra = *extra_load.get(&node).unwrap_or(&0);
-                let cu = req.required_compute_units().max(1);
+                let extra = self.scratch.extra(node);
                 if st.free_capacity().cores() < extra * cu + cu {
                     continue;
                 }
                 let slots = (st.free_capacity().cores() / cu).max(1);
                 let waves = (extra / slots) as f64;
-                let score = view.estimated_transfer_seconds(task, node)
+                let zone = view.platform().node(node).expect("node in platform").zone();
+                let score = self.inputs.transfer_seconds(node, zone)
                     + (waves + 1.0) * duration / st.speed();
                 if best.is_none_or(|(s, _)| score < s) {
                     best = Some((score, node));
                 }
             }
             if let Some((_, node)) = best {
-                *extra_load.entry(node).or_insert(0) += 1;
+                self.scratch.commit(view.nodes(), node);
                 out.push((task, node));
             }
         }
@@ -487,12 +701,14 @@ impl Scheduler for ListScheduler {
 /// Energy-first consolidation: pack tasks onto already-busy nodes and
 /// only wake an idle node when nothing busy fits.
 #[derive(Debug, Clone, Default)]
-pub struct EnergyScheduler;
+pub struct EnergyScheduler {
+    scratch: RoundScratch,
+}
 
 impl EnergyScheduler {
     /// Creates an energy-aware scheduler.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -502,10 +718,14 @@ impl Scheduler for EnergyScheduler {
     }
 
     fn place(&mut self, view: &PlacementView<'_>, ready: &[TaskId]) -> Vec<(TaskId, NodeId)> {
-        let mut extra_load: HashMap<NodeId, u32> = HashMap::new();
+        self.scratch.reset(view.nodes());
         let mut out = Vec::new();
         for &task in ready {
+            if self.scratch.exhausted() {
+                break;
+            }
             let req = view.workload().profile(task).constraints_ref();
+            let cu = req.required_compute_units().max(1);
             // Prefer busy nodes, most-loaded first (tightest packing);
             // wake idle nodes only as a last resort, lowest index first.
             let mut best: Option<(bool, i64, NodeId)> = None;
@@ -514,10 +734,8 @@ impl Scheduler for EnergyScheduler {
                 if !view.can_host(node, task) {
                     continue;
                 }
-                let extra = *extra_load.get(&node).unwrap_or(&0);
-                if st.free_capacity().cores()
-                    < extra * req.required_compute_units().max(1) + req.required_compute_units()
-                {
+                let extra = self.scratch.extra(node);
+                if st.free_capacity().cores() < extra * cu + cu {
                     continue;
                 }
                 let busy = st.running_count() > 0 || extra > 0;
@@ -536,7 +754,7 @@ impl Scheduler for EnergyScheduler {
                 }
             }
             if let Some((_, _, node)) = best {
-                *extra_load.entry(node).or_insert(0) += 1;
+                self.scratch.commit(view.nodes(), node);
                 out.push((task, node));
             }
         }
@@ -600,6 +818,32 @@ mod tests {
         let mut s = FifoScheduler::new();
         let placed = s.place(&view, &ready);
         assert_eq!(placed.len(), 2, "2 cores => at most 2 tasks this round");
+    }
+
+    /// Regression: a task declaring `compute_units(0)` (clamped to 1 by
+    /// [`Constraints`]) must consume exactly one core of the per-round
+    /// budget — the normalized `cu` is used on *both* sides of the
+    /// budget check, so the round neither stalls nor overcommits.
+    #[test]
+    fn fifo_zero_cu_constraint_counts_as_one_core() {
+        let mut w = SimWorkload::new();
+        let d = w.data_batch("d", 4);
+        for (i, id) in d.iter().enumerate() {
+            w.task(
+                TaskSpec::new(format!("t{i}")).output(*id),
+                TaskProfile::new(1.0)
+                    .constraints(continuum_platform::Constraints::new().compute_units(0)),
+            )
+            .unwrap();
+        }
+        let p = cluster(1, 2);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        let view = PlacementView::new(&w, &nodes, &reg, &p);
+        let ready: Vec<TaskId> = w.graph().ready_tasks().iter().copied().collect();
+        let mut s = FifoScheduler::new();
+        let placed = s.place(&view, &ready);
+        assert_eq!(placed.len(), 2, "0-cu tasks occupy one core each");
     }
 
     #[test]

@@ -142,6 +142,14 @@ pub enum CounterKey {
     LineageReplays,
     /// Microseconds between a task becoming ready and being placed.
     ScheduleLatencyMicros,
+    /// Tasks offered to the scheduler in a scheduling round.
+    SchedulerTasksOffered,
+    /// Tasks the scheduler placed in a scheduling round.
+    SchedulerTasksPlaced,
+    /// Cumulative rounds that placed nothing solely because tasks were
+    /// waiting on in-flight lineage replays (distinguishes replay
+    /// stalls from true unschedulability).
+    ReplayStallRounds,
 }
 
 impl CounterKey {
@@ -154,6 +162,9 @@ impl CounterKey {
             CounterKey::TransferStallMicros => "transfer_stall_us",
             CounterKey::LineageReplays => "lineage_replays",
             CounterKey::ScheduleLatencyMicros => "schedule_latency_us",
+            CounterKey::SchedulerTasksOffered => "scheduler_tasks_offered",
+            CounterKey::SchedulerTasksPlaced => "scheduler_tasks_placed",
+            CounterKey::ReplayStallRounds => "replay_stall_rounds",
         }
     }
 }

@@ -100,6 +100,38 @@ pub fn fork_join(ensembles: usize, width: usize, depth: usize, duration_s: f64) 
     w
 }
 
+/// A `rows × cols` stencil sweep: the task at `(r, c)` consumes the
+/// outputs of its row-`r-1` neighbours `(c-1, c, c+1)` — the
+/// NMMB-style halo-exchange shape that stresses multi-input locality
+/// scoring, since every placement choice weighs three candidate
+/// data-holding nodes.
+pub fn stencil(rows: usize, cols: usize, duration_s: f64, bytes: u64) -> SimWorkload {
+    assert!(rows > 0 && cols > 0, "empty stencil");
+    let mut w = SimWorkload::new();
+    let mut prev_row: Vec<continuum_dag::DataId> = Vec::new();
+    for r in 0..rows {
+        let mut this_row = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let out = w.data(format!("st_r{r}_c{c}"));
+            let mut spec = TaskSpec::new(format!("stencil_r{r}"))
+                .group(format!("row{r}"))
+                .output(out);
+            if r > 0 {
+                let lo = c.saturating_sub(1);
+                let hi = (c + 1).min(cols - 1);
+                for p in &prev_row[lo..=hi] {
+                    spec = spec.input(*p);
+                }
+            }
+            w.task(spec, TaskProfile::new(duration_s).outputs_bytes(bytes))
+                .expect("valid pattern task");
+            this_row.push(out);
+        }
+        prev_row = this_row;
+    }
+    w
+}
+
 /// A binary tree reduction over `leaves` inputs: the classic
 /// Montage-style aggregation shape. Returns the workload; level 0 are
 /// the leaf producers.
@@ -284,6 +316,29 @@ mod tests {
         assert_eq!(s.tasks, 16);
         // Depth: fork + 2 stages + join = 4.
         assert!((s.critical_path_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let w = stencil(3, 4, 1.0, 100);
+        let s = w.stats();
+        assert_eq!(s.tasks, 12);
+        // Depth: one task per row along any column.
+        assert!((s.critical_path_s - 3.0).abs() < 1e-9);
+        let g = w.graph();
+        // Interior tasks below row 0 have exactly 3 predecessors,
+        // column edges have 2.
+        for (i, node) in g.nodes().enumerate() {
+            let (r, c) = (i / 4, i % 4);
+            let expect = if r == 0 {
+                0
+            } else if c == 0 || c == 3 {
+                2
+            } else {
+                3
+            };
+            assert_eq!(node.predecessors().len(), expect, "task ({r},{c})");
+        }
     }
 
     #[test]
