@@ -232,6 +232,30 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             black_box((done, buffer.len()))
         })
     });
+    // The always-on flight recorder: bounded memory, target within 2x
+    // of the no-op recorder (see observe_bench for the tripwire).
+    group.bench_function("local_1000_tasks_ring_recorder", |b| {
+        b.iter(|| {
+            let (ring, telemetry) = continuum_runtime::RingRecorder::collector(4096);
+            let done = run_local(LocalConfig {
+                workers: 4,
+                telemetry,
+                ..LocalConfig::default()
+            });
+            black_box((done, ring.len()))
+        })
+    });
+    group.bench_function("local_1000_tasks_ring_sampled_1_in_8", |b| {
+        b.iter(|| {
+            let (ring, telemetry) = continuum_runtime::RingRecorder::sampling_collector(4096, 8);
+            let done = run_local(LocalConfig {
+                workers: 4,
+                telemetry,
+                ..LocalConfig::default()
+            });
+            black_box((done, ring.len()))
+        })
+    });
     group.bench_function("sim_gwas_noop_recorder", |b| {
         let workload = GwasWorkload::new()
             .chromosomes(2)

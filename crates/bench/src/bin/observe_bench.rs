@@ -1,0 +1,223 @@
+//! Ring-recorder overhead micro-benchmark: how much does leaving the
+//! always-on flight recorder attached cost a real local-runtime
+//! workload, versus the no-op recorder and the unbounded trace buffer?
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin observe_bench -- --label current
+//! cargo run --release -p continuum-bench --bin observe_bench -- --smoke --check
+//! ```
+//!
+//! Results merge into `BENCH_observe.json` under `--label` (same
+//! labelled-trajectory scheme as `sched_bench`). `--check` exits
+//! non-zero if the ring recorder costs more than 2x the no-op
+//! baseline, or if its memory is not bounded by the configured
+//! capacity — the acceptance tripwire for "cheap enough to leave on".
+
+use continuum_dag::TaskSpec;
+use continuum_runtime::{LocalConfig, LocalRuntime, RecorderHandle, RingRecorder, TraceBuffer};
+use std::time::Instant;
+
+const RING_CAPACITY: usize = 4096;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Runs `tasks` trivial tasks on 4 workers with the given recorder and
+/// returns the wall time in milliseconds.
+fn run_local(tasks: usize, telemetry: RecorderHandle) -> f64 {
+    let start = Instant::now();
+    let rt = LocalRuntime::new(LocalConfig {
+        workers: 4,
+        telemetry,
+        ..LocalConfig::default()
+    });
+    let outs = rt.data_batch::<u64>("o", tasks);
+    for (i, o) in outs.iter().enumerate() {
+        rt.submit(
+            TaskSpec::new("w").output(o.id()),
+            continuum_platform::Constraints::new(),
+            move |ctx| ctx.set_output(0, i as u64),
+        )
+        .unwrap();
+    }
+    rt.wait_all().unwrap();
+    assert_eq!(rt.completed_count(), tasks);
+    drop(rt);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+struct Measurement {
+    recorder: &'static str,
+    wall_ms: f64,
+    events_retained: u64,
+    events_overwritten: u64,
+}
+
+fn measure(recorder: &'static str, tasks: usize, repeats: usize) -> Measurement {
+    let mut best_ms = f64::INFINITY;
+    let (mut retained, mut overwritten) = (0u64, 0u64);
+    for _ in 0..repeats {
+        let (ms, kept, dropped) = match recorder {
+            "noop" => (run_local(tasks, RecorderHandle::noop()), 0, 0),
+            "ring" => {
+                let (ring, handle) = RingRecorder::collector(RING_CAPACITY);
+                let ms = run_local(tasks, handle);
+                assert!(
+                    ring.len() <= ring.capacity(),
+                    "ring exceeded its capacity: {} > {}",
+                    ring.len(),
+                    ring.capacity()
+                );
+                (ms, ring.len() as u64, ring.overwritten())
+            }
+            "ring_sampled_1_in_8" => {
+                let (ring, handle) = RingRecorder::sampling_collector(RING_CAPACITY, 8);
+                let ms = run_local(tasks, handle);
+                assert!(ring.len() <= ring.capacity());
+                (ms, ring.len() as u64, ring.overwritten())
+            }
+            "trace_buffer" => {
+                let (buffer, handle) = TraceBuffer::collector();
+                let ms = run_local(tasks, handle);
+                (ms, buffer.len() as u64, 0)
+            }
+            other => unreachable!("unknown recorder {other}"),
+        };
+        if ms < best_ms {
+            best_ms = ms;
+            retained = kept;
+            overwritten = dropped;
+        }
+    }
+    Measurement {
+        recorder,
+        wall_ms: best_ms,
+        events_retained: retained,
+        events_overwritten: overwritten,
+    }
+}
+
+fn measurement_to_value(m: &Measurement, overhead_vs_noop: f64) -> serde::Value {
+    serde::Value::Obj(vec![
+        (
+            "recorder".to_string(),
+            serde::Value::Str(m.recorder.to_string()),
+        ),
+        ("wall_ms".to_string(), serde::Value::F64(m.wall_ms)),
+        (
+            "events_retained".to_string(),
+            serde::Value::U64(m.events_retained),
+        ),
+        (
+            "events_overwritten".to_string(),
+            serde::Value::U64(m.events_overwritten),
+        ),
+        (
+            "overhead_vs_noop".to_string(),
+            serde::Value::F64(overhead_vs_noop),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let label = flag_value(&args, "--label").unwrap_or_else(|| "current".to_string());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_observe.json".to_string());
+    let repeats: usize = flag_value(&args, "--repeats")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(5);
+    let tasks = if smoke { 300 } else { 2000 };
+
+    println!(
+        "ring-recorder overhead — {tasks} trivial local tasks, 4 workers, \
+         ring capacity {RING_CAPACITY}, best of {repeats}, label `{label}`"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}",
+        "recorder", "wall_ms", "vs_noop", "retained", "overwritten"
+    );
+    let recorders = ["noop", "ring", "ring_sampled_1_in_8", "trace_buffer"];
+    let mut results = Vec::new();
+    let mut noop_ms = f64::NAN;
+    for recorder in recorders {
+        let m = measure(recorder, tasks, repeats);
+        if recorder == "noop" {
+            noop_ms = m.wall_ms;
+        }
+        let overhead = m.wall_ms / noop_ms;
+        println!(
+            "{:<22} {:>10.2} {:>9.2}x {:>12} {:>12}",
+            m.recorder, m.wall_ms, overhead, m.events_retained, m.events_overwritten
+        );
+        results.push((m, overhead));
+    }
+
+    // Merge into the output file, preserving other labels.
+    let mut runs: Vec<(String, serde::Value)> = match std::fs::read_to_string(&out_path) {
+        Ok(text) => serde::json::parse(&text)
+            .ok()
+            .and_then(|doc| {
+                doc.get("runs")
+                    .and_then(|r| r.as_obj().map(<[(String, serde::Value)]>::to_vec))
+            })
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    let entry = serde::Value::Obj(vec![
+        (
+            "scale".to_string(),
+            serde::Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("tasks".to_string(), serde::Value::U64(tasks as u64)),
+        ("repeats".to_string(), serde::Value::U64(repeats as u64)),
+        (
+            "ring_capacity".to_string(),
+            serde::Value::U64(RING_CAPACITY as u64),
+        ),
+        (
+            "results".to_string(),
+            serde::Value::Arr(
+                results
+                    .iter()
+                    .map(|(m, o)| measurement_to_value(m, *o))
+                    .collect(),
+            ),
+        ),
+    ]);
+    runs.retain(|(k, _)| *k != label);
+    runs.push((label.clone(), entry));
+    let doc = serde::Value::Obj(vec![
+        (
+            "bench".to_string(),
+            serde::Value::Str("observe-ring".to_string()),
+        ),
+        ("runs".to_string(), serde::Value::Obj(runs)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.to_string() + "\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {} result(s) to {out_path}", results.len());
+
+    if check {
+        let ring_overhead = results
+            .iter()
+            .find(|(m, _)| m.recorder == "ring")
+            .map(|(_, o)| *o)
+            .unwrap_or(f64::INFINITY);
+        if ring_overhead > 2.0 {
+            eprintln!(
+                "REGRESSION: ring recorder is {ring_overhead:.2}x the no-op baseline \
+                 (limit 2.00x)"
+            );
+            std::process::exit(2);
+        }
+        println!("check passed: ring overhead {ring_overhead:.2}x <= 2.00x");
+    }
+}

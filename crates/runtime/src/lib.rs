@@ -53,4 +53,4 @@ pub use workload::{SimWorkload, WorkloadStats};
 /// Telemetry surface both engines accept in their configs
 /// ([`LocalConfig::telemetry`], [`SimOptions::telemetry`]), re-exported
 /// from [`continuum_telemetry`] for convenience.
-pub use continuum_telemetry::{Recorder, RecorderHandle, TraceBuffer};
+pub use continuum_telemetry::{Recorder, RecorderHandle, RingRecorder, TraceBuffer};

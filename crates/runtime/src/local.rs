@@ -427,14 +427,19 @@ impl Drop for LocalRuntime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // The run span closes last, covering every task span.
         if self.shared.telemetry.enabled() {
+            let end_us = self.shared.now_us();
+            // Same end-of-run counter set the simulator publishes, so
+            // metrics readers see explicit zeros (shared memory: no
+            // transfers, no lineage replays) instead of absent keys.
+            self.shared.telemetry.run_end_counters(end_us, 0, 0, 0);
+            // The run span closes last, covering every task span.
             self.shared.telemetry.record(TelemetryEvent::Span {
                 track: Track::Run,
                 name: "local-run".to_string(),
                 phase: TaskPhase::Executing,
                 start_us: 0,
-                dur_us: self.shared.now_us(),
+                dur_us: end_us,
             });
         }
     }

@@ -411,16 +411,12 @@ impl<'w, 's> Engine<'w, 's> {
                 start_us: 0,
                 dur_us: end_us,
             });
-            self.options.telemetry.record(TelemetryEvent::Counter {
-                key: CounterKey::TransferBytes,
-                at_us: end_us,
-                value: self.ledger.total_bytes() as f64,
-            });
-            self.options.telemetry.record(TelemetryEvent::Counter {
-                key: CounterKey::LineageReplays,
-                at_us: end_us,
-                value: self.reexecutions as f64,
-            });
+            self.options.telemetry.run_end_counters(
+                end_us,
+                self.ledger.total_bytes(),
+                micros_from_seconds(self.trace.total_transfer_stall_s()),
+                self.reexecutions as u64,
+            );
         }
         Ok(RunReport::from_parts(
             makespan.as_seconds(),

@@ -1,0 +1,172 @@
+//! Property-based tests of the trace-analysis layer against real
+//! simulated runs: for arbitrary layered DAGs and platforms, recorded
+//! traces are well-formed (task spans nested in the run span, per-task
+//! transfer/execute adjacency, cumulative counters monotone) and the
+//! [`RunDiagnostics`] attribution buckets sum to the makespan exactly
+//! on every node.
+
+use continuum_dag::TaskSpec;
+use continuum_platform::{NodeSpec, Platform, PlatformBuilder};
+use continuum_runtime::{
+    FifoScheduler, LocalityScheduler, SimOptions, SimRuntime, SimWorkload, TaskProfile, TraceBuffer,
+};
+use continuum_sim::FaultPlan;
+use continuum_telemetry::{collect_task_obs, CounterKey, Event, RunDiagnostics, TaskPhase, Track};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random layered workload with transfer-heavy edges so
+/// traces exercise the `Transferring` spans too.
+fn layered(seed: u64, layers: usize, width: usize, p_edge: f64, bytes: u64) -> SimWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = SimWorkload::new();
+    let mut prev: Vec<continuum_dag::DataId> = Vec::new();
+    for layer in 0..layers {
+        let mut this = Vec::new();
+        for i in 0..width {
+            let out = w.data(format!("l{layer}t{i}"));
+            let mut spec = TaskSpec::new(format!("task_l{layer}_{i}")).output(out);
+            let mut has = false;
+            for p in &prev {
+                if rng.gen::<f64>() < p_edge {
+                    spec = spec.input(*p);
+                    has = true;
+                }
+            }
+            if layer > 0 && !has {
+                spec = spec.input(prev[rng.gen_range(0..prev.len())]);
+            }
+            let dur = 1.0 + rng.gen::<f64>() * 9.0;
+            w.task(spec, TaskProfile::new(dur).outputs_bytes(bytes))
+                .expect("valid task");
+            this.push(out);
+        }
+        prev = this;
+    }
+    w
+}
+
+fn platform(nodes: usize, cores: u32) -> Platform {
+    PlatformBuilder::new()
+        .cluster("c", nodes, NodeSpec::hpc(cores, 96_000))
+        .build()
+}
+
+/// Runs a sim workload with a trace buffer attached and returns the
+/// recorded events.
+fn traced_run(w: &SimWorkload, nodes: usize, cores: u32, locality: bool) -> Vec<Event> {
+    let (buffer, handle) = TraceBuffer::collector();
+    let options = SimOptions {
+        telemetry: handle,
+        ..SimOptions::default()
+    };
+    let report = if locality {
+        SimRuntime::new(platform(nodes, cores), options).run(
+            w,
+            &mut LocalityScheduler::new(),
+            &FaultPlan::new(),
+        )
+    } else {
+        SimRuntime::new(platform(nodes, cores), options).run(
+            w,
+            &mut FifoScheduler::new(),
+            &FaultPlan::new(),
+        )
+    };
+    report.expect("run completes");
+    buffer.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Recorded traces are well-formed: every task span sits inside the
+    /// run span, transfer prefixes end exactly where the execution
+    /// starts, and one committed marker exists per task.
+    #[test]
+    fn traces_are_well_formed(
+        seed in 0u64..300,
+        layers in 2usize..5,
+        width in 1usize..6,
+        nodes in 1usize..5,
+        cores in 1u32..4,
+        locality in 0u8..2,
+    ) {
+        let w = layered(seed, layers, width, 0.35, 50_000_000);
+        let events = traced_run(&w, nodes, cores, locality == 1);
+
+        let run_end = events.iter().find_map(|e| match e {
+            Event::Span { track: Track::Run, name, dur_us, .. }
+                if name == "sim-run" => Some(*dur_us),
+            _ => None,
+        }).expect("run span recorded");
+        for event in &events {
+            prop_assert!(event.end_us() <= run_end,
+                "event past the run span end: {event:?} (run ends {run_end})");
+        }
+
+        let obs = collect_task_obs(&events);
+        prop_assert_eq!(obs.len(), w.stats().tasks, "one execution per task");
+        for o in &obs {
+            prop_assert!(o.start_us <= o.exec_start_us && o.exec_start_us < o.end_us,
+                "malformed observation {o:?}");
+        }
+
+        let committed = events.iter().filter(|e| matches!(e,
+            Event::Instant { phase: TaskPhase::Committed, .. })).count();
+        prop_assert_eq!(committed, w.stats().tasks);
+    }
+
+    /// Attribution buckets are exhaustive and disjoint: on every node
+    /// row, compute + transfer + stall + wait + idle equals the
+    /// makespan exactly (integer microseconds, no rounding slop).
+    #[test]
+    fn attribution_sums_to_makespan(
+        seed in 0u64..300,
+        layers in 2usize..5,
+        width in 1usize..6,
+        nodes in 1usize..5,
+        cores in 1u32..4,
+        locality in 0u8..2,
+    ) {
+        let w = layered(seed, layers, width, 0.35, 50_000_000);
+        let events = traced_run(&w, nodes, cores, locality == 1);
+        let diag = RunDiagnostics::from_events(&events);
+        prop_assert!(!diag.is_empty(), "sim runs always have task rows");
+        prop_assert_eq!(diag.tasks_committed as usize, w.stats().tasks);
+        for node in &diag.nodes {
+            prop_assert_eq!(node.total_us(), diag.makespan_us,
+                "buckets must sum to makespan on {}", node.track.label());
+        }
+        let total_compute: u64 = diag.nodes.iter().map(|n| n.compute_us).sum();
+        prop_assert!(total_compute > 0, "some compute happened");
+    }
+
+    /// Cumulative counters never decrease over the recorded stream.
+    #[test]
+    fn cumulative_counters_are_monotone(
+        seed in 0u64..300,
+        layers in 2usize..5,
+        width in 1usize..6,
+        nodes in 2usize..5,
+    ) {
+        let w = layered(seed, layers, width, 0.35, 50_000_000);
+        let events = traced_run(&w, nodes, 2, true);
+        for key in [
+            CounterKey::TransferBytes,
+            CounterKey::TransferStallMicros,
+            CounterKey::LineageReplays,
+            CounterKey::ReplayStallRounds,
+        ] {
+            let samples: Vec<f64> = events.iter().filter_map(|e| match e {
+                Event::Counter { key: k, value, .. } if *k == key => Some(*value),
+                _ => None,
+            }).collect();
+            prop_assert!(
+                samples.windows(2).all(|w| w[0] <= w[1]),
+                "{} went backwards: {samples:?}", key.as_str()
+            );
+        }
+    }
+}

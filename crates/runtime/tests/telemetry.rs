@@ -11,7 +11,9 @@ use continuum_runtime::{
     TraceBuffer,
 };
 use continuum_sim::FaultPlan;
-use continuum_telemetry::{chrome_trace, paraver_trace, Event, MetricsSnapshot, TaskPhase, Track};
+use continuum_telemetry::{
+    chrome_trace, paraver_trace, CounterKey, Event, MetricsSnapshot, TaskPhase, Track,
+};
 
 /// A small diamond-heavy workload with transfers, so traces contain
 /// `Transferring` spans as well as `Executing` spans.
@@ -205,4 +207,52 @@ fn local_traces_are_well_formed() {
     // The Chrome export of a wall-clock trace is still valid JSON.
     let json = serde::json::parse(&chrome_trace(&events)).expect("valid JSON");
     assert!(json.as_arr().is_some_and(|a| !a.is_empty()));
+}
+
+/// Both engines publish the same end-of-run counter set, so metrics
+/// fields are populated (or explicitly zero) regardless of engine.
+#[test]
+fn both_engines_emit_the_unified_run_end_counters() {
+    // Simulated engine: real transfer/replay numbers.
+    let sim_snap = MetricsSnapshot::from_events(&sim_events());
+
+    // Local engine: shared memory, so the same keys exist with zeros.
+    let (buffer, telemetry) = TraceBuffer::collector();
+    {
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 2,
+            telemetry,
+            ..LocalConfig::default()
+        });
+        let out = rt.data::<u64>("out");
+        rt.submit(
+            TaskSpec::new("one").output(out.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 1u64),
+        )
+        .unwrap();
+        rt.wait_all().unwrap();
+    }
+    let local_snap = MetricsSnapshot::from_events(&buffer.events());
+
+    for key in [
+        CounterKey::TransferBytes,
+        CounterKey::TransferStallMicros,
+        CounterKey::LineageReplays,
+    ] {
+        assert!(
+            sim_snap.counters_last.contains_key(&key),
+            "sim trace missing {}",
+            key.as_str()
+        );
+        assert_eq!(
+            local_snap.counters_last.get(&key),
+            Some(&0.0),
+            "local trace must carry an explicit zero for {}",
+            key.as_str()
+        );
+    }
+    // The diamond workload moves bytes and stalls on them.
+    assert!(sim_snap.counters_last[&CounterKey::TransferBytes] > 0.0);
+    assert!(sim_snap.counters_last[&CounterKey::TransferStallMicros] > 0.0);
 }

@@ -1,0 +1,288 @@
+//! `continuum-trace` — diagnose a recorded run from its trace file.
+//!
+//! Works on Chrome `trace_event` JSON produced by either engine (the
+//! `--trace` flag of the experiments binary, `telemetry_demo`, or any
+//! [`continuum_telemetry::chrome_trace`] export):
+//!
+//! ```text
+//! continuum-trace summary        trace.json
+//! continuum-trace critical-path  trace.json [--limit N]
+//! continuum-trace attrib         trace.json [--json]
+//! continuum-trace diff           a.json b.json
+//! continuum-trace convert        trace.json --to paraver|prometheus|chrome [--out PATH]
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 unreadable/unparseable
+//! trace, 3 parseable trace with nothing to attribute (empty run).
+
+use continuum_telemetry::{
+    chrome_trace, paraver_trace, parse_chrome_trace, prometheus_text, trace_critical_chain, Event,
+    MetricsSnapshot, RunDiagnostics, TaskObs,
+};
+
+const USAGE: &str = "continuum-trace — trace analysis for continuum runs
+
+USAGE:
+  continuum-trace summary        <trace.json>
+  continuum-trace critical-path  <trace.json> [--limit N]
+  continuum-trace attrib         <trace.json> [--json]
+  continuum-trace diff           <a.json> <b.json>
+  continuum-trace convert        <trace.json> --to paraver|prometheus|chrome [--out PATH]
+
+Traces are Chrome trace_event JSON, e.g. from
+`cargo run --release -p continuum-bench --bin experiments -- --quick e1 --trace e1.json`
+or `cargo run --release --example telemetry_demo`.";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_events(path: &str) -> Vec<Event> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("continuum-trace: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match parse_chrome_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("continuum-trace: {path} is not a valid trace: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+fn cmd_summary(path: &str) {
+    let events = load_events(path);
+    let (mut spans, mut instants, mut counters) = (0usize, 0usize, 0usize);
+    for event in &events {
+        match event {
+            Event::Span { .. } => spans += 1,
+            Event::Instant { .. } => instants += 1,
+            Event::Counter { .. } => counters += 1,
+        }
+    }
+    println!(
+        "{path}: {} events ({spans} spans, {instants} markers, {counters} counter samples)\n",
+        events.len()
+    );
+    print!("{}", MetricsSnapshot::from_events(&events).summary());
+    let gantt = continuum_telemetry::gantt::render_events(&events, 72);
+    if !gantt.is_empty() {
+        println!("\n{gantt}");
+    }
+}
+
+fn print_chain(chain: &[TaskObs], makespan_us: u64, limit: usize) {
+    println!(
+        "critical chain: {} hops over {:.3} s makespan",
+        chain.len(),
+        seconds(makespan_us)
+    );
+    let work: u64 = chain.iter().map(TaskObs::dur_us).sum();
+    println!(
+        "  on-chain work {:.3} s ({:.1}% of makespan); the rest is waiting",
+        seconds(work),
+        if makespan_us > 0 {
+            100.0 * work as f64 / makespan_us as f64
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  {:<28} {:<10} {:>11} {:>11} {:>11}",
+        "task", "where", "start_s", "dur_s", "gap_s"
+    );
+    let skip = chain.len().saturating_sub(limit);
+    if skip > 0 {
+        println!("  ... {skip} earlier hop(s) elided (--limit {limit})");
+    }
+    let mut prev_end = if skip > 0 { chain[skip - 1].end_us } else { 0 };
+    for obs in &chain[skip..] {
+        println!(
+            "  {:<28} {:<10} {:>11.3} {:>11.3} {:>11.3}",
+            obs.name,
+            obs.track.label(),
+            seconds(obs.start_us),
+            seconds(obs.dur_us()),
+            seconds(obs.start_us.saturating_sub(prev_end))
+        );
+        prev_end = obs.end_us;
+    }
+}
+
+fn cmd_critical_path(path: &str, limit: usize) {
+    let events = load_events(path);
+    let chain = trace_critical_chain(&events);
+    if chain.is_empty() {
+        eprintln!("continuum-trace: no task executions in {path}");
+        std::process::exit(3);
+    }
+    let makespan_us = chain.last().map(|o| o.end_us).unwrap_or(0);
+    print_chain(&chain, makespan_us, limit);
+    println!(
+        "\nnote: chain inferred from the trace alone (latest-gating-span\nheuristic); run the analysis against the DAG for proven edges."
+    );
+}
+
+fn cmd_attrib(path: &str, json: bool) {
+    let events = load_events(path);
+    let diag = RunDiagnostics::from_events(&events);
+    if diag.is_empty() {
+        eprintln!("continuum-trace: nothing to attribute in {path} (no task rows)");
+        std::process::exit(3);
+    }
+    if json {
+        println!("{}", serde::Serialize::to_json_value(&diag));
+    } else {
+        print!("{diag}");
+    }
+}
+
+fn cmd_diff(path_a: &str, path_b: &str) {
+    let a = RunDiagnostics::from_events(&load_events(path_a));
+    let b = RunDiagnostics::from_events(&load_events(path_b));
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "metric", path_a, path_b, "delta"
+    );
+    let pct = |x: f64, y: f64| {
+        if x != 0.0 {
+            format!("{:+.1}%", 100.0 * (y - x) / x)
+        } else {
+            "-".to_string()
+        }
+    };
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("makespan_s", seconds(a.makespan_us), seconds(b.makespan_us)),
+        ("rows", a.nodes.len() as f64, b.nodes.len() as f64),
+        (
+            "tasks_committed",
+            a.tasks_committed as f64,
+            b.tasks_committed as f64,
+        ),
+        ("tasks_failed", a.tasks_failed as f64, b.tasks_failed as f64),
+        ("replays", a.replays as f64, b.replays as f64),
+        (
+            "compute_s",
+            seconds(a.nodes.iter().map(|n| n.compute_us).sum()),
+            seconds(b.nodes.iter().map(|n| n.compute_us).sum()),
+        ),
+        (
+            "transfer_s",
+            seconds(a.nodes.iter().map(|n| n.transfer_us).sum()),
+            seconds(b.nodes.iter().map(|n| n.transfer_us).sum()),
+        ),
+        (
+            "sched_stall_s",
+            seconds(a.nodes.iter().map(|n| n.sched_stall_us).sum()),
+            seconds(b.nodes.iter().map(|n| n.sched_stall_us).sum()),
+        ),
+        (
+            "queue_wait_s",
+            seconds(a.nodes.iter().map(|n| n.queue_wait_us).sum()),
+            seconds(b.nodes.iter().map(|n| n.queue_wait_us).sum()),
+        ),
+        (
+            "idle_s",
+            seconds(a.nodes.iter().map(|n| n.idle_us).sum()),
+            seconds(b.nodes.iter().map(|n| n.idle_us).sum()),
+        ),
+        (
+            "mean_busy_frac",
+            a.utilization.mean_busy_fraction,
+            b.utilization.mean_busy_fraction,
+        ),
+        (
+            "imbalance",
+            a.utilization.imbalance_ratio,
+            b.utilization.imbalance_ratio,
+        ),
+        ("gini", a.utilization.gini, b.utilization.gini),
+    ];
+    for (name, x, y) in rows {
+        println!("{name:<22} {x:>14.3} {y:>14.3} {:>9}", pct(x, y));
+    }
+}
+
+fn cmd_convert(path: &str, to: &str, out: Option<String>) {
+    let events = load_events(path);
+    let rendered = match to {
+        "chrome" => chrome_trace(&events),
+        "paraver" => paraver_trace(&events),
+        "prometheus" => prometheus_text(&MetricsSnapshot::from_events(&events)),
+        other => {
+            eprintln!("continuum-trace: unknown format {other:?} (chrome|paraver|prometheus)");
+            std::process::exit(1);
+        }
+    };
+    match out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(&out_path, &rendered) {
+                eprintln!("continuum-trace: cannot write {out_path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {} bytes to {out_path}", rendered.len());
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = {
+        // Drop flags and their values to find the subcommand/paths.
+        let mut out = Vec::new();
+        let mut skip_next = false;
+        for arg in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if arg == "--json" {
+                continue;
+            }
+            if arg.starts_with("--") {
+                skip_next = true;
+                continue;
+            }
+            out.push(arg);
+        }
+        out
+    };
+    let Some(command) = positional.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(1);
+    };
+    match (command.as_str(), &positional[1..]) {
+        ("summary", [path]) => cmd_summary(path),
+        ("critical-path", [path]) => {
+            let limit = flag_value(&args, "--limit")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(30);
+            cmd_critical_path(path, limit);
+        }
+        ("attrib", [path]) => cmd_attrib(path, args.iter().any(|a| a == "--json")),
+        ("diff", [a, b]) => cmd_diff(a, b),
+        ("convert", [path]) => {
+            let Some(to) = flag_value(&args, "--to") else {
+                eprintln!("continuum-trace: convert needs --to paraver|prometheus|chrome");
+                std::process::exit(1);
+            };
+            cmd_convert(path, &to, flag_value(&args, "--out"));
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}

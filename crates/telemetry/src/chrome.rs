@@ -1,11 +1,15 @@
-//! Chrome `trace_event` export: the JSON array flavour, loadable in
-//! `chrome://tracing` and Perfetto.
+//! Chrome `trace_event` export and import: the JSON array flavour,
+//! loadable in `chrome://tracing` and Perfetto.
 //!
 //! Output is deterministic: metadata rows are sorted by track, payload
-//! events keep recorder arrival order, and all timestamps are integer
-//! microseconds — two identical runs export byte-identical traces.
+//! events are stably sorted by `(timestamp, track, kind, duration,
+//! name, phase)` so equal-timestamp events order identically however
+//! the recorder happened to interleave them, and all timestamps are
+//! integer microseconds — two identical runs export byte-identical
+//! traces. [`parse_chrome_trace`] reads the same dialect back into
+//! [`Event`]s, so analysis tools work on standalone trace files.
 
-use crate::event::{Event, Track};
+use crate::event::{CounterKey, Event, Micros, TaskPhase, Track};
 use serde::Value;
 use std::collections::BTreeSet;
 
@@ -56,7 +60,47 @@ pub fn chrome_trace(events: &[Event]) -> String {
         out.push(obj(fields));
     }
 
-    for event in events {
+    // Stable sort key so equal-timestamp events export identically
+    // regardless of recorder interleaving (worker threads racing to a
+    // shared buffer must not change the bytes on disk).
+    fn sort_key(e: &Event) -> (Micros, u64, u64, u8, Micros, &str, &str) {
+        match e {
+            Event::Span {
+                track,
+                name,
+                phase,
+                start_us,
+                dur_us,
+            } => (
+                *start_us,
+                track.chrome_pid(),
+                track.chrome_tid(),
+                0,
+                u64::MAX - dur_us, // longer spans first: parents enclose children
+                name.as_str(),
+                phase.as_str(),
+            ),
+            Event::Instant {
+                track,
+                name,
+                phase,
+                at_us,
+            } => (
+                *at_us,
+                track.chrome_pid(),
+                track.chrome_tid(),
+                1,
+                0,
+                name.as_str(),
+                phase.as_str(),
+            ),
+            Event::Counter { key, at_us, .. } => (*at_us, 0, 0, 2, 0, key.as_str(), ""),
+        }
+    }
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+
+    for event in ordered {
         match event {
             Event::Span {
                 track,
@@ -89,6 +133,89 @@ pub fn chrome_trace(events: &[Event]) -> String {
         }
     }
     Value::Arr(out).to_string()
+}
+
+/// Reads a Chrome `trace_event` JSON array (as produced by
+/// [`chrome_trace`]) back into [`Event`]s.
+///
+/// Metadata rows (`"ph": "M"`) are skipped; counter rows with names
+/// this crate does not define are skipped too, so traces from newer
+/// versions still load. Structurally broken input — not JSON, not an
+/// array, entries missing `ph`/`ts`, unknown track pids — is an error.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
+    let doc = serde::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let arr = doc
+        .as_arr()
+        .ok_or_else(|| "top level is not a JSON array".to_string())?;
+
+    let mut events = Vec::new();
+    for (i, entry) in arr.iter().enumerate() {
+        let ph = entry
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"ph\""))?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = entry
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("entry {i}: missing or non-integer \"ts\""))?;
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"name\""))?;
+        match ph {
+            "X" | "i" => {
+                let pid = entry.get("pid").and_then(Value::as_u64).unwrap_or(0);
+                let tid = entry.get("tid").and_then(Value::as_u64).unwrap_or(0);
+                let track = Track::from_chrome(pid, tid)
+                    .ok_or_else(|| format!("entry {i}: unknown track pid {pid}"))?;
+                let phase = entry
+                    .get("cat")
+                    .and_then(Value::as_str)
+                    .and_then(TaskPhase::parse)
+                    .unwrap_or(TaskPhase::Executing);
+                if ph == "X" {
+                    let dur = entry
+                        .get("dur")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("entry {i}: span missing \"dur\""))?;
+                    events.push(Event::Span {
+                        track,
+                        name: name.to_string(),
+                        phase,
+                        start_us: ts,
+                        dur_us: dur,
+                    });
+                } else {
+                    events.push(Event::Instant {
+                        track,
+                        name: name.to_string(),
+                        phase,
+                        at_us: ts,
+                    });
+                }
+            }
+            "C" => {
+                let Some(key) = CounterKey::parse(name) else {
+                    continue; // foreign counter: tolerate, don't fail
+                };
+                let value = entry
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("entry {i}: counter missing args.value"))?;
+                events.push(Event::Counter {
+                    key,
+                    at_us: ts,
+                    value,
+                });
+            }
+            other => return Err(format!("entry {i}: unsupported event type {other:?}")),
+        }
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -149,5 +276,64 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         assert_eq!(chrome_trace(&sample()), chrome_trace(&sample()));
+    }
+
+    #[test]
+    fn parse_round_trips_payload_events() {
+        let text = chrome_trace(&sample());
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back.len(), 3, "metadata is dropped, payload kept");
+        for event in sample() {
+            assert!(back.contains(&event), "missing {event:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"a\": 1}").is_err());
+        assert!(parse_chrome_trace("[{\"name\": \"x\"}]").is_err());
+    }
+
+    #[test]
+    fn hostile_names_round_trip() {
+        let events = vec![Event::Span {
+            track: Track::Node(0),
+            name: "a:b,c\nd\"e\\f".into(),
+            phase: TaskPhase::Executing,
+            start_us: 0,
+            dur_us: 10,
+        }];
+        let text = chrome_trace(&events);
+        assert_eq!(chrome_trace(&events), text, "deterministic");
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back, events, "escaping preserves the name exactly");
+    }
+
+    #[test]
+    fn equal_timestamp_events_order_independently_of_arrival() {
+        let a = Event::Span {
+            track: Track::Worker(0),
+            name: "alpha".into(),
+            phase: TaskPhase::Executing,
+            start_us: 100,
+            dur_us: 5,
+        };
+        let b = Event::Span {
+            track: Track::Worker(1),
+            name: "beta".into(),
+            phase: TaskPhase::Executing,
+            start_us: 100,
+            dur_us: 5,
+        };
+        let c = Event::Instant {
+            track: Track::Worker(0),
+            name: "alpha".into(),
+            phase: TaskPhase::Committed,
+            at_us: 100,
+        };
+        let one = chrome_trace(&[a.clone(), b.clone(), c.clone()]);
+        let two = chrome_trace(&[c, b, a]);
+        assert_eq!(one, two, "arrival interleaving must not change bytes");
     }
 }

@@ -34,6 +34,20 @@ pub enum Track {
 }
 
 impl Track {
+    /// Inverse of [`Track::chrome_pid`]/[`Track::chrome_tid`]: rebuilds
+    /// the track from a Chrome `(pid, tid)` pair, `None` for pids this
+    /// crate never emits.
+    pub fn from_chrome(pid: u64, tid: u64) -> Option<Track> {
+        let id = u32::try_from(tid).ok()?;
+        match pid {
+            1 => Some(Track::Run),
+            2 => Some(Track::Node(id)),
+            3 => Some(Track::Worker(id)),
+            4 => Some(Track::Agent(id)),
+            _ => None,
+        }
+    }
+
     /// Human-readable row label.
     pub fn label(&self) -> String {
         match self {
@@ -111,6 +125,23 @@ impl TaskPhase {
         }
     }
 
+    /// Every phase, in lifecycle order.
+    pub const ALL: [TaskPhase; 8] = [
+        TaskPhase::Submitted,
+        TaskPhase::Ready,
+        TaskPhase::Scheduled,
+        TaskPhase::Transferring,
+        TaskPhase::Executing,
+        TaskPhase::Committed,
+        TaskPhase::Failed,
+        TaskPhase::Replayed,
+    ];
+
+    /// Inverse of [`TaskPhase::as_str`].
+    pub fn parse(s: &str) -> Option<TaskPhase> {
+        TaskPhase::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+
     /// Paraver state code: `1` is the conventional "running" state;
     /// the rest use a stable private numbering.
     pub fn paraver_state(&self) -> u32 {
@@ -153,6 +184,24 @@ pub enum CounterKey {
 }
 
 impl CounterKey {
+    /// Every counter key.
+    pub const ALL: [CounterKey; 9] = [
+        CounterKey::QueueDepth,
+        CounterKey::RunningTasks,
+        CounterKey::TransferBytes,
+        CounterKey::TransferStallMicros,
+        CounterKey::LineageReplays,
+        CounterKey::ScheduleLatencyMicros,
+        CounterKey::SchedulerTasksOffered,
+        CounterKey::SchedulerTasksPlaced,
+        CounterKey::ReplayStallRounds,
+    ];
+
+    /// Inverse of [`CounterKey::as_str`].
+    pub fn parse(s: &str) -> Option<CounterKey> {
+        CounterKey::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
     /// Lower-snake-case label, used as the Chrome counter name.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -250,6 +299,34 @@ mod tests {
         };
         assert_eq!(span.at_us(), 10);
         assert_eq!(span.end_us(), 15);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for phase in TaskPhase::ALL {
+            assert_eq!(TaskPhase::parse(phase.as_str()), Some(phase));
+        }
+        for key in CounterKey::ALL {
+            assert_eq!(CounterKey::parse(key.as_str()), Some(key));
+        }
+        assert_eq!(TaskPhase::parse("no-such-phase"), None);
+        assert_eq!(CounterKey::parse("no-such-key"), None);
+    }
+
+    #[test]
+    fn chrome_ids_round_trip() {
+        for track in [
+            Track::Run,
+            Track::Node(7),
+            Track::Worker(0),
+            Track::Agent(42),
+        ] {
+            assert_eq!(
+                Track::from_chrome(track.chrome_pid(), track.chrome_tid()),
+                Some(track)
+            );
+        }
+        assert_eq!(Track::from_chrome(9, 0), None);
     }
 
     #[test]

@@ -20,18 +20,37 @@
 //!
 //! Engines embed a [`RecorderHandle`] in their config; users who want a
 //! trace plug in a [`TraceBuffer`] via [`TraceBuffer::collector`] and
-//! export the buffered events after the run.
+//! export the buffered events after the run. Production runs that must
+//! stay observable without unbounded memory use the always-on
+//! [`RingRecorder`] instead.
+//!
+//! On top of the raw stream sits the *continuum-observe* analysis
+//! layer: [`analysis`] answers "where did the time go?" (critical
+//! path via [`critical_path`], per-task [`slack`], and
+//! [`RunDiagnostics`] makespan attribution), [`prometheus_text`]
+//! exposes a [`MetricsSnapshot`] in Prometheus text format, and the
+//! `continuum-trace` CLI binary drives all of it from standalone
+//! Chrome-JSON trace files (read back via [`parse_chrome_trace`]).
 
+pub mod analysis;
 pub mod chrome;
 pub mod event;
 pub mod gantt;
 pub mod metrics;
 pub mod paraver;
+pub mod prometheus;
 pub mod recorder;
+pub mod ring;
 
-pub use chrome::chrome_trace;
+pub use analysis::{
+    collect_task_obs, critical_path, join_with_graph, slack, trace_critical_chain,
+    CriticalPathReport, CriticalTask, NodeAttribution, RunDiagnostics, TaskObs, UtilizationMetrics,
+};
+pub use chrome::{chrome_trace, parse_chrome_trace};
 pub use event::{micros_from_seconds, CounterKey, Event, Micros, TaskPhase, Track};
 pub use gantt::GanttSpan;
 pub use metrics::{Histogram, MetricsSnapshot, PhaseStat};
 pub use paraver::paraver_trace;
+pub use prometheus::prometheus_text;
 pub use recorder::{NoopRecorder, Recorder, RecorderHandle, TraceBuffer};
+pub use ring::RingRecorder;

@@ -53,6 +53,27 @@ impl Histogram {
         self.max_us
     }
 
+    /// Summed durations in µs.
+    pub fn total_us(&self) -> Micros {
+        self.total_us
+    }
+
+    /// The raw bucket counts: `buckets()[i]` counts values in
+    /// `[2^(i-1), 2^i)` µs, with index 0 counting zeros. Exposed for
+    /// exporters (e.g. Prometheus cumulative buckets).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Upper bound (µs) of bucket `i`, i.e. the Prometheus `le` edge.
+    pub fn bucket_bound_us(i: usize) -> Micros {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i.min(63)
+        }
+    }
+
     /// Upper bound (µs) of the first bucket holding the q-quantile
     /// value (q in [0, 1]); a cheap percentile estimate.
     pub fn quantile_bound_us(&self, q: f64) -> Micros {

@@ -3,9 +3,12 @@
 //!
 //! The dialect here is a faithful subset: a `#Paraver` header, then one
 //! record per line — state records (`1:`) for spans and event records
-//! (`2:`) for instants — with colon-separated fields. Each track maps
-//! to one application task/thread. The header date is fixed so exports
-//! are byte-deterministic.
+//! (`2:`) for instants and span-name markers — with colon-separated
+//! fields. Each track maps to one application task/thread. Exports are
+//! byte-deterministic: the header date is fixed, records are sorted by
+//! `(time, row, type)` so equal-timestamp events order identically
+//! however the recorder interleaved them, and task names are escaped
+//! (`:`, `,`, newlines) before entering the name table.
 
 use crate::event::{Event, Track};
 use std::collections::BTreeMap;
@@ -15,19 +18,54 @@ use std::fmt::Write as _;
 /// ranges per tool; this is a private range).
 const PHASE_EVENT_TYPE_BASE: u32 = 50_000_000;
 
+/// Event-record type for span-name markers: the value is the 1-based
+/// index into the `# value N:` name table in the trace comments.
+const TASK_NAME_EVENT_TYPE: u32 = 60_000_000;
+
+/// Escapes a task name for the `.prv` comment table: the record
+/// separators `:` and `,` plus newlines, so hostile names can never
+/// break a record or forge extra table rows.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ':' => out.push_str("\\:"),
+            ',' => out.push_str("\\,"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders events as a Paraver-style `.prv` trace.
 pub fn paraver_trace(events: &[Event]) -> String {
-    // Rows are 1-based, assigned in sorted track order.
+    // Rows are 1-based, assigned in sorted track order; span names get
+    // 1-based values in sorted name order — both independent of
+    // arrival order.
     let mut rows: BTreeMap<Track, usize> = BTreeMap::new();
+    let mut names: BTreeMap<&str, usize> = BTreeMap::new();
     let mut end_us: u64 = 0;
     for event in events {
-        if let Event::Span { track, .. } | Event::Instant { track, .. } = event {
-            rows.insert(*track, 0);
+        match event {
+            Event::Span { track, name, .. } => {
+                rows.insert(*track, 0);
+                names.insert(name.as_str(), 0);
+            }
+            Event::Instant { track, .. } => {
+                rows.insert(*track, 0);
+            }
+            Event::Counter { .. } => {}
         }
         end_us = end_us.max(event.end_us());
     }
     for (row, slot) in rows.values_mut().enumerate() {
         *slot = row + 1;
+    }
+    for (value, slot) in names.values_mut().enumerate() {
+        *slot = value + 1;
     }
     let nrows = rows.len().max(1);
 
@@ -42,22 +80,42 @@ pub fn paraver_trace(events: &[Event]) -> String {
     for (track, row) in &rows {
         let _ = writeln!(out, "# row {row}: {}", track.label());
     }
+    for (name, value) in &names {
+        let _ = writeln!(out, "# value {value}: {}", escape_name(name));
+    }
+
+    // Records, sorted by (time, row, record type, payload) so the
+    // export does not depend on recorder arrival order.
+    let mut records: Vec<(u64, usize, u32, String)> = Vec::new();
     for event in events {
         match event {
             Event::Span {
                 track,
+                name,
                 phase,
                 start_us,
                 dur_us,
-                ..
             } => {
                 let row = rows[track];
-                let _ = writeln!(
-                    out,
-                    "1:1:1:{row}:1:{start_us}:{}:{}",
-                    start_us + dur_us,
-                    phase.paraver_state()
-                );
+                records.push((
+                    *start_us,
+                    row,
+                    1,
+                    format!(
+                        "1:1:1:{row}:1:{start_us}:{}:{}",
+                        start_us + dur_us,
+                        phase.paraver_state()
+                    ),
+                ));
+                records.push((
+                    *start_us,
+                    row,
+                    2,
+                    format!(
+                        "2:1:1:{row}:1:{start_us}:{TASK_NAME_EVENT_TYPE}:{}",
+                        names[name.as_str()]
+                    ),
+                ));
             }
             Event::Instant {
                 track,
@@ -66,14 +124,23 @@ pub fn paraver_trace(events: &[Event]) -> String {
                 ..
             } => {
                 let row = rows[track];
-                let _ = writeln!(
-                    out,
-                    "2:1:1:{row}:1:{at_us}:{}:1",
-                    PHASE_EVENT_TYPE_BASE + phase.paraver_state()
-                );
+                records.push((
+                    *at_us,
+                    row,
+                    2,
+                    format!(
+                        "2:1:1:{row}:1:{at_us}:{}:1",
+                        PHASE_EVENT_TYPE_BASE + phase.paraver_state()
+                    ),
+                ));
             }
             Event::Counter { .. } => {} // counters have no .prv record here
         }
+    }
+    records.sort();
+    for (_, _, _, line) in records {
+        out.push_str(&line);
+        out.push('\n');
     }
     out
 }
@@ -105,6 +172,7 @@ mod tests {
         assert!(lines[0].starts_with("#Paraver (01/01/2019 at 00:00):1000_us"));
         assert!(lines.contains(&"1:1:1:1:1:0:1000:1"));
         assert!(lines.iter().any(|l| l.starts_with("2:1:1:1:1:1000:")));
+        assert!(prv.contains("# value 1: t"), "span names get a table row");
     }
 
     #[test]
@@ -132,5 +200,37 @@ mod tests {
             dur_us: 42,
         }];
         assert_eq!(paraver_trace(&events), paraver_trace(&events));
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_in_the_table() {
+        let events = vec![Event::Span {
+            track: Track::Node(0),
+            name: "a:b,c\nd".into(),
+            phase: TaskPhase::Executing,
+            start_us: 0,
+            dur_us: 1,
+        }];
+        let prv = paraver_trace(&events);
+        assert!(prv.contains("# value 1: a\\:b\\,c\\nd"));
+        // The raw newline must not have produced an extra line.
+        assert!(!prv.lines().any(|l| l == "d"));
+    }
+
+    #[test]
+    fn equal_timestamp_records_order_independently_of_arrival() {
+        let mk = |track, name: &str| Event::Span {
+            track,
+            name: name.into(),
+            phase: TaskPhase::Executing,
+            start_us: 50,
+            dur_us: 5,
+        };
+        let a = mk(Track::Node(0), "x");
+        let b = mk(Track::Node(1), "y");
+        assert_eq!(
+            paraver_trace(&[a.clone(), b.clone()]),
+            paraver_trace(&[b, a])
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! build an event — the cost of leaving telemetry off is one virtual
 //! call returning a constant.
 
-use crate::event::Event;
+use crate::event::{CounterKey, Event, Micros};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -57,6 +57,42 @@ impl RecorderHandle {
     #[inline]
     pub fn record(&self, event: Event) {
         self.inner.record(event);
+    }
+
+    /// Records one counter sample, skipping the event build when the
+    /// recorder is disabled.
+    #[inline]
+    pub fn counter(&self, key: CounterKey, at_us: Micros, value: f64) {
+        if self.enabled() {
+            self.record(Event::Counter { key, at_us, value });
+        }
+    }
+
+    /// Emits the end-of-run counter set every engine is expected to
+    /// publish, so [`crate::MetricsSnapshot`] fields are populated (or
+    /// explicitly zero) regardless of which engine produced the trace.
+    ///
+    /// Engines with no data movement (e.g. a shared-memory local
+    /// runtime) pass zeros rather than staying silent: a reader can
+    /// then distinguish "no transfers happened" from "this trace
+    /// predates transfer accounting".
+    pub fn run_end_counters(
+        &self,
+        at_us: Micros,
+        transfer_bytes: u64,
+        transfer_stall_us: Micros,
+        lineage_replays: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.counter(CounterKey::TransferBytes, at_us, transfer_bytes as f64);
+        self.counter(
+            CounterKey::TransferStallMicros,
+            at_us,
+            transfer_stall_us as f64,
+        );
+        self.counter(CounterKey::LineageReplays, at_us, lineage_replays as f64);
     }
 }
 
