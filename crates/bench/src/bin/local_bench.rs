@@ -1,0 +1,226 @@
+//! Local-runtime dispatch macro-benchmark driver: times the threaded
+//! executor on fine-grained task storms and records the results in a
+//! labelled, mergeable JSON file so before/after trajectories
+//! accumulate.
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin local_bench -- --label seed
+//! # ... optimise ...
+//! cargo run --release -p continuum-bench --bin local_bench -- --label worksteal
+//! cargo run --release -p continuum-bench --bin local_bench -- --smoke --check
+//! ```
+//!
+//! `--label <name>` stores this binary's measurements under that name
+//! in the output file (default `BENCH_local.json`), preserving runs
+//! recorded under other labels; when several labels are present, a
+//! comparison table is printed. `--smoke` shrinks workloads for CI.
+//! `--check` enforces two invariants and exits non-zero on violation:
+//! every worker count must produce a result identical to the
+//! single-worker reference execution (checksum + completed count), and
+//! no case/worker pair may regress more than 3× the wall time of the
+//! same pair under any other same-scale stored label.
+
+use continuum_bench::local_bench::{cases, measure, worker_counts, LocalMeasurement};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations on every thread, including workers. The
+/// metric is "how many times the runtime asked the allocator for
+/// memory while absorbing the storm".
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let label = flag_value(&args, "--label").unwrap_or_else(|| "current".to_string());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_local.json".to_string());
+    let repeats: usize = flag_value(&args, "--repeats")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(3);
+
+    println!(
+        "local-runtime dispatch macro-bench — {} scale, label `{label}`",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:<9} {:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "case", "workers", "tasks", "wall_ms", "tasks/s", "allocs", "allocs/task", "live_peak"
+    );
+    let mut results: Vec<LocalMeasurement> = Vec::new();
+    for case in cases(smoke) {
+        for &workers in worker_counts(smoke) {
+            let m = measure(&case, workers, repeats, || {
+                ALLOCATIONS.load(Ordering::Relaxed)
+            });
+            println!(
+                "{:<9} {:>7} {:>7} {:>10.2} {:>12.0} {:>12} {:>12.1} {:>10}",
+                m.case,
+                m.workers,
+                m.tasks,
+                m.wall_ms,
+                m.tasks_per_sec,
+                m.allocations,
+                m.allocs_per_task,
+                m.live_values_peak
+            );
+            results.push(m);
+        }
+    }
+
+    // -- equivalence check: every worker count vs the 1-worker run ------
+    let mut violations = 0;
+    for case in cases(smoke) {
+        let per_case: Vec<&LocalMeasurement> =
+            results.iter().filter(|m| m.case == case.name).collect();
+        let Some(reference) = per_case.iter().find(|m| m.workers == 1) else {
+            continue;
+        };
+        for m in &per_case {
+            if m.checksum != reference.checksum || m.tasks != reference.tasks {
+                eprintln!(
+                    "DIVERGENCE: {} at {} workers produced checksum {:#x} ({} tasks), \
+                     1-worker reference {:#x} ({} tasks)",
+                    m.case, m.workers, m.checksum, m.tasks, reference.checksum, reference.tasks
+                );
+                violations += 1;
+            }
+        }
+    }
+    if violations == 0 {
+        println!("\nequivalence: all worker counts match the 1-worker reference execution");
+    }
+
+    // -- merge into the output file, preserving other labels ------------
+    let mut runs: Vec<(String, serde::Value)> = match std::fs::read_to_string(&out_path) {
+        Ok(text) => serde::json::parse(&text)
+            .ok()
+            .and_then(|doc| {
+                doc.get("runs")
+                    .and_then(|r| r.as_obj().map(<[(String, serde::Value)]>::to_vec))
+            })
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    let entry = serde::Value::Obj(vec![
+        (
+            "scale".to_string(),
+            serde::Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("repeats".to_string(), serde::Value::U64(repeats as u64)),
+        (
+            "results".to_string(),
+            serde::Value::Arr(
+                results
+                    .iter()
+                    .map(serde::Serialize::to_json_value)
+                    .collect(),
+            ),
+        ),
+    ]);
+    runs.retain(|(k, _)| *k != label);
+    runs.push((label.clone(), entry));
+    let doc = serde::Value::Obj(vec![
+        (
+            "bench".to_string(),
+            serde::Value::Str("local-dispatch".to_string()),
+        ),
+        ("runs".to_string(), serde::Value::Obj(runs.clone())),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.to_string() + "\n") {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} result(s) to {out_path}", results.len());
+
+    // -- cross-label comparison (and the --check regression tripwire) ---
+    let mut regressed = false;
+    for (other_label, other) in &runs {
+        if *other_label == label {
+            continue;
+        }
+        let Some(other_results) = other.get("results").and_then(serde::Value::as_arr) else {
+            continue;
+        };
+        let same_scale = other.get("scale").and_then(serde::Value::as_str)
+            == Some(if smoke { "smoke" } else { "full" });
+        println!("\nlabel `{label}` vs `{other_label}`:");
+        for m in &results {
+            let found = other_results.iter().find(|r| {
+                r.get("case").and_then(serde::Value::as_str) == Some(&m.case)
+                    && r.get("workers").and_then(serde::Value::as_u64) == Some(m.workers as u64)
+            });
+            let Some(found) = found else { continue };
+            let other_ms = found
+                .get("wall_ms")
+                .and_then(serde::Value::as_f64)
+                .unwrap_or(f64::NAN);
+            let other_rate = found
+                .get("tasks_per_sec")
+                .and_then(serde::Value::as_f64)
+                .unwrap_or(f64::NAN);
+            let other_live = found
+                .get("live_values_peak")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0);
+            println!(
+                "  {:<9} {:>2}w wall {:>9.2} ms vs {:>9.2} ms ({:>5.2}x), tasks/s {:>10.0} vs {:>10.0}, live {:>6} vs {:>6}",
+                m.case,
+                m.workers,
+                m.wall_ms,
+                other_ms,
+                other_ms / m.wall_ms,
+                m.tasks_per_sec,
+                other_rate,
+                m.live_values_peak,
+                other_live
+            );
+            // Only same-scale runs are comparable for the tripwire.
+            if check && same_scale && m.wall_ms > other_ms * 3.0 {
+                eprintln!(
+                    "  REGRESSION: {}/{}w is {:.2}x slower than label `{other_label}`",
+                    m.case,
+                    m.workers,
+                    m.wall_ms / other_ms
+                );
+                regressed = true;
+            }
+        }
+    }
+    if check && violations > 0 {
+        std::process::exit(2);
+    }
+    if regressed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Local-runtime dispatch macro-benchmark: how fast the threaded
+//! [`LocalRuntime`] absorbs fine-grained task storms, on the three
+//! topologies that stress its hot path differently:
+//!
+//! * **wide** — thousands of independent one-shot tasks: admission and
+//!   ready-queue pressure, every worker competes for dispatch;
+//! * **chain** — one long `InOut` version chain: zero parallelism, so
+//!   the per-commit critical path (complete → release successor →
+//!   re-dispatch) is measured raw, and value eviction keeps the live
+//!   store bounded;
+//! * **diamond** — chained fan-out/fan-in blocks: mixed release
+//!   patterns, every join waits on several predecessors.
+//!
+//! Everything here is *real* wall-clock execution on worker threads;
+//! task bodies are a few arithmetic ops, so the numbers are dominated
+//! by runtime overhead per task, which is what the paper's programming
+//! model lives or dies on. Results are written to `BENCH_local.json`
+//! by the `local_bench` binary:
+//!
+//! ```text
+//! cargo run --release -p continuum-bench --bin local_bench -- --label seed
+//! cargo run --release -p continuum-bench --bin local_bench -- --smoke --check
+//! ```
+
+use continuum_dag::TaskSpec;
+use continuum_platform::Constraints;
+use continuum_runtime::{LocalConfig, LocalRuntime};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Topology shapes exercised by the macro-bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Independent tasks, no edges.
+    Wide,
+    /// A single serialized `InOut` version chain.
+    Chain,
+    /// Chained fan-out/fan-in blocks of the given width.
+    Diamond,
+}
+
+/// One benchmark workload description.
+#[derive(Debug, Clone)]
+pub struct LocalCase {
+    /// Shape name (`wide`, `chain`, `diamond`).
+    pub name: &'static str,
+    /// The topology to build.
+    pub topology: Topology,
+    /// Total number of tasks submitted.
+    pub tasks: usize,
+}
+
+/// Worker counts each case is run at.
+pub fn worker_counts(smoke: bool) -> &'static [usize] {
+    if smoke {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    }
+}
+
+/// The benchmark cases. `smoke` shrinks task counts ~10× for CI while
+/// keeping every topology.
+pub fn cases(smoke: bool) -> Vec<LocalCase> {
+    let (wide, chain, blocks) = if smoke {
+        (1_500, 1_200, 80)
+    } else {
+        (20_000, 10_000, 600)
+    };
+    const DIAMOND_WIDTH: usize = 8;
+    vec![
+        LocalCase {
+            name: "wide",
+            topology: Topology::Wide,
+            tasks: wide,
+        },
+        LocalCase {
+            name: "chain",
+            topology: Topology::Chain,
+            tasks: chain,
+        },
+        LocalCase {
+            name: "diamond",
+            topology: Topology::Diamond,
+            tasks: blocks * (DIAMOND_WIDTH + 2),
+        },
+    ]
+}
+
+/// What one run of a case produced, independent of timing: used by
+/// `--check` to assert that executions at any worker count are
+/// indistinguishable from the single-worker reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Order-insensitive digest of every final value.
+    pub checksum: u64,
+    /// Tasks completed (must equal tasks submitted).
+    pub completed: usize,
+}
+
+/// One timed run of one case at one worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalMeasurement {
+    /// Case name.
+    pub case: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Tasks submitted and completed.
+    pub tasks: usize,
+    /// Best wall-clock milliseconds (submit through `wait_all`) over
+    /// the repeats.
+    pub wall_ms: f64,
+    /// Tasks dispatched+executed per wall-clock second (best repeat).
+    pub tasks_per_sec: f64,
+    /// Heap allocations during one run (0 when the caller provides no
+    /// allocation counter).
+    pub allocations: u64,
+    /// Allocations per task.
+    pub allocs_per_task: f64,
+    /// Highest live-value count sampled during the run — the bounded-
+    /// memory metric for the chain case (a leaking store grows to the
+    /// chain length; an evicting one stays O(1)).
+    pub live_values_peak: usize,
+    /// Order-insensitive digest of the final values.
+    pub checksum: u64,
+}
+
+/// Splitmix-style value mixer so checksums depend on every bit.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct RunResult {
+    outcome: RunOutcome,
+    wall_ms: f64,
+    live_peak: usize,
+}
+
+/// How often (in submissions) the live-value store is sampled for the
+/// peak metric.
+const LIVE_SAMPLE_EVERY: usize = 128;
+
+fn run_wide(rt: &LocalRuntime, n: usize) -> (u64, usize) {
+    let outs = rt.data_batch::<u64>("w", n);
+    let mut live_peak = 0;
+    for (i, d) in outs.iter().enumerate() {
+        let seed = i as u64;
+        rt.submit(
+            TaskSpec::new("t").output(d.id()),
+            Constraints::new(),
+            move |ctx| ctx.set_output(0, mix(seed)),
+        )
+        .expect("admitted");
+        if i % LIVE_SAMPLE_EVERY == 0 {
+            live_peak = live_peak.max(rt.live_value_count());
+        }
+    }
+    rt.wait_all().expect("completes");
+    live_peak = live_peak.max(rt.live_value_count());
+    let checksum = outs
+        .iter()
+        .map(|d| *rt.get(d).expect("value present"))
+        .fold(0u64, u64::wrapping_add);
+    (checksum, live_peak)
+}
+
+fn run_chain(rt: &LocalRuntime, n: usize) -> (u64, usize) {
+    let acc = rt.data::<u64>("acc");
+    rt.set_initial(&acc, 0u64);
+    let mut live_peak = 0;
+    for i in 0..n {
+        let step = i as u64;
+        rt.submit(
+            TaskSpec::new("step").inout(acc.id()),
+            Constraints::new(),
+            move |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, mix(v.wrapping_add(step)));
+            },
+        )
+        .expect("admitted");
+        if i % LIVE_SAMPLE_EVERY == 0 {
+            live_peak = live_peak.max(rt.live_value_count());
+        }
+    }
+    rt.wait_all().expect("completes");
+    live_peak = live_peak.max(rt.live_value_count());
+    (*rt.get(&acc).expect("value present"), live_peak)
+}
+
+fn run_diamond(rt: &LocalRuntime, total_tasks: usize) -> (u64, usize) {
+    const WIDTH: usize = 8;
+    let blocks = total_tasks / (WIDTH + 2);
+    let carry = rt.data::<u64>("carry");
+    rt.set_initial(&carry, 1u64);
+    let mut live_peak = 0;
+    let mut submitted = 0usize;
+    for b in 0..blocks {
+        let src = rt.data::<u64>(format!("src{b}"));
+        let branches = rt.data_batch::<u64>("br", WIDTH);
+        // Source: reads the running carry, fans out.
+        rt.submit(
+            TaskSpec::new("src").input(carry.id()).output(src.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, mix(*v));
+            },
+        )
+        .expect("admitted");
+        for (i, br) in branches.iter().enumerate() {
+            let lane = i as u64;
+            rt.submit(
+                TaskSpec::new("branch").input(src.id()).output(br.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let v: &u64 = ctx.input(0);
+                    ctx.set_output(0, mix(v.wrapping_add(lane)));
+                },
+            )
+            .expect("admitted");
+        }
+        // Join: folds the branches back into the carry.
+        rt.submit(
+            TaskSpec::new("join")
+                .inputs(branches.iter().map(|d| d.id()))
+                .inout(carry.id()),
+            Constraints::new(),
+            |ctx| {
+                let n = ctx.input_count();
+                let folded = (0..n - 1)
+                    .map(|i| *ctx.input::<u64>(i))
+                    .fold(*ctx.input::<u64>(n - 1), u64::wrapping_add);
+                ctx.set_output(0, folded);
+            },
+        )
+        .expect("admitted");
+        submitted += WIDTH + 2;
+        if b % 16 == 0 {
+            live_peak = live_peak.max(rt.live_value_count());
+        }
+    }
+    debug_assert_eq!(submitted, blocks * (WIDTH + 2));
+    rt.wait_all().expect("completes");
+    live_peak = live_peak.max(rt.live_value_count());
+    (*rt.get(&carry).expect("value present"), live_peak)
+}
+
+fn run_once(case: &LocalCase, workers: usize) -> RunResult {
+    let rt = LocalRuntime::new(LocalConfig::with_workers(workers));
+    let start = Instant::now();
+    let (checksum, live_peak) = match case.topology {
+        Topology::Wide => run_wide(&rt, case.tasks),
+        Topology::Chain => run_chain(&rt, case.tasks),
+        Topology::Diamond => run_diamond(&rt, case.tasks),
+    };
+    // `wait_all` has returned inside the runners; timing stops before
+    // the digest reads so measurements isolate submit+dispatch+commit.
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let completed = rt.completed_count();
+    RunResult {
+        outcome: RunOutcome {
+            checksum,
+            completed,
+        },
+        wall_ms,
+        live_peak,
+    }
+}
+
+/// Executes `case` once at `workers` and returns its observable
+/// outcome — the `--check` primitive.
+pub fn reference_outcome(case: &LocalCase, workers: usize) -> RunOutcome {
+    run_once(case, workers).outcome
+}
+
+/// Runs `case` at `workers` threads `repeats` times and reports the
+/// fastest run. `alloc_count` samples a monotone allocation counter
+/// (the `local_bench` binary installs a counting global allocator and
+/// passes its reader; library callers can pass `|| 0`).
+pub fn measure(
+    case: &LocalCase,
+    workers: usize,
+    repeats: usize,
+    alloc_count: impl Fn() -> u64,
+) -> LocalMeasurement {
+    let mut best_ms = f64::INFINITY;
+    let mut allocations = 0;
+    let mut live_peak = 0;
+    let mut checksum = 0;
+    let mut completed = 0;
+    for _ in 0..repeats.max(1) {
+        let allocs_before = alloc_count();
+        let r = run_once(case, workers);
+        allocations = alloc_count() - allocs_before;
+        best_ms = best_ms.min(r.wall_ms);
+        live_peak = live_peak.max(r.live_peak);
+        checksum = r.outcome.checksum;
+        completed = r.outcome.completed;
+    }
+    assert_eq!(completed, case.tasks, "{}: tasks lost", case.name);
+    LocalMeasurement {
+        case: case.name.to_string(),
+        workers,
+        tasks: case.tasks,
+        wall_ms: best_ms,
+        tasks_per_sec: case.tasks as f64 / (best_ms / 1e3),
+        allocations,
+        allocs_per_task: allocations as f64 / case.tasks as f64,
+        live_values_peak: live_peak,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_is_deterministic_across_worker_counts() {
+        for case in cases(true) {
+            let reference = reference_outcome(&case, 1);
+            assert_eq!(reference.completed, case.tasks);
+            for &w in &[2usize, 4] {
+                let outcome = reference_outcome(&case, w);
+                assert_eq!(outcome, reference, "{} at {w} workers", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn measure_reports_consistent_rates() {
+        let case = &cases(true)[0];
+        let m = measure(case, 2, 1, || 0);
+        assert_eq!(m.tasks, case.tasks);
+        assert!(m.wall_ms.is_finite() && m.wall_ms > 0.0);
+        assert!(m.tasks_per_sec > 0.0);
+        assert_eq!(m.allocations, 0, "no counter installed");
+    }
+}

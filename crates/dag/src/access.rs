@@ -5,7 +5,6 @@ use crate::graph::TaskGraph;
 use crate::ids::{DataId, DataVersion, TaskId, VersionedData};
 use crate::spec::TaskSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// The producer and version currently associated with a datum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,21 +182,23 @@ impl AccessProcessor {
     }
 
     fn validate_accesses(&self, spec: &TaskSpec) -> Result<(), DagError> {
-        let mut seen: HashSet<DataId> = HashSet::new();
-        let mut written: HashSet<DataId> = HashSet::new();
-        for param in spec.params() {
+        // Pairwise scan instead of hash sets: parameter lists are short
+        // (almost always < 16), so O(p²) comparisons beat two HashSet
+        // allocations per submission — this sits on the submit hot path.
+        let params = spec.params();
+        for (i, param) in params.iter().enumerate() {
             if param.data.index() >= self.catalog.len() {
                 return Err(DagError::UnknownData(param.data));
             }
-            let repeated = !seen.insert(param.data);
-            if repeated && (param.direction.writes() || written.contains(&param.data)) {
-                return Err(DagError::ConflictingAccess {
-                    task: spec.name().to_string(),
-                    data: param.data,
-                });
-            }
-            if param.direction.writes() {
-                written.insert(param.data);
+            for earlier in &params[..i] {
+                if earlier.data == param.data
+                    && (param.direction.writes() || earlier.direction.writes())
+                {
+                    return Err(DagError::ConflictingAccess {
+                        task: spec.name().to_string(),
+                        data: param.data,
+                    });
+                }
             }
         }
         Ok(())

@@ -239,6 +239,26 @@ impl TaskGraph {
     /// `Running` (or `Ready`, which is accepted so single-threaded
     /// drivers may skip the explicit running transition).
     pub fn complete(&mut self, id: TaskId) -> Result<Vec<TaskId>, DagError> {
+        let mut newly_ready = Vec::new();
+        self.complete_into(id, &mut newly_ready)?;
+        Ok(newly_ready)
+    }
+
+    /// Allocation-free variant of [`TaskGraph::complete`]: newly-ready
+    /// successors are appended to the caller-provided buffer instead of
+    /// a fresh `Vec`, and the successor list is walked in place rather
+    /// than cloned. Hot executors call this with a pooled buffer so a
+    /// steady-state completion performs no heap allocation beyond
+    /// ready-set maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TaskGraph::complete`].
+    pub fn complete_into(
+        &mut self,
+        id: TaskId,
+        newly_ready: &mut Vec<TaskId>,
+    ) -> Result<(), DagError> {
         let node = self
             .nodes
             .get_mut(id.index())
@@ -255,11 +275,12 @@ impl TaskGraph {
                 });
             }
         }
-        node.state = TaskState::Completed;
+        self.nodes[id.index()].state = TaskState::Completed;
         self.completed_count += 1;
-        let succs = node.succs.clone();
-        let mut newly_ready = Vec::new();
-        for s in succs {
+        // Index-walk the successor list so releasing edges re-borrows
+        // per iteration instead of cloning the list.
+        for k in 0..self.nodes[id.index()].succs.len() {
+            let s = self.nodes[id.index()].succs[k];
             let sn = &mut self.nodes[s.index()];
             sn.unfinished_preds -= 1;
             if sn.unfinished_preds == 0 && sn.state == TaskState::Pending {
@@ -268,7 +289,7 @@ impl TaskGraph {
                 newly_ready.push(s);
             }
         }
-        Ok(newly_ready)
+        Ok(())
     }
 
     /// Marks a running task as failed (e.g. its node died).

@@ -1,6 +1,6 @@
 //! Runtime error type.
 
-use continuum_dag::{DagError, TaskId};
+use continuum_dag::{DagError, DataId, TaskId};
 use continuum_storage::StorageError;
 use std::error::Error;
 use std::fmt;
@@ -44,6 +44,16 @@ pub enum RuntimeError {
         /// Explanation.
         detail: String,
     },
+    /// A data access failed and no producing task can be blamed — e.g.
+    /// reading a datum that has neither a producer nor an initial
+    /// value. Errors caused by a specific task body use
+    /// [`RuntimeError::BadTaskIo`] instead.
+    BadDataAccess {
+        /// The datum whose access failed.
+        data: DataId,
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -67,6 +77,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::BadTaskIo { task, detail } => {
                 write!(f, "task {task} i/o error: {detail}")
+            }
+            RuntimeError::BadDataAccess { data, detail } => {
+                write!(f, "data {data} access error: {detail}")
             }
         }
     }

@@ -6,16 +6,50 @@
 //! processor wires the dependency graph, and a worker pool executes
 //! task bodies as soon as their inputs exist — out of submission order
 //! whenever the dataflow allows.
+//!
+//! # Executor architecture
+//!
+//! The hot path is built to absorb storms of sub-millisecond tasks
+//! (see `DESIGN.md` §9 and `crates/bench/src/bin/local_bench.rs`):
+//!
+//! * **Work-stealing dispatch** — every worker owns a LIFO deque of
+//!   ready tasks; submissions land in a global injector, and newly
+//!   readied successors go straight onto the committing worker's own
+//!   deque (dependency chains stay on one thread, hot in cache). Idle
+//!   workers batch-steal from the injector first, then from siblings.
+//! * **Split synchronization** — the graph/access-processor state, the
+//!   value store (sharded), and the resource accounting are guarded
+//!   separately, so input resolution and output publication never
+//!   contend with dependency bookkeeping. Lock order is graph → value
+//!   shard; the pool and sleep locks are leaves.
+//! * **O(1) admission** — since `free + allocated == total` always
+//!   holds, the submit-time "can this machine ever run it" test is a
+//!   single comparison against the static machine capacity instead of
+//!   a scan over running tasks. Ready tasks whose constraints don't
+//!   fit *right now* park in per-resource-class side queues and are
+//!   re-injected when a completing task releases capacity.
+//! * **Bounded memory** — a graph-derived refcount per materialized
+//!   value (registered readers + client pins + catalog currency)
+//!   evicts dead intermediates, so a 10 000-step `InOut` chain holds
+//!   O(1) live values instead of O(n).
+//! * **Targeted wakeups** — dispatch uses a counted sleep protocol
+//!   with `notify_one` per unit of new work (skipped entirely while a
+//!   worker is already scanning), instead of a herd-waking broadcast
+//!   on every state change.
 
 use crate::error::RuntimeError;
-use continuum_dag::{AccessProcessor, DataId, TaskId, TaskSpec, VersionedData};
+use continuum_dag::{
+    AccessProcessor, DataId, DataVersion, TaskId, TaskSpec, TaskState, VersionedData,
+};
 use continuum_platform::{Constraints, NodeCapacity};
 use continuum_telemetry::{CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as WorkerQueue};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -152,20 +186,238 @@ impl LocalConfig {
 
 type TaskBody = Box<dyn FnOnce(&mut TaskContext) + Send>;
 
-struct Core {
+/// Everything a worker needs to run a task, carried through the
+/// dispatch queues so claiming and executing a task touches no graph
+/// state. The body is taken exactly once at execution.
+struct TaskMeta {
+    id: TaskId,
+    /// Task name for telemetry; `None` when telemetry is disabled so
+    /// the steady state allocates no strings.
+    name: Option<String>,
+    constraints: Constraints,
+    consumed: Vec<VersionedData>,
+    produced: Vec<VersionedData>,
+    body: Mutex<Option<TaskBody>>,
+}
+
+/// Liveness accounting for one materialized value. A value can be
+/// dropped once it is no longer the catalog-current version of its
+/// datum (data renaming guarantees no *future* reader can target it),
+/// no registered reader still needs it, and no client `get` has it
+/// pinned.
+#[derive(Default)]
+struct LiveEntry {
+    /// Registered readers that have not yet committed.
+    consumers: u32,
+    /// Client `get` calls currently waiting on or reading the value.
+    pins: u32,
+    /// Is this the catalog-current version of its datum?
+    current: bool,
+    /// Has the payload actually been stored yet?
+    stored: bool,
+}
+
+/// Graph-side state: the access processor, per-task dispatch metadata,
+/// value-liveness refcounts and the first failure. Guarded by one
+/// mutex; the paired condvar serves client waiters (`get`/`wait_all`).
+struct GraphState {
     ap: AccessProcessor,
-    bodies: HashMap<TaskId, TaskBody>,
-    constraints: HashMap<TaskId, Constraints>,
-    values: HashMap<VersionedData, Value>,
-    free: NodeCapacity,
-    running: usize,
-    shutdown: bool,
+    /// Dispatch metadata indexed by dense task id.
+    metas: Vec<Arc<TaskMeta>>,
+    live: HashMap<VersionedData, LiveEntry>,
     failure: Option<(TaskId, String)>,
 }
 
+impl GraphState {
+    /// Accounts for a fresh registration: its reads hold their input
+    /// versions live, its writes supersede the previous versions.
+    fn note_registered(&mut self, meta: &TaskMeta, evicted: &mut Vec<VersionedData>) {
+        for vd in &meta.consumed {
+            let e = self.live.entry(*vd).or_default();
+            e.consumers += 1;
+            // A consumed version was catalog-current when the access
+            // processor resolved it (a same-task write is superseded
+            // again by the produced loop below).
+            e.current = true;
+        }
+        for vd in &meta.produced {
+            self.live.entry(*vd).or_default().current = true;
+            let prev = VersionedData::new(vd.data, DataVersion::from_raw(vd.version.as_u32() - 1));
+            if let Some(e) = self.live.get_mut(&prev) {
+                e.current = false;
+                self.maybe_evict(prev, evicted);
+            }
+        }
+    }
+
+    /// A produced value hit the store.
+    fn note_stored(&mut self, vd: VersionedData, evicted: &mut Vec<VersionedData>) {
+        match self.live.get_mut(&vd) {
+            Some(e) => {
+                e.stored = true;
+                self.maybe_evict(vd, evicted);
+            }
+            // Superseded with no readers before it was even produced:
+            // dead on arrival.
+            None => evicted.push(vd),
+        }
+    }
+
+    /// A registered reader of `vd` committed (or failed).
+    fn note_consumed(&mut self, vd: VersionedData, evicted: &mut Vec<VersionedData>) {
+        if let Some(e) = self.live.get_mut(&vd) {
+            debug_assert!(e.consumers > 0, "consumer underflow for {vd}");
+            e.consumers -= 1;
+            self.maybe_evict(vd, evicted);
+        }
+    }
+
+    /// Drops the entry — and schedules the stored payload for removal
+    /// — once nothing can ever read the value again.
+    fn maybe_evict(&mut self, vd: VersionedData, evicted: &mut Vec<VersionedData>) {
+        let evictable = self
+            .live
+            .get(&vd)
+            .is_some_and(|e| !e.current && e.consumers == 0 && e.pins == 0);
+        if evictable && self.live.remove(&vd).is_some_and(|e| e.stored) {
+            evicted.push(vd);
+        }
+    }
+}
+
+/// Number of value-store shards (power of two). Sixteen keeps
+/// publication/resolution contention negligible at any worker count
+/// this runtime targets.
+const VALUE_SHARDS: usize = 16;
+
+/// The materialized-value store, sharded by versioned-data hash so
+/// workers publishing outputs don't serialize behind each other or
+/// behind graph bookkeeping.
+struct ValueStore {
+    shards: Vec<Mutex<HashMap<VersionedData, Value>>>,
+}
+
+impl ValueStore {
+    fn new() -> Self {
+        ValueStore {
+            shards: (0..VALUE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, vd: &VersionedData) -> &Mutex<HashMap<VersionedData, Value>> {
+        let h = (vd.data.index() as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(vd.version.as_u32()).wrapping_mul(0xff51_afd7_ed55_8ccd));
+        &self.shards[((h >> 57) as usize) & (VALUE_SHARDS - 1)]
+    }
+
+    fn get(&self, vd: &VersionedData) -> Option<Value> {
+        self.shard(vd).lock().get(vd).cloned()
+    }
+
+    fn insert(&self, vd: VersionedData, value: Value) {
+        self.shard(&vd).lock().insert(vd, value);
+    }
+
+    fn remove(&self, vd: &VersionedData) {
+        self.shard(vd).lock().remove(vd);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Side-queue classes for constraint-blocked ready tasks, keyed by the
+/// scarcest dimension a task competes for.
+const CLASS_CORES: usize = 0;
+const CLASS_MEMORY: usize = 1;
+const CLASS_GPU: usize = 2;
+
+fn resource_class(c: &Constraints) -> usize {
+    if c.required_gpus() > 0 {
+        CLASS_GPU
+    } else if c.required_memory_mb() > 0 || c.required_disk_mb() > 0 {
+        CLASS_MEMORY
+    } else {
+        CLASS_CORES
+    }
+}
+
+/// Resource accounting: the machine's free capacity plus the parked
+/// ready tasks whose constraints exceed it right now. Admission
+/// (check + allocate) and release (+ unblock scan) are each one
+/// critical section, so a release can never slip between a failed
+/// check and the park.
+struct ResourcePool {
+    free: NodeCapacity,
+    blocked: [VecDeque<Arc<TaskMeta>>; 3],
+}
+
+impl ResourcePool {
+    /// Claims resources for `meta`, or parks it and returns `false`.
+    fn try_admit(&mut self, meta: &Arc<TaskMeta>) -> bool {
+        if self.free.satisfies(&meta.constraints) {
+            self.free.allocate(&meta.constraints);
+            true
+        } else {
+            self.blocked[resource_class(&meta.constraints)].push_back(Arc::clone(meta));
+            false
+        }
+    }
+
+    /// Releases a finished task's resources and drains every parked
+    /// task that now fits into `out` for re-injection.
+    fn release_and_unblock(&mut self, done: &Constraints, out: &mut Vec<Arc<TaskMeta>>) {
+        self.free.release(done);
+        for queue in &mut self.blocked {
+            for _ in 0..queue.len() {
+                let m = queue.pop_front().expect("length checked");
+                if self.free.satisfies(&m.constraints) {
+                    out.push(m);
+                } else {
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+}
+
 struct Shared {
-    core: Mutex<Core>,
-    cv: Condvar,
+    graph: Mutex<GraphState>,
+    /// Wakes client threads blocked in `get`/`wait_all`; paired with
+    /// the `graph` mutex.
+    client_cv: Condvar,
+    store: ValueStore,
+    pool: Mutex<ResourcePool>,
+    /// Global FIFO for submissions and unparked tasks.
+    injector: Injector<Arc<TaskMeta>>,
+    /// Steal handles onto every worker's deque, indexed by worker.
+    stealers: Vec<Stealer<Arc<TaskMeta>>>,
+    /// Sleeper count, guarded so registration and `notify_one` pair up
+    /// without lost wakeups; `sleepers` mirrors it for lock-free reads.
+    sleep: Mutex<usize>,
+    sleep_cv: Condvar,
+    sleepers: AtomicUsize,
+    /// Workers currently scanning the queues for work. New work skips
+    /// the wakeup when a scanner is already guaranteed to find it.
+    searching: AtomicUsize,
+    /// Tasks sitting in the injector or a worker deque.
+    pending: AtomicUsize,
+    /// Tasks parked in the resource side queues (telemetry only).
+    blocked_count: AtomicUsize,
+    /// Task bodies currently executing.
+    running: AtomicUsize,
+    /// Client threads blocked on `client_cv` (skip notify when zero).
+    client_waiters: AtomicUsize,
+    /// Set on the first task failure: workers stop claiming work.
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
+    /// Static machine capacity; `pool.free + allocated` always equals
+    /// it, which is what makes submit-time admission O(1).
+    total: NodeCapacity,
     telemetry: RecorderHandle,
     origin: std::time::Instant,
 }
@@ -174,6 +426,41 @@ impl Shared {
     /// Wall-clock microseconds since the runtime started.
     fn now_us(&self) -> u64 {
         self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Makes `count` units of new queued work eligible to be picked
+    /// up: wakes up to that many sleepers, minus scanners that will
+    /// find the work anyway.
+    fn wake_workers(&self, count: usize) {
+        let deficit = count.saturating_sub(self.searching.load(Ordering::SeqCst));
+        if deficit == 0 || self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let guard = self.sleep.lock();
+        for _ in 0..deficit.min(*guard) {
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Publishes `metas` (tasks that are ready to claim) to the global
+    /// injector and wakes workers for them. `pending` rises before the
+    /// push so a concurrent sleeper's re-check can't miss the work.
+    fn inject_ready(&self, metas: &mut Vec<Arc<TaskMeta>>) {
+        let n = metas.len();
+        if n == 0 {
+            return;
+        }
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        for m in metas.drain(..) {
+            self.injector.push(m);
+        }
+        self.wake_workers(n);
+    }
+
+    fn notify_clients(&self) {
+        if self.client_waiters.load(Ordering::SeqCst) > 0 {
+            self.client_cv.notify_all();
+        }
     }
 }
 
@@ -223,28 +510,48 @@ impl std::fmt::Debug for LocalRuntime {
 impl LocalRuntime {
     /// Starts a runtime with the given configuration.
     pub fn new(config: LocalConfig) -> Self {
-        let capacity = NodeCapacity::new(config.workers.max(1) as u32, config.memory_mb)
+        let worker_count = config.workers.max(1);
+        let total = NodeCapacity::new(worker_count as u32, config.memory_mb)
             .with_gpus(config.gpus)
             .with_software(config.software.clone());
+        let queues: Vec<WorkerQueue<Arc<TaskMeta>>> =
+            (0..worker_count).map(|_| WorkerQueue::new_lifo()).collect();
+        let stealers = queues.iter().map(WorkerQueue::stealer).collect();
         let shared = Arc::new(Shared {
-            core: Mutex::new(Core {
+            graph: Mutex::new(GraphState {
                 ap: AccessProcessor::new(),
-                bodies: HashMap::new(),
-                constraints: HashMap::new(),
-                values: HashMap::new(),
-                free: capacity,
-                running: 0,
-                shutdown: false,
+                metas: Vec::new(),
+                live: HashMap::new(),
                 failure: None,
             }),
-            cv: Condvar::new(),
+            client_cv: Condvar::new(),
+            store: ValueStore::new(),
+            pool: Mutex::new(ResourcePool {
+                free: total.clone(),
+                blocked: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            }),
+            injector: Injector::new(),
+            stealers,
+            sleep: Mutex::new(0),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            searching: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            blocked_count: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            client_waiters: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            total,
             telemetry: config.telemetry.clone(),
             origin: std::time::Instant::now(),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
+        let workers = queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, queue)| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared, i as u32))
+                thread::spawn(move || worker_loop(&shared, &queue, i as u32))
             })
             .collect();
         LocalRuntime { shared, workers }
@@ -252,7 +559,7 @@ impl LocalRuntime {
 
     /// Registers a typed logical datum.
     pub fn data<T>(&self, name: impl Into<String>) -> DataHandle<T> {
-        let id = self.shared.core.lock().ap.new_data(name);
+        let id = self.shared.graph.lock().ap.new_data(name);
         DataHandle {
             id,
             _marker: PhantomData,
@@ -261,10 +568,10 @@ impl LocalRuntime {
 
     /// Registers a batch of typed logical data with a shared prefix.
     pub fn data_batch<T>(&self, prefix: &str, n: usize) -> Vec<DataHandle<T>> {
-        let mut core = self.shared.core.lock();
+        let mut g = self.shared.graph.lock();
         (0..n)
             .map(|i| DataHandle {
-                id: core.ap.new_data(format!("{prefix}{i}")),
+                id: g.ap.new_data(format!("{prefix}{i}")),
                 _marker: PhantomData,
             })
             .collect()
@@ -273,9 +580,24 @@ impl LocalRuntime {
     /// Provides the initial (version-0) value of a datum, making it
     /// readable by tasks submitted afterwards.
     pub fn set_initial<T: Send + Sync + 'static>(&self, handle: &DataHandle<T>, value: T) {
-        let mut core = self.shared.core.lock();
-        core.values
-            .insert(VersionedData::initial(handle.id), Arc::new(value));
+        let vd = VersionedData::initial(handle.id);
+        let mut evicted = Vec::new();
+        {
+            let mut g = self.shared.graph.lock();
+            let is_current = g.ap.current_version(handle.id).is_ok_and(|cur| cur == vd);
+            let e = g.live.entry(vd).or_default();
+            e.stored = true;
+            if is_current {
+                e.current = true;
+            }
+            self.shared.store.insert(vd, Arc::new(value));
+            // Already superseded with no pending readers: never
+            // observable, drop it again immediately.
+            g.maybe_evict(vd, &mut evicted);
+        }
+        for vd in &evicted {
+            self.shared.store.remove(vd);
+        }
     }
 
     /// Submits a task: the spec declares data accesses, the
@@ -296,12 +618,14 @@ impl LocalRuntime {
     where
         F: FnOnce(&mut TaskContext) + Send + 'static,
     {
-        let mut core = self.shared.core.lock();
-        // Admission: reject constraints this machine can never satisfy,
-        // even with everything idle.
-        if !self.capacity_upper_bound(&core).satisfies(&constraints) {
+        // Admission: reject constraints this machine can never satisfy
+        // even with everything idle. Because free + allocated always
+        // equals the static total, this is a single O(1) comparison —
+        // no scan over the graph or the running set.
+        if !self.shared.total.satisfies(&constraints) {
+            let next = self.shared.graph.lock().ap.graph().len();
             return Err(RuntimeError::Unschedulable {
-                task: TaskId::from_raw(core.ap.graph().len() as u64),
+                task: TaskId::from_raw(next as u64),
                 reason: "constraints exceed the local machine capacity".into(),
             });
         }
@@ -310,10 +634,32 @@ impl LocalRuntime {
             .telemetry
             .enabled()
             .then(|| spec.name().to_string());
-        let id = core.ap.register(spec)?;
-        core.bodies.insert(id, Box::new(body));
-        core.constraints.insert(id, constraints);
-        drop(core);
+        let mut evicted = Vec::new();
+        let mut ready_meta = None;
+        let id;
+        {
+            let mut g = self.shared.graph.lock();
+            id = g.ap.register(spec)?;
+            let node = g.ap.graph().node(id).expect("just registered");
+            let is_ready = node.state() == TaskState::Ready;
+            let meta = Arc::new(TaskMeta {
+                id,
+                name: submitted_name.clone(),
+                constraints,
+                consumed: node.consumed().to_vec(),
+                produced: node.produced().to_vec(),
+                body: Mutex::new(Some(Box::new(body))),
+            });
+            g.note_registered(&meta, &mut evicted);
+            debug_assert_eq!(g.metas.len(), id.index());
+            g.metas.push(Arc::clone(&meta));
+            if is_ready {
+                ready_meta = Some(meta);
+            }
+        }
+        for vd in &evicted {
+            self.shared.store.remove(vd);
+        }
         if let Some(name) = submitted_name {
             self.shared.telemetry.record(TelemetryEvent::Instant {
                 track: Track::Run,
@@ -322,29 +668,12 @@ impl LocalRuntime {
                 at_us: self.shared.now_us(),
             });
         }
-        self.shared.cv.notify_all();
-        Ok(id)
-    }
-
-    /// The machine's total capacity: free capacity plus everything
-    /// currently allocated to running tasks (pending tasks hold
-    /// nothing yet). Used to reject constraints that could never be
-    /// satisfied even on an idle machine.
-    fn capacity_upper_bound(&self, core: &Core) -> NodeCapacity {
-        let mut mem = core.free.memory_mb();
-        let mut gpus = core.free.gpus();
-        for node in core.ap.graph().nodes() {
-            if node.state() == continuum_dag::TaskState::Running {
-                if let Some(c) = core.constraints.get(&node.id()) {
-                    mem += c.required_memory_mb();
-                    gpus += c.required_gpus();
-                }
-            }
+        if let Some(meta) = ready_meta {
+            self.shared.pending.fetch_add(1, Ordering::SeqCst);
+            self.shared.injector.push(meta);
+            self.shared.wake_workers(1);
         }
-        NodeCapacity::new(self.workers.len() as u32, mem)
-            .with_gpus(gpus)
-            .with_software(core.free.software().iter().cloned())
-            .with_arch(core.free.arch())
+        Ok(id)
     }
 
     /// Blocks until every submitted task has completed.
@@ -355,16 +684,19 @@ impl LocalRuntime {
     /// [`RuntimeError::BadTaskIo`] mapped to a failure) if any task
     /// body failed; the first failure wins.
     pub fn wait_all(&self) -> Result<(), RuntimeError> {
-        let mut core = self.shared.core.lock();
+        let shared = &*self.shared;
+        let mut g = shared.graph.lock();
         loop {
-            if let Some((task, message)) = core.failure.clone() {
-                if core.running == 0 {
+            if let Some((task, message)) = g.failure.clone() {
+                if shared.running.load(Ordering::SeqCst) == 0 {
                     return Err(RuntimeError::TaskPanicked { task, message });
                 }
-            } else if core.ap.graph().all_completed() && core.running == 0 {
+            } else if g.ap.graph().all_completed() && shared.running.load(Ordering::SeqCst) == 0 {
                 return Ok(());
             }
-            self.shared.cv.wait(&mut core);
+            shared.client_waiters.fetch_add(1, Ordering::SeqCst);
+            shared.client_cv.wait(&mut g);
+            shared.client_waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -373,57 +705,90 @@ impl LocalRuntime {
     ///
     /// # Errors
     ///
-    /// * [`RuntimeError::BadTaskIo`] if the value's type is not `T` or
-    ///   the datum has no producer and no initial value;
+    /// * [`RuntimeError::BadTaskIo`] — attributed to the producing
+    ///   task — if the value's type is not `T`;
+    /// * [`RuntimeError::BadDataAccess`] if the datum has no producer
+    ///   and no initial value (no task is at fault);
     /// * [`RuntimeError::TaskPanicked`] if execution failed before the
     ///   value was produced.
     pub fn get<T: Send + Sync + 'static>(
         &self,
         handle: &DataHandle<T>,
     ) -> Result<Arc<T>, RuntimeError> {
-        let mut core = self.shared.core.lock();
-        let target = core.ap.current_version(handle.id)?;
-        loop {
-            if let Some(v) = core.values.get(&target) {
-                return v
-                    .clone()
-                    .downcast::<T>()
-                    .map_err(|_| RuntimeError::BadTaskIo {
-                        task: TaskId::from_raw(0),
+        let shared = &*self.shared;
+        let mut g = shared.graph.lock();
+        let target = g.ap.current_version(handle.id)?;
+        let producer = g.ap.catalog().current(handle.id)?.producer;
+        {
+            // Pin the target version so eviction can't race this read.
+            let e = g.live.entry(target).or_default();
+            e.pins += 1;
+            e.current = true;
+        }
+        let result = loop {
+            if let Some(v) = shared.store.get(&target) {
+                break v.downcast::<T>().map_err(|_| match producer {
+                    Some(task) => RuntimeError::BadTaskIo {
+                        task,
                         detail: format!("value {target} does not have the requested type"),
-                    });
+                    },
+                    None => RuntimeError::BadDataAccess {
+                        data: handle.id,
+                        detail: format!("initial value {target} does not have the requested type"),
+                    },
+                });
             }
-            if let Some((task, message)) = core.failure.clone() {
-                return Err(RuntimeError::TaskPanicked { task, message });
+            if let Some((task, message)) = g.failure.clone() {
+                break Err(RuntimeError::TaskPanicked { task, message });
             }
             if target.version.is_initial() {
-                return Err(RuntimeError::BadTaskIo {
-                    task: TaskId::from_raw(0),
+                break Err(RuntimeError::BadDataAccess {
+                    data: handle.id,
                     detail: format!("datum {target} has no initial value"),
                 });
             }
-            self.shared.cv.wait(&mut core);
+            shared.client_waiters.fetch_add(1, Ordering::SeqCst);
+            shared.client_cv.wait(&mut g);
+            shared.client_waiters.fetch_sub(1, Ordering::SeqCst);
+        };
+        let mut evicted = Vec::new();
+        if let Some(e) = g.live.get_mut(&target) {
+            e.pins -= 1;
         }
+        g.maybe_evict(target, &mut evicted);
+        drop(g);
+        for vd in &evicted {
+            shared.store.remove(vd);
+        }
+        result
     }
 
     /// Current number of completed tasks.
     pub fn completed_count(&self) -> usize {
-        self.shared.core.lock().ap.graph().completed_count()
+        self.shared.graph.lock().ap.graph().completed_count()
     }
 
     /// Total number of submitted tasks.
     pub fn submitted_count(&self) -> usize {
-        self.shared.core.lock().ap.graph().len()
+        self.shared.graph.lock().ap.graph().len()
+    }
+
+    /// Number of materialized values currently held by the runtime
+    /// (inputs kept for pending readers plus current versions). Exposed
+    /// so benchmarks and tests can assert bounded memory over long
+    /// version chains.
+    pub fn live_value_count(&self) -> usize {
+        self.shared.store.len()
     }
 }
 
 impl Drop for LocalRuntime {
     fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut core = self.shared.core.lock();
-            core.shutdown = true;
+            let _guard = self.shared.sleep.lock();
+            self.shared.sleep_cv.notify_all();
         }
-        self.shared.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -445,152 +810,297 @@ impl Drop for LocalRuntime {
     }
 }
 
-fn worker_loop(shared: &Shared, worker: u32) {
+/// Per-worker pooled buffers, reused across tasks so steady-state
+/// dispatch performs no heap allocation of its own.
+#[derive(Default)]
+struct Scratch {
+    inputs: Vec<Value>,
+    outputs: Vec<Option<Value>>,
+    ready_ids: Vec<TaskId>,
+    ready: Vec<Arc<TaskMeta>>,
+    unblocked: Vec<Arc<TaskMeta>>,
+    evicted: Vec<VersionedData>,
+}
+
+fn worker_loop(shared: &Shared, queue: &WorkerQueue<Arc<TaskMeta>>, worker: u32) {
+    let mut scratch = Scratch::default();
     loop {
-        // -- pick a runnable task -----------------------------------------
-        let mut core = shared.core.lock();
-        let picked = loop {
-            if core.shutdown {
-                return;
-            }
-            if core.failure.is_some() {
-                // Poisoned: stop starting new work.
-                shared.cv.notify_all();
-                shared.cv.wait(&mut core);
-                continue;
-            }
-            let candidate = core.ap.graph().ready_tasks().iter().copied().find(|t| {
-                core.constraints
-                    .get(t)
-                    .is_some_and(|c| core.free.satisfies(c))
-            });
-            match candidate {
-                Some(t) => break t,
-                None => {
-                    shared.cv.wait(&mut core);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.poisoned.load(Ordering::SeqCst) {
+            // Poisoned: stop claiming work; sleep until shutdown.
+            park_poisoned(shared);
+            continue;
+        }
+        shared.searching.fetch_add(1, Ordering::SeqCst);
+        let found = find_task(shared, queue, worker);
+        shared.searching.fetch_sub(1, Ordering::SeqCst);
+        match found {
+            Some(meta) => {
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                if !try_admit(shared, &meta) {
+                    continue;
                 }
+                shared.running.fetch_add(1, Ordering::SeqCst);
+                execute(shared, queue, &meta, worker, &mut scratch);
             }
-        };
-        let constraints = core.constraints.get(&picked).expect("registered").clone();
-        core.ap
-            .graph_mut()
-            .mark_running(picked)
-            .expect("ready task can run");
-        core.free.allocate(&constraints);
-        core.running += 1;
-        let body = core.bodies.remove(&picked).expect("body pending");
-        let node = core.ap.graph().node(picked).expect("in graph");
-        let inputs: Vec<Value> = node
-            .consumed()
-            .iter()
-            .map(|vd| {
-                core.values
-                    .get(vd)
-                    .cloned()
-                    .unwrap_or_else(|| missing_input_placeholder())
-            })
-            .collect();
-        let produced: Vec<VersionedData> = node.produced().to_vec();
-        let span_name = shared
-            .telemetry
-            .enabled()
-            .then(|| node.spec().name().to_string());
-        drop(core);
-
-        // -- run the body outside the lock --------------------------------
-        if let Some(name) = &span_name {
-            shared.telemetry.record(TelemetryEvent::Instant {
-                track: Track::Worker(worker),
-                name: name.clone(),
-                phase: TaskPhase::Scheduled,
-                at_us: shared.now_us(),
-            });
+            None => sleep(shared),
         }
-        let start_us = shared.now_us();
-        let mut ctx = TaskContext {
-            inputs,
-            outputs: vec![None; produced.len()],
-        };
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let body = body;
-            body(&mut ctx);
-        }));
-        let end_us = shared.now_us();
-
-        // -- commit --------------------------------------------------------
-        let mut core = shared.core.lock();
-        core.free.release(&constraints);
-        core.running -= 1;
-        let mut committed = false;
-        match result {
-            Ok(()) => {
-                let missing = ctx.outputs.iter().position(Option::is_none);
-                if let Some(i) = missing {
-                    core.ap
-                        .graph_mut()
-                        .mark_failed(picked)
-                        .expect("running task can fail");
-                    core.failure
-                        .get_or_insert((picked, format!("task body did not set output {i}")));
-                } else {
-                    for (vd, value) in produced.iter().zip(ctx.outputs.drain(..)) {
-                        core.values.insert(*vd, value.expect("checked above"));
-                    }
-                    core.ap
-                        .graph_mut()
-                        .complete(picked)
-                        .expect("running task can complete");
-                    committed = true;
-                }
-            }
-            Err(payload) => {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "opaque panic payload".to_string());
-                core.ap
-                    .graph_mut()
-                    .mark_failed(picked)
-                    .expect("running task can fail");
-                core.failure.get_or_insert((picked, message));
-            }
-        }
-        let running_now = core.running;
-        let queue_depth = core.ap.graph().ready_tasks().len();
-        drop(core);
-        if let Some(name) = span_name {
-            let track = Track::Worker(worker);
-            shared.telemetry.record(TelemetryEvent::Span {
-                track,
-                name: name.clone(),
-                phase: TaskPhase::Executing,
-                start_us,
-                dur_us: end_us.saturating_sub(start_us),
-            });
-            shared.telemetry.record(TelemetryEvent::Instant {
-                track,
-                name,
-                phase: if committed {
-                    TaskPhase::Committed
-                } else {
-                    TaskPhase::Failed
-                },
-                at_us: end_us,
-            });
-            shared.telemetry.record(TelemetryEvent::Counter {
-                key: CounterKey::RunningTasks,
-                at_us: end_us,
-                value: running_now as f64,
-            });
-            shared.telemetry.record(TelemetryEvent::Counter {
-                key: CounterKey::QueueDepth,
-                at_us: end_us,
-                value: queue_depth as f64,
-            });
-        }
-        shared.cv.notify_all();
     }
+}
+
+/// Own deque first (newest-first: dependency chains stay hot), then a
+/// batch from the global injector, then batch-steal from siblings.
+fn find_task(
+    shared: &Shared,
+    queue: &WorkerQueue<Arc<TaskMeta>>,
+    worker: u32,
+) -> Option<Arc<TaskMeta>> {
+    if let Some(meta) = queue.pop() {
+        return Some(meta);
+    }
+    loop {
+        let mut retry = false;
+        match shared.injector.steal_batch_and_pop(queue) {
+            Steal::Success(meta) => return Some(meta),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        let n = shared.stealers.len();
+        for i in 1..n {
+            match shared.stealers[(worker as usize + i) % n].steal_batch_and_pop(queue) {
+                Steal::Success(meta) => return Some(meta),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+        thread::yield_now();
+    }
+}
+
+/// Claims resources for the task or parks it in the pool's side
+/// queues (a completing task will re-inject it).
+fn try_admit(shared: &Shared, meta: &Arc<TaskMeta>) -> bool {
+    let admitted = shared.pool.lock().try_admit(meta);
+    if !admitted {
+        shared.blocked_count.fetch_add(1, Ordering::SeqCst);
+    }
+    admitted
+}
+
+/// Counted sleep with a registered-then-recheck protocol: the sleeper
+/// count rises *before* the `pending` re-check, and producers raise
+/// `pending` *before* reading the sleeper count, so one side always
+/// sees the other (no lost wakeup).
+fn sleep(shared: &Shared) {
+    let mut count = shared.sleep.lock();
+    *count += 1;
+    shared.sleepers.store(*count, Ordering::SeqCst);
+    if shared.pending.load(Ordering::SeqCst) == 0
+        && !shared.shutdown.load(Ordering::SeqCst)
+        && !shared.poisoned.load(Ordering::SeqCst)
+    {
+        shared.sleep_cv.wait(&mut count);
+    }
+    *count -= 1;
+    shared.sleepers.store(*count, Ordering::SeqCst);
+}
+
+/// After a failure the run is poisoned: workers park here (without
+/// claiming tasks) until shutdown.
+fn park_poisoned(shared: &Shared) {
+    let mut count = shared.sleep.lock();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    *count += 1;
+    shared.sleepers.store(*count, Ordering::SeqCst);
+    shared.sleep_cv.wait(&mut count);
+    *count -= 1;
+    shared.sleepers.store(*count, Ordering::SeqCst);
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Runs one claimed task end to end: resolve inputs from the store,
+/// execute the body, publish outputs, commit to the graph, release
+/// resources, and dispatch whatever became runnable.
+fn execute(
+    shared: &Shared,
+    queue: &WorkerQueue<Arc<TaskMeta>>,
+    meta: &Arc<TaskMeta>,
+    worker: u32,
+    s: &mut Scratch,
+) {
+    let body = meta.body.lock().take().expect("task body runs once");
+    s.inputs.clear();
+    for vd in &meta.consumed {
+        s.inputs.push(
+            shared
+                .store
+                .get(vd)
+                .unwrap_or_else(missing_input_placeholder),
+        );
+    }
+    s.outputs.clear();
+    s.outputs.resize_with(meta.produced.len(), || None);
+
+    if let Some(name) = &meta.name {
+        shared.telemetry.record(TelemetryEvent::Instant {
+            track: Track::Worker(worker),
+            name: name.clone(),
+            phase: TaskPhase::Scheduled,
+            at_us: shared.now_us(),
+        });
+    }
+    let start_us = shared.now_us();
+    let mut ctx = TaskContext {
+        inputs: std::mem::take(&mut s.inputs),
+        outputs: std::mem::take(&mut s.outputs),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let body = body;
+        body(&mut ctx);
+    }));
+    let end_us = shared.now_us();
+
+    let failure_message = match &result {
+        Ok(()) => ctx
+            .outputs
+            .iter()
+            .position(Option::is_none)
+            .map(|i| format!("task body did not set output {i}")),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    };
+    let committed = failure_message.is_none();
+    if committed {
+        // Publish outputs before the graph commit so successors
+        // released by `complete` always find their inputs stored.
+        for (vd, value) in meta.produced.iter().zip(ctx.outputs.drain(..)) {
+            shared.store.insert(*vd, value.expect("all outputs set"));
+        }
+    }
+    // Recycle the context buffers into the worker's scratch.
+    let TaskContext {
+        mut inputs,
+        mut outputs,
+    } = ctx;
+    inputs.clear();
+    outputs.clear();
+    s.inputs = inputs;
+    s.outputs = outputs;
+
+    // -- graph commit ---------------------------------------------------
+    s.ready_ids.clear();
+    s.ready.clear();
+    s.evicted.clear();
+    {
+        let mut g = shared.graph.lock();
+        match failure_message {
+            None => {
+                g.ap.graph_mut()
+                    .complete_into(meta.id, &mut s.ready_ids)
+                    .expect("claimed task can complete");
+                for id in &s.ready_ids {
+                    s.ready.push(Arc::clone(&g.metas[id.index()]));
+                }
+                for vd in &meta.produced {
+                    g.note_stored(*vd, &mut s.evicted);
+                }
+            }
+            Some(message) => {
+                g.ap.graph_mut()
+                    .mark_running(meta.id)
+                    .expect("claimed task was ready");
+                g.ap.graph_mut()
+                    .mark_failed(meta.id)
+                    .expect("running task can fail");
+                if g.failure.is_none() {
+                    g.failure = Some((meta.id, message));
+                }
+                shared.poisoned.store(true, Ordering::SeqCst);
+            }
+        }
+        for vd in &meta.consumed {
+            g.note_consumed(*vd, &mut s.evicted);
+        }
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+    }
+    for vd in &s.evicted {
+        shared.store.remove(vd);
+    }
+
+    // -- resources: release, then re-inject unparked tasks --------------
+    s.unblocked.clear();
+    shared
+        .pool
+        .lock()
+        .release_and_unblock(&meta.constraints, &mut s.unblocked);
+    if !s.unblocked.is_empty() {
+        shared
+            .blocked_count
+            .fetch_sub(s.unblocked.len(), Ordering::SeqCst);
+    }
+
+    // -- dispatch -------------------------------------------------------
+    // Newly-ready successors go onto this worker's own deque (it will
+    // pop one next, LIFO, cache-hot); everything beyond that one, plus
+    // the unparked tasks, warrants a wakeup.
+    let newly = s.ready.len();
+    let mut wake = s.unblocked.len();
+    if newly > 0 {
+        shared.pending.fetch_add(newly, Ordering::SeqCst);
+        for m in s.ready.drain(..) {
+            queue.push(m);
+        }
+        wake += newly - 1;
+    }
+    shared.inject_ready(&mut s.unblocked);
+    shared.wake_workers(wake);
+
+    // -- telemetry ------------------------------------------------------
+    if let Some(name) = &meta.name {
+        let track = Track::Worker(worker);
+        shared.telemetry.record(TelemetryEvent::Span {
+            track,
+            name: name.clone(),
+            phase: TaskPhase::Executing,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+        });
+        shared.telemetry.record(TelemetryEvent::Instant {
+            track,
+            name: name.clone(),
+            phase: if committed {
+                TaskPhase::Committed
+            } else {
+                TaskPhase::Failed
+            },
+            at_us: end_us,
+        });
+        shared.telemetry.record(TelemetryEvent::Counter {
+            key: CounterKey::RunningTasks,
+            at_us: end_us,
+            value: shared.running.load(Ordering::SeqCst) as f64,
+        });
+        shared.telemetry.record(TelemetryEvent::Counter {
+            key: CounterKey::QueueDepth,
+            at_us: end_us,
+            value: (shared.pending.load(Ordering::SeqCst)
+                + shared.blocked_count.load(Ordering::SeqCst)) as f64,
+        });
+    }
+    shared.notify_clients();
 }
 
 /// Placeholder for inputs whose value is missing (initial data never
@@ -807,6 +1317,41 @@ mod tests {
     }
 
     #[test]
+    fn gpu_constraints_serialize_on_a_single_gpu() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 4,
+            gpus: 1,
+            ..LocalConfig::default()
+        });
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let outs = rt.data_batch::<()>("o", 3);
+        for o in &outs {
+            let peak = Arc::clone(&peak);
+            let cur = Arc::clone(&cur);
+            rt.submit(
+                TaskSpec::new("gpu").output(o.id()),
+                Constraints::new().gpus(1),
+                move |ctx| {
+                    let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    cur.fetch_sub(1, Ordering::SeqCst);
+                    ctx.set_output(0, ());
+                },
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "gpu tasks must serialise on a 1-GPU machine"
+        );
+    }
+
+    #[test]
     fn independent_tasks_overlap_in_time() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let rt = rt(4);
@@ -905,6 +1450,110 @@ mod tests {
             t0.elapsed() < std::time::Duration::from_millis(90),
             "fast task must not queue behind the slow one"
         );
+        rt.wait_all().unwrap();
+    }
+
+    #[test]
+    fn dead_intermediate_values_are_evicted() {
+        let rt = rt(2);
+        let acc = rt.data::<u64>("acc");
+        rt.set_initial(&acc, 0u64);
+        for _ in 0..500 {
+            rt.submit(
+                TaskSpec::new("inc").inout(acc.id()),
+                Constraints::new(),
+                |ctx| {
+                    let v: &u64 = ctx.input(0);
+                    ctx.set_output(0, v + 1);
+                },
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert_eq!(*rt.get(&acc).unwrap(), 500);
+        assert!(
+            rt.live_value_count() <= 2,
+            "a 500-step inout chain must not retain intermediates, live = {}",
+            rt.live_value_count()
+        );
+    }
+
+    #[test]
+    fn type_mismatch_in_get_blames_the_producer() {
+        let rt = rt(2);
+        let d = rt.data::<String>("d");
+        let id = rt
+            .submit(
+                TaskSpec::new("w").output(d.id()),
+                Constraints::new(),
+                |ctx| ctx.set_output(0, 7i32),
+            )
+            .unwrap();
+        match rt.get(&d).unwrap_err() {
+            RuntimeError::BadTaskIo { task, .. } => assert_eq!(task, id),
+            other => panic!("expected BadTaskIo, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_initial_value_is_a_data_error() {
+        let rt = rt(1);
+        let d = rt.data::<i32>("d");
+        match rt.get(&d).unwrap_err() {
+            RuntimeError::BadDataAccess { data, .. } => assert_eq!(data, d.id()),
+            other => panic!("expected BadDataAccess, got {other}"),
+        }
+    }
+
+    #[test]
+    fn superseded_inputs_survive_until_their_readers_run() {
+        // A reader of version 1 is registered, then a writer bumps the
+        // datum to version 2 before the reader runs: the version-1
+        // value must stay live for the reader.
+        let rt = rt(1);
+        let gate = rt.data::<()>("gate");
+        let d = rt.data::<u64>("d");
+        let old_sum = rt.data::<u64>("old_sum");
+        rt.submit(
+            TaskSpec::new("slow-gate").output(gate.id()),
+            Constraints::new(),
+            |ctx| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ctx.set_output(0, ());
+            },
+        )
+        .unwrap();
+        rt.submit(
+            TaskSpec::new("v1").output(d.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 10u64),
+        )
+        .unwrap();
+        // Reader of d@v1, gated so it runs late.
+        rt.submit(
+            TaskSpec::new("late-reader")
+                .input(gate.id())
+                .input(d.id())
+                .output(old_sum.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &u64 = ctx.input(1);
+                ctx.set_output(0, *v + 1);
+            },
+        )
+        .unwrap();
+        // Writer supersedes d@v1 with d@v2.
+        rt.submit(
+            TaskSpec::new("v2").inout(d.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, *v * 100);
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&old_sum).unwrap(), 11, "late reader saw d@v1");
+        assert_eq!(*rt.get(&d).unwrap(), 1000, "current version is d@v2");
         rt.wait_all().unwrap();
     }
 }

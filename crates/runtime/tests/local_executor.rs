@@ -1,0 +1,306 @@
+//! Stress tests of the local work-stealing executor: fine-grained
+//! task storms must behave *identically* at any worker count — same
+//! final values, same completed counts, well-formed telemetry — and
+//! long `InOut` version chains must run in bounded memory.
+//!
+//! These are the behavioral guardrails for the dispatch hot path
+//! (work-stealing deques, split locks, O(1) admission, value
+//! eviction): any reordering bug, lost wakeup, or dropped task shows
+//! up here as a checksum or count divergence.
+
+use continuum_dag::TaskSpec;
+use continuum_platform::Constraints;
+use continuum_runtime::{LocalConfig, LocalRuntime, TraceBuffer};
+use continuum_telemetry::{Event, TaskPhase, Track};
+
+/// Splitmix-style mixer so checksums depend on every bit.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `n` independent tiny tasks; returns the wrapping sum of every
+/// output.
+fn run_fan_out(rt: &LocalRuntime, n: usize) -> u64 {
+    let outs = rt.data_batch::<u64>("w", n);
+    for (i, d) in outs.iter().enumerate() {
+        let seed = i as u64;
+        rt.submit(
+            TaskSpec::new("t").output(d.id()),
+            Constraints::new(),
+            move |ctx| ctx.set_output(0, mix(seed)),
+        )
+        .unwrap();
+    }
+    rt.wait_all().unwrap();
+    outs.iter()
+        .map(|d| *rt.get(d).unwrap())
+        .fold(0u64, u64::wrapping_add)
+}
+
+/// One serialized `InOut` chain of `n` steps; returns the final value.
+fn run_chain(rt: &LocalRuntime, n: usize) -> u64 {
+    let acc = rt.data::<u64>("acc");
+    rt.set_initial(&acc, 0u64);
+    for i in 0..n {
+        let step = i as u64;
+        rt.submit(
+            TaskSpec::new("step").inout(acc.id()),
+            Constraints::new(),
+            move |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, mix(v.wrapping_add(step)));
+            },
+        )
+        .unwrap();
+    }
+    rt.wait_all().unwrap();
+    *rt.get(&acc).unwrap()
+}
+
+/// Chained fan-out/fan-in diamonds over a carried datum; returns the
+/// final carry. `blocks * (width + 2)` tasks total.
+fn run_diamond(rt: &LocalRuntime, blocks: usize, width: usize) -> u64 {
+    let carry = rt.data::<u64>("carry");
+    rt.set_initial(&carry, 1u64);
+    for b in 0..blocks {
+        let src = rt.data::<u64>(format!("src{b}"));
+        let branches = rt.data_batch::<u64>("br", width);
+        rt.submit(
+            TaskSpec::new("src").input(carry.id()).output(src.id()),
+            Constraints::new(),
+            |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, mix(*v));
+            },
+        )
+        .unwrap();
+        for (i, br) in branches.iter().enumerate() {
+            let lane = i as u64;
+            rt.submit(
+                TaskSpec::new("branch").input(src.id()).output(br.id()),
+                Constraints::new(),
+                move |ctx| {
+                    let v: &u64 = ctx.input(0);
+                    ctx.set_output(0, mix(v.wrapping_add(lane)));
+                },
+            )
+            .unwrap();
+        }
+        rt.submit(
+            TaskSpec::new("join")
+                .inputs(branches.iter().map(|d| d.id()))
+                .inout(carry.id()),
+            Constraints::new(),
+            |ctx| {
+                let n = ctx.input_count();
+                let folded = (0..n - 1)
+                    .map(|i| *ctx.input::<u64>(i))
+                    .fold(*ctx.input::<u64>(n - 1), u64::wrapping_add);
+                ctx.set_output(0, folded);
+            },
+        )
+        .unwrap();
+    }
+    rt.wait_all().unwrap();
+    *rt.get(&carry).unwrap()
+}
+
+fn at_workers(workers: usize, run: impl Fn(&LocalRuntime) -> u64) -> (u64, usize, usize) {
+    let rt = LocalRuntime::new(LocalConfig::with_workers(workers));
+    let checksum = run(&rt);
+    (checksum, rt.completed_count(), rt.submitted_count())
+}
+
+/// A named task storm: drives a runtime and returns its checksum.
+type Storm = Box<dyn Fn(&LocalRuntime) -> u64>;
+
+/// The core equivalence property: a ≥5k-task storm of each topology
+/// produces, at every worker count, exactly the single-worker result.
+#[test]
+fn task_storms_are_worker_count_invariant() {
+    let storms: Vec<(&str, Storm)> = vec![
+        (
+            "fan_out",
+            Box::new(|rt: &LocalRuntime| run_fan_out(rt, 5_000)),
+        ),
+        ("chain", Box::new(|rt: &LocalRuntime| run_chain(rt, 5_000))),
+        (
+            "diamond",
+            Box::new(|rt: &LocalRuntime| run_diamond(rt, 500, 8)),
+        ),
+    ];
+    for (name, run) in &storms {
+        let (ref_sum, ref_completed, ref_submitted) = at_workers(1, run);
+        assert_eq!(
+            ref_completed, ref_submitted,
+            "{name}: single-worker run lost tasks"
+        );
+        for workers in [2, 4, 8] {
+            let (sum, completed, submitted) = at_workers(workers, run);
+            assert_eq!(
+                sum, ref_sum,
+                "{name}: checksum diverged at {workers} workers"
+            );
+            assert_eq!(
+                (completed, submitted),
+                (ref_completed, ref_submitted),
+                "{name}: task counts diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// The bounded-memory regression test for value eviction: a
+/// 10 000-step `InOut` chain must finish holding O(1) live values, not
+/// one per superseded version (the pre-eviction runtime retained all
+/// 10 001).
+#[test]
+fn long_inout_chain_runs_in_bounded_memory() {
+    let rt = LocalRuntime::new(LocalConfig::with_workers(4));
+    let acc = rt.data::<u64>("acc");
+    rt.set_initial(&acc, 0u64);
+    let mut live_peak = 0usize;
+    for i in 0..10_000u64 {
+        rt.submit(
+            TaskSpec::new("step").inout(acc.id()),
+            Constraints::new(),
+            move |ctx| {
+                let v: &u64 = ctx.input(0);
+                ctx.set_output(0, mix(v.wrapping_add(i)));
+            },
+        )
+        .unwrap();
+        if i % 256 == 0 {
+            live_peak = live_peak.max(rt.live_value_count());
+        }
+    }
+    rt.wait_all().unwrap();
+    live_peak = live_peak.max(rt.live_value_count());
+    // Sampled peaks race the executor, so allow a small in-flight
+    // margin — the point is O(1) versus the chain length.
+    assert!(
+        live_peak <= 16,
+        "live values must stay bounded over a 10k-step chain, peak = {live_peak}"
+    );
+    assert_eq!(rt.completed_count(), 10_000);
+}
+
+/// Telemetry from a multi-worker storm is well-formed: every task is
+/// Submitted exactly once on the run track, and every submission is
+/// matched by exactly one Committed (or Failed) marker.
+#[test]
+fn storm_telemetry_is_well_formed() {
+    const TASKS: usize = 1_000;
+    let (buffer, telemetry) = TraceBuffer::collector();
+    {
+        let rt = LocalRuntime::new(LocalConfig {
+            workers: 4,
+            telemetry,
+            ..LocalConfig::default()
+        });
+        run_diamond(&rt, TASKS / 10, 8);
+    } // drop closes the run span
+    let events = buffer.events();
+
+    let submitted = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::Instant {
+                    track: Track::Run,
+                    phase: TaskPhase::Submitted,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(submitted, TASKS, "one Submitted marker per task");
+
+    let mut committed = 0usize;
+    let mut failed = 0usize;
+    let mut exec_spans = 0usize;
+    for e in &events {
+        match e {
+            Event::Instant {
+                track: Track::Worker(_),
+                phase,
+                ..
+            } => match phase {
+                TaskPhase::Committed => committed += 1,
+                TaskPhase::Failed => failed += 1,
+                _ => {}
+            },
+            Event::Span {
+                track: Track::Worker(_),
+                phase: TaskPhase::Executing,
+                ..
+            } => exec_spans += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(failed, 0, "storm has no failing tasks");
+    assert_eq!(committed, TASKS, "every Submitted task was Committed");
+    assert_eq!(exec_spans, TASKS, "one executing span per task");
+
+    // The run span closes last and covers every event.
+    let run_end = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Span {
+                track: Track::Run,
+                name,
+                start_us: 0,
+                dur_us,
+                ..
+            } if name == "local-run" => Some(*dur_us),
+            _ => None,
+        })
+        .expect("local-run span present");
+    for e in &events {
+        assert!(e.end_us() <= run_end, "event outside run span: {e:?}");
+    }
+}
+
+/// A storm mixing resource-heavy parked tasks with light tasks drains
+/// completely: parked tasks are re-injected as capacity frees up, and
+/// light traffic keeps flowing around them.
+#[test]
+fn constraint_parked_tasks_drain_with_light_traffic() {
+    let rt = LocalRuntime::new(LocalConfig {
+        workers: 4,
+        memory_mb: 1000,
+        ..LocalConfig::default()
+    });
+    let heavy = rt.data_batch::<u64>("h", 8);
+    let light = rt.data_batch::<u64>("l", 2_000);
+    for (i, d) in heavy.iter().enumerate() {
+        let seed = i as u64;
+        rt.submit(
+            TaskSpec::new("heavy").output(d.id()),
+            Constraints::new().memory_mb(600),
+            move |ctx| ctx.set_output(0, mix(seed)),
+        )
+        .unwrap();
+    }
+    for (i, d) in light.iter().enumerate() {
+        let seed = i as u64;
+        rt.submit(
+            TaskSpec::new("light").output(d.id()),
+            Constraints::new(),
+            move |ctx| ctx.set_output(0, mix(seed).wrapping_mul(3)),
+        )
+        .unwrap();
+    }
+    rt.wait_all().unwrap();
+    assert_eq!(rt.completed_count(), heavy.len() + light.len());
+    for (i, d) in heavy.iter().enumerate() {
+        assert_eq!(*rt.get(d).unwrap(), mix(i as u64));
+    }
+    for (i, d) in light.iter().enumerate() {
+        assert_eq!(*rt.get(d).unwrap(), mix(i as u64).wrapping_mul(3));
+    }
+}

@@ -1,7 +1,11 @@
 //! Offline drop-in stand-in for the `crossbeam` crate surface this
-//! workspace uses: `channel::{unbounded, bounded, Sender, Receiver}`.
-//! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` since
-//! Rust 1.72, so the sharing patterns crossbeam enables still work.
+//! workspace uses: `channel::{unbounded, bounded, Sender, Receiver}`
+//! and `deque::{Worker, Stealer, Injector, Steal}`. Channels are
+//! backed by `std::sync::mpsc`, whose `Sender` has been `Sync` since
+//! Rust 1.72, so the sharing patterns crossbeam enables still work;
+//! deques are backed by mutex-guarded ring buffers, preserving the
+//! crossbeam semantics (owner pops one end, thieves steal the other,
+//! contended steals report `Retry`) without the lock-free unsafe code.
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
@@ -140,6 +144,422 @@ pub mod channel {
     /// workspace's uses (bounds there only limit memory, not semantics).
     pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
         unbounded()
+    }
+}
+
+/// Work-stealing deques, mirroring `crossbeam::deque`.
+///
+/// The owner of a [`deque::Worker`] pushes and pops at one end without
+/// coordination beyond a short critical section; [`deque::Stealer`]
+/// handles held by other threads take batches from the opposite end,
+/// and a shared [`deque::Injector`] serves as the global FIFO entry
+/// queue. Contended steals return [`deque::Steal::Retry`] rather than
+/// blocking, matching the lock-free original's progress guarantees at
+/// the API level.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+
+    /// Most items a single batch steal may transfer, mirroring
+    /// crossbeam's `MAX_BATCH`.
+    const MAX_BATCH: usize = 32;
+
+    /// The outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race; retrying may succeed.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns `true` if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Returns `true` if the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Returns the stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Pop order of a [`Worker`]'s owner end.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    #[derive(Debug)]
+    struct Buffer<T> {
+        items: VecDeque<T>,
+    }
+
+    fn lock_or_retry<T>(queue: &Mutex<Buffer<T>>) -> Result<MutexGuard<'_, Buffer<T>>, ()> {
+        match queue.try_lock() {
+            Ok(guard) => Ok(guard),
+            // Poisoning cannot happen (no user code runs under the
+            // lock), but map it defensively to a retry.
+            Err(TryLockError::Poisoned(p)) => Ok(p.into_inner()),
+            Err(TryLockError::WouldBlock) => Err(()),
+        }
+    }
+
+    /// A deque owned by one worker thread.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<Buffer<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        fn with_flavor(flavor: Flavor) -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(Buffer {
+                    items: VecDeque::new(),
+                })),
+                flavor,
+            }
+        }
+
+        /// Creates a worker whose owner pops oldest-first.
+        pub fn new_fifo() -> Self {
+            Worker::with_flavor(Flavor::Fifo)
+        }
+
+        /// Creates a worker whose owner pops newest-first.
+        pub fn new_lifo() -> Self {
+            Worker::with_flavor(Flavor::Lifo)
+        }
+
+        /// Creates a [`Stealer`] handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Pushes an item onto the owner end.
+        pub fn push(&self, item: T) {
+            self.lock().items.push_back(item);
+        }
+
+        /// Pops an item from the owner end (per the flavor).
+        pub fn pop(&self) -> Option<T> {
+            let mut buf = self.lock();
+            match self.flavor {
+                Flavor::Fifo => buf.items.pop_front(),
+                Flavor::Lifo => buf.items.pop_back(),
+            }
+        }
+
+        /// Returns `true` if the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().items.is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.lock().items.len()
+        }
+
+        /// The owner blocks rather than retrying: its own operations
+        /// never deadlock and contention windows are a few instructions.
+        fn lock(&self) -> MutexGuard<'_, Buffer<T>> {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Worker { .. }")
+        }
+    }
+
+    /// A handle that steals from a [`Worker`]'s opposite end.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<Buffer<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one item from the front (oldest) end.
+        pub fn steal(&self) -> Steal<T> {
+            match lock_or_retry(&self.queue) {
+                Ok(mut buf) => match buf.items.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(()) => Steal::Retry,
+            }
+        }
+
+        /// Steals up to half the items (capped) into `dest`, returning
+        /// one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut batch = match lock_or_retry(&self.queue) {
+                Ok(mut buf) => {
+                    let n = buf.items.len().div_ceil(2).min(MAX_BATCH);
+                    if n == 0 {
+                        return Steal::Empty;
+                    }
+                    buf.items.drain(..n).collect::<Vec<T>>()
+                }
+                Err(()) => return Steal::Retry,
+            };
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                let mut dst = dest.lock();
+                dst.items.extend(batch);
+            }
+            Steal::Success(first)
+        }
+
+        /// Returns `true` if the source deque looks empty.
+        pub fn is_empty(&self) -> bool {
+            match lock_or_retry(&self.queue) {
+                Ok(buf) => buf.items.is_empty(),
+                Err(()) => false,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Stealer { .. }")
+        }
+    }
+
+    /// A shared FIFO entry queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<Buffer<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(Buffer {
+                    items: VecDeque::new(),
+                }),
+            }
+        }
+
+        /// Pushes an item onto the back of the queue.
+        pub fn push(&self, item: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .items
+                .push_back(item);
+        }
+
+        /// Steals one item from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock_or_retry(&self.queue) {
+                Ok(mut buf) => match buf.items.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(()) => Steal::Retry,
+            }
+        }
+
+        /// Steals up to half the items (capped) into `dest`, returning
+        /// one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut batch = match lock_or_retry(&self.queue) {
+                Ok(mut buf) => {
+                    let n = buf.items.len().div_ceil(2).min(MAX_BATCH);
+                    if n == 0 {
+                        return Steal::Empty;
+                    }
+                    buf.items.drain(..n).collect::<Vec<T>>()
+                }
+                Err(()) => return Steal::Retry,
+            };
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                let mut dst = dest.lock();
+                dst.items.extend(batch);
+            }
+            Steal::Success(first)
+        }
+
+        /// Returns `true` if the queue looks empty.
+        pub fn is_empty(&self) -> bool {
+            match lock_or_retry(&self.queue) {
+                Ok(buf) => buf.items.is_empty(),
+                Err(()) => false,
+            }
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .items
+                .len()
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Injector { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_owner_pops_newest_thief_steals_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(3), "owner end is LIFO");
+        assert_eq!(s.steal(), Steal::Success(1), "thieves take the oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_owner_pops_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_and_batch_steals_move_half() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 10);
+        let w = Worker::new_lifo();
+        // Half of 10 = 5: one returned, four land in the dest deque.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1), "dest preserved FIFO order");
+    }
+
+    #[test]
+    fn stealer_batch_from_worker() {
+        let w = Worker::new_lifo();
+        for i in 0..8 {
+            w.push(i);
+        }
+        let dest = Worker::new_lifo();
+        let s = w.stealer();
+        assert_eq!(s.steal_batch_and_pop(&dest), Steal::Success(0));
+        assert_eq!(dest.len(), 3);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn empty_sources_report_empty() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let inj: Injector<u32> = Injector::new();
+        assert!(w.stealer().steal().is_empty());
+        assert!(inj.steal().is_empty());
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+        assert!(w.stealer().steal_batch_and_pop(&w).is_empty());
+        assert!(inj.is_empty() && w.stealer().is_empty());
+    }
+
+    #[test]
+    fn steal_success_accessors() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<u32>::Empty.success(), None);
+        assert!(Steal::<u32>::Retry.is_retry());
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_lose_nothing() {
+        let inj = Arc::new(Injector::new());
+        let total = 4000u64;
+        let producer = {
+            let inj = Arc::clone(&inj);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    inj.push(i);
+                }
+            })
+        };
+        let mut sums = Vec::new();
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let local = Worker::new_lifo();
+                    let mut sum = 0u64;
+                    let mut dry = 0;
+                    while dry < 200 {
+                        match inj.steal_batch_and_pop(&local) {
+                            Steal::Success(v) => {
+                                dry = 0;
+                                sum += v;
+                                while let Some(v) = local.pop() {
+                                    sum += v;
+                                }
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for t in thieves {
+            sums.push(t.join().unwrap());
+        }
+        assert_eq!(sums.iter().sum::<u64>(), total * (total - 1) / 2);
     }
 }
 
