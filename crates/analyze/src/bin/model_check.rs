@@ -1,0 +1,99 @@
+//! `model_check` — exhaustively explore the runtime's concurrency
+//! protocol models (see `continuum_analyze::conc`).
+//!
+//! ```text
+//! model_check [--smoke]
+//! ```
+//!
+//! Runs the counted-sleeper and deque models at their stated bounds and
+//! prints the explored state counts; `--smoke` uses the smaller CI
+//! bounds. Exits non-zero on any violation (lost wakeup, conservation
+//! failure, or a state space exceeding its bound — bounds must be
+//! raised explicitly, never silently).
+
+use continuum_analyze::conc::{
+    explore, DequeModel, DequeVariant, Exploration, Model, SleeperModel, SleeperVariant, Violation,
+};
+
+fn run<M: Model>(name: &str, model: &M, max_states: usize) -> Result<Exploration, Violation> {
+    match explore(model, max_states) {
+        Ok(r) => {
+            println!(
+                "{name}: OK — {} states, {} terminal(s), depth {}",
+                r.states, r.terminals, r.max_depth
+            );
+            Ok(r)
+        }
+        Err(v) => {
+            eprintln!("{name}: FAILED — {v}");
+            Err(v)
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (workers, items, deque_items, thieves) = if smoke { (2, 2, 3, 2) } else { (3, 2, 4, 2) };
+    let mut failed = false;
+
+    let sleeper = SleeperModel {
+        workers,
+        items,
+        variant: SleeperVariant::Correct,
+    };
+    failed |= run(
+        &format!("sleeper[w={workers},items={items}]"),
+        &sleeper,
+        10_000_000,
+    )
+    .is_err();
+
+    let deque = DequeModel {
+        items: deque_items,
+        thieves,
+        attempts: 2,
+        variant: DequeVariant::Correct,
+    };
+    failed |= run(
+        &format!("deque[items={deque_items},thieves={thieves},attempts=2]"),
+        &deque,
+        10_000_000,
+    )
+    .is_err();
+
+    // Sanity: the harness must still detect the planted bugs, otherwise
+    // a green run proves nothing.
+    let planted_sleeper = SleeperModel {
+        workers: 2,
+        items: 2,
+        variant: SleeperVariant::NoRecheck,
+    };
+    match explore(&planted_sleeper, 10_000_000) {
+        Err(Violation::Deadlock { .. }) => {
+            println!("sleeper[no-recheck]: OK — planted lost wakeup detected");
+        }
+        other => {
+            eprintln!("sleeper[no-recheck]: FAILED — planted bug not detected: {other:?}");
+            failed = true;
+        }
+    }
+    let planted_deque = DequeModel {
+        items: 2,
+        thieves: 1,
+        attempts: 1,
+        variant: DequeVariant::ForgetRemove,
+    };
+    match explore(&planted_deque, 10_000_000) {
+        Err(Violation::Invariant { .. }) => {
+            println!("deque[forget-remove]: OK — planted duplication detected");
+        }
+        other => {
+            eprintln!("deque[forget-remove]: FAILED — planted bug not detected: {other:?}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

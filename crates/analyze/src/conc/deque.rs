@@ -1,0 +1,293 @@
+//! Model of the `shims/crossbeam` work-stealing deque protocol.
+//!
+//! The shim backs each worker deque with a mutex: the owner pushes and
+//! pops at the back under the lock, thieves `try_lock` and either
+//! batch-steal from the front (up to half the items, capped) or report
+//! `Steal::Retry` when the lock is held. The safety property is item
+//! conservation: across every interleaving of owner pushes/pops and
+//! concurrent thief steals, every pushed item is consumed exactly once
+//! — nothing lost, nothing duplicated.
+//!
+//! [`DequeVariant::ForgetRemove`] models the classic batch-steal bug
+//! (copying the stolen range without removing it from the deque), which
+//! the conservation invariant catches immediately.
+
+use super::explore::Model;
+
+/// Which steal implementation to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeVariant {
+    /// The shipped protocol: stolen items are removed from the deque.
+    Correct,
+    /// Deliberately broken: the stolen batch is copied but not removed,
+    /// duplicating items. Exists to prove the harness detects
+    /// conservation bugs.
+    ForgetRemove,
+}
+
+/// Program counter of the owner thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Opc {
+    /// Wants the lock to push item `n`.
+    PushLock(u8),
+    /// Holds the lock; about to append item `n` at the back.
+    PushCommit(u8),
+    /// Wants the lock to pop from the back.
+    PopLock,
+    /// Holds the lock; about to pop (or observe empty and finish).
+    PopCommit,
+    /// Observed an empty deque after pushing everything.
+    Done,
+}
+
+/// Program counter of one thief thread. The payload is the number of
+/// steal attempts left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Tpc {
+    /// Wants the lock for a batch steal (`try_lock`: a held lock is a
+    /// disabled transition, modeling `Steal::Retry`).
+    Steal(u8),
+    /// Holds the lock; about to move up to half the items (capped at 2)
+    /// from the front into the local buffer.
+    Locked(u8),
+    /// Draining the local buffer, one consume per step.
+    Drain(u8),
+    /// Out of attempts and drained.
+    Done,
+}
+
+/// Who holds the deque mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Lock {
+    Free,
+    Owner,
+    Thief(u8),
+}
+
+/// One snapshot of the deque protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DequeState {
+    /// Deque contents, front..back.
+    deque: Vec<u8>,
+    lock: Lock,
+    owner: Opc,
+    thieves: Vec<Tpc>,
+    /// Per-thief stolen-but-not-yet-consumed buffers.
+    locals: Vec<Vec<u8>>,
+    /// Items consumed so far (kept sorted: consumption order is not
+    /// part of the property, canonicalizing shrinks the state space).
+    consumed: Vec<u8>,
+}
+
+/// The deque model: one owner pushing `items` items then popping until
+/// empty, with `thieves` concurrent thieves each making `attempts`
+/// batch-steal attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct DequeModel {
+    /// Items the owner pushes (ids `1..=items`).
+    pub items: u8,
+    /// Concurrent thief threads.
+    pub thieves: u8,
+    /// Batch-steal attempts per thief.
+    pub attempts: u8,
+    /// Steal-implementation variant.
+    pub variant: DequeVariant,
+}
+
+impl DequeModel {
+    /// Batch size the shim would steal: half the deque, capped (the
+    /// shim's cap is 32; the model uses 2 to keep bounds small while
+    /// still exercising multi-item batches).
+    fn batch(&self, len: usize) -> usize {
+        len.div_ceil(2).min(2)
+    }
+}
+
+fn insert_sorted(v: &mut Vec<u8>, x: u8) {
+    let pos = v.partition_point(|e| *e <= x);
+    v.insert(pos, x);
+}
+
+impl Model for DequeModel {
+    type State = DequeState;
+
+    fn initial(&self) -> DequeState {
+        DequeState {
+            deque: Vec::new(),
+            lock: Lock::Free,
+            owner: if self.items > 0 {
+                Opc::PushLock(1)
+            } else {
+                Opc::Done
+            },
+            thieves: vec![Tpc::Steal(self.attempts); self.thieves as usize],
+            locals: vec![Vec::new(); self.thieves as usize],
+            consumed: Vec::new(),
+        }
+    }
+
+    fn successors(&self, s: &DequeState, out: &mut Vec<DequeState>) {
+        // Owner steps.
+        match s.owner {
+            Opc::PushLock(n) => {
+                if s.lock == Lock::Free {
+                    let mut x = s.clone();
+                    x.lock = Lock::Owner;
+                    x.owner = Opc::PushCommit(n);
+                    out.push(x);
+                }
+            }
+            Opc::PushCommit(n) => {
+                let mut x = s.clone();
+                x.deque.push(n);
+                x.lock = Lock::Free;
+                x.owner = if n < self.items {
+                    Opc::PushLock(n + 1)
+                } else {
+                    Opc::PopLock
+                };
+                out.push(x);
+            }
+            Opc::PopLock => {
+                if s.lock == Lock::Free {
+                    let mut x = s.clone();
+                    x.lock = Lock::Owner;
+                    x.owner = Opc::PopCommit;
+                    out.push(x);
+                }
+            }
+            Opc::PopCommit => {
+                let mut x = s.clone();
+                x.lock = Lock::Free;
+                if let Some(item) = x.deque.pop() {
+                    insert_sorted(&mut x.consumed, item);
+                    x.owner = Opc::PopLock;
+                } else {
+                    x.owner = Opc::Done;
+                }
+                out.push(x);
+            }
+            Opc::Done => {}
+        }
+        // Thief steps.
+        for (i, pc) in s.thieves.iter().copied().enumerate() {
+            match pc {
+                Tpc::Steal(a) => {
+                    if a == 0 {
+                        continue;
+                    }
+                    if s.lock == Lock::Free {
+                        let mut x = s.clone();
+                        x.lock = Lock::Thief(i as u8);
+                        x.thieves[i] = Tpc::Locked(a);
+                        out.push(x);
+                    }
+                    // A held lock is Steal::Retry: disabled, no step.
+                }
+                Tpc::Locked(a) => {
+                    let mut x = s.clone();
+                    let take = self.batch(x.deque.len());
+                    let stolen: Vec<u8> = match self.variant {
+                        DequeVariant::Correct => x.deque.drain(..take).collect(),
+                        DequeVariant::ForgetRemove => x.deque[..take].to_vec(),
+                    };
+                    x.locals[i].extend(stolen);
+                    x.lock = Lock::Free;
+                    x.thieves[i] = Tpc::Drain(a - 1);
+                    out.push(x);
+                }
+                Tpc::Drain(a) => {
+                    let mut x = s.clone();
+                    if let Some(item) = x.locals[i].pop() {
+                        insert_sorted(&mut x.consumed, item);
+                        x.thieves[i] = Tpc::Drain(a);
+                    } else {
+                        x.thieves[i] = if a > 0 { Tpc::Steal(a) } else { Tpc::Done };
+                    }
+                    out.push(x);
+                }
+                Tpc::Done => {}
+            }
+        }
+    }
+
+    fn is_terminal(&self, s: &DequeState) -> bool {
+        s.owner == Opc::Done
+            && s.deque.is_empty()
+            && s.locals.iter().all(Vec::is_empty)
+            && s.consumed.len() == self.items as usize
+            && s.thieves
+                .iter()
+                .all(|pc| matches!(pc, Tpc::Done | Tpc::Steal(0)))
+    }
+
+    fn check(&self, s: &DequeState) -> Result<(), String> {
+        // Conservation: deque ⊎ locals ⊎ consumed is exactly the set of
+        // pushed items, each exactly once.
+        let pushed: u8 = match s.owner {
+            Opc::PushLock(n) | Opc::PushCommit(n) => n - 1,
+            _ => self.items,
+        };
+        let mut all: Vec<u8> = s.deque.clone();
+        for l in &s.locals {
+            all.extend_from_slice(l);
+        }
+        all.extend_from_slice(&s.consumed);
+        all.sort_unstable();
+        let expect: Vec<u8> = (1..=pushed).collect();
+        if all != expect {
+            return Err(format!(
+                "conservation broken: have {all:?}, expected {expect:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conc::explore::{explore, Violation};
+
+    #[test]
+    fn push_steal_pop_conserves_items_4x2() {
+        let m = DequeModel {
+            items: 4,
+            thieves: 2,
+            attempts: 2,
+            variant: DequeVariant::Correct,
+        };
+        let r = explore(&m, 5_000_000).expect("items conserved");
+        assert!(r.states > 100, "exploration is non-trivial: {r:?}");
+        assert!(r.terminals >= 1, "quiescence is reachable: {r:?}");
+    }
+
+    #[test]
+    fn forgetting_to_remove_stolen_items_is_caught() {
+        let m = DequeModel {
+            items: 2,
+            thieves: 1,
+            attempts: 1,
+            variant: DequeVariant::ForgetRemove,
+        };
+        let e = explore(&m, 5_000_000).unwrap_err();
+        match e {
+            Violation::Invariant { ref detail, .. } => {
+                assert!(detail.contains("conservation"), "{e}");
+            }
+            other => panic!("expected invariant violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn no_thieves_degenerates_to_lifo_pop() {
+        let m = DequeModel {
+            items: 3,
+            thieves: 0,
+            attempts: 0,
+            variant: DequeVariant::Correct,
+        };
+        let r = explore(&m, 10_000).expect("sequential owner");
+        assert_eq!(r.terminals, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Exhaustive state-space exploration over small protocol models.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// A protocol model: an explicit-state transition system with a safety
+/// invariant and a notion of legitimate quiescence.
+pub trait Model {
+    /// One snapshot of every thread's program counter plus the shared
+    /// memory the protocol races on.
+    type State: Clone + Eq + Hash + fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Appends every state reachable by one atomic step of one thread.
+    /// A thread blocked on a held lock contributes no successor
+    /// (disabled transition).
+    fn successors(&self, state: &Self::State, out: &mut Vec<Self::State>);
+
+    /// Is this quiescent state a legitimate final state? Only consulted
+    /// for states with no successors; a quiescent state that is not
+    /// terminal is a deadlock (for wake/sleep protocols: a lost
+    /// wakeup).
+    fn is_terminal(&self, state: &Self::State) -> bool;
+
+    /// Safety invariant checked on every reached state. Returns a
+    /// human-readable description of the violation.
+    fn check(&self, state: &Self::State) -> Result<(), String>;
+}
+
+/// Statistics of a successful exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Distinct states reached.
+    pub states: usize,
+    /// Distinct legitimate terminal states.
+    pub terminals: usize,
+    /// Longest simple path explored (in atomic steps).
+    pub max_depth: usize,
+}
+
+/// Why an exploration failed.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// The safety invariant failed in a reachable state.
+    Invariant {
+        /// What the model reported.
+        detail: String,
+        /// Debug rendering of the violating state.
+        state: String,
+        /// Steps from the initial state.
+        depth: usize,
+    },
+    /// A reachable quiescent state is not a legitimate terminal.
+    Deadlock {
+        /// Debug rendering of the stuck state.
+        state: String,
+        /// Steps from the initial state.
+        depth: usize,
+    },
+    /// The state space exceeded the caller's bound, so the run proves
+    /// nothing — bounds must be raised, not ignored.
+    StateLimit {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Invariant {
+                detail,
+                state,
+                depth,
+            } => write!(
+                f,
+                "invariant violated after {depth} steps: {detail}\n  state: {state}"
+            ),
+            Violation::Deadlock { state, depth } => write!(
+                f,
+                "deadlock (non-terminal quiescent state) after {depth} steps\n  state: {state}"
+            ),
+            Violation::StateLimit { limit } => {
+                write!(f, "state space exceeds the {limit}-state bound")
+            }
+        }
+    }
+}
+
+/// Exhaustively explores `model`'s reachable state space.
+///
+/// Every distinct state is visited exactly once (DFS with memoization).
+/// Returns statistics on success, or the first violation found:
+/// an invariant failure, a deadlock, or a state-space blow-up past
+/// `max_states` (treated as a failure so bounds stay honest).
+///
+/// # Errors
+///
+/// Returns [`Violation`] as described above.
+pub fn explore<M: Model>(model: &M, max_states: usize) -> Result<Exploration, Violation> {
+    let init = model.initial();
+    let mut visited: HashSet<M::State> = HashSet::new();
+    visited.insert(init.clone());
+    let mut stack: Vec<(M::State, usize)> = vec![(init, 0)];
+    let mut succ: Vec<M::State> = Vec::new();
+    let mut terminals = 0usize;
+    let mut max_depth = 0usize;
+    while let Some((state, depth)) = stack.pop() {
+        max_depth = max_depth.max(depth);
+        if let Err(detail) = model.check(&state) {
+            return Err(Violation::Invariant {
+                detail,
+                state: format!("{state:?}"),
+                depth,
+            });
+        }
+        succ.clear();
+        model.successors(&state, &mut succ);
+        if succ.is_empty() {
+            if model.is_terminal(&state) {
+                terminals += 1;
+            } else {
+                return Err(Violation::Deadlock {
+                    state: format!("{state:?}"),
+                    depth,
+                });
+            }
+            continue;
+        }
+        for next in succ.drain(..) {
+            if visited.contains(&next) {
+                continue;
+            }
+            visited.insert(next.clone());
+            if visited.len() > max_states {
+                return Err(Violation::StateLimit { limit: max_states });
+            }
+            stack.push((next, depth + 1));
+        }
+    }
+    Ok(Exploration {
+        states: visited.len(),
+        terminals,
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that two "threads" increment once each; terminal at 2.
+    struct Counter {
+        broken: bool,
+    }
+
+    impl Model for Counter {
+        type State = (u8, [bool; 2]);
+
+        fn initial(&self) -> Self::State {
+            (0, [false, false])
+        }
+
+        fn successors(&self, s: &Self::State, out: &mut Vec<Self::State>) {
+            for t in 0..2 {
+                if !s.1[t] {
+                    let mut n = *s;
+                    n.0 += 1;
+                    n.1[t] = true;
+                    // The broken variant deadlocks thread 1 forever.
+                    if !(self.broken && t == 1) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+
+        fn is_terminal(&self, s: &Self::State) -> bool {
+            s.0 == 2
+        }
+
+        fn check(&self, s: &Self::State) -> Result<(), String> {
+            if s.0 > 2 {
+                return Err(format!("counter overshot: {}", s.0));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn explores_all_interleavings() {
+        let r = explore(&Counter { broken: false }, 1000).expect("sound model");
+        // States: 0/none, 1/t0, 1/t1, 2/both = 4.
+        assert_eq!(r.states, 4);
+        assert_eq!(r.terminals, 1);
+        assert_eq!(r.max_depth, 2);
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let e = explore(&Counter { broken: true }, 1000).unwrap_err();
+        assert!(matches!(e, Violation::Deadlock { .. }), "{e}");
+    }
+
+    #[test]
+    fn state_limit_is_an_error() {
+        let e = explore(&Counter { broken: false }, 2).unwrap_err();
+        assert!(matches!(e, Violation::StateLimit { limit: 2 }), "{e}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Mini-loom: exhaustive deterministic-interleaving checking for the
+//! runtime's concurrency protocols.
+//!
+//! The runtime's executor (PR 4) relies on two hand-rolled primitives
+//! whose correctness was previously argued only in comments and stress
+//! tests: the counted-sleeper wake/sleep protocol (lost-wakeup freedom)
+//! and the mutex-backed work-stealing deque from `shims/crossbeam`
+//! (no item ever lost or duplicated). This module model-checks both.
+//!
+//! A [`Model`](explore::Model) describes a protocol as an explicit
+//! state machine: each *state* is a snapshot of every thread's program
+//! counter plus the shared memory it races on, and each *successor* is
+//! one atomic step of one thread. [`explore`](explore::explore)
+//! enumerates the full reachable state space (DFS with memoization),
+//! checking a safety invariant on every state and reporting any
+//! quiescent state that is not a legitimate terminal — i.e. a deadlock,
+//! which for the sleeper protocol is exactly a lost wakeup.
+//!
+//! The models mirror the runtime code at the granularity of its atomic
+//! operations (one mutex acquisition, one atomic store, one condition
+//! wait). Deliberately-broken variants of each protocol are kept next
+//! to the correct ones so tests can demonstrate the harness actually
+//! detects the historical failure modes (sleeping without rechecking
+//! pending work; forgetting to remove stolen items).
+//!
+//! Bounds: the state spaces are exhaustive but bounded by the model
+//! parameters (worker/item/thief counts). CI runs the smoke bounds via
+//! the `model_check` binary; see `DESIGN.md` §10 for the full table.
+
+pub mod deque;
+pub mod explore;
+pub mod sleeper;
+
+pub use deque::{DequeModel, DequeVariant};
+pub use explore::{explore, Exploration, Model, Violation};
+pub use sleeper::{SleeperModel, SleeperVariant};

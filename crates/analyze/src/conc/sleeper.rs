@@ -1,0 +1,358 @@
+//! Model of the executor's counted-sleeper wake/sleep protocol.
+//!
+//! Mirrors `continuum-runtime`'s `LocalRuntime` worker loop at the
+//! granularity of its atomic operations:
+//!
+//! * Workers advertise themselves in an atomic `searching` counter
+//!   while scanning for work; a scan that finds a pending item takes
+//!   it, otherwise the worker stops searching and goes to sleep:
+//!   lock the sleep mutex, `count += 1`, publish `sleepers = count`
+//!   (a separate atomic store — the stale-read window is modeled),
+//!   **re-check `pending` under the lock**, and only then wait on the
+//!   condvar (which atomically releases the mutex).
+//! * The producer raises `pending` *before* reading `searching` /
+//!   `sleepers`; it skips the notification only when a worker is
+//!   already searching (that worker is guaranteed to either take the
+//!   item or re-check under the lock) or when nobody sleeps.
+//!
+//! The safety theorem is lost-wakeup freedom: in every reachable
+//! quiescent state all produced items have been taken. The
+//! [`SleeperVariant::NoRecheck`] variant drops the re-check — the
+//! classic bug — and the explorer finds the resulting deadlock.
+
+use super::explore::Model;
+
+/// Which worker body to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleeperVariant {
+    /// The shipped protocol: re-check `pending` after registering as a
+    /// sleeper, before waiting.
+    Correct,
+    /// Deliberately broken: register and wait without re-checking.
+    /// Exists to prove the harness detects lost wakeups.
+    NoRecheck,
+}
+
+/// Program counter of one worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Wpc {
+    /// About to start a scan.
+    Idle,
+    /// `searching` incremented; about to observe `pending`.
+    Scanning,
+    /// Observed no work; about to decrement `searching`.
+    StopSearch,
+    /// Wants the sleep mutex.
+    SleepLock,
+    /// Holds the mutex; about to `count += 1`.
+    SleepInc,
+    /// Holds the mutex; about to publish `sleepers = count`.
+    SleepStore,
+    /// Holds the mutex; about to re-check `pending` (skipped by
+    /// [`SleeperVariant::NoRecheck`]).
+    SleepCheck,
+    /// Waiting on the condvar; mutex released.
+    Waiting,
+    /// Notified; must re-acquire the mutex to return from `wait`.
+    Reacquire,
+    /// Holds the mutex; about to deregister and resume scanning.
+    WakeDone,
+}
+
+/// Program counter of the producer thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Ppc {
+    /// About to raise `pending` for the next item.
+    Add,
+    /// About to read `searching`/`sleepers` and decide whether to wake.
+    Wake,
+    /// Decided to wake; wants the sleep mutex.
+    Lock,
+    /// Holds the mutex; about to `notify_one`.
+    Notify,
+    /// All items produced.
+    Done,
+}
+
+/// Who holds the sleep mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Lock {
+    Free,
+    Worker(u8),
+    Producer,
+}
+
+/// One snapshot of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SleeperState {
+    workers: Vec<Wpc>,
+    producer: Ppc,
+    lock: Lock,
+    /// Items produced but not yet taken (the executor's `pending`).
+    pending: u8,
+    produced: u8,
+    taken: u8,
+    /// Mutex-guarded sleeper count.
+    count: u8,
+    /// Atomic mirror of `count` read by the producer without the lock.
+    sleepers: u8,
+    /// Atomic count of workers currently scanning.
+    searching: u8,
+}
+
+/// The counted-sleeper model: `workers` worker threads, one producer
+/// submitting `items` work items.
+#[derive(Debug, Clone, Copy)]
+pub struct SleeperModel {
+    /// Number of worker threads.
+    pub workers: u8,
+    /// Number of items the producer submits.
+    pub items: u8,
+    /// Worker-body variant.
+    pub variant: SleeperVariant,
+}
+
+impl SleeperModel {
+    /// The producer's next pc after finishing a wake decision.
+    fn producer_next(&self, produced: u8) -> Ppc {
+        if produced < self.items {
+            Ppc::Add
+        } else {
+            Ppc::Done
+        }
+    }
+}
+
+impl Model for SleeperModel {
+    type State = SleeperState;
+
+    fn initial(&self) -> SleeperState {
+        SleeperState {
+            workers: vec![Wpc::Idle; self.workers as usize],
+            producer: if self.items > 0 { Ppc::Add } else { Ppc::Done },
+            lock: Lock::Free,
+            pending: 0,
+            produced: 0,
+            taken: 0,
+            count: 0,
+            sleepers: 0,
+            searching: 0,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn successors(&self, s: &SleeperState, out: &mut Vec<SleeperState>) {
+        // Worker steps.
+        for (i, pc) in s.workers.iter().copied().enumerate() {
+            let me = Lock::Worker(i as u8);
+            let mut n = s.clone();
+            match pc {
+                Wpc::Idle => {
+                    n.searching += 1;
+                    n.workers[i] = Wpc::Scanning;
+                }
+                Wpc::Scanning => {
+                    if s.pending > 0 {
+                        // Found work: take it, run it, scan again.
+                        n.pending -= 1;
+                        n.taken += 1;
+                        n.searching -= 1;
+                        n.workers[i] = Wpc::Idle;
+                    } else {
+                        n.workers[i] = Wpc::StopSearch;
+                    }
+                }
+                Wpc::StopSearch => {
+                    n.searching -= 1;
+                    n.workers[i] = Wpc::SleepLock;
+                }
+                Wpc::SleepLock => {
+                    if s.lock != Lock::Free {
+                        continue; // blocked
+                    }
+                    n.lock = me;
+                    n.workers[i] = Wpc::SleepInc;
+                }
+                Wpc::SleepInc => {
+                    n.count += 1;
+                    n.workers[i] = Wpc::SleepStore;
+                }
+                Wpc::SleepStore => {
+                    n.sleepers = n.count;
+                    n.workers[i] = match self.variant {
+                        SleeperVariant::Correct => Wpc::SleepCheck,
+                        // Broken: wait without re-checking pending.
+                        SleeperVariant::NoRecheck => {
+                            n.lock = Lock::Free;
+                            Wpc::Waiting
+                        }
+                    };
+                }
+                Wpc::SleepCheck => {
+                    if s.pending == 0 {
+                        // wait() atomically releases the mutex.
+                        n.lock = Lock::Free;
+                        n.workers[i] = Wpc::Waiting;
+                    } else {
+                        // Work arrived between the scan and the
+                        // registration: bail out and rescan.
+                        n.count -= 1;
+                        n.sleepers = n.count;
+                        n.lock = Lock::Free;
+                        n.workers[i] = Wpc::Idle;
+                    }
+                }
+                Wpc::Waiting => continue, // only the producer's notify moves us
+                Wpc::Reacquire => {
+                    if s.lock != Lock::Free {
+                        continue; // blocked re-acquiring inside wait()
+                    }
+                    n.lock = me;
+                    n.workers[i] = Wpc::WakeDone;
+                }
+                Wpc::WakeDone => {
+                    n.count -= 1;
+                    n.sleepers = n.count;
+                    n.lock = Lock::Free;
+                    n.workers[i] = Wpc::Idle;
+                }
+            }
+            out.push(n);
+        }
+        // Producer steps.
+        match s.producer {
+            Ppc::Add => {
+                let mut n = s.clone();
+                n.pending += 1;
+                n.produced += 1;
+                n.producer = Ppc::Wake;
+                out.push(n);
+            }
+            Ppc::Wake => {
+                let mut n = s.clone();
+                // Deficit-based skip: a searching worker is guaranteed
+                // to take the item or re-check under the lock; with no
+                // registered sleeper there is nobody to notify.
+                n.producer = if s.searching > 0 || s.sleepers == 0 {
+                    self.producer_next(s.produced)
+                } else {
+                    Ppc::Lock
+                };
+                out.push(n);
+            }
+            Ppc::Lock => {
+                if s.lock == Lock::Free {
+                    let mut n = s.clone();
+                    n.lock = Lock::Producer;
+                    n.producer = Ppc::Notify;
+                    out.push(n);
+                }
+            }
+            Ppc::Notify => {
+                // notify_one wakes a nondeterministically-chosen waiter
+                // (or nobody, when registered sleepers have not reached
+                // the condvar yet).
+                let waiting: Vec<usize> = s
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pc)| **pc == Wpc::Waiting)
+                    .map(|(i, _)| i)
+                    .collect();
+                if waiting.is_empty() {
+                    let mut n = s.clone();
+                    n.lock = Lock::Free;
+                    n.producer = self.producer_next(s.produced);
+                    out.push(n);
+                } else {
+                    for i in waiting {
+                        let mut n = s.clone();
+                        n.workers[i] = Wpc::Reacquire;
+                        n.lock = Lock::Free;
+                        n.producer = self.producer_next(s.produced);
+                        out.push(n);
+                    }
+                }
+            }
+            Ppc::Done => {}
+        }
+    }
+
+    fn is_terminal(&self, s: &SleeperState) -> bool {
+        s.producer == Ppc::Done
+            && s.pending == 0
+            && s.taken == self.items
+            && s.workers.iter().all(|pc| *pc == Wpc::Waiting)
+    }
+
+    fn check(&self, s: &SleeperState) -> Result<(), String> {
+        if s.produced != s.pending + s.taken {
+            return Err(format!(
+                "item conservation broken: produced {} != pending {} + taken {}",
+                s.produced, s.pending, s.taken
+            ));
+        }
+        if s.count > self.workers || s.searching > self.workers {
+            return Err(format!(
+                "counter out of range: count {} searching {}",
+                s.count, s.searching
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conc::explore::{explore, Violation};
+
+    #[test]
+    fn correct_protocol_is_lost_wakeup_free_2x2() {
+        let m = SleeperModel {
+            workers: 2,
+            items: 2,
+            variant: SleeperVariant::Correct,
+        };
+        let r = explore(&m, 2_000_000).expect("no lost wakeups");
+        assert!(r.states > 100, "exploration is non-trivial: {r:?}");
+        assert!(r.terminals >= 1, "quiescence is reachable: {r:?}");
+    }
+
+    #[test]
+    fn correct_protocol_is_lost_wakeup_free_3_workers() {
+        let m = SleeperModel {
+            workers: 3,
+            items: 2,
+            variant: SleeperVariant::Correct,
+        };
+        explore(&m, 5_000_000).expect("no lost wakeups");
+    }
+
+    #[test]
+    fn missing_recheck_loses_a_wakeup() {
+        let m = SleeperModel {
+            workers: 2,
+            items: 2,
+            variant: SleeperVariant::NoRecheck,
+        };
+        let e = explore(&m, 2_000_000).unwrap_err();
+        match e {
+            Violation::Deadlock { ref state, .. } => {
+                assert!(state.contains("pending: "), "{e}");
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_items_is_trivially_quiescent() {
+        let m = SleeperModel {
+            workers: 1,
+            items: 0,
+            variant: SleeperVariant::Correct,
+        };
+        let r = explore(&m, 10_000).expect("trivial");
+        assert!(r.terminals >= 1);
+    }
+}

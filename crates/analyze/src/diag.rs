@@ -1,0 +1,246 @@
+//! Structured diagnostics produced by the workflow verifier.
+
+use continuum_dag::{DataId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error`-severity diagnostics describe workflows that cannot run
+/// correctly on the given platform; strict-reject mode refuses them.
+/// `Warning` marks suspicious-but-runnable declarations and `Info`
+/// carries advisory analysis results (e.g. schedulability bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// The workflow cannot execute correctly as declared.
+    Error,
+    /// Suspicious declaration; execution is still possible.
+    Warning,
+    /// Advisory analysis output, never a defect by itself.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// The catalogue of workflow lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Lint {
+    /// No node in the platform can ever host the task.
+    UnsatisfiableConstraints,
+    /// A task reads a datum version that no task produces and no
+    /// initial value provides.
+    ReadWithoutProducer,
+    /// The graph contains a dependency cycle (only possible in
+    /// hand-crafted or corrupted graphs; the access processor builds
+    /// acyclic graphs by construction).
+    Cycle,
+    /// An `Out`/`InOut` version that no task consumes and that is not
+    /// the datum's final version (the final version is presumed to be
+    /// retrieved by the client).
+    DeadOutput,
+    /// Two writes to the same datum with no ordering edge between the
+    /// writers (data renaming makes this legal, but the intermediate
+    /// value is unobservable and the write order is arbitrary).
+    WriteWriteHazard,
+    /// Advisory makespan lower bound: critical path vs. aggregate
+    /// platform throughput.
+    SchedulabilityBound,
+}
+
+impl Lint {
+    /// Stable kebab-case lint name used in CLI output and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnsatisfiableConstraints => "unsatisfiable-constraints",
+            Lint::ReadWithoutProducer => "read-without-producer",
+            Lint::Cycle => "cycle",
+            Lint::DeadOutput => "dead-output",
+            Lint::WriteWriteHazard => "write-write-hazard",
+            Lint::SchedulabilityBound => "schedulability-bound",
+        }
+    }
+
+    /// The severity this lint always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UnsatisfiableConstraints => Severity::Error,
+            Lint::ReadWithoutProducer => Severity::Error,
+            Lint::Cycle => Severity::Error,
+            Lint::DeadOutput => Severity::Warning,
+            Lint::WriteWriteHazard => Severity::Warning,
+            Lint::SchedulabilityBound => Severity::Info,
+        }
+    }
+
+    /// All lints, in report order.
+    pub fn all() -> [Lint; 6] {
+        [
+            Lint::UnsatisfiableConstraints,
+            Lint::ReadWithoutProducer,
+            Lint::Cycle,
+            Lint::DeadOutput,
+            Lint::WriteWriteHazard,
+            Lint::SchedulabilityBound,
+        ]
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of the workflow verifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Severity (always `lint.severity()`; stored so serialized reports
+    /// are self-describing).
+    pub severity: Severity,
+    /// The task the finding is anchored to, if any.
+    pub task: Option<TaskId>,
+    /// The datum the finding is anchored to, if any.
+    pub data: Option<DataId>,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+    /// Supporting evidence: e.g. the full cycle path in task names, or
+    /// the unmet constraint dimensions of the nearest-miss node.
+    pub witness: Vec<String>,
+    /// What to change to silence the lint.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for `lint` with its canonical severity.
+    pub fn new(lint: Lint, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint,
+            severity: lint.severity(),
+            task: None,
+            data: None,
+            message: message.into(),
+            witness: Vec::new(),
+            suggestion: String::new(),
+        }
+    }
+
+    /// Anchors the diagnostic to a task.
+    pub fn with_task(mut self, task: TaskId) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Anchors the diagnostic to a datum.
+    pub fn with_data(mut self, data: DataId) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Attaches a witness line.
+    pub fn with_witness(mut self, line: impl Into<String>) -> Self {
+        self.witness.push(line.into());
+        self
+    }
+
+    /// Attaches the fix suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = s.into();
+        self
+    }
+
+    /// `true` for `Error`-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.lint)?;
+        if let Some(t) = self.task {
+            write!(f, " {t}")?;
+        }
+        if let Some(d) = self.data {
+            write!(f, " {d}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        for w in &self.witness {
+            write!(f, "\n    witness: {w}")?;
+        }
+        if !self.suggestion.is_empty() {
+            write!(f, "\n    suggestion: {}", self.suggestion)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sorts a report into its canonical order: severity first (errors on
+/// top), then lint, then anchor ids.
+pub fn sort_report(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity, a.lint, a.task, a.data, &a.message)
+            .cmp(&(b.severity, b.lint, b.task, b.data, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_anchors_and_witness() {
+        let d = Diagnostic::new(Lint::Cycle, "cycle through 2 tasks")
+            .with_task(TaskId::from_raw(3))
+            .with_witness("a -> b -> a")
+            .with_suggestion("break the cycle");
+        let s = d.to_string();
+        assert!(s.starts_with("error[cycle] t3: cycle through 2 tasks"));
+        assert!(s.contains("witness: a -> b -> a"));
+        assert!(s.contains("suggestion: break the cycle"));
+    }
+
+    #[test]
+    fn severities_are_fixed_per_lint() {
+        for lint in Lint::all() {
+            let d = Diagnostic::new(lint, "x");
+            assert_eq!(d.severity, lint.severity());
+        }
+        assert_eq!(Lint::Cycle.severity(), Severity::Error);
+        assert_eq!(Lint::DeadOutput.severity(), Severity::Warning);
+        assert_eq!(Lint::SchedulabilityBound.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let mut v = vec![
+            Diagnostic::new(Lint::SchedulabilityBound, "b"),
+            Diagnostic::new(Lint::DeadOutput, "w"),
+            Diagnostic::new(Lint::Cycle, "e"),
+        ];
+        sort_report(&mut v);
+        assert_eq!(v[0].lint, Lint::Cycle);
+        assert_eq!(v[2].lint, Lint::SchedulabilityBound);
+    }
+
+    #[test]
+    fn diagnostic_json_round_trip() {
+        let d = Diagnostic::new(Lint::WriteWriteHazard, "two writers")
+            .with_task(TaskId::from_raw(7))
+            .with_data(DataId::from_raw(2))
+            .with_witness("t1 -> t7")
+            .with_suggestion("add an ordering read");
+        let json = serde::to_string(&d);
+        let back: Diagnostic = serde::from_str(&json).expect("round trip");
+        assert_eq!(back, d);
+    }
+}

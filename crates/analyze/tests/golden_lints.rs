@@ -1,0 +1,218 @@
+//! Golden fixtures: one minimal workflow per lint that must trigger
+//! exactly that finding, plus a JSON round-trip through the bundle
+//! format the `continuum-lint` CLI reads.
+
+use continuum_analyze::{Lint, LintBundle, LintNode, Severity};
+use continuum_dag::{AccessProcessor, DataId, TaskSpec};
+use continuum_platform::{Constraints, NodeCapacity};
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+fn small_node() -> LintNode {
+    LintNode {
+        name: "n0".to_string(),
+        capacity: NodeCapacity::new(4, 8_192),
+    }
+}
+
+fn names_of(ap: &AccessProcessor) -> Vec<String> {
+    (0..ap.catalog().len())
+        .map(|i| {
+            ap.catalog()
+                .name(DataId::from_raw(i as u64))
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect()
+}
+
+fn bundle_of(ap: AccessProcessor) -> LintBundle {
+    let names = names_of(&ap);
+    let (_, graph) = ap.into_parts();
+    LintBundle::new(graph)
+        .with_data_names(names)
+        .with_nodes(vec![small_node()])
+}
+
+fn findings_of(report: &[continuum_analyze::Diagnostic], lint: Lint) -> usize {
+    report.iter().filter(|d| d.lint == lint).count()
+}
+
+#[test]
+fn golden_unsatisfiable_constraints() {
+    let mut ap = AccessProcessor::new();
+    let d = ap.new_data("d");
+    let t = ap.register(TaskSpec::new("wants-gpu").output(d)).unwrap();
+    let bundle = bundle_of(ap).with_constraints(vec![Constraints::new().gpus(2)]);
+    let report = bundle.verify();
+    let finding = report
+        .iter()
+        .find(|x| x.lint == Lint::UnsatisfiableConstraints)
+        .expect("gpu task on a gpu-less node must be flagged");
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.task, Some(t));
+    assert!(
+        finding.witness.iter().any(|w| w.contains("gpus")),
+        "nearest-miss witness names the failing dimension: {:?}",
+        finding.witness
+    );
+}
+
+#[test]
+fn golden_read_without_producer() {
+    let mut ap = AccessProcessor::new();
+    let ghost = ap.new_data("ghost");
+    let out = ap.new_data("out");
+    let t = ap
+        .register(TaskSpec::new("reader").input(ghost).output(out))
+        .unwrap();
+    let report = bundle_of(ap).verify();
+    let finding = report
+        .iter()
+        .find(|x| x.lint == Lint::ReadWithoutProducer)
+        .expect("undeclared initial read must be flagged");
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.task, Some(t));
+    assert_eq!(finding.data, Some(ghost));
+    assert!(finding.message.contains("ghost"));
+}
+
+/// Looks up a mutable field of a JSON object value.
+fn field_mut<'a>(value: &'a mut Value, key: &str) -> &'a mut Value {
+    match value {
+        Value::Obj(pairs) => pairs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no field {key:?}")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+/// The access processor cannot build a cyclic graph, so the fixture is
+/// forged the way a corrupted dump would arrive: serialize a valid
+/// 2-task chain, splice a back edge into the JSON, deserialize.
+#[test]
+fn golden_cycle() {
+    let mut ap = AccessProcessor::new();
+    let x = ap.new_data("x");
+    ap.register(TaskSpec::new("first").output(x)).unwrap();
+    ap.register(TaskSpec::new("second").inout(x)).unwrap();
+    let bundle = bundle_of(ap);
+
+    let mut value = bundle.to_json_value();
+    {
+        let graph = field_mut(&mut value, "graph");
+        let Value::Arr(nodes) = field_mut(graph, "nodes") else {
+            panic!("nodes must be an array");
+        };
+        // Back edge second -> first (successor direction) and the
+        // matching predecessor entry.
+        let Value::Arr(succs) = field_mut(&mut nodes[1], "succs") else {
+            panic!("succs must be an array");
+        };
+        succs.push(Value::U64(0));
+        let Value::Arr(preds) = field_mut(&mut nodes[0], "preds") else {
+            panic!("preds must be an array");
+        };
+        preds.push(Value::U64(1));
+        *field_mut(&mut nodes[0], "unfinished_preds") = Value::U64(1);
+        *field_mut(graph, "ready") = Value::Arr(Vec::new());
+    }
+    let forged = LintBundle::from_json_value(&value).expect("forged bundle deserializes");
+
+    let report = forged.verify();
+    let finding = report
+        .iter()
+        .find(|d| d.lint == Lint::Cycle)
+        .expect("spliced back edge must be reported");
+    assert_eq!(finding.severity, Severity::Error);
+    let witness = finding.witness.join(" ");
+    assert!(
+        witness.contains("first") && witness.contains("second"),
+        "cycle witness names every task on the path: {witness}"
+    );
+}
+
+#[test]
+fn golden_dead_output_and_write_write_hazard() {
+    // Two independent Out-writers of the same datum: data renaming
+    // keeps them legal (no edge), which is exactly the hazard, and the
+    // first version is dead (superseded, never read).
+    let mut ap = AccessProcessor::new();
+    let x = ap.new_data("x");
+    let w1 = ap.register(TaskSpec::new("w1").output(x)).unwrap();
+    let w2 = ap.register(TaskSpec::new("w2").output(x)).unwrap();
+    let report = bundle_of(ap).verify();
+
+    let dead = report
+        .iter()
+        .find(|d| d.lint == Lint::DeadOutput)
+        .expect("superseded unread version must be flagged");
+    assert_eq!(dead.severity, Severity::Warning);
+    assert_eq!(dead.task, Some(w1), "the dead version is w1's");
+
+    let hazard = report
+        .iter()
+        .find(|d| d.lint == Lint::WriteWriteHazard)
+        .expect("unordered double write must be flagged");
+    assert_eq!(hazard.severity, Severity::Warning);
+    assert_eq!(hazard.task, Some(w2));
+    let witness = hazard.witness.join(" ");
+    assert!(
+        witness.contains("w1") && witness.contains("w2"),
+        "{witness}"
+    );
+}
+
+#[test]
+fn golden_ordered_double_write_is_clean() {
+    // Same two writes, but the second reads the first (InOut): ordered,
+    // so no hazard — and the first version is consumed, so not dead.
+    let mut ap = AccessProcessor::new();
+    let x = ap.new_data("x");
+    ap.register(TaskSpec::new("w1").output(x)).unwrap();
+    ap.register(TaskSpec::new("w2").inout(x)).unwrap();
+    let report = bundle_of(ap).verify();
+    assert_eq!(findings_of(&report, Lint::WriteWriteHazard), 0);
+    assert_eq!(findings_of(&report, Lint::DeadOutput), 0);
+}
+
+#[test]
+fn golden_schedulability_bound() {
+    let mut ap = AccessProcessor::new();
+    let x = ap.new_data("x");
+    ap.register(TaskSpec::new("a").output(x)).unwrap();
+    ap.register(TaskSpec::new("b").inout(x)).unwrap();
+    let bundle = bundle_of(ap).with_weights(vec![10.0, 5.0]);
+    let report = bundle.verify();
+    let finding = report
+        .iter()
+        .find(|d| d.lint == Lint::SchedulabilityBound)
+        .expect("platform present: bound must be reported");
+    assert_eq!(finding.severity, Severity::Info);
+    assert!(
+        finding.message.contains("15.000"),
+        "chain of 10s + 5s has a 15s critical path: {}",
+        finding.message
+    );
+    let witness = finding.witness.join(" ");
+    assert!(witness.contains("a -> b"), "{witness}");
+}
+
+#[test]
+fn bundle_json_round_trip_preserves_the_report() {
+    // The exact path the CLI takes: bundle -> JSON -> bundle -> verify.
+    let mut ap = AccessProcessor::new();
+    let ghost = ap.new_data("ghost");
+    let out = ap.new_data("out");
+    ap.register(TaskSpec::new("reader").input(ghost).output(out))
+        .unwrap();
+    let bundle = bundle_of(ap).with_constraints(vec![Constraints::new().compute_units(64)]);
+    let before = bundle.verify();
+    assert!(before.iter().any(|d| d.severity == Severity::Error));
+
+    let json = serde::to_string(&bundle);
+    let reloaded: LintBundle = serde::from_str(&json).expect("bundle round-trips");
+    assert_eq!(reloaded.verify(), before);
+}

@@ -1,0 +1,107 @@
+//! Soundness of the lint catalogue: on any *valid* workflow — a graph
+//! the access processor accepted, run on a platform that can host every
+//! task, with every datum's initial version declared as externally
+//! provided — the verifier must report **zero error-severity**
+//! diagnostics. Warnings (dead outputs, unordered double writes) and
+//! info (schedulability bounds) are allowed; errors are not, because an
+//! error means "this workflow cannot run", and these workflows do run.
+
+use continuum_analyze::{LintBundle, LintNode, Severity};
+use continuum_dag::{AccessProcessor, DataId, Direction, TaskSpec};
+use continuum_platform::NodeCapacity;
+use proptest::prelude::*;
+
+const NUM_DATA: usize = 10;
+
+#[derive(Debug, Clone)]
+struct TraceOp {
+    accesses: Vec<(usize, Direction)>,
+}
+
+fn direction_strategy() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::In),
+        Just(Direction::Out),
+        Just(Direction::InOut),
+    ]
+}
+
+fn trace_strategy(max_tasks: usize) -> impl Strategy<Value = Vec<TraceOp>> {
+    let op = proptest::collection::vec((0..NUM_DATA, direction_strategy()), 1..4).prop_map(
+        |mut accesses| {
+            accesses.sort_by_key(|(d, _)| *d);
+            accesses.dedup_by_key(|(d, _)| *d);
+            TraceOp { accesses }
+        },
+    );
+    proptest::collection::vec(op, 1..max_tasks)
+}
+
+/// Builds the bundle the verifier sees for a random valid trace: the
+/// registered graph, a single node big enough for the default
+/// constraints, and all data declared externally provided.
+fn bundle_of(trace: &[TraceOp]) -> LintBundle {
+    let mut ap = AccessProcessor::new();
+    let data = ap.new_data_batch("d", NUM_DATA);
+    for (i, op) in trace.iter().enumerate() {
+        let mut spec = TaskSpec::new(format!("t{i}"));
+        for (d, dir) in &op.accesses {
+            spec = spec.param(data[*d], *dir);
+        }
+        ap.register(spec).expect("valid traces");
+    }
+    let (catalog, graph) = ap.into_parts();
+    let names = (0..catalog.len())
+        .map(|i| {
+            catalog
+                .name(DataId::from_raw(i as u64))
+                .unwrap_or("?")
+                .to_string()
+        })
+        .collect();
+    LintBundle::new(graph)
+        .with_data_names(names)
+        .with_nodes(vec![LintNode {
+            name: "n0".to_string(),
+            capacity: NodeCapacity::new(8, 32_768),
+        }])
+        .with_initial_data(data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// No false positives at error severity on valid workflows.
+    #[test]
+    fn valid_workflows_have_no_error_diagnostics(trace in trace_strategy(40)) {
+        let report = bundle_of(&trace).verify();
+        for d in &report {
+            prop_assert!(
+                d.severity != Severity::Error,
+                "false positive on a valid workflow: {d}"
+            );
+        }
+    }
+
+    /// The verifier is deterministic: same bundle, same report.
+    #[test]
+    fn verify_is_deterministic(trace in trace_strategy(25)) {
+        let bundle = bundle_of(&trace);
+        prop_assert_eq!(bundle.verify(), bundle.verify());
+    }
+
+    /// Removing the initial-data declarations can only add diagnostics
+    /// (read-without-producer errors), never remove any.
+    #[test]
+    fn undeclaring_initials_is_monotone(trace in trace_strategy(25)) {
+        let declared = bundle_of(&trace);
+        let mut undeclared = declared.clone();
+        undeclared.initial_data.clear();
+        let with = declared.verify();
+        let without = undeclared.verify();
+        prop_assert!(without.len() >= with.len());
+        for d in &with {
+            prop_assert!(without.contains(d), "declaring initials removed {d}");
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! the e1 campaign as Chrome `trace_event` JSON with virtual
 //! timestamps (open in `chrome://tracing` or Perfetto).
 
-use continuum_bench::{e01_scalability, run_experiment, Scale, ALL_EXPERIMENTS};
+use continuum_bench::{e01_scalability, fixtures, run_experiment, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +22,7 @@ fn main() {
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let json_path = flag_value(&args, "--json");
     let trace_path = flag_value(&args, "--trace");
+    let lint_dir = flag_value(&args, "--dump-lint");
     let selected: Vec<String> = {
         let mut skip_next = false;
         args.iter()
@@ -30,7 +31,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--json" || *a == "--trace" {
+                if *a == "--json" || *a == "--trace" || *a == "--dump-lint" {
                     skip_next = true;
                     return false;
                 }
@@ -78,6 +79,9 @@ fn main() {
         write_or_die(&path, &e01_scalability::chrome_trace(scale));
         println!("wrote e1 Chrome trace to {path}");
     }
+    if let Some(dir) = lint_dir {
+        dump_lint_bundles(&dir, &tables);
+    }
     if !unknown.is_empty() {
         eprintln!(
             "unknown experiment id(s): {} (valid: {})",
@@ -86,6 +90,26 @@ fn main() {
         );
         std::process::exit(2);
     }
+}
+
+/// Writes one `eNN.lint.json` bundle per ran experiment into `dir`,
+/// ready for `continuum-lint check`.
+fn dump_lint_bundles(dir: &str, tables: &[continuum_bench::ExperimentTable]) {
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {err}");
+        std::process::exit(1);
+    }
+    let mut written = 0usize;
+    for table in tables {
+        let Some(bundle) = fixtures::lint_fixture(&table.id) else {
+            continue;
+        };
+        let number: u32 = table.id[1..].parse().expect("experiment ids are eNN");
+        let path = format!("{dir}/e{number:02}.lint.json");
+        write_or_die(&path, &serde::to_string(&bundle));
+        written += 1;
+    }
+    println!("wrote {written} lint bundle(s) to {dir}");
 }
 
 /// Returns the value following `flag`, if present.

@@ -31,6 +31,7 @@ pub mod e10_schedulers;
 pub mod e11_energy;
 pub mod e12_dislib;
 pub mod e13_streaming;
+pub mod fixtures;
 pub mod local_bench;
 pub mod sched_bench;
 mod table;

@@ -27,8 +27,28 @@ pub struct CriticalPath {
 
 /// Analyses computed over a [`TaskGraph`].
 ///
-/// All analyses treat the graph as static (states are ignored); they are
-/// intended for reporting and for static baseline schedulers.
+/// All analyses treat the graph as static: task *states* are ignored, so
+/// completed, running or failed tasks contribute exactly like pending
+/// ones and results never change as a runtime executes the graph. They
+/// are intended for reporting and for static baseline schedulers.
+///
+/// # Example
+///
+/// ```
+/// use continuum_dag::{AccessProcessor, GraphAnalysis, TaskSpec};
+///
+/// let mut ap = AccessProcessor::new();
+/// let x = ap.new_data("x");
+/// let a = ap.register(TaskSpec::new("produce").output(x)).unwrap();
+/// let b = ap.register(TaskSpec::new("refine").inout(x)).unwrap();
+///
+/// let analysis = GraphAnalysis::new(ap.graph());
+/// assert_eq!(analysis.levels(), vec![0, 1]);
+/// let cp = analysis.critical_path(|_| 1.0);
+/// assert_eq!(cp.tasks, vec![a, b]);
+/// assert_eq!(cp.length, 2.0);
+/// assert_eq!(analysis.find_cycle(), None);
+/// ```
 #[derive(Debug)]
 pub struct GraphAnalysis<'g> {
     graph: &'g TaskGraph,
@@ -157,6 +177,62 @@ impl<'g> GraphAnalysis<'g> {
         }
         self.total_weight(weight) / cp.length
     }
+
+    /// Searches for a dependency cycle and returns one as a witness
+    /// path (each task followed by the next task it points to; the last
+    /// task has an edge back to the first). Returns `None` for acyclic
+    /// graphs.
+    ///
+    /// Graphs built through the access processor are acyclic by
+    /// construction, so this only fires on hand-crafted or corrupted
+    /// graphs (e.g. deserialized from an untrusted dump). Unlike
+    /// [`TaskGraph::topological_order`], which debug-asserts acyclicity,
+    /// this is safe to call on arbitrary graphs.
+    pub fn find_cycle(&self) -> Option<Vec<TaskId>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.graph.len();
+        let mut color = vec![WHITE; n];
+        let mut path: Vec<TaskId> = Vec::new();
+        for root in self.graph.nodes().map(|node| node.id()) {
+            if color[root.index()] != WHITE {
+                continue;
+            }
+            // Iterative DFS keeping the gray path explicit so a back
+            // edge can be reported as a full witness.
+            let mut stack: Vec<(TaskId, usize)> = vec![(root, 0)];
+            color[root.index()] = GRAY;
+            path.push(root);
+            while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+                let succs = self.graph.successors(id);
+                if *next < succs.len() {
+                    let s = succs[*next];
+                    *next += 1;
+                    match color.get(s.index()).copied() {
+                        Some(WHITE) => {
+                            color[s.index()] = GRAY;
+                            path.push(s);
+                            stack.push((s, 0));
+                        }
+                        Some(GRAY) => {
+                            let start = path
+                                .iter()
+                                .position(|t| *t == s)
+                                .expect("gray nodes are on the path");
+                            return Some(path[start..].to_vec());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[id.index()] = BLACK;
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +319,50 @@ mod tests {
         let a = GraphAnalysis::new(ap.graph());
         let bl = a.bottom_levels(|_| 1.0);
         assert_eq!(bl, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn analyses_ignore_task_states() {
+        // The doc comment promises every analysis is static: completing
+        // or failing tasks must not change any result.
+        let mut ap = fan(4);
+        let a = GraphAnalysis::new(ap.graph());
+        let before = (
+            a.levels(),
+            a.level_stats(),
+            a.bottom_levels(|_| 1.0),
+            a.critical_path(|_| 1.0),
+            a.total_weight(|_| 1.0),
+            a.find_cycle(),
+        );
+        // Drive the graph through a mix of states: src completed, one
+        // worker running, one failed.
+        let src = TaskId::from_raw(0);
+        ap.graph_mut().mark_running(src).unwrap();
+        ap.graph_mut().complete(src).unwrap();
+        ap.graph_mut().mark_running(TaskId::from_raw(1)).unwrap();
+        ap.graph_mut().mark_running(TaskId::from_raw(2)).unwrap();
+        ap.graph_mut().mark_failed(TaskId::from_raw(2)).unwrap();
+        let a = GraphAnalysis::new(ap.graph());
+        let after = (
+            a.levels(),
+            a.level_stats(),
+            a.bottom_levels(|_| 1.0),
+            a.critical_path(|_| 1.0),
+            a.total_weight(|_| 1.0),
+            a.find_cycle(),
+        );
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn acyclic_graphs_have_no_cycle() {
+        let ap = chain(6);
+        assert_eq!(GraphAnalysis::new(ap.graph()).find_cycle(), None);
+        let ap = fan(5);
+        assert_eq!(GraphAnalysis::new(ap.graph()).find_cycle(), None);
+        let ap = AccessProcessor::new();
+        assert_eq!(GraphAnalysis::new(ap.graph()).find_cycle(), None);
     }
 
     #[test]

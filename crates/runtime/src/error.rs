@@ -1,5 +1,6 @@
 //! Runtime error type.
 
+use continuum_analyze::Diagnostic;
 use continuum_dag::{DagError, DataId, TaskId};
 use continuum_storage::StorageError;
 use std::error::Error;
@@ -54,6 +55,13 @@ pub enum RuntimeError {
         /// Explanation.
         detail: String,
     },
+    /// Strict lint mode rejected the workflow before execution. The
+    /// structured report carries every finding (not just the errors),
+    /// identical to what `continuum-lint` prints for the same bundle.
+    LintRejected {
+        /// The full lint report, in canonical order.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -80,6 +88,18 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::BadDataAccess { data, detail } => {
                 write!(f, "data {data} access error: {detail}")
+            }
+            RuntimeError::LintRejected { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+                write!(
+                    f,
+                    "workflow rejected by strict lints: {errors} error(s), {} finding(s) total",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -33,6 +33,7 @@ mod data;
 mod error;
 mod lineage;
 mod local;
+mod lockorder;
 mod profile;
 mod scheduler;
 mod sim_engine;
@@ -54,3 +55,9 @@ pub use workload::{SimWorkload, WorkloadStats};
 /// ([`LocalConfig::telemetry`], [`SimOptions::telemetry`]), re-exported
 /// from [`continuum_telemetry`] for convenience.
 pub use continuum_telemetry::{Recorder, RecorderHandle, RingRecorder, TraceBuffer};
+
+/// Strict-lint surface both engines accept in their configs
+/// ([`LocalConfig::strict_lints`], [`SimOptions::strict_lints`]) and
+/// the diagnostics [`RuntimeError::LintRejected`] carries, re-exported
+/// from `continuum_analyze` for convenience.
+pub use continuum_analyze::{Diagnostic, LintMode};

@@ -38,6 +38,10 @@
 //!   on every state change.
 
 use crate::error::RuntimeError;
+use crate::lockorder::{self, RANK_GRAPH, RANK_POOL, RANK_SHARD, RANK_SLEEP};
+use continuum_analyze::{
+    check_task_constraints, has_errors, read_without_producer, Diagnostic, LintMode, LintNode,
+};
 use continuum_dag::{
     AccessProcessor, DataId, DataVersion, TaskId, TaskSpec, TaskState, VersionedData,
 };
@@ -160,6 +164,13 @@ pub struct LocalConfig {
     /// no-op recorder (instrumentation sites then skip event
     /// construction entirely).
     pub telemetry: RecorderHandle,
+    /// Ahead-of-run verification at submit time (see
+    /// `continuum_analyze`): constraints that no local capacity can
+    /// satisfy and reads of data with neither a producer nor an
+    /// initial value. `Warn` prints findings to stderr; `Reject` fails
+    /// the submission with [`RuntimeError::LintRejected`]. Default:
+    /// `Off`.
+    pub strict_lints: LintMode,
 }
 
 impl Default for LocalConfig {
@@ -170,6 +181,7 @@ impl Default for LocalConfig {
             software: Vec::new(),
             gpus: 0,
             telemetry: RecorderHandle::noop(),
+            strict_lints: LintMode::Off,
         }
     }
 }
@@ -314,19 +326,28 @@ impl ValueStore {
     }
 
     fn get(&self, vd: &VersionedData) -> Option<Value> {
+        let _order = lockorder::acquire(RANK_SHARD, "value-shard");
         self.shard(vd).lock().get(vd).cloned()
     }
 
     fn insert(&self, vd: VersionedData, value: Value) {
+        let _order = lockorder::acquire(RANK_SHARD, "value-shard");
         self.shard(&vd).lock().insert(vd, value);
     }
 
     fn remove(&self, vd: &VersionedData) {
+        let _order = lockorder::acquire(RANK_SHARD, "value-shard");
         self.shard(vd).lock().remove(vd);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let _order = lockorder::acquire(RANK_SHARD, "value-shard");
+                s.lock().len()
+            })
+            .sum()
     }
 }
 
@@ -418,6 +439,7 @@ struct Shared {
     /// Static machine capacity; `pool.free + allocated` always equals
     /// it, which is what makes submit-time admission O(1).
     total: NodeCapacity,
+    strict_lints: LintMode,
     telemetry: RecorderHandle,
     origin: std::time::Instant,
 }
@@ -436,6 +458,7 @@ impl Shared {
         if deficit == 0 || self.sleepers.load(Ordering::SeqCst) == 0 {
             return;
         }
+        let _order = lockorder::acquire(RANK_SLEEP, "sleep");
         let guard = self.sleep.lock();
         for _ in 0..deficit.min(*guard) {
             self.sleep_cv.notify_one();
@@ -543,6 +566,7 @@ impl LocalRuntime {
             poisoned: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             total,
+            strict_lints: config.strict_lints,
             telemetry: config.telemetry.clone(),
             origin: std::time::Instant::now(),
         });
@@ -559,6 +583,7 @@ impl LocalRuntime {
 
     /// Registers a typed logical datum.
     pub fn data<T>(&self, name: impl Into<String>) -> DataHandle<T> {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let id = self.shared.graph.lock().ap.new_data(name);
         DataHandle {
             id,
@@ -568,6 +593,7 @@ impl LocalRuntime {
 
     /// Registers a batch of typed logical data with a shared prefix.
     pub fn data_batch<T>(&self, prefix: &str, n: usize) -> Vec<DataHandle<T>> {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let mut g = self.shared.graph.lock();
         (0..n)
             .map(|i| DataHandle {
@@ -583,6 +609,7 @@ impl LocalRuntime {
         let vd = VersionedData::initial(handle.id);
         let mut evicted = Vec::new();
         {
+            let _order = lockorder::acquire(RANK_GRAPH, "graph");
             let mut g = self.shared.graph.lock();
             let is_current = g.ap.current_version(handle.id).is_ok_and(|cur| cur == vd);
             let e = g.live.entry(vd).or_default();
@@ -623,9 +650,31 @@ impl LocalRuntime {
         // equals the static total, this is a single O(1) comparison —
         // no scan over the graph or the running set.
         if !self.shared.total.satisfies(&constraints) {
+            let _order = lockorder::acquire(RANK_GRAPH, "graph");
             let next = self.shared.graph.lock().ap.graph().len();
+            let task = TaskId::from_raw(next as u64);
+            if self.shared.strict_lints != LintMode::Off {
+                let machine = LintNode {
+                    name: "local".to_string(),
+                    capacity: self.shared.total.clone(),
+                };
+                let diagnostics: Vec<Diagnostic> = check_task_constraints(
+                    task,
+                    spec.name(),
+                    &constraints,
+                    std::slice::from_ref(&machine),
+                )
+                .into_iter()
+                .collect();
+                if self.shared.strict_lints == LintMode::Reject {
+                    return Err(RuntimeError::LintRejected { diagnostics });
+                }
+                for d in &diagnostics {
+                    eprintln!("{d}");
+                }
+            }
             return Err(RuntimeError::Unschedulable {
-                task: TaskId::from_raw(next as u64),
+                task,
                 reason: "constraints exceed the local machine capacity".into(),
             });
         }
@@ -636,9 +685,34 @@ impl LocalRuntime {
             .then(|| spec.name().to_string());
         let mut evicted = Vec::new();
         let mut ready_meta = None;
+        let mut warn_findings = Vec::new();
         let id;
         {
+            let _order = lockorder::acquire(RANK_GRAPH, "graph");
             let mut g = self.shared.graph.lock();
+            if self.shared.strict_lints != LintMode::Off {
+                // Reads of data with neither a producing task nor a
+                // stored initial value: the CLI's read-without-producer
+                // lint, applied incrementally at the submission front.
+                let next = TaskId::from_raw(g.ap.graph().len() as u64);
+                let mut findings = Vec::new();
+                for data in spec.reads() {
+                    let Ok(vd) = g.ap.current_version(data) else {
+                        continue; // unknown datum: register reports it
+                    };
+                    let provided = g.live.get(&vd).is_some_and(|e| e.stored);
+                    if vd.version.is_initial() && !provided {
+                        let data_name = g.ap.catalog().name(data).unwrap_or("?").to_string();
+                        findings.push(read_without_producer(next, spec.name(), data, &data_name));
+                    }
+                }
+                if self.shared.strict_lints == LintMode::Reject && has_errors(&findings) {
+                    return Err(RuntimeError::LintRejected {
+                        diagnostics: findings,
+                    });
+                }
+                warn_findings = findings;
+            }
             id = g.ap.register(spec)?;
             let node = g.ap.graph().node(id).expect("just registered");
             let is_ready = node.state() == TaskState::Ready;
@@ -656,6 +730,9 @@ impl LocalRuntime {
             if is_ready {
                 ready_meta = Some(meta);
             }
+        }
+        for d in &warn_findings {
+            eprintln!("{d}");
         }
         for vd in &evicted {
             self.shared.store.remove(vd);
@@ -685,6 +762,7 @@ impl LocalRuntime {
     /// body failed; the first failure wins.
     pub fn wait_all(&self) -> Result<(), RuntimeError> {
         let shared = &*self.shared;
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let mut g = shared.graph.lock();
         loop {
             if let Some((task, message)) = g.failure.clone() {
@@ -716,6 +794,7 @@ impl LocalRuntime {
         handle: &DataHandle<T>,
     ) -> Result<Arc<T>, RuntimeError> {
         let shared = &*self.shared;
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let mut g = shared.graph.lock();
         let target = g.ap.current_version(handle.id)?;
         let producer = g.ap.catalog().current(handle.id)?.producer;
@@ -765,11 +844,13 @@ impl LocalRuntime {
 
     /// Current number of completed tasks.
     pub fn completed_count(&self) -> usize {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         self.shared.graph.lock().ap.graph().completed_count()
     }
 
     /// Total number of submitted tasks.
     pub fn submitted_count(&self) -> usize {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         self.shared.graph.lock().ap.graph().len()
     }
 
@@ -786,6 +867,7 @@ impl Drop for LocalRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
+            let _order = lockorder::acquire(RANK_SLEEP, "sleep");
             let _guard = self.shared.sleep.lock();
             self.shared.sleep_cv.notify_all();
         }
@@ -885,6 +967,7 @@ fn find_task(
 /// Claims resources for the task or parks it in the pool's side
 /// queues (a completing task will re-inject it).
 fn try_admit(shared: &Shared, meta: &Arc<TaskMeta>) -> bool {
+    let _order = lockorder::acquire(RANK_POOL, "pool");
     let admitted = shared.pool.lock().try_admit(meta);
     if !admitted {
         shared.blocked_count.fetch_add(1, Ordering::SeqCst);
@@ -897,6 +980,7 @@ fn try_admit(shared: &Shared, meta: &Arc<TaskMeta>) -> bool {
 /// `pending` *before* reading the sleeper count, so one side always
 /// sees the other (no lost wakeup).
 fn sleep(shared: &Shared) {
+    let _order = lockorder::acquire(RANK_SLEEP, "sleep");
     let mut count = shared.sleep.lock();
     *count += 1;
     shared.sleepers.store(*count, Ordering::SeqCst);
@@ -913,6 +997,7 @@ fn sleep(shared: &Shared) {
 /// After a failure the run is poisoned: workers park here (without
 /// claiming tasks) until shutdown.
 fn park_poisoned(shared: &Shared) {
+    let _order = lockorder::acquire(RANK_SLEEP, "sleep");
     let mut count = shared.sleep.lock();
     if shared.shutdown.load(Ordering::SeqCst) {
         return;
@@ -1005,6 +1090,7 @@ fn execute(
     s.ready.clear();
     s.evicted.clear();
     {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let mut g = shared.graph.lock();
         match failure_message {
             None => {
@@ -1042,10 +1128,13 @@ fn execute(
 
     // -- resources: release, then re-inject unparked tasks --------------
     s.unblocked.clear();
-    shared
-        .pool
-        .lock()
-        .release_and_unblock(&meta.constraints, &mut s.unblocked);
+    {
+        let _order = lockorder::acquire(RANK_POOL, "pool");
+        shared
+            .pool
+            .lock()
+            .release_and_unblock(&meta.constraints, &mut s.unblocked);
+    }
     if !s.unblocked.is_empty() {
         shared
             .blocked_count

@@ -7,6 +7,7 @@ use crate::data::DataRegistry;
 use crate::error::RuntimeError;
 use crate::scheduler::{PlacementView, Scheduler};
 use crate::workload::SimWorkload;
+use continuum_analyze::{has_errors, LintMode};
 use continuum_dag::{GraphAnalysis, GraphRun, TaskId, TaskState, VersionedData};
 use continuum_platform::{Constraints, ElasticityPolicy, NodeId, Platform, ZoneId};
 use continuum_sim::{
@@ -67,6 +68,12 @@ pub struct SimOptions {
     /// Telemetry sink for task-lifecycle events, stamped with virtual
     /// microseconds. Defaults to the no-op recorder.
     pub telemetry: RecorderHandle,
+    /// Ahead-of-run verification of the workload against the platform
+    /// (see `continuum_analyze`). `Warn` prints every finding to
+    /// stderr; `Reject` additionally fails the run with
+    /// [`RuntimeError::LintRejected`] when any error-severity finding
+    /// exists. Default: `Off`.
+    pub strict_lints: LintMode,
 }
 
 impl Default for SimOptions {
@@ -79,6 +86,7 @@ impl Default for SimOptions {
             elastic: None,
             max_virtual_seconds: 1e9,
             telemetry: RecorderHandle::noop(),
+            strict_lints: LintMode::Off,
         }
     }
 }
@@ -249,6 +257,17 @@ impl SimRuntime {
         scheduler: &mut dyn Scheduler,
         faults: &FaultPlan,
     ) -> Result<(RunReport, ExecutionTrace), RuntimeError> {
+        if self.options.strict_lints != LintMode::Off {
+            let report = workload.lint_bundle(&self.platform).verify();
+            for d in &report {
+                eprintln!("{d}");
+            }
+            if self.options.strict_lints == LintMode::Reject && has_errors(&report) {
+                return Err(RuntimeError::LintRejected {
+                    diagnostics: report,
+                });
+            }
+        }
         let mut engine = Engine::new(
             workload,
             scheduler,

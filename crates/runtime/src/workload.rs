@@ -1,10 +1,11 @@
 //! Simulated workloads: a task graph plus per-task cost profiles.
 
 use crate::profile::TaskProfile;
+use continuum_analyze::LintBundle;
 use continuum_dag::{
-    AccessProcessor, DagError, DataId, GraphAnalysis, TaskGraph, TaskId, TaskSpec,
+    AccessProcessor, DagError, DataCatalog, DataId, GraphAnalysis, TaskGraph, TaskId, TaskSpec,
 };
-use continuum_platform::NodeId;
+use continuum_platform::{NodeId, Platform};
 use std::collections::HashMap;
 
 /// Summary statistics of a workload.
@@ -101,6 +102,40 @@ impl SimWorkload {
     /// The task graph.
     pub fn graph(&self) -> &TaskGraph {
         self.ap.graph()
+    }
+
+    /// The data catalog (names and current versions).
+    pub fn catalog(&self) -> &DataCatalog {
+        self.ap.catalog()
+    }
+
+    /// Builds the [`LintBundle`] the verifier (and the `continuum-lint`
+    /// CLI) sees for this workload on `platform`: the graph, data
+    /// names, node capacities, per-task constraints and weights from
+    /// the profiles, and the externally-provided initial data.
+    pub fn lint_bundle(&self, platform: &Platform) -> LintBundle {
+        let catalog = self.ap.catalog();
+        let data_names = (0..catalog.len())
+            .map(|i| {
+                catalog
+                    .name(DataId::from_raw(i as u64))
+                    .unwrap_or("?")
+                    .to_string()
+            })
+            .collect();
+        let mut initial: Vec<DataId> = self.initial_bytes.keys().copied().collect();
+        initial.sort_unstable();
+        LintBundle::new(self.ap.graph().clone())
+            .with_platform(platform)
+            .with_data_names(data_names)
+            .with_constraints(
+                self.profiles
+                    .iter()
+                    .map(|p| p.constraints_ref().clone())
+                    .collect(),
+            )
+            .with_weights(self.profiles.iter().map(TaskProfile::duration_s).collect())
+            .with_initial_data(initial)
     }
 
     /// The profile of a task.

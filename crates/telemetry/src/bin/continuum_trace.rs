@@ -16,8 +16,8 @@
 //! trace, 3 parseable trace with nothing to attribute (empty run).
 
 use continuum_telemetry::{
-    chrome_trace, paraver_trace, parse_chrome_trace, prometheus_text, trace_critical_chain, Event,
-    MetricsSnapshot, RunDiagnostics, TaskObs,
+    chrome_trace, paraver_trace, parse_chrome_trace, prometheus_text, render_table,
+    trace_critical_chain, Align, Event, MetricsSnapshot, RunDiagnostics, TaskObs,
 };
 
 const USAGE: &str = "continuum-trace — trace analysis for continuum runs
@@ -151,10 +151,6 @@ fn cmd_attrib(path: &str, json: bool) {
 fn cmd_diff(path_a: &str, path_b: &str) {
     let a = RunDiagnostics::from_events(&load_events(path_a));
     let b = RunDiagnostics::from_events(&load_events(path_b));
-    println!(
-        "{:<22} {:>14} {:>14} {:>9}",
-        "metric", path_a, path_b, "delta"
-    );
     let pct = |x: f64, y: f64| {
         if x != 0.0 {
             format!("{:+.1}%", 100.0 * (y - x) / x)
@@ -209,9 +205,25 @@ fn cmd_diff(path_a: &str, path_b: &str) {
         ),
         ("gini", a.utilization.gini, b.utilization.gini),
     ];
-    for (name, x, y) in rows {
-        println!("{name:<22} {x:>14.3} {y:>14.3} {:>9}", pct(x, y));
-    }
+    let cells: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|(name, x, y)| {
+            vec![
+                name.to_string(),
+                format!("{x:.3}"),
+                format!("{y:.3}"),
+                pct(x, y),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["metric", path_a, path_b, "delta"],
+            &[Align::Left, Align::Right, Align::Right, Align::Right],
+            &cells,
+        )
+    );
 }
 
 fn cmd_convert(path: &str, to: &str, out: Option<String>) {

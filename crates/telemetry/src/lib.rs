@@ -41,6 +41,7 @@ pub mod paraver;
 pub mod prometheus;
 pub mod recorder;
 pub mod ring;
+pub mod table;
 
 pub use analysis::{
     collect_task_obs, critical_path, join_with_graph, slack, trace_critical_chain,
@@ -54,3 +55,4 @@ pub use paraver::paraver_trace;
 pub use prometheus::prometheus_text;
 pub use recorder::{NoopRecorder, Recorder, RecorderHandle, TraceBuffer};
 pub use ring::RingRecorder;
+pub use table::{render_table, Align};

@@ -1,0 +1,100 @@
+//! Small shared plain-text table renderer.
+//!
+//! Both the `continuum-trace` CLI (diff views) and the `continuum-lint`
+//! CLI (diagnostic reports) print aligned columnar text; this helper
+//! keeps the column-sizing logic in one place instead of each binary
+//! growing its own copy of the format-string dance.
+
+/// Column alignment for [`render_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// Renders rows of cells as an aligned plain-text table.
+///
+/// Every column is sized to its widest cell (header included); columns
+/// are separated by a single space, rows end in `\n` with no trailing
+/// padding. `aligns` is indexed per column and defaults to left
+/// alignment for columns beyond its length; rows shorter than the
+/// header render empty trailing cells.
+pub fn render_table(headers: &[&str], aligns: &[Align], rows: &[Vec<String>]) -> String {
+    let columns = headers
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; columns];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[&str]| {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).copied().unwrap_or("");
+            if i > 0 {
+                line.push(' ');
+            }
+            match aligns.get(i).copied().unwrap_or(Align::Left) {
+                Align::Left => line.push_str(&format!("{cell:<width$}")),
+                Align::Right => line.push_str(&format!("{cell:>width$}")),
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    };
+    if !headers.is_empty() {
+        render_row(&mut out, headers);
+    }
+    for row in rows {
+        let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+        render_row(&mut out, &cells);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_and_sizes_columns() {
+        let t = render_table(
+            &["metric", "value"],
+            &[Align::Left, Align::Right],
+            &[
+                vec!["makespan_s".into(), "1.5".into()],
+                vec!["x".into(), "12345.678".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "metric         value");
+        assert_eq!(lines[1], "makespan_s       1.5");
+        assert_eq!(lines[2], "x          12345.678");
+    }
+
+    #[test]
+    fn no_trailing_whitespace() {
+        let t = render_table(
+            &["a", "b"],
+            &[Align::Left, Align::Left],
+            &[vec!["x".into(), "y".into()], vec!["longer".into()]],
+        );
+        for line in t.lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn empty_headers_render_rows_only() {
+        let t = render_table(&[], &[], &[vec!["only".into()]]);
+        assert_eq!(t, "only\n");
+    }
+}

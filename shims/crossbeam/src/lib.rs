@@ -7,6 +7,41 @@
 //! crossbeam semantics (owner pops one end, thieves steal the other,
 //! contended steals report `Retry`) without the lock-free unsafe code.
 
+/// Test hooks for deterministic-interleaving and chaos testing.
+///
+/// The deque operations call [`hooks::yield_point`] at the entry of
+/// every critical section. By default this is a single relaxed atomic
+/// load; concurrency tests (`continuum-analyze`'s chaos stress tests)
+/// enable chaos mode to insert scheduler yields at exactly the points
+/// where a preemption widens the push/steal race windows, driving the
+/// thread interleaving through far more schedules per run than the OS
+/// would produce naturally.
+pub mod hooks {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static CHAOS: AtomicBool = AtomicBool::new(false);
+
+    /// Globally enables or disables chaos yields. Affects every deque
+    /// in the process; intended for dedicated stress-test binaries or
+    /// serial `#[test]`s, not production.
+    pub fn set_chaos(enabled: bool) {
+        CHAOS.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if chaos mode is on.
+    pub fn chaos_enabled() -> bool {
+        CHAOS.load(Ordering::Relaxed)
+    }
+
+    /// The controllable yield point: a no-op unless chaos mode is on.
+    #[inline]
+    pub fn yield_point() {
+        if CHAOS.load(Ordering::Relaxed) {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
     use std::fmt;
@@ -157,6 +192,7 @@ pub mod channel {
 /// blocking, matching the lock-free original's progress guarantees at
 /// the API level.
 pub mod deque {
+    use crate::hooks::yield_point;
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
@@ -253,11 +289,13 @@ pub mod deque {
 
         /// Pushes an item onto the owner end.
         pub fn push(&self, item: T) {
+            yield_point();
             self.lock().items.push_back(item);
         }
 
         /// Pops an item from the owner end (per the flavor).
         pub fn pop(&self) -> Option<T> {
+            yield_point();
             let mut buf = self.lock();
             match self.flavor {
                 Flavor::Fifo => buf.items.pop_front(),
@@ -306,6 +344,7 @@ pub mod deque {
     impl<T> Stealer<T> {
         /// Steals one item from the front (oldest) end.
         pub fn steal(&self) -> Steal<T> {
+            yield_point();
             match lock_or_retry(&self.queue) {
                 Ok(mut buf) => match buf.items.pop_front() {
                     Some(v) => Steal::Success(v),
@@ -318,6 +357,7 @@ pub mod deque {
         /// Steals up to half the items (capped) into `dest`, returning
         /// one of them.
         pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            yield_point();
             let mut batch = match lock_or_retry(&self.queue) {
                 Ok(mut buf) => {
                     let n = buf.items.len().div_ceil(2).min(MAX_BATCH);
@@ -328,6 +368,10 @@ pub mod deque {
                 }
                 Err(()) => return Steal::Retry,
             };
+            // The stolen batch is only visible to this thread here: a
+            // preemption between the source drain and the dest publish
+            // is the widest race window in the protocol.
+            yield_point();
             let first = batch.remove(0);
             if !batch.is_empty() {
                 let mut dst = dest.lock();
