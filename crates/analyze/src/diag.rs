@@ -42,6 +42,11 @@ pub enum Lint {
     /// hand-crafted or corrupted graphs; the access processor builds
     /// acyclic graphs by construction).
     Cycle,
+    /// A stream datum with at least one consumer but no producer on any
+    /// path. No writer ever registers on — let alone closes — the
+    /// channel, so the consumer is never released by a first element
+    /// and its first receive can never observe end-of-stream.
+    UnclosedStream,
     /// An `Out`/`InOut` version that no task consumes and that is not
     /// the datum's final version (the final version is presumed to be
     /// retrieved by the client).
@@ -50,6 +55,11 @@ pub enum Lint {
     /// writers (data renaming makes this legal, but the intermediate
     /// value is unobservable and the write order is arbitrary).
     WriteWriteHazard,
+    /// A stream consumer declared before any of its producers: under
+    /// in-order admission the reader is enqueued ahead of the writer
+    /// that must release it, so it sits released-pending (and, on a
+    /// saturated pool, can starve the producer of its slot).
+    ReaderBeforeWriter,
     /// Advisory makespan lower bound: critical path vs. aggregate
     /// platform throughput.
     SchedulabilityBound,
@@ -62,8 +72,10 @@ impl Lint {
             Lint::UnsatisfiableConstraints => "unsatisfiable-constraints",
             Lint::ReadWithoutProducer => "read-without-producer",
             Lint::Cycle => "cycle",
+            Lint::UnclosedStream => "unclosed-stream",
             Lint::DeadOutput => "dead-output",
             Lint::WriteWriteHazard => "write-write-hazard",
+            Lint::ReaderBeforeWriter => "reader-before-writer",
             Lint::SchedulabilityBound => "schedulability-bound",
         }
     }
@@ -74,20 +86,24 @@ impl Lint {
             Lint::UnsatisfiableConstraints => Severity::Error,
             Lint::ReadWithoutProducer => Severity::Error,
             Lint::Cycle => Severity::Error,
+            Lint::UnclosedStream => Severity::Error,
             Lint::DeadOutput => Severity::Warning,
             Lint::WriteWriteHazard => Severity::Warning,
+            Lint::ReaderBeforeWriter => Severity::Warning,
             Lint::SchedulabilityBound => Severity::Info,
         }
     }
 
     /// All lints, in report order.
-    pub fn all() -> [Lint; 6] {
+    pub fn all() -> [Lint; 8] {
         [
             Lint::UnsatisfiableConstraints,
             Lint::ReadWithoutProducer,
             Lint::Cycle,
+            Lint::UnclosedStream,
             Lint::DeadOutput,
             Lint::WriteWriteHazard,
+            Lint::ReaderBeforeWriter,
             Lint::SchedulabilityBound,
         ]
     }

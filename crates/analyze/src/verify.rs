@@ -135,6 +135,7 @@ impl LintBundle {
         self.pass_constraints(&mut report);
         self.pass_read_without_producer(&mut report);
         let cyclic = self.pass_cycle(&mut report);
+        self.pass_streams(&mut report);
         self.pass_dead_outputs(&mut report);
         self.pass_write_write_hazards(&mut report);
         if !cyclic {
@@ -210,6 +211,80 @@ impl LintBundle {
         );
         report.push(d);
         true
+    }
+
+    /// Stream pass: `unclosed-stream` (a stream datum with a reader but
+    /// no writer — the reader is never released and its first receive
+    /// can never observe end-of-stream) and `reader-before-writer` (a
+    /// stream consumer declared before any of its producers, so
+    /// in-order admission enqueues the reader ahead of the writer that
+    /// must release it).
+    fn pass_streams(&self, report: &mut Vec<Diagnostic>) {
+        let mut producers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+        let mut consumers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+        for node in self.graph.nodes() {
+            for d in node.spec().stream_writes() {
+                producers.entry(d).or_default().push(node.id());
+            }
+            for d in node.spec().stream_reads() {
+                consumers.entry(d).or_default().push(node.id());
+            }
+        }
+        let mut data: Vec<DataId> = consumers.keys().copied().collect();
+        data.sort();
+        for d in data {
+            let readers = &consumers[&d];
+            let first_reader = *readers.iter().min().expect("non-empty reader list");
+            let name = self.data_name(d);
+            let Some(writers) = producers.get(&d) else {
+                report.push(
+                    Diagnostic::new(
+                        Lint::UnclosedStream,
+                        format!(
+                            "stream {name} has {} reader(s) but no task writes or closes \
+                             it on any path",
+                            readers.len()
+                        ),
+                    )
+                    .with_task(first_reader)
+                    .with_data(d)
+                    .with_witness(format!(
+                        "{first_reader} '{}' reads stream {name}; no producer exists",
+                        self.task_name(first_reader)
+                    ))
+                    .with_suggestion(format!(
+                        "add a task with a Stream-out access to {name} (even a producer \
+                         sending zero elements closes the stream), or drop the read",
+                    )),
+                );
+                continue;
+            };
+            let first_writer = *writers.iter().min().expect("non-empty writer list");
+            if first_reader < first_writer {
+                report.push(
+                    Diagnostic::new(
+                        Lint::ReaderBeforeWriter,
+                        format!(
+                            "stream {name} is consumed by task '{}' declared before any \
+                             of its producers is admissible",
+                            self.task_name(first_reader)
+                        ),
+                    )
+                    .with_task(first_reader)
+                    .with_data(d)
+                    .with_witness(format!(
+                        "{first_reader} '{}' reads {name}; earliest producer is \
+                         {first_writer} '{}'",
+                        self.task_name(first_reader),
+                        self.task_name(first_writer)
+                    ))
+                    .with_suggestion(format!(
+                        "declare a producer of {name} before its consumers so admission \
+                         order matches dataflow order",
+                    )),
+                );
+            }
+        }
     }
 
     /// Dead-output pass: a produced version nothing consumes and that
@@ -688,6 +763,64 @@ mod tests {
         let x = ap.new_data("x");
         ap.register(TaskSpec::new("w1").output(x)).unwrap();
         ap.register(TaskSpec::new("w2").inout(x)).unwrap();
+        let report = bundle_of(ap).verify();
+        assert!(
+            report.iter().all(|d| d.lint == Lint::SchedulabilityBound),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn unclosed_stream_reader_is_an_error() {
+        let mut ap = AccessProcessor::new();
+        let s = ap.new_data("frames");
+        let sink = ap.register(TaskSpec::new("sink").stream_in(s)).unwrap();
+        let report = bundle_of(ap).verify();
+        let d = report
+            .iter()
+            .find(|d| d.lint == Lint::UnclosedStream)
+            .expect("lint fires");
+        assert!(d.is_error());
+        assert_eq!(d.task, Some(sink));
+        assert_eq!(d.data, Some(s));
+        assert!(d.message.contains("frames"), "{}", d.message);
+    }
+
+    #[test]
+    fn reader_before_writer_is_a_warning() {
+        let mut ap = AccessProcessor::new();
+        let s = ap.new_data("frames");
+        let sink = ap.register(TaskSpec::new("sink").stream_in(s)).unwrap();
+        ap.register(TaskSpec::new("sensor").stream_out(s)).unwrap();
+        let report = bundle_of(ap).verify();
+        let d = report
+            .iter()
+            .find(|d| d.lint == Lint::ReaderBeforeWriter)
+            .expect("lint fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.task, Some(sink));
+        assert_eq!(d.data, Some(s));
+        assert!(
+            d.witness[0].contains("'sensor'"),
+            "witness names the late producer: {:?}",
+            d.witness
+        );
+        // No unclosed-stream finding: the stream does have a writer.
+        assert_eq!(
+            report
+                .iter()
+                .filter(|d| d.lint == Lint::UnclosedStream)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn well_ordered_stream_pipeline_is_clean() {
+        let mut ap = AccessProcessor::new();
+        let s = ap.new_data("frames");
+        ap.register(TaskSpec::new("sensor").stream_out(s)).unwrap();
+        ap.register(TaskSpec::new("sink").stream_in(s)).unwrap();
         let report = bundle_of(ap).verify();
         assert!(
             report.iter().all(|d| d.lint == Lint::SchedulabilityBound),

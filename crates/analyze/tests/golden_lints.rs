@@ -179,6 +179,108 @@ fn golden_ordered_double_write_is_clean() {
 }
 
 #[test]
+fn golden_unclosed_stream() {
+    // Planted bug: a sink consumes a stream nothing ever writes. No
+    // writer will ever register on — let alone close — the channel, so
+    // the sink can neither be released nor observe end-of-stream.
+    let mut ap = AccessProcessor::new();
+    let frames = ap.new_data("frames");
+    let out = ap.new_data("out");
+    let sink = ap
+        .register(TaskSpec::new("sink").stream_in(frames).output(out))
+        .unwrap();
+    let report = bundle_of(ap).verify();
+    let finding = report
+        .iter()
+        .find(|d| d.lint == Lint::UnclosedStream)
+        .expect("writer-less stream read must be flagged");
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.task, Some(sink));
+    assert_eq!(finding.data, Some(frames));
+    assert!(
+        finding.suggestion.contains("Stream-out"),
+        "{}",
+        finding.suggestion
+    );
+}
+
+#[test]
+fn golden_reader_before_writer() {
+    // Planted bug: the consumer is declared before its producer. It
+    // carries no first-element gate (no producer was registered when it
+    // arrived), so it can run immediately and see a premature
+    // end-of-stream.
+    let mut ap = AccessProcessor::new();
+    let frames = ap.new_data("frames");
+    let sink = ap
+        .register(TaskSpec::new("sink").stream_in(frames))
+        .unwrap();
+    ap.register(TaskSpec::new("sensor").stream_out(frames))
+        .unwrap();
+    let report = bundle_of(ap).verify();
+    let finding = report
+        .iter()
+        .find(|d| d.lint == Lint::ReaderBeforeWriter)
+        .expect("consumer declared before any producer must be flagged");
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.task, Some(sink));
+    let witness = finding.witness.join(" ");
+    assert!(
+        witness.contains("sink") && witness.contains("sensor"),
+        "{witness}"
+    );
+}
+
+#[test]
+fn golden_streamed_pipeline_is_clean() {
+    // The continuous-inference shape in proper order: producer first,
+    // each stage streaming into the next. Streams are exempt from the
+    // versioned-data lints (no dead-output/hazard noise) and introduce
+    // none of their own.
+    let mut ap = AccessProcessor::new();
+    let frames = ap.new_data("frames");
+    let feats = ap.new_data("feats");
+    let preds = ap.new_data("preds");
+    ap.register(TaskSpec::new("sensor").stream_out(frames))
+        .unwrap();
+    ap.register(
+        TaskSpec::new("featurize")
+            .stream_in(frames)
+            .stream_out(feats),
+    )
+    .unwrap();
+    ap.register(TaskSpec::new("model").stream_in(feats).output(preds))
+        .unwrap();
+    let report = bundle_of(ap).verify();
+    assert!(
+        report.iter().all(|d| d.lint == Lint::SchedulabilityBound),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn golden_stream_bundle_json_round_trip() {
+    // Stream accesses survive the CLI's JSON round trip: the exact
+    // Direction::Stream serialization path `--dump-lint` exercises.
+    let mut ap = AccessProcessor::new();
+    let frames = ap.new_data("frames");
+    let sink = ap
+        .register(TaskSpec::new("sink").stream_in(frames))
+        .unwrap();
+    let bundle = bundle_of(ap);
+    let before = bundle.verify();
+    assert!(
+        before
+            .iter()
+            .any(|d| d.lint == Lint::UnclosedStream && d.task == Some(sink)),
+        "{before:?}"
+    );
+    let json = serde::to_string(&bundle);
+    let reloaded: LintBundle = serde::from_str(&json).expect("bundle round-trips");
+    assert_eq!(reloaded.verify(), before);
+}
+
+#[test]
 fn golden_schedulability_bound() {
     let mut ap = AccessProcessor::new();
     let x = ap.new_data("x");

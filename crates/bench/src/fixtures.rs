@@ -12,8 +12,8 @@ use continuum_analyze::LintBundle;
 use continuum_platform::{presets, Platform};
 use continuum_runtime::SimWorkload;
 use continuum_workflows::patterns::{
-    chain, embarrassingly_parallel, fork_join, map_reduce, random_layered, stencil,
-    streaming_pipeline, tree_reduce,
+    chain, continuous_inference, embarrassingly_parallel, fork_join, map_reduce, random_layered,
+    stencil, tree_reduce,
 };
 use continuum_workflows::{GwasWorkload, NmmbWorkload};
 
@@ -69,10 +69,12 @@ fn fixture_parts(id: &str) -> Option<(SimWorkload, Platform)> {
         ),
         // e12: dislib — tree reduction standing in for the cascades.
         "e12" => (tree_reduce(8, 2.0, 1.0, 4_000_000), presets::marenostrum(2)),
-        // e13: streaming — tick sources need the sensors' edge-source
-        // software tag; stages need the fog devices' memory.
+        // e13: streaming — the continuous-inference window with genuine
+        // Stream edges, so the stream lints (`unclosed-stream`,
+        // `reader-before-writer`) run over a real streamed fixture in
+        // every CI lint pass.
         "e13" => (
-            streaming_pipeline(4, 1.0, &[0.5, 0.5], 1_000_000),
+            continuous_inference(8, 1_000_000, 1.0),
             presets::smart_city(2, 2, 2),
         ),
         _ => return None,

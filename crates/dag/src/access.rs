@@ -3,8 +3,10 @@
 use crate::error::DagError;
 use crate::graph::TaskGraph;
 use crate::ids::{DataId, DataVersion, TaskId, VersionedData};
+use crate::param::StreamRole;
 use crate::spec::TaskSpec;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The producer and version currently associated with a datum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +93,15 @@ impl DataCatalog {
     }
 }
 
+/// The registered endpoints of one stream datum.
+#[derive(Debug, Clone, Default)]
+pub struct StreamEndpoints {
+    /// Tasks holding the producing end, in registration order.
+    pub producers: Vec<TaskId>,
+    /// Tasks holding the consuming end, in registration order.
+    pub consumers: Vec<TaskId>,
+}
+
 /// Builds the task dependency graph incrementally from a stream of
 /// [`TaskSpec`] submissions, mirroring the *Access Processor* component
 /// of the COMPSs runtime.
@@ -99,6 +110,12 @@ impl DataCatalog {
 /// creates a fresh version of the datum (renaming), so only true
 /// (read-after-write) dependencies appear in the graph — exactly the
 /// semantics a dataflow runtime needs for maximal asynchrony.
+///
+/// Stream accesses sit outside the versioning discipline: a
+/// [`Direction::Stream`](crate::Direction::Stream) parameter wires a
+/// first-element edge (see [`TaskGraph::stream_release`]) instead of a
+/// completion edge, and its datum is registered as a channel rather
+/// than a renamed value.
 ///
 /// # Example
 ///
@@ -119,6 +136,13 @@ impl DataCatalog {
 pub struct AccessProcessor {
     catalog: DataCatalog,
     graph: TaskGraph,
+    /// Data accessed as streams, with their registered endpoints. A
+    /// datum is a stream from its first stream access onward; mixing
+    /// with versioned access is rejected.
+    streams: BTreeMap<DataId, StreamEndpoints>,
+    /// Data accessed through the versioned (`In`/`Out`/`InOut`)
+    /// discipline at least once.
+    versioned: BTreeSet<DataId>,
 }
 
 impl AccessProcessor {
@@ -148,7 +172,11 @@ impl AccessProcessor {
     /// * [`DagError::UnknownData`] if a parameter references an
     ///   unregistered datum.
     /// * [`DagError::ConflictingAccess`] if the same datum is declared
-    ///   more than once and at least one of the accesses writes it.
+    ///   more than once and at least one of the accesses writes or
+    ///   streams it.
+    /// * [`DagError::MixedAccess`] if a datum is accessed both as a
+    ///   stream and as a versioned value (within this spec or across
+    ///   submissions).
     pub fn register(&mut self, spec: TaskSpec) -> Result<TaskId, DagError> {
         if spec.params().is_empty() {
             return Err(DagError::EmptyTask(spec.name().to_string()));
@@ -157,6 +185,7 @@ impl AccessProcessor {
 
         let id = self.graph.next_task_id();
         let mut preds: Vec<TaskId> = Vec::new();
+        let mut stream_preds: Vec<TaskId> = Vec::new();
         let mut consumed: Vec<VersionedData> = Vec::new();
         let mut produced: Vec<VersionedData> = Vec::new();
 
@@ -172,12 +201,45 @@ impl AccessProcessor {
                 let version = self.catalog.bump(param.data, id)?;
                 produced.push(VersionedData::new(param.data, version));
             }
+            if param.direction.stream_role() == Some(StreamRole::Consume) {
+                // Every registered producer is a structural stream
+                // edge; the graph only *gates* on those that have not
+                // released yet.
+                if let Some(eps) = self.streams.get(&param.data) {
+                    stream_preds.extend_from_slice(&eps.producers);
+                }
+            }
         }
 
         preds.sort_unstable();
         preds.dedup();
-        let assigned = self.graph.add_task(spec, preds, consumed, produced);
+        stream_preds.sort_unstable();
+        stream_preds.dedup();
+        let assigned = self
+            .graph
+            .add_task(spec, preds, stream_preds, consumed, produced);
         debug_assert_eq!(assigned, id);
+
+        // Record this task's accesses in the stream/versioned
+        // registries — after wiring, so a producer never becomes its
+        // own stream predecessor.
+        let spec = self.graph.node(id).expect("just added").spec();
+        let mut endpoints: Vec<(DataId, StreamRole)> = Vec::new();
+        for param in spec.params() {
+            match param.direction.stream_role() {
+                Some(role) => endpoints.push((param.data, role)),
+                None => {
+                    self.versioned.insert(param.data);
+                }
+            }
+        }
+        for (data, role) in endpoints {
+            let eps = self.streams.entry(data).or_default();
+            match role {
+                StreamRole::Produce => eps.producers.push(id),
+                StreamRole::Consume => eps.consumers.push(id),
+            }
+        }
         Ok(id)
     }
 
@@ -190,9 +252,32 @@ impl AccessProcessor {
             if param.data.index() >= self.catalog.len() {
                 return Err(DagError::UnknownData(param.data));
             }
+            // Cross-submission discipline check: a datum is either a
+            // channel of elements or a renamed whole-value, never both.
+            let mixed = if param.direction.is_stream() {
+                self.versioned.contains(&param.data)
+            } else {
+                self.streams.contains_key(&param.data)
+            };
+            if mixed {
+                return Err(DagError::MixedAccess {
+                    task: spec.name().to_string(),
+                    data: param.data,
+                });
+            }
             for earlier in &params[..i] {
-                if earlier.data == param.data
-                    && (param.direction.writes() || earlier.direction.writes())
+                if earlier.data != param.data {
+                    continue;
+                }
+                if earlier.direction.is_stream() != param.direction.is_stream() {
+                    return Err(DagError::MixedAccess {
+                        task: spec.name().to_string(),
+                        data: param.data,
+                    });
+                }
+                if param.direction.writes()
+                    || earlier.direction.writes()
+                    || param.direction.is_stream()
                 {
                     return Err(DagError::ConflictingAccess {
                         task: spec.name().to_string(),
@@ -202,6 +287,17 @@ impl AccessProcessor {
             }
         }
         Ok(())
+    }
+
+    /// The registered endpoints of a stream datum, or `None` if the
+    /// datum has never been accessed as a stream.
+    pub fn stream_endpoints(&self, data: DataId) -> Option<&StreamEndpoints> {
+        self.streams.get(&data)
+    }
+
+    /// Whether the datum has been accessed as a stream.
+    pub fn is_stream_datum(&self, data: DataId) -> bool {
+        self.streams.contains_key(&data)
     }
 
     /// The dependency graph built so far.
@@ -385,5 +481,98 @@ mod tests {
         let (catalog, graph) = ap.into_parts();
         assert_eq!(catalog.len(), 1);
         assert_eq!(graph.len(), 1);
+    }
+
+    #[test]
+    fn stream_edge_gates_on_release_not_completion() {
+        let (mut ap, d) = ap_with(2);
+        let p = ap
+            .register(TaskSpec::new("p").stream_out(d[0]).output(d[1]))
+            .unwrap();
+        let c = ap.register(TaskSpec::new("c").stream_in(d[0])).unwrap();
+        assert_eq!(ap.graph().node(c).unwrap().stream_predecessors(), &[p]);
+        assert!(ap.graph().predecessors(c).is_empty(), "no completion edge");
+        assert!(!ap.graph().ready_tasks().contains(&c));
+        // First element: the consumer runs while the producer still is.
+        ap.graph_mut().mark_running(p).unwrap();
+        let newly = ap.graph_mut().stream_release(p).unwrap();
+        assert_eq!(newly, vec![c]);
+        assert!(ap.graph().ready_tasks().contains(&c));
+        // Release is idempotent; completion after release frees nothing
+        // twice.
+        assert!(ap.graph_mut().stream_release(p).unwrap().is_empty());
+        assert!(ap.graph_mut().complete(p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn producer_completion_releases_empty_stream() {
+        let (mut ap, d) = ap_with(2);
+        let p = ap
+            .register(TaskSpec::new("p").stream_out(d[0]).output(d[1]))
+            .unwrap();
+        let c = ap.register(TaskSpec::new("c").stream_in(d[0])).unwrap();
+        // Producer finishes without ever sending: consumer still runs
+        // (and will observe a closed, empty channel).
+        assert_eq!(ap.graph_mut().complete(p).unwrap(), vec![c]);
+    }
+
+    #[test]
+    fn late_consumer_after_release_is_immediately_ready() {
+        let (mut ap, d) = ap_with(1);
+        let p = ap.register(TaskSpec::new("p").stream_out(d[0])).unwrap();
+        ap.graph_mut().mark_running(p).unwrap();
+        ap.graph_mut().stream_release(p).unwrap();
+        let c = ap.register(TaskSpec::new("c").stream_in(d[0])).unwrap();
+        assert!(ap.graph().ready_tasks().contains(&c));
+        // The structural edge is still recorded.
+        assert_eq!(ap.graph().node(c).unwrap().stream_predecessors(), &[p]);
+        assert_eq!(ap.graph().stream_edge_count(), 1);
+    }
+
+    #[test]
+    fn multi_producer_stream_needs_every_first_element() {
+        let (mut ap, d) = ap_with(1);
+        let p0 = ap.register(TaskSpec::new("p0").stream_out(d[0])).unwrap();
+        let p1 = ap.register(TaskSpec::new("p1").stream_out(d[0])).unwrap();
+        let c = ap.register(TaskSpec::new("c").stream_in(d[0])).unwrap();
+        ap.graph_mut().stream_release(p0).unwrap();
+        assert!(!ap.graph().ready_tasks().contains(&c));
+        assert_eq!(ap.graph_mut().stream_release(p1).unwrap(), vec![c]);
+        let eps = ap.stream_endpoints(d[0]).unwrap();
+        assert_eq!(eps.producers, vec![p0, p1]);
+        assert_eq!(eps.consumers, vec![c]);
+    }
+
+    #[test]
+    fn mixed_stream_and_versioned_access_rejected() {
+        // Across submissions, in both orders.
+        let (mut ap, d) = ap_with(1);
+        ap.register(TaskSpec::new("w").output(d[0])).unwrap();
+        let err = ap
+            .register(TaskSpec::new("p").stream_out(d[0]))
+            .unwrap_err();
+        assert!(matches!(err, DagError::MixedAccess { .. }));
+
+        let (mut ap, d) = ap_with(1);
+        ap.register(TaskSpec::new("p").stream_out(d[0])).unwrap();
+        let err = ap.register(TaskSpec::new("r").input(d[0])).unwrap_err();
+        assert!(matches!(err, DagError::MixedAccess { .. }));
+
+        // Within one spec.
+        let (mut ap, d) = ap_with(1);
+        let err = ap
+            .register(TaskSpec::new("t").stream_out(d[0]).input(d[0]))
+            .unwrap_err();
+        assert!(matches!(err, DagError::MixedAccess { .. }));
+    }
+
+    #[test]
+    fn duplicate_stream_access_rejected() {
+        let (mut ap, d) = ap_with(1);
+        let err = ap
+            .register(TaskSpec::new("t").stream_out(d[0]).stream_in(d[0]))
+            .unwrap_err();
+        assert!(matches!(err, DagError::ConflictingAccess { .. }));
+        assert!(!ap.is_stream_datum(d[0]), "rejected spec leaves no trace");
     }
 }

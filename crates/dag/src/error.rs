@@ -22,6 +22,15 @@ pub enum DagError {
         /// The datum declared more than once.
         data: DataId,
     },
+    /// A datum was accessed both as a stream and as a versioned value.
+    /// A datum is either a renamed whole-value or a channel of
+    /// elements; the two dependency disciplines cannot be mixed.
+    MixedAccess {
+        /// The task-type name of the spec that introduced the mix.
+        task: String,
+        /// The datum with both kinds of access.
+        data: DataId,
+    },
     /// A lifecycle transition was invalid (e.g. completing a task that
     /// was never marked running).
     InvalidTransition {
@@ -42,6 +51,12 @@ impl fmt::Display for DagError {
             }
             DagError::ConflictingAccess { task, data } => {
                 write!(f, "task `{task}` declares conflicting accesses to {data}")
+            }
+            DagError::MixedAccess { task, data } => {
+                write!(
+                    f,
+                    "task `{task}` mixes stream and versioned access to {data}"
+                )
             }
             DagError::InvalidTransition { task, detail } => {
                 write!(f, "invalid state transition for {task}: {detail}")
@@ -67,6 +82,11 @@ mod tests {
             data: DataId::from_raw(1),
         };
         assert!(e.to_string().contains("conflicting"));
+        let e = DagError::MixedAccess {
+            task: "t".into(),
+            data: DataId::from_raw(1),
+        };
+        assert!(e.to_string().contains("mixes stream and versioned"));
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub struct TaskNode {
     preds: Vec<TaskId>,
     succs: Vec<TaskId>,
     unfinished_preds: usize,
+    /// Producers of streams this task consumes. Unlike `preds`, these
+    /// edges release at the producer's *first element* (or completion,
+    /// whichever comes first), not at completion.
+    stream_preds: Vec<TaskId>,
+    /// Consumers of streams this task produces.
+    stream_succs: Vec<TaskId>,
+    /// Stream predecessors that have not yet released.
+    unreleased_streams: usize,
+    /// Whether this task has released its stream consumers (set at its
+    /// first element sent on any of its output streams, or at
+    /// completion). Per task, not per stream: one release frees every
+    /// stream successor.
+    released: bool,
     consumed: Vec<VersionedData>,
     produced: Vec<VersionedData>,
 }
@@ -81,6 +94,26 @@ impl TaskNode {
     pub fn unfinished_predecessors(&self) -> usize {
         self.unfinished_preds
     }
+
+    /// Producers of streams this task consumes (first-element edges).
+    pub fn stream_predecessors(&self) -> &[TaskId] {
+        &self.stream_preds
+    }
+
+    /// Consumers of streams this task produces.
+    pub fn stream_successors(&self) -> &[TaskId] {
+        &self.stream_succs
+    }
+
+    /// Number of stream predecessors that have not released yet.
+    pub fn unreleased_streams(&self) -> usize {
+        self.unreleased_streams
+    }
+
+    /// Whether this task has released its stream consumers.
+    pub fn stream_released(&self) -> bool {
+        self.released
+    }
 }
 
 /// A task dependency graph with ready-set maintenance.
@@ -109,13 +142,14 @@ impl TaskGraph {
     }
 
     /// Adds a task with the given dependency wiring. Called by the
-    /// access processor, which guarantees `preds` are deduped, sorted
-    /// and refer to earlier tasks (so the graph is acyclic by
-    /// construction).
+    /// access processor, which guarantees `preds` and `stream_preds`
+    /// are deduped, sorted and refer to earlier tasks (so the graph is
+    /// acyclic by construction).
     pub(crate) fn add_task(
         &mut self,
         spec: TaskSpec,
         preds: Vec<TaskId>,
+        stream_preds: Vec<TaskId>,
         consumed: Vec<VersionedData>,
         produced: Vec<VersionedData>,
     ) -> TaskId {
@@ -124,10 +158,22 @@ impl TaskGraph {
             .iter()
             .filter(|p| !self.nodes[p.index()].state.is_completed())
             .count();
+        // A producer that has already released (first element sent) or
+        // completed does not gate a late-submitted consumer.
+        let unreleased = stream_preds
+            .iter()
+            .filter(|p| {
+                let n = &self.nodes[p.index()];
+                !n.released && !n.state.is_completed()
+            })
+            .count();
         for p in &preds {
             self.nodes[p.index()].succs.push(id);
         }
-        let state = if unfinished == 0 {
+        for p in &stream_preds {
+            self.nodes[p.index()].stream_succs.push(id);
+        }
+        let state = if unfinished == 0 && unreleased == 0 {
             self.ready.insert(id);
             TaskState::Ready
         } else {
@@ -140,6 +186,10 @@ impl TaskGraph {
             preds,
             succs: Vec::new(),
             unfinished_preds: unfinished,
+            stream_preds,
+            stream_succs: Vec::new(),
+            unreleased_streams: unreleased,
+            released: false,
             consumed,
             produced,
         });
@@ -169,6 +219,11 @@ impl TaskGraph {
     /// Total number of dependency edges.
     pub fn edge_count(&self) -> usize {
         self.nodes.iter().map(|n| n.preds.len()).sum()
+    }
+
+    /// Total number of stream (first-element) edges.
+    pub fn stream_edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.stream_preds.len()).sum()
     }
 
     /// Looks up a task node.
@@ -283,13 +338,74 @@ impl TaskGraph {
             let s = self.nodes[id.index()].succs[k];
             let sn = &mut self.nodes[s.index()];
             sn.unfinished_preds -= 1;
-            if sn.unfinished_preds == 0 && sn.state == TaskState::Pending {
+            if sn.unfinished_preds == 0
+                && sn.unreleased_streams == 0
+                && sn.state == TaskState::Pending
+            {
                 sn.state = TaskState::Ready;
                 self.ready.insert(s);
                 newly_ready.push(s);
             }
         }
+        // Completion is also a release: a producer that never sent an
+        // element (empty stream) must still free its consumers.
+        if !self.nodes[id.index()].released {
+            self.release_walk(id, newly_ready);
+        }
         Ok(())
+    }
+
+    /// Marks `id` as having released its stream consumers — called by
+    /// engines at the producer's first element — and promotes any
+    /// consumer that was waiting only on this release. Idempotent:
+    /// releasing twice (or after completion) is a no-op. Newly-ready
+    /// consumers are appended to `newly_ready`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownTask`] for ids not in the graph.
+    pub fn stream_release_into(
+        &mut self,
+        id: TaskId,
+        newly_ready: &mut Vec<TaskId>,
+    ) -> Result<(), DagError> {
+        if id.index() >= self.nodes.len() {
+            return Err(DagError::UnknownTask(id));
+        }
+        if !self.nodes[id.index()].released {
+            self.release_walk(id, newly_ready);
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience form of [`TaskGraph::stream_release_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TaskGraph::stream_release_into`].
+    pub fn stream_release(&mut self, id: TaskId) -> Result<Vec<TaskId>, DagError> {
+        let mut newly_ready = Vec::new();
+        self.stream_release_into(id, &mut newly_ready)?;
+        Ok(newly_ready)
+    }
+
+    /// Sets the released flag and walks the stream successors. Caller
+    /// checks the flag first.
+    fn release_walk(&mut self, id: TaskId, newly_ready: &mut Vec<TaskId>) {
+        self.nodes[id.index()].released = true;
+        for k in 0..self.nodes[id.index()].stream_succs.len() {
+            let s = self.nodes[id.index()].stream_succs[k];
+            let sn = &mut self.nodes[s.index()];
+            sn.unreleased_streams -= 1;
+            if sn.unfinished_preds == 0
+                && sn.unreleased_streams == 0
+                && sn.state == TaskState::Pending
+            {
+                sn.state = TaskState::Ready;
+                self.ready.insert(s);
+                newly_ready.push(s);
+            }
+        }
     }
 
     /// Marks a running task as failed (e.g. its node died).
@@ -340,18 +456,24 @@ impl TaskGraph {
     /// topological because edges only point forward, but this validates
     /// the invariant and is used by static schedulers).
     pub fn topological_order(&self) -> Vec<TaskId> {
-        // Kahn's algorithm over the full graph, independent of states.
-        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.preds.len()).collect();
+        // Kahn's algorithm over the full graph — completion and stream
+        // edges alike — independent of states.
+        let mut indeg: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|n| n.preds.len() + n.stream_preds.len())
+            .collect();
         let mut queue: Vec<TaskId> = self
             .nodes
             .iter()
-            .filter(|n| n.preds.is_empty())
+            .filter(|n| n.preds.is_empty() && n.stream_preds.is_empty())
             .map(|n| n.id)
             .collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(id) = queue.pop() {
             order.push(id);
-            for &s in &self.nodes[id.index()].succs {
+            let n = &self.nodes[id.index()];
+            for &s in n.succs.iter().chain(n.stream_succs.iter()) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
                     queue.push(s);
@@ -377,6 +499,8 @@ impl TaskGraph {
 pub struct GraphRun {
     states: Vec<TaskState>,
     unfinished: Vec<usize>,
+    stream_unreleased: Vec<usize>,
+    released: Vec<bool>,
     ready: BTreeSet<TaskId>,
     completed_count: usize,
 }
@@ -387,6 +511,8 @@ impl GraphRun {
         GraphRun {
             states: graph.nodes.iter().map(|n| n.state).collect(),
             unfinished: graph.nodes.iter().map(|n| n.unfinished_preds).collect(),
+            stream_unreleased: graph.nodes.iter().map(|n| n.unreleased_streams).collect(),
+            released: graph.nodes.iter().map(|n| n.released).collect(),
             ready: graph.ready.clone(),
             completed_count: graph.completed_count,
         }
@@ -467,13 +593,60 @@ impl GraphRun {
         let mut newly_ready = 0;
         for &s in &graph.nodes[id.index()].succs {
             self.unfinished[s.index()] -= 1;
-            if self.unfinished[s.index()] == 0 && self.states[s.index()] == TaskState::Pending {
+            if self.unfinished[s.index()] == 0
+                && self.stream_unreleased[s.index()] == 0
+                && self.states[s.index()] == TaskState::Pending
+            {
                 self.states[s.index()] = TaskState::Ready;
                 self.ready.insert(s);
                 newly_ready += 1;
             }
         }
+        // Completion releases any consumers still gated on this
+        // producer's first element (see `TaskGraph::complete_into`).
+        if !self.released[id.index()] {
+            newly_ready += self.release_walk(graph, id);
+        }
         Ok(newly_ready)
+    }
+
+    /// Marks `id` as having released its stream consumers and promotes
+    /// consumers waiting only on this release; returns how many became
+    /// ready. Idempotent, mirroring [`TaskGraph::stream_release_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownTask`] for ids not in the run.
+    pub fn stream_release(&mut self, graph: &TaskGraph, id: TaskId) -> Result<usize, DagError> {
+        if id.index() >= self.states.len() {
+            return Err(DagError::UnknownTask(id));
+        }
+        if self.released[id.index()] {
+            return Ok(0);
+        }
+        Ok(self.release_walk(graph, id))
+    }
+
+    /// Whether `id` has released its stream consumers in this run.
+    pub fn stream_released(&self, id: TaskId) -> bool {
+        self.released.get(id.index()).copied().unwrap_or(false)
+    }
+
+    fn release_walk(&mut self, graph: &TaskGraph, id: TaskId) -> usize {
+        self.released[id.index()] = true;
+        let mut newly_ready = 0;
+        for &s in &graph.nodes[id.index()].stream_succs {
+            self.stream_unreleased[s.index()] -= 1;
+            if self.unfinished[s.index()] == 0
+                && self.stream_unreleased[s.index()] == 0
+                && self.states[s.index()] == TaskState::Pending
+            {
+                self.states[s.index()] = TaskState::Ready;
+                self.ready.insert(s);
+                newly_ready += 1;
+            }
+        }
+        newly_ready
     }
 
     /// Marks a running task as failed (see [`TaskGraph::mark_failed`]).
@@ -681,5 +854,96 @@ mod tests {
         let g = TaskGraph::new();
         assert!(g.node(TaskId::from_raw(0)).is_err());
         assert!(g.predecessors(TaskId::from_raw(5)).is_empty());
+        let mut g = TaskGraph::new();
+        assert!(g.stream_release(TaskId::from_raw(0)).is_err());
+    }
+
+    /// Builds sensor -(stream s)-> feat -(stream f)-> sink.
+    fn stream_chain() -> (AccessProcessor, [TaskId; 3]) {
+        let mut ap = AccessProcessor::new();
+        let s = ap.new_data("s");
+        let f = ap.new_data("f");
+        let sensor = ap.register(TaskSpec::new("sensor").stream_out(s)).unwrap();
+        let feat = ap
+            .register(TaskSpec::new("feat").stream_in(s).stream_out(f))
+            .unwrap();
+        let sink = ap.register(TaskSpec::new("sink").stream_in(f)).unwrap();
+        (ap, [sensor, feat, sink])
+    }
+
+    #[test]
+    fn graph_run_mirrors_stream_release() {
+        let (ap, [sensor, feat, sink]) = stream_chain();
+        let graph = ap.graph();
+        let mut run = GraphRun::new(graph);
+        assert_eq!(
+            run.ready_tasks().iter().copied().collect::<Vec<_>>(),
+            vec![sensor]
+        );
+        run.mark_running(sensor).unwrap();
+        // First element propagates readiness down the chain as each
+        // stage sends, all three stages concurrently running.
+        assert_eq!(run.stream_release(graph, sensor).unwrap(), 1);
+        assert!(!run.stream_released(feat));
+        run.mark_running(feat).unwrap();
+        assert_eq!(run.stream_release(graph, feat).unwrap(), 1);
+        assert!(run.stream_released(feat));
+        run.mark_running(sink).unwrap();
+        // Idempotent.
+        assert_eq!(run.stream_release(graph, sensor).unwrap(), 0);
+        // Completions in pipeline order; no further releases pending.
+        assert_eq!(run.complete(graph, sensor).unwrap(), 0);
+        assert_eq!(run.complete(graph, feat).unwrap(), 0);
+        assert_eq!(run.complete(graph, sink).unwrap(), 0);
+        assert!(run.all_completed());
+        assert!(run.stream_release(graph, TaskId::from_raw(9)).is_err());
+        // The borrowed graph never changed.
+        assert!(!graph.node(sensor).unwrap().stream_released());
+    }
+
+    #[test]
+    fn graph_run_completion_releases_unstarted_streams() {
+        let (ap, [sensor, feat, sink]) = stream_chain();
+        let graph = ap.graph();
+        let mut run = GraphRun::new(graph);
+        // Sensor completes without sending: feat becomes ready; feat
+        // completes without sending: sink becomes ready.
+        assert_eq!(run.complete(graph, sensor).unwrap(), 1);
+        assert_eq!(run.complete(graph, feat).unwrap(), 1);
+        assert_eq!(run.complete(graph, sink).unwrap(), 0);
+        assert!(run.all_completed());
+    }
+
+    #[test]
+    fn topological_order_includes_stream_edges() {
+        let (ap, [sensor, feat, sink]) = stream_chain();
+        let order = ap.graph().topological_order();
+        let pos = |t: TaskId| order.iter().position(|x| *x == t).unwrap();
+        assert!(pos(sensor) < pos(feat) && pos(feat) < pos(sink));
+        assert_eq!(ap.graph().edge_count(), 0);
+        assert_eq!(ap.graph().stream_edge_count(), 2);
+    }
+
+    #[test]
+    fn mixed_completion_and_stream_gating() {
+        // A consumer with both a versioned input and a stream input
+        // needs the input produced *and* the stream released.
+        let mut ap = AccessProcessor::new();
+        let model = ap.new_data("model");
+        let s = ap.new_data("s");
+        let train = ap.register(TaskSpec::new("train").output(model)).unwrap();
+        let sensor = ap.register(TaskSpec::new("sensor").stream_out(s)).unwrap();
+        let infer = ap
+            .register(TaskSpec::new("infer").input(model).stream_in(s))
+            .unwrap();
+        let g = ap.graph_mut();
+        assert!(!g.ready_tasks().contains(&infer));
+        g.stream_release(sensor).unwrap();
+        assert!(!g.ready_tasks().contains(&infer), "model still missing");
+        assert_eq!(g.complete(train).unwrap(), vec![infer]);
+        let n = g.node(infer).unwrap();
+        assert_eq!(n.predecessors(), &[train]);
+        assert_eq!(n.stream_predecessors(), &[sensor]);
+        assert_eq!(n.unreleased_streams(), 0);
     }
 }

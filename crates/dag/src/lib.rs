@@ -47,11 +47,11 @@ mod ids;
 mod param;
 mod spec;
 
-pub use access::{AccessProcessor, DataCatalog, VersionInfo};
+pub use access::{AccessProcessor, DataCatalog, StreamEndpoints, VersionInfo};
 pub use analysis::{CriticalPath, GraphAnalysis, LevelStats};
 pub use dot::DotOptions;
 pub use error::DagError;
 pub use graph::{GraphRun, TaskGraph, TaskNode, TaskState};
 pub use ids::{DataId, DataVersion, TaskId, VersionedData};
-pub use param::{Direction, Param};
+pub use param::{Direction, Param, StreamRole};
 pub use spec::TaskSpec;

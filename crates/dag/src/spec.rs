@@ -67,6 +67,18 @@ impl TaskSpec {
         self
     }
 
+    /// Adds the writing end of a streamed parameter.
+    pub fn stream_out(mut self, data: DataId) -> Self {
+        self.params.push(Param::stream_write(data));
+        self
+    }
+
+    /// Adds the reading end of a streamed parameter.
+    pub fn stream_in(mut self, data: DataId) -> Self {
+        self.params.push(Param::stream_read(data));
+        self
+    }
+
     /// Adds many read-only parameters at once.
     pub fn inputs<I: IntoIterator<Item = DataId>>(mut self, data: I) -> Self {
         self.params.extend(data.into_iter().map(Param::input));
@@ -115,6 +127,22 @@ impl TaskSpec {
             .filter(|p| p.direction.writes())
             .map(|p| p.data)
     }
+
+    /// Iterates over the streams the task consumes.
+    pub fn stream_reads(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.params
+            .iter()
+            .filter(|p| p.direction == Direction::Stream(crate::param::StreamRole::Consume))
+            .map(|p| p.data)
+    }
+
+    /// Iterates over the streams the task produces.
+    pub fn stream_writes(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.params
+            .iter()
+            .filter(|p| p.direction == Direction::Stream(crate::param::StreamRole::Produce))
+            .map(|p| p.data)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +179,18 @@ mod tests {
             .outputs([DataId::from_raw(9)]);
         assert_eq!(spec.params().len(), 4);
         assert_eq!(spec.writes().count(), 1);
+    }
+
+    #[test]
+    fn stream_builders_and_iterators() {
+        let s = DataId::from_raw(0);
+        let t = DataId::from_raw(1);
+        let spec = TaskSpec::new("stage").stream_in(s).stream_out(t);
+        assert_eq!(spec.stream_reads().collect::<Vec<_>>(), vec![s]);
+        assert_eq!(spec.stream_writes().collect::<Vec<_>>(), vec![t]);
+        // Stream params are invisible to the versioned read/write views.
+        assert_eq!(spec.reads().count(), 0);
+        assert_eq!(spec.writes().count(), 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! primary contribution of the reproduced paper.
 //!
 //! Applications are written once against the dataflow model of
-//! [`continuum_dag`] (tasks with `In`/`Out`/`InOut` parameters) and can
+//! [`continuum_dag`] (tasks with `In`/`Out`/`InOut` parameters, plus
+//! `Stream` edges whose consumers start at the first element) and can
 //! then execute on either of two engines:
 //!
 //! * [`LocalRuntime`] — a real multithreaded executor that runs Rust
@@ -37,12 +38,15 @@ mod lockorder;
 mod profile;
 mod scheduler;
 mod sim_engine;
+mod stream;
 mod workload;
 
 pub use data::{DataRegistry, StorageResidency};
 pub use error::RuntimeError;
 pub use lineage::{LineageChain, LineagePolicy, LineageReport, Stage};
-pub use local::{DataHandle, LocalConfig, LocalRuntime, TaskContext};
+pub use local::{
+    DataHandle, LocalConfig, LocalRuntime, StreamHandle, StreamReader, StreamWriter, TaskContext,
+};
 pub use profile::TaskProfile;
 pub use scheduler::{
     EnergyScheduler, FifoScheduler, HeftScheduler, ListScheduler, LocalityScheduler, PlacementView,

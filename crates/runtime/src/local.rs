@@ -36,9 +36,22 @@
 //!   with `notify_one` per unit of new work (skipped entirely while a
 //!   worker is already scanning), instead of a herd-waking broadcast
 //!   on every state change.
+//! * **Stream edges** — `Direction::Stream` parameters bind to bounded
+//!   in-memory channels ([`crate::stream`]): a producer's *first sent
+//!   element* releases its stream consumers for dispatch (completion
+//!   releases them for empty streams), so pipeline stages overlap
+//!   instead of running back-to-back. A send on a full channel blocks
+//!   with backpressure. **Limitation**: a blocked stream endpoint
+//!   occupies its worker thread — this executor has no task
+//!   continuations to park a task without parking its thread — so
+//!   liveness requires `workers` ≥ the number of concurrently-live
+//!   stream stages. First-element release keeps this workable: every
+//!   consumer is dispatchable before any producer can fill a channel
+//!   and block.
 
 use crate::error::RuntimeError;
 use crate::lockorder::{self, RANK_GRAPH, RANK_POOL, RANK_SHARD, RANK_SLEEP};
+use crate::stream::StreamChannel;
 use continuum_analyze::{
     check_task_constraints, has_errors, read_without_producer, Diagnostic, LintMode, LintNode,
 };
@@ -91,6 +104,40 @@ impl<T> From<DataHandle<T>> for DataId {
     }
 }
 
+/// Typed handle to a stream datum: a bounded channel of `T` elements
+/// flowing between tasks, created by [`LocalRuntime::stream`].
+///
+/// Unlike a [`DataHandle`], a stream has no versions and no final
+/// value to `get` — tasks access it through
+/// [`TaskContext::stream_writer`] / [`TaskContext::stream_reader`].
+#[derive(Debug)]
+pub struct StreamHandle<T> {
+    id: DataId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for StreamHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for StreamHandle<T> {}
+
+impl<T> StreamHandle<T> {
+    /// The underlying datum id, usable in [`TaskSpec`] builders
+    /// (`stream_out` / `stream_in`).
+    pub fn id(&self) -> DataId {
+        self.id
+    }
+}
+
+impl<T> From<StreamHandle<T>> for DataId {
+    fn from(h: StreamHandle<T>) -> DataId {
+        h.id
+    }
+}
+
 /// Execution context passed to task bodies: read inputs, write
 /// outputs.
 ///
@@ -100,6 +147,12 @@ impl<T> From<DataHandle<T>> for DataId {
 pub struct TaskContext {
     inputs: Vec<Value>,
     outputs: Vec<Option<Value>>,
+    /// Writer endpoints for the spec's `stream_out` params, in
+    /// declaration order. Empty for non-streaming tasks.
+    stream_outs: Vec<StreamEndpointCore>,
+    /// Reader endpoints for the spec's `stream_in` params, in
+    /// declaration order. Empty for non-streaming tasks.
+    stream_ins: Vec<StreamEndpointCore>,
 }
 
 impl TaskContext {
@@ -145,6 +198,139 @@ impl TaskContext {
     /// Panics if the index is out of range.
     pub fn set_output<T: Send + Sync + 'static>(&mut self, i: usize, value: T) {
         self.outputs[i] = Some(Arc::new(value));
+    }
+
+    /// The number of `stream_out` params.
+    pub fn stream_out_count(&self) -> usize {
+        self.stream_outs.len()
+    }
+
+    /// The number of `stream_in` params.
+    pub fn stream_in_count(&self) -> usize {
+        self.stream_ins.len()
+    }
+
+    /// The writing end of the `i`-th `stream_out` param, typed as a
+    /// stream of `T`. The handle is owned (it clones shared state), so
+    /// it can outlive borrows of the context inside the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn stream_writer<T: Send + Sync + 'static>(&self, i: usize) -> StreamWriter<T> {
+        StreamWriter {
+            core: self.stream_outs[i].clone(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The reading end of the `i`-th `stream_in` param, typed as a
+    /// stream of `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn stream_reader<T: Send + Sync + 'static>(&self, i: usize) -> StreamReader<T> {
+        StreamReader {
+            core: self.stream_ins[i].clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Shared plumbing of one stream endpoint inside a running task: the
+/// channel, the runtime (for first-element release and telemetry), the
+/// owning task's meta (for the release-once flag) and the worker the
+/// body runs on (for wait-span attribution).
+#[derive(Clone)]
+struct StreamEndpointCore {
+    chan: Arc<StreamChannel>,
+    shared: Arc<Shared>,
+    meta: Arc<TaskMeta>,
+    worker: u32,
+}
+
+impl StreamEndpointCore {
+    /// Emits a [`TaskPhase::StreamWait`] span covering a just-finished
+    /// blocked interval, if telemetry is on and the wait was nonzero.
+    fn emit_wait(&self, blocked_us: u64) {
+        if blocked_us == 0 || !self.shared.telemetry.enabled() {
+            return;
+        }
+        let end_us = self.shared.now_us();
+        self.shared.telemetry.record(TelemetryEvent::Span {
+            track: Track::Worker(self.worker),
+            name: format!("stream:{}", self.chan.name()),
+            phase: TaskPhase::StreamWait,
+            start_us: end_us.saturating_sub(blocked_us),
+            dur_us: blocked_us,
+        });
+    }
+}
+
+/// The writing end of a stream, obtained from
+/// [`TaskContext::stream_writer`] inside a producer's body.
+pub struct StreamWriter<T> {
+    core: StreamEndpointCore,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T: Send + Sync + 'static> StreamWriter<T> {
+    /// Sends one element, blocking while the channel is full
+    /// (backpressure).
+    ///
+    /// The producer's *first* send — on any of its output streams —
+    /// releases its stream consumers for dispatch, before this call
+    /// can block: by the time a producer has filled a channel, every
+    /// consumer is already queued for a worker.
+    ///
+    /// Returns `false` if the channel was force-closed (the run failed
+    /// or is shutting down); a well-behaved producer stops streaming
+    /// then.
+    pub fn send(&self, value: T) -> bool {
+        release_stream_successors(&self.core.shared, &self.core.meta);
+        let (accepted, blocked_us) = self
+            .core
+            .chan
+            .send(Arc::new(value), std::mem::size_of::<T>() as u64);
+        self.core.emit_wait(blocked_us);
+        accepted
+    }
+}
+
+/// The reading end of a stream, obtained from
+/// [`TaskContext::stream_reader`] inside a consumer's body.
+pub struct StreamReader<T> {
+    core: StreamEndpointCore,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> StreamReader<T> {
+    /// Receives the next element, blocking while the channel is empty
+    /// and a producer is still open. Returns `None` at end-of-stream:
+    /// every registered producer has finished and the queue is drained
+    /// (or the run was force-closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element's stored type is not `T` — a programming
+    /// error, surfaced as a task failure by the runtime.
+    pub fn recv(&self) -> Option<Arc<T>> {
+        let (value, blocked_us) = self.core.chan.recv();
+        self.core.emit_wait(blocked_us);
+        value.map(|v| {
+            v.downcast::<T>().unwrap_or_else(|_| {
+                panic!(
+                    "stream `{}` element has unexpected type",
+                    self.core.chan.name()
+                )
+            })
+        })
+    }
+
+    /// Iterates the stream to exhaustion (`recv` until `None`).
+    pub fn iter(&self) -> impl Iterator<Item = Arc<T>> + '_ {
+        std::iter::from_fn(move || self.recv())
     }
 }
 
@@ -209,6 +395,16 @@ struct TaskMeta {
     constraints: Constraints,
     consumed: Vec<VersionedData>,
     produced: Vec<VersionedData>,
+    /// Channels behind the spec's `stream_out` params, in declaration
+    /// order. This task is a registered writer of each until its body
+    /// finishes.
+    stream_outs: Vec<Arc<StreamChannel>>,
+    /// Channels behind the spec's `stream_in` params, in declaration
+    /// order.
+    stream_ins: Vec<Arc<StreamChannel>>,
+    /// Whether this producer's first element already released its
+    /// stream consumers (checked lock-free on every send).
+    streams_released: AtomicBool,
     body: Mutex<Option<TaskBody>>,
 }
 
@@ -237,6 +433,9 @@ struct GraphState {
     /// Dispatch metadata indexed by dense task id.
     metas: Vec<Arc<TaskMeta>>,
     live: HashMap<VersionedData, LiveEntry>,
+    /// One bounded channel per stream datum, created by
+    /// [`LocalRuntime::stream`] or on demand at first use.
+    channels: HashMap<DataId, Arc<StreamChannel>>,
     failure: Option<(TaskId, String)>,
 }
 
@@ -284,6 +483,19 @@ impl GraphState {
         }
     }
 
+    /// The channel behind a stream datum, created on first use with
+    /// the default capacity when [`LocalRuntime::stream`] didn't size
+    /// it explicitly.
+    fn stream_channel(&mut self, data: DataId) -> Arc<StreamChannel> {
+        if let Some(c) = self.channels.get(&data) {
+            return Arc::clone(c);
+        }
+        let name = self.ap.catalog().name(data).unwrap_or("stream").to_string();
+        let c = Arc::new(StreamChannel::new(name, DEFAULT_STREAM_CAPACITY));
+        self.channels.insert(data, Arc::clone(&c));
+        c
+    }
+
     /// Drops the entry — and schedules the stored payload for removal
     /// — once nothing can ever read the value again.
     fn maybe_evict(&mut self, vd: VersionedData, evicted: &mut Vec<VersionedData>) {
@@ -296,6 +508,12 @@ impl GraphState {
         }
     }
 }
+
+/// Default bounded capacity of stream channels not sized explicitly
+/// via [`LocalRuntime::stream`]. Big enough to decouple bursty
+/// producers, small enough that backpressure engages before memory
+/// does.
+const DEFAULT_STREAM_CAPACITY: usize = 16;
 
 /// Number of value-store shards (power of two). Sixteen keeps
 /// publication/resolution contention negligible at any worker count
@@ -545,6 +763,7 @@ impl LocalRuntime {
                 ap: AccessProcessor::new(),
                 metas: Vec::new(),
                 live: HashMap::new(),
+                channels: HashMap::new(),
                 failure: None,
             }),
             client_cv: Condvar::new(),
@@ -586,6 +805,27 @@ impl LocalRuntime {
         let _order = lockorder::acquire(RANK_GRAPH, "graph");
         let id = self.shared.graph.lock().ap.new_data(name);
         DataHandle {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Registers a typed stream datum backed by a bounded channel of
+    /// `capacity` (≥ 1) elements.
+    ///
+    /// Tasks access the stream with `stream_out` / `stream_in` params
+    /// on their [`TaskSpec`]; a stream datum never mixes with
+    /// versioned (`In`/`Out`/`InOut`) access. Using a stream datum in
+    /// a spec without calling this first creates the channel on demand
+    /// with a default capacity of 16.
+    pub fn stream<T>(&self, name: impl Into<String>, capacity: usize) -> StreamHandle<T> {
+        let name = name.into();
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
+        let mut g = self.shared.graph.lock();
+        let id = g.ap.new_data(name.clone());
+        g.channels
+            .insert(id, Arc::new(StreamChannel::new(name, capacity)));
+        StreamHandle {
             id,
             _marker: PhantomData,
         }
@@ -683,6 +923,9 @@ impl LocalRuntime {
             .telemetry
             .enabled()
             .then(|| spec.name().to_string());
+        // Stream params, extracted before `register` consumes the spec.
+        let stream_out_ids: Vec<DataId> = spec.stream_writes().collect();
+        let stream_in_ids: Vec<DataId> = spec.stream_reads().collect();
         let mut evicted = Vec::new();
         let mut ready_meta = None;
         let mut warn_findings = Vec::new();
@@ -716,12 +959,28 @@ impl LocalRuntime {
             id = g.ap.register(spec)?;
             let node = g.ap.graph().node(id).expect("just registered");
             let is_ready = node.state() == TaskState::Ready;
+            let (consumed, produced) = (node.consumed().to_vec(), node.produced().to_vec());
+            let stream_outs: Vec<Arc<StreamChannel>> = stream_out_ids
+                .iter()
+                .map(|d| g.stream_channel(*d))
+                .collect();
+            let stream_ins: Vec<Arc<StreamChannel>> =
+                stream_in_ids.iter().map(|d| g.stream_channel(*d)).collect();
+            // Count this producer as an open writer until its body
+            // finishes — readers see end-of-stream only after every
+            // registered producer is done.
+            for chan in &stream_outs {
+                chan.register_writer();
+            }
             let meta = Arc::new(TaskMeta {
                 id,
                 name: submitted_name.clone(),
                 constraints,
-                consumed: node.consumed().to_vec(),
-                produced: node.produced().to_vec(),
+                consumed,
+                produced,
+                stream_outs,
+                stream_ins,
+                streams_released: AtomicBool::new(false),
                 body: Mutex::new(Some(Box::new(body))),
             });
             g.note_registered(&meta, &mut evicted);
@@ -866,6 +1125,23 @@ impl LocalRuntime {
 impl Drop for LocalRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Force-close every stream channel before joining: a worker
+        // blocked in a stream send/recv inside a task body would
+        // otherwise never observe the shutdown. In-flight elements of
+        // an abandoned run are dropped.
+        let channels: Vec<Arc<StreamChannel>> = {
+            let _order = lockorder::acquire(RANK_GRAPH, "graph");
+            self.shared
+                .graph
+                .lock()
+                .channels
+                .values()
+                .cloned()
+                .collect()
+        };
+        for chan in &channels {
+            chan.force_close();
+        }
         {
             let _order = lockorder::acquire(RANK_SLEEP, "sleep");
             let _guard = self.shared.sleep.lock();
@@ -880,6 +1156,22 @@ impl Drop for LocalRuntime {
             // metrics readers see explicit zeros (shared memory: no
             // transfers, no lineage replays) instead of absent keys.
             self.shared.telemetry.run_end_counters(end_us, 0, 0, 0);
+            if !channels.is_empty() {
+                use std::sync::atomic::Ordering::Relaxed;
+                let mut high_water = 0u64;
+                let (mut send_us, mut recv_us, mut elements, mut bytes) = (0u64, 0u64, 0u64, 0u64);
+                for chan in &channels {
+                    let st = chan.stats();
+                    high_water = high_water.max(st.occupancy_high_water.load(Relaxed));
+                    send_us += st.blocked_send_us.load(Relaxed);
+                    recv_us += st.blocked_recv_us.load(Relaxed);
+                    elements += st.elements.load(Relaxed);
+                    bytes += st.bytes.load(Relaxed);
+                }
+                self.shared
+                    .telemetry
+                    .run_end_stream_counters(end_us, high_water, send_us, recv_us, elements, bytes);
+            }
             // The run span closes last, covering every task span.
             self.shared.telemetry.record(TelemetryEvent::Span {
                 track: Track::Run,
@@ -904,7 +1196,7 @@ struct Scratch {
     evicted: Vec<VersionedData>,
 }
 
-fn worker_loop(shared: &Shared, queue: &WorkerQueue<Arc<TaskMeta>>, worker: u32) {
+fn worker_loop(shared: &Arc<Shared>, queue: &WorkerQueue<Arc<TaskMeta>>, worker: u32) {
     let mut scratch = Scratch::default();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -1020,8 +1312,35 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// Runs one claimed task end to end: resolve inputs from the store,
 /// execute the body, publish outputs, commit to the graph, release
 /// resources, and dispatch whatever became runnable.
+/// Releases the stream successors of `meta` (its consumers become
+/// dispatchable) on the producer's first sent element. Idempotent and
+/// lock-free after the first call; called from [`StreamWriter::send`]
+/// *before* the potentially-blocking push, so consumers are queued
+/// before backpressure can park their producer.
+fn release_stream_successors(shared: &Shared, meta: &TaskMeta) {
+    if meta.streams_released.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let mut ready: Vec<Arc<TaskMeta>> = Vec::new();
+    {
+        let _order = lockorder::acquire(RANK_GRAPH, "graph");
+        let mut g = shared.graph.lock();
+        let mut ids = Vec::new();
+        if g.ap
+            .graph_mut()
+            .stream_release_into(meta.id, &mut ids)
+            .is_ok()
+        {
+            for id in &ids {
+                ready.push(Arc::clone(&g.metas[id.index()]));
+            }
+        }
+    }
+    shared.inject_ready(&mut ready);
+}
+
 fn execute(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     queue: &WorkerQueue<Arc<TaskMeta>>,
     meta: &Arc<TaskMeta>,
     worker: u32,
@@ -1049,14 +1368,28 @@ fn execute(
         });
     }
     let start_us = shared.now_us();
+    let endpoint = |chan: &Arc<StreamChannel>| StreamEndpointCore {
+        chan: Arc::clone(chan),
+        shared: Arc::clone(shared),
+        meta: Arc::clone(meta),
+        worker,
+    };
     let mut ctx = TaskContext {
         inputs: std::mem::take(&mut s.inputs),
         outputs: std::mem::take(&mut s.outputs),
+        stream_outs: meta.stream_outs.iter().map(endpoint).collect(),
+        stream_ins: meta.stream_ins.iter().map(endpoint).collect(),
     };
     let result = catch_unwind(AssertUnwindSafe(|| {
         let body = body;
         body(&mut ctx);
     }));
+    // Writer close: whether the body committed, failed or never sent,
+    // this producer is done — once every producer of a channel has
+    // closed, drained readers observe end-of-stream.
+    for chan in &meta.stream_outs {
+        chan.writer_done();
+    }
     let end_us = shared.now_us();
 
     let failure_message = match &result {
@@ -1079,6 +1412,8 @@ fn execute(
     let TaskContext {
         mut inputs,
         mut outputs,
+        stream_outs: _,
+        stream_ins: _,
     } = ctx;
     inputs.clear();
     outputs.clear();
@@ -1115,6 +1450,12 @@ fn execute(
                     g.failure = Some((meta.id, message));
                 }
                 shared.poisoned.store(true, Ordering::SeqCst);
+                // Wake every stream endpoint blocked in a running task
+                // body, or `wait_all` would hang on `running > 0`.
+                // Channel locks are leaves above the graph lock.
+                for chan in g.channels.values() {
+                    chan.force_close();
+                }
             }
         }
         for vd in &meta.consumed {

@@ -22,6 +22,11 @@ pub const RANK_SHARD: u8 = 1;
 pub const RANK_POOL: u8 = 2;
 /// Rank of the sleep-protocol mutex (leaf; never nests with the pool).
 pub const RANK_SLEEP: u8 = 2;
+/// Rank of a stream-channel mutex (leaf; acquired either standalone on
+/// the send/recv data path or under the graph lock when a failing run
+/// force-closes channels — never the other way around, and never
+/// nested with the pool or sleep locks).
+pub const RANK_STREAM: u8 = 2;
 
 #[cfg(debug_assertions)]
 mod imp {

@@ -18,6 +18,13 @@ pub struct TaskProfile {
     /// Missing entries fall back to `default_output_bytes`.
     output_bytes: Vec<u64>,
     default_output_bytes: u64,
+    /// Elements the task emits on *each* of its output streams, spaced
+    /// evenly across its execution window. Zero models a producer that
+    /// closes without sending (its consumers are released at its
+    /// completion).
+    stream_elements: u64,
+    /// Approximate payload bytes per stream element.
+    stream_element_bytes: u64,
 }
 
 impl Default for TaskProfile {
@@ -27,6 +34,8 @@ impl Default for TaskProfile {
             constraints: Constraints::new(),
             output_bytes: Vec::new(),
             default_output_bytes: 0,
+            stream_elements: 1,
+            stream_element_bytes: 0,
         }
     }
 }
@@ -67,6 +76,19 @@ impl TaskProfile {
         self
     }
 
+    /// Sets how many elements the task sends on each output stream
+    /// (default 1; 0 models a producer that closes without sending).
+    pub fn stream_elements(mut self, n: u64) -> Self {
+        self.stream_elements = n;
+        self
+    }
+
+    /// Sets the approximate payload bytes per stream element.
+    pub fn stream_element_bytes(mut self, bytes: u64) -> Self {
+        self.stream_element_bytes = bytes;
+        self
+    }
+
     /// Reference duration in seconds on a speed-1.0 node.
     pub fn duration_s(&self) -> f64 {
         self.duration_s
@@ -83,6 +105,16 @@ impl TaskProfile {
             .get(i)
             .copied()
             .unwrap_or(self.default_output_bytes)
+    }
+
+    /// Elements the task sends on each of its output streams.
+    pub fn stream_elements_count(&self) -> u64 {
+        self.stream_elements
+    }
+
+    /// Approximate payload bytes per stream element.
+    pub fn stream_element_size(&self) -> u64 {
+        self.stream_element_bytes
     }
 }
 
@@ -122,5 +154,27 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_duration_rejected() {
         let _ = TaskProfile::new(-1.0);
+    }
+
+    #[test]
+    fn stream_fields_default_and_build() {
+        let p = TaskProfile::default();
+        assert_eq!(p.stream_elements_count(), 1);
+        assert_eq!(p.stream_element_size(), 0);
+        let p = TaskProfile::new(2.0)
+            .stream_elements(16)
+            .stream_element_bytes(4_096);
+        assert_eq!(p.stream_elements_count(), 16);
+        assert_eq!(p.stream_element_size(), 4_096);
+    }
+
+    #[test]
+    fn stream_fields_round_trip_through_serde() {
+        let p = TaskProfile::new(2.5)
+            .stream_elements(9)
+            .stream_element_bytes(512);
+        let json = serde::to_string(&p);
+        let back: TaskProfile = serde::from_str(&json).unwrap();
+        assert_eq!(back, p);
     }
 }

@@ -14,9 +14,10 @@
 
 use crate::data::DataRegistry;
 use crate::workload::SimWorkload;
-use continuum_dag::{GraphAnalysis, TaskId};
+use continuum_dag::{DataId, GraphAnalysis, TaskId};
 use continuum_platform::{NodeId, Platform, ZoneId};
 use continuum_sim::{NodeState, VirtualTime};
+use std::collections::HashMap;
 
 /// Read-only view of the machine offered to schedulers.
 #[derive(Debug)]
@@ -30,6 +31,11 @@ pub struct PlacementView<'a> {
     /// running max so queries are O(1) instead of a link-map scan.
     pub(crate) zone_uplink_busy: Option<&'a [VirtualTime]>,
     pub(crate) now: VirtualTime,
+    /// Node hosting the producer of each stream datum (the engine's
+    /// locality index for stream edges). Stream edges carry no
+    /// resident bytes, so they contribute placement *affinity* rather
+    /// than locality byte counts.
+    pub(crate) stream_sites: Option<&'a HashMap<DataId, NodeId>>,
 }
 
 impl<'a> PlacementView<'a> {
@@ -48,7 +54,15 @@ impl<'a> PlacementView<'a> {
             platform,
             zone_uplink_busy: None,
             now: VirtualTime::ZERO,
+            stream_sites: None,
         }
+    }
+
+    /// Attaches the engine's stream-site index (producer node per
+    /// stream datum), enabling [`PlacementView::stream_affinity`].
+    pub fn with_stream_sites(mut self, sites: &'a HashMap<DataId, NodeId>) -> Self {
+        self.stream_sites = Some(sites);
+        self
     }
 
     /// Attaches the engine's per-zone uplink occupancy (worst
@@ -98,6 +112,34 @@ impl<'a> PlacementView<'a> {
     /// Returns `true` if `node` can host `task` right now.
     pub fn can_host(&self, node: NodeId, task: TaskId) -> bool {
         self.nodes[node.index()].can_host(self.workload.profile(task).constraints_ref())
+    }
+
+    /// Number of `task`'s stream endpoints whose peer endpoint is
+    /// sited on `node`: stream-in data whose producer runs (or ran)
+    /// there, and stream-out data whose channel is already sited there
+    /// by an earlier producer. Zero when no site index is attached.
+    ///
+    /// Stream edges move elements continuously for the lifetime of
+    /// both endpoints, so co-locating them keeps that traffic on the
+    /// node fabric — but unlike versioned inputs there are no resident
+    /// bytes to count, hence a separate affinity signal.
+    pub fn stream_affinity(&self, task: TaskId, node: NodeId) -> u32 {
+        let Some(sites) = self.stream_sites else {
+            return 0;
+        };
+        if sites.is_empty() {
+            return 0;
+        }
+        let spec = self
+            .workload
+            .graph()
+            .node(task)
+            .expect("task in workload")
+            .spec();
+        spec.stream_reads()
+            .chain(spec.stream_writes())
+            .filter(|d| sites.get(d) == Some(&node))
+            .count() as u32
     }
 
     /// Input bytes of `task` already resident on `node`.
@@ -458,9 +500,12 @@ impl Scheduler for LocalityScheduler {
             let req = view.workload().profile(task).constraints_ref();
             let cu = req.required_compute_units().max(1);
             // One registry probe per input; per-node locality is then a
-            // binary search over the resolved replica lists.
+            // binary search over the resolved replica lists. Ranking:
+            // resident input bytes, then stream-endpoint affinity
+            // (co-locate with the producer feeding this task's stream
+            // edges — streams carry no resident bytes), then load.
             self.inputs.resolve(view, task, false);
-            let mut best: Option<(u64, i64, NodeId)> = None;
+            let mut best: Option<(u64, u32, i64, NodeId)> = None;
             for st in view.nodes() {
                 let node = st.id();
                 if !view.can_host(node, task) {
@@ -471,13 +516,14 @@ impl Scheduler for LocalityScheduler {
                     continue;
                 }
                 let local = self.inputs.local_bytes(node);
+                let affinity = view.stream_affinity(task, node);
                 let load = -(st.running_count() as i64 + extra as i64);
-                let candidate = (local, load, node);
-                if best.is_none_or(|b| (candidate.0, candidate.1) > (b.0, b.1)) {
+                let candidate = (local, affinity, load, node);
+                if best.is_none_or(|b| (candidate.0, candidate.1, candidate.2) > (b.0, b.1, b.2)) {
                     best = Some(candidate);
                 }
             }
-            let Some((local, _, node)) = best else {
+            let Some((local, _, _, node)) = best else {
                 continue;
             };
             // Delay scheduling: if the task has data somewhere, the
@@ -874,6 +920,35 @@ mod tests {
         let mut s = LocalityScheduler::new();
         let placed = s.place(&view, &[consumer]);
         assert_eq!(placed, vec![(consumer, NodeId::from_raw(2))]);
+    }
+
+    #[test]
+    fn locality_colocates_stream_consumer_with_producer_site() {
+        let mut w = SimWorkload::new();
+        let s = w.data("s");
+        let producer = w
+            .task(TaskSpec::new("p").stream_out(s), TaskProfile::new(10.0))
+            .unwrap();
+        let consumer = w
+            .task(TaskSpec::new("c").stream_in(s), TaskProfile::new(10.0))
+            .unwrap();
+        let _ = producer;
+        let p = cluster(3, 4);
+        let nodes = states(&p);
+        let reg = DataRegistry::new();
+        // The engine sited the producer on node 2.
+        let mut sites = HashMap::new();
+        sites.insert(s, NodeId::from_raw(2));
+        let view = PlacementView::new(&w, &nodes, &reg, &p).with_stream_sites(&sites);
+        assert_eq!(view.stream_affinity(consumer, NodeId::from_raw(2)), 1);
+        assert_eq!(view.stream_affinity(consumer, NodeId::from_raw(0)), 0);
+        let mut sched = LocalityScheduler::new();
+        let placed = sched.place(&view, &[consumer]);
+        assert_eq!(
+            placed,
+            vec![(consumer, NodeId::from_raw(2))],
+            "no resident bytes anywhere: stream affinity must break the tie"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::error::RuntimeError;
 use crate::scheduler::{PlacementView, Scheduler};
 use crate::workload::SimWorkload;
 use continuum_analyze::{has_errors, LintMode};
-use continuum_dag::{GraphAnalysis, GraphRun, TaskId, TaskState, VersionedData};
+use continuum_dag::{DataId, GraphAnalysis, GraphRun, TaskId, TaskState, VersionedData};
 use continuum_platform::{Constraints, ElasticityPolicy, NodeId, Platform, ZoneId};
 use continuum_sim::{
     EventQueue, ExecutionTrace, FaultKind, FaultPlan, NodeState, RunReport, TraceRecord,
@@ -17,7 +17,14 @@ use continuum_sim::{
 use continuum_telemetry::{
     micros_from_seconds, CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Nominal capacity of a simulated stream channel. Virtual time is
+/// driven by the cost model, not by backpressure, so capacity is
+/// *recorded* rather than enforced: the time a channel spends above
+/// this bound is accumulated as blocked-send micros instead of
+/// delaying the producer (see [`SimChannel`]).
+const SIM_STREAM_CAPACITY: u64 = 16;
 
 /// What the engine does when a node failure destroys the only copy of
 /// a datum that is still needed.
@@ -130,10 +137,95 @@ struct InFlight {
 
 #[derive(Debug)]
 enum Event {
-    TaskDone { task: TaskId, epoch: u64 },
-    Fault { node: NodeId, kind: FaultKind },
+    TaskDone {
+        task: TaskId,
+        epoch: u64,
+    },
+    Fault {
+        node: NodeId,
+        kind: FaultKind,
+    },
     ElasticTick,
-    NodeJoin { node: NodeId },
+    NodeJoin {
+        node: NodeId,
+    },
+    /// One stream element leaves a producer. Guarded by the producer's
+    /// in-flight epoch so events of a lost/restarted attempt are inert.
+    StreamSend {
+        task: TaskId,
+        data: DataId,
+        epoch: u64,
+    },
+    /// One stream element is absorbed by a running consumer. Guarded
+    /// by the restart generation (`Engine::restarts`).
+    StreamRecv {
+        data: DataId,
+        generation: usize,
+    },
+}
+
+/// Virtual-time bookkeeping of one stream datum: sends and receives
+/// are discrete events on the sim clock, occupancy is the element
+/// backlog between them. Unlike the local runtime's
+/// [`StreamChannel`](crate::stream), capacity never *blocks* anything
+/// — virtual durations come from the cost model — so backpressure is
+/// recorded instead: time spent above [`SIM_STREAM_CAPACITY`] counts
+/// as blocked-send micros, and a running consumer's wait for the next
+/// element counts as blocked-recv micros.
+#[derive(Debug)]
+struct SimChannel {
+    /// Producer tasks registered at workload build time.
+    writers_total: usize,
+    /// Producers not yet completed (close protocol: the channel is
+    /// exhausted when this reaches zero).
+    open_writers: usize,
+    /// Consumers currently executing (they absorb sends immediately;
+    /// elements queue only while no consumer is admitted).
+    consumers_running: usize,
+    /// Elements sent but not yet received.
+    occupancy: u64,
+    /// Highest occupancy ever observed.
+    high_water: u64,
+    /// Elements sent over the run.
+    elements: u64,
+    /// Approximate payload bytes sent over the run.
+    bytes: u64,
+    /// Virtual µs the backlog sat above the nominal capacity.
+    blocked_send_us: u64,
+    /// Virtual µs a running consumer waited for the next element.
+    blocked_recv_us: u64,
+    /// When the backlog went above capacity (recorded, not enforced).
+    over_capacity_since: Option<VirtualTime>,
+    /// When a running consumer started waiting on an empty channel.
+    waiting_since: Option<VirtualTime>,
+}
+
+impl SimChannel {
+    fn new() -> Self {
+        SimChannel {
+            writers_total: 0,
+            open_writers: 0,
+            consumers_running: 0,
+            occupancy: 0,
+            high_water: 0,
+            elements: 0,
+            bytes: 0,
+            blocked_send_us: 0,
+            blocked_recv_us: 0,
+            over_capacity_since: None,
+            waiting_since: None,
+        }
+    }
+
+    /// Rewinds the live state for a from-scratch restart; cumulative
+    /// counters keep what already happened (those sends were real).
+    fn reset_live_state(&mut self) {
+        self.open_writers = self.writers_total;
+        self.consumers_running = 0;
+        self.occupancy = 0;
+        self.over_capacity_since = None;
+        self.waiting_since = None;
+    }
 }
 
 /// Cached `inputs_ready` verdict for one task, validated against the
@@ -211,6 +303,14 @@ struct Engine<'w, 's> {
     /// execution allocates no per-task host list. Bounded by peak
     /// concurrency.
     host_pool: Vec<Vec<NodeId>>,
+    /// Stream channels by datum (ordered for deterministic end-of-run
+    /// aggregation). Empty for workloads without stream edges, which
+    /// then pay nothing on any path.
+    channels: BTreeMap<DataId, SimChannel>,
+    /// Node hosting the producer of each stream datum, recorded at
+    /// producer start — the locality index stream edges contribute to
+    /// (affinity for co-location, not data-resident bytes).
+    stream_sites: HashMap<DataId, NodeId>,
 }
 
 impl SimRuntime {
@@ -312,6 +412,17 @@ impl<'w, 's> Engine<'w, 's> {
         let num_zones = platform.zones().len();
         let num_tasks = graph.len();
         let run = GraphRun::new(graph);
+        let mut channels: BTreeMap<DataId, SimChannel> = BTreeMap::new();
+        for node in graph.nodes() {
+            for d in node.spec().stream_writes() {
+                let ch = channels.entry(d).or_insert_with(SimChannel::new);
+                ch.writers_total += 1;
+                ch.open_writers += 1;
+            }
+            for d in node.spec().stream_reads() {
+                channels.entry(d).or_insert_with(SimChannel::new);
+            }
+        }
         Engine {
             workload,
             scheduler,
@@ -348,6 +459,8 @@ impl<'w, 's> Engine<'w, 's> {
             produced_scratch: Vec::new(),
             transfer_scratch: Vec::new(),
             host_pool: Vec::new(),
+            channels,
+            stream_sites: HashMap::new(),
         }
     }
 
@@ -413,9 +526,24 @@ impl<'w, 's> Engine<'w, 's> {
                     self.inval_add_epoch += 1;
                     self.schedule_round(now)?;
                 }
+                Event::StreamSend { task, data, epoch } => {
+                    self.on_stream_send(task, data, epoch, now)?
+                }
+                Event::StreamRecv { data, generation } => {
+                    self.on_stream_recv(data, generation, now)
+                }
             }
         }
         let makespan = self.last_completion;
+        // Close any still-open bookkeeping windows at the makespan.
+        for ch in self.channels.values_mut() {
+            if let Some(since) = ch.over_capacity_since.take() {
+                ch.blocked_send_us += micros_from_seconds(makespan.since(since));
+            }
+            if let Some(since) = ch.waiting_since.take() {
+                ch.blocked_recv_us += micros_from_seconds(makespan.since(since));
+            }
+        }
         for n in &mut self.nodes {
             if n.is_alive() {
                 n.advance(makespan);
@@ -436,6 +564,24 @@ impl<'w, 's> Engine<'w, 's> {
                 micros_from_seconds(self.trace.total_transfer_stall_s()),
                 self.reexecutions as u64,
             );
+            // Stream counters only exist for workloads with stream
+            // edges; their absence means "no streams", mirroring the
+            // local engine.
+            if !self.channels.is_empty() {
+                let high_water = self
+                    .channels
+                    .values()
+                    .map(|c| c.high_water)
+                    .max()
+                    .unwrap_or(0);
+                let send_us: u64 = self.channels.values().map(|c| c.blocked_send_us).sum();
+                let recv_us: u64 = self.channels.values().map(|c| c.blocked_recv_us).sum();
+                let elements: u64 = self.channels.values().map(|c| c.elements).sum();
+                let bytes: u64 = self.channels.values().map(|c| c.bytes).sum();
+                self.options
+                    .telemetry
+                    .run_end_stream_counters(end_us, high_water, send_us, recv_us, elements, bytes);
+            }
         }
         Ok(RunReport::from_parts(
             makespan.as_seconds(),
@@ -504,6 +650,9 @@ impl<'w, 's> Engine<'w, 's> {
         // stale. Applies to replay completions too.
         self.inval_add_epoch += 1;
         let was_replay = self.replaying.contains(&task);
+        if !was_replay && !self.channels.is_empty() {
+            self.finish_stream_endpoints(task, now);
+        }
         let record = TraceRecord {
             task,
             node: head,
@@ -676,6 +825,13 @@ impl<'w, 's> Engine<'w, 's> {
         }
         self.registry = DataRegistry::new();
         self.seed_initial_data();
+        // Streams start over too: live channel state rewinds (pending
+        // send/recv events are stale-guarded by epoch and generation),
+        // cumulative counters keep what already flowed.
+        for ch in self.channels.values_mut() {
+            ch.reset_live_state();
+        }
+        self.stream_sites.clear();
         // The registry was rebuilt from scratch: all verdicts stale.
         self.inval_all_epoch += 1;
         Ok(())
@@ -816,7 +972,8 @@ impl<'w, 's> Engine<'w, 's> {
         while !single.is_empty() {
             let view =
                 PlacementView::new(self.workload, &self.nodes, &self.registry, &self.platform)
-                    .with_uplink_state(&self.zone_uplink_busy, now);
+                    .with_uplink_state(&self.zone_uplink_busy, now)
+                    .with_stream_sites(&self.stream_sites);
             let assignments = self.scheduler.place(&view, &single);
             let mut placed_any = false;
             for (task, node) in assignments {
@@ -1078,6 +1235,175 @@ impl<'w, 's> Engine<'w, 's> {
             now.after(transfer_s + exec_s),
             Event::TaskDone { task, epoch },
         );
+        if !self.channels.is_empty() && !self.replaying.contains(&task) {
+            self.start_stream_endpoints(task, head, now.after(transfer_s), exec_s, epoch);
+        }
+    }
+
+    // ---- stream edges ------------------------------------------------------
+
+    /// Opens the task's stream endpoints as it starts executing:
+    /// producers get their element sends scheduled as discrete events
+    /// spaced evenly across the execution window (the last element
+    /// strictly before completion, so first-element release precedes
+    /// the completion event even for a single element), consumers
+    /// immediately absorb any backlog queued before their admission.
+    /// Replayed attempts regenerate versioned data only and never
+    /// reach here — their stream consumers ran long ago.
+    fn start_stream_endpoints(
+        &mut self,
+        task: TaskId,
+        node: NodeId,
+        exec_start: VirtualTime,
+        exec_s: f64,
+        epoch: u64,
+    ) {
+        let workload = self.workload;
+        let spec = workload.graph().node(task).expect("task in graph").spec();
+        let elems = workload.profile(task).stream_elements_count();
+        for data in spec.stream_writes() {
+            self.stream_sites.insert(data, node);
+            for k in 0..elems {
+                let at = exec_start.after(exec_s * (k as f64 + 1.0) / (elems as f64 + 1.0));
+                self.queue.push(at, Event::StreamSend { task, data, epoch });
+            }
+        }
+        let generation = self.restarts;
+        for data in spec.stream_reads() {
+            let ch = self
+                .channels
+                .get_mut(&data)
+                .expect("channel for stream datum");
+            ch.consumers_running += 1;
+            for _ in 0..ch.occupancy {
+                self.queue
+                    .push(exec_start, Event::StreamRecv { data, generation });
+            }
+            if ch.occupancy == 0 && ch.open_writers > 0 && ch.waiting_since.is_none() {
+                ch.waiting_since = Some(exec_start);
+            }
+        }
+    }
+
+    /// Closes the task's stream endpoints at completion: a producer
+    /// deregisters as an open writer (last close ends any consumer
+    /// wait), a consumer drains whatever is still queued and stops
+    /// absorbing future sends.
+    fn finish_stream_endpoints(&mut self, task: TaskId, now: VirtualTime) {
+        let workload = self.workload;
+        let Ok(record) = workload.graph().node(task) else {
+            return;
+        };
+        let spec = record.spec();
+        for data in spec.stream_writes() {
+            let ch = self
+                .channels
+                .get_mut(&data)
+                .expect("channel for stream datum");
+            ch.open_writers = ch.open_writers.saturating_sub(1);
+            if ch.open_writers == 0 {
+                if let Some(since) = ch.waiting_since.take() {
+                    ch.blocked_recv_us += micros_from_seconds(now.since(since));
+                }
+            }
+        }
+        for data in spec.stream_reads() {
+            let ch = self
+                .channels
+                .get_mut(&data)
+                .expect("channel for stream datum");
+            ch.consumers_running = ch.consumers_running.saturating_sub(1);
+            if let Some(since) = ch.waiting_since.take() {
+                ch.blocked_recv_us += micros_from_seconds(now.since(since));
+            }
+            if ch.consumers_running == 0 && ch.occupancy > 0 {
+                // The departing consumer takes the remaining backlog
+                // with it (bounded-window services drain at close).
+                ch.occupancy = 0;
+                if let Some(since) = ch.over_capacity_since.take() {
+                    ch.blocked_send_us += micros_from_seconds(now.since(since));
+                }
+            }
+        }
+    }
+
+    /// One element leaves `task` on stream `data`. The producer's
+    /// *first* element releases every consumer gated on it (the
+    /// defining semantics of a stream edge) and triggers a scheduling
+    /// round so released consumers can be placed at this very instant.
+    fn on_stream_send(
+        &mut self,
+        task: TaskId,
+        data: DataId,
+        epoch: u64,
+        now: VirtualTime,
+    ) -> Result<(), RuntimeError> {
+        let live = self.running.get(&task).is_some_and(|f| f.epoch == epoch);
+        if !live {
+            return Ok(()); // stale: attempt lost to a fault or restart
+        }
+        let elem_bytes = self.workload.profile(task).stream_element_size();
+        let generation = self.restarts;
+        let ch = self
+            .channels
+            .get_mut(&data)
+            .expect("channel for stream datum");
+        ch.elements += 1;
+        ch.bytes += elem_bytes;
+        ch.occupancy += 1;
+        ch.high_water = ch.high_water.max(ch.occupancy);
+        if let Some(since) = ch.waiting_since.take() {
+            ch.blocked_recv_us += micros_from_seconds(now.since(since));
+        }
+        if ch.consumers_running > 0 {
+            // A running consumer absorbs the element; the receive is
+            // its own discrete event so traces order send before recv.
+            self.queue.push(now, Event::StreamRecv { data, generation });
+        } else if ch.occupancy > SIM_STREAM_CAPACITY && ch.over_capacity_since.is_none() {
+            ch.over_capacity_since = Some(now);
+        }
+        let high_water = ch.high_water;
+        if self.options.telemetry.enabled() {
+            // Occupancy sampled on the sim clock (monotone high-water,
+            // so identical runs stay byte-identical under re-sorting).
+            self.options.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::StreamOccupancyHighWater,
+                at_us: micros_from_seconds(now.as_seconds()),
+                value: high_water as f64,
+            });
+        }
+        if !self.run.stream_released(task) {
+            let released = self.run.stream_release(self.workload.graph(), task)?;
+            if released > 0 {
+                self.inval_add_epoch += 1;
+                self.schedule_round(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One element is absorbed by a consumer of stream `data`.
+    fn on_stream_recv(&mut self, data: DataId, generation: usize, now: VirtualTime) {
+        if generation != self.restarts {
+            return; // scheduled before a from-scratch restart
+        }
+        let ch = self
+            .channels
+            .get_mut(&data)
+            .expect("channel for stream datum");
+        if ch.occupancy == 0 {
+            return;
+        }
+        ch.occupancy -= 1;
+        if ch.occupancy <= SIM_STREAM_CAPACITY {
+            if let Some(since) = ch.over_capacity_since.take() {
+                ch.blocked_send_us += micros_from_seconds(now.since(since));
+            }
+        }
+        if ch.occupancy == 0 && ch.consumers_running > 0 && ch.open_writers > 0 {
+            // Drained: the consumer now waits for the next element.
+            ch.waiting_since = Some(now);
+        }
     }
 
     /// The reservation actually charged to a host (rigid tasks occupy
@@ -1721,6 +2047,176 @@ mod tests {
             "intra-cluster transfers are contention-free: {}",
             intra.makespan_s
         );
+    }
+
+    #[test]
+    fn stream_consumer_overlaps_producer() {
+        // sensor ──stream──▶ sink, both 10 s. A completion edge would
+        // serialise them (makespan 20 s); the stream edge releases the
+        // sink at the sensor's first element (10/11 s in), so the two
+        // stages overlap almost entirely.
+        let mut w = SimWorkload::new();
+        let s = w.data("frames");
+        w.task(
+            TaskSpec::new("sensor").stream_out(s),
+            TaskProfile::new(10.0).stream_elements(10),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("sink").stream_in(s), TaskProfile::new(10.0))
+            .unwrap();
+        let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        assert!(
+            r.makespan_s < 12.0,
+            "streamed stages must overlap, got {}",
+            r.makespan_s
+        );
+        assert!(r.makespan_s > 10.0, "sink still finishes after the sensor");
+    }
+
+    #[test]
+    fn empty_stream_releases_consumer_at_completion() {
+        // A producer that closes without sending a single element must
+        // still free its consumer — at completion, per the close
+        // protocol.
+        let mut w = SimWorkload::new();
+        let s = w.data("s");
+        w.task(
+            TaskSpec::new("mute").stream_out(s),
+            TaskProfile::new(10.0).stream_elements(0),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("sink").stream_in(s), TaskProfile::new(5.0))
+            .unwrap();
+        let r = run(&w, cluster(2, 4), SimOptions::default(), &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_backlog_is_counted_and_published() {
+        use crate::TraceBuffer;
+        // One 1-core node: the producer occupies the only core, so the
+        // released consumer cannot be admitted until the producer
+        // completes — every element queues, and the backlog shows up
+        // as the occupancy high-water mark in the published counters.
+        let mut w = SimWorkload::new();
+        let s = w.data("s");
+        w.task(
+            TaskSpec::new("burst").stream_out(s),
+            TaskProfile::new(10.0)
+                .stream_elements(8)
+                .stream_element_bytes(1_000),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("sink").stream_in(s), TaskProfile::new(1.0))
+            .unwrap();
+        let (buffer, telemetry) = TraceBuffer::collector();
+        let opts = SimOptions {
+            telemetry,
+            ..SimOptions::default()
+        };
+        let r = run(&w, cluster(1, 1), opts, &FaultPlan::new()).unwrap();
+        assert!((r.makespan_s - 11.0).abs() < 1e-9);
+        let events = buffer.events();
+        let last = |key: CounterKey| {
+            events.iter().rev().find_map(|e| match e {
+                TelemetryEvent::Counter { key: k, value, .. } if *k == key => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(last(CounterKey::StreamElements), Some(8.0));
+        assert_eq!(last(CounterKey::StreamBytes), Some(8_000.0));
+        assert_eq!(
+            last(CounterKey::StreamOccupancyHighWater),
+            Some(8.0),
+            "all 8 elements queued before the consumer was admitted"
+        );
+        assert_eq!(
+            last(CounterKey::StreamBlockedSendMicros),
+            Some(0.0),
+            "backlog of 8 stays within the nominal capacity of 16"
+        );
+    }
+
+    #[test]
+    fn stream_consumer_records_recv_wait() {
+        use crate::TraceBuffer;
+        // Two cores: the consumer is admitted at the first element and
+        // then waits ~10/11 s between arrivals; those gaps accumulate
+        // as blocked-recv micros.
+        let mut w = SimWorkload::new();
+        let s = w.data("s");
+        w.task(
+            TaskSpec::new("slow_sensor").stream_out(s),
+            TaskProfile::new(10.0).stream_elements(10),
+        )
+        .unwrap();
+        w.task(TaskSpec::new("sink").stream_in(s), TaskProfile::new(10.0))
+            .unwrap();
+        let (buffer, telemetry) = TraceBuffer::collector();
+        let opts = SimOptions {
+            telemetry,
+            ..SimOptions::default()
+        };
+        run(&w, cluster(1, 2), opts, &FaultPlan::new()).unwrap();
+        let recv_us = buffer
+            .events()
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                TelemetryEvent::Counter {
+                    key: CounterKey::StreamBlockedRecvMicros,
+                    value,
+                    ..
+                } => Some(*value),
+                _ => None,
+            })
+            .expect("stream counters published");
+        assert!(
+            recv_us > 1_000_000.0,
+            "inter-arrival waits must accumulate, got {recv_us}"
+        );
+    }
+
+    #[test]
+    fn stream_runs_are_deterministic() {
+        let build = || {
+            let mut w = SimWorkload::new();
+            let s = w.data("s");
+            let t = w.data("t");
+            let out = w.data("out");
+            w.task(
+                TaskSpec::new("sensor").stream_out(s),
+                TaskProfile::new(8.0).stream_elements(5),
+            )
+            .unwrap();
+            w.task(
+                TaskSpec::new("featurize").stream_in(s).stream_out(t),
+                TaskProfile::new(8.0).stream_elements(5),
+            )
+            .unwrap();
+            w.task(
+                TaskSpec::new("sink").stream_in(t).output(out),
+                TaskProfile::new(8.0),
+            )
+            .unwrap();
+            w
+        };
+        let a = run(
+            &build(),
+            cluster(2, 2),
+            SimOptions::default(),
+            &FaultPlan::new(),
+        )
+        .unwrap();
+        let b = run(
+            &build(),
+            cluster(2, 2),
+            SimOptions::default(),
+            &FaultPlan::new(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Bounded MPMC stream channels: the transport behind
+//! [`Direction::Stream`](continuum_dag::Direction) edges in the local
+//! runtime.
+//!
+//! One [`StreamChannel`] backs one stream datum. Producers append
+//! type-erased elements at the tail and block when the channel is at
+//! capacity (backpressure); consumers pop from the head and block when
+//! it is empty. End-of-stream is a *close protocol*, not a sentinel
+//! element: every producer task is registered as an open writer at
+//! submission and deregistered when its body finishes (even on panic),
+//! so a receive on an empty channel returns `None` exactly when no
+//! registered writer can ever push again. A failed or dropped run
+//! force-closes every channel so blocked endpoints wake instead of
+//! hanging the teardown.
+//!
+//! Blocked time on both sides is measured and accumulated, along with
+//! element/byte counts and the occupancy high-water mark, so the
+//! runtime can publish the aggregate stream counters at end of run and
+//! emit per-wait [`StreamWait`](continuum_telemetry::TaskPhase) spans.
+//!
+//! The channel mutex is a leaf in the executor's lock order (rank
+//! `pool/sleep`): it is only ever acquired with the graph lock held
+//! (force-close on failure) or with no tracked lock held (send/recv on
+//! the data path), never the other way around.
+
+use crate::lockorder::{self, RANK_STREAM};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable, type-erased stream element (same shape as the local
+/// runtime's stored values).
+type Value = Arc<dyn Any + Send + Sync>;
+
+/// Aggregate statistics of one channel, all monotone counters.
+#[derive(Debug, Default)]
+pub(crate) struct StreamStats {
+    /// Elements sent (and accepted) over the channel's lifetime.
+    pub elements: AtomicU64,
+    /// Approximate payload bytes accepted (element count × element
+    /// size as declared by the typed sender).
+    pub bytes: AtomicU64,
+    /// Total microseconds producers spent blocked on a full channel.
+    pub blocked_send_us: AtomicU64,
+    /// Total microseconds consumers spent blocked on an empty channel.
+    pub blocked_recv_us: AtomicU64,
+    /// Highest queue occupancy ever observed right after a send.
+    pub occupancy_high_water: AtomicU64,
+}
+
+struct ChannelState {
+    queue: VecDeque<Value>,
+    /// Producer tasks submitted but not yet finished. The channel is
+    /// exhausted once this reaches zero with an empty queue.
+    open_writers: usize,
+    /// Set when the run fails or the runtime shuts down: all blocked
+    /// endpoints wake, sends are refused, receives return `None`.
+    force_closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer channel for one stream
+/// datum.
+pub(crate) struct StreamChannel {
+    name: String,
+    capacity: usize,
+    state: Mutex<ChannelState>,
+    /// Producers blocked on a full queue wait here.
+    send_cv: Condvar,
+    /// Consumers blocked on an empty queue wait here.
+    recv_cv: Condvar,
+    stats: StreamStats,
+}
+
+impl StreamChannel {
+    /// Creates a channel holding at most `capacity` (≥ 1) elements.
+    pub(crate) fn new(name: impl Into<String>, capacity: usize) -> Self {
+        StreamChannel {
+            name: name.into(),
+            capacity: capacity.max(1),
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                open_writers: 0,
+                force_closed: false,
+            }),
+            send_cv: Condvar::new(),
+            recv_cv: Condvar::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The stream datum's name (for telemetry span labels).
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers one producer task (called at submission, before the
+    /// producer could possibly run).
+    pub(crate) fn register_writer(&self) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        self.state.lock().open_writers += 1;
+    }
+
+    /// Deregisters one producer task (called when its body finishes,
+    /// committed or failed). Closing the last writer wakes every
+    /// blocked consumer so it can observe end-of-stream.
+    pub(crate) fn writer_done(&self) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        let mut st = self.state.lock();
+        debug_assert!(st.open_writers > 0, "writer_done without register_writer");
+        st.open_writers = st.open_writers.saturating_sub(1);
+        if st.open_writers == 0 {
+            self.recv_cv.notify_all();
+        }
+    }
+
+    /// Force-closes the channel: every blocked endpoint wakes, further
+    /// sends are refused and receives return `None`. Used when the run
+    /// poisons or the runtime shuts down, so stream tasks wind down
+    /// instead of deadlocking the teardown. Idempotent.
+    pub(crate) fn force_close(&self) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        let mut st = self.state.lock();
+        st.force_closed = true;
+        self.send_cv.notify_all();
+        self.recv_cv.notify_all();
+    }
+
+    /// Appends one element, blocking while the channel is full.
+    ///
+    /// Returns `(accepted, blocked_us)`: `accepted` is `false` when
+    /// the channel was force-closed (the element is dropped and the
+    /// producer should stop), `blocked_us` is how long the call waited
+    /// on backpressure.
+    pub(crate) fn send(&self, value: Value, approx_bytes: u64) -> (bool, u64) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        let mut st = self.state.lock();
+        let mut blocked_us = 0u64;
+        if st.queue.len() >= self.capacity && !st.force_closed {
+            let t0 = Instant::now();
+            while st.queue.len() >= self.capacity && !st.force_closed {
+                self.send_cv.wait(&mut st);
+            }
+            blocked_us = t0.elapsed().as_micros() as u64;
+            self.stats
+                .blocked_send_us
+                .fetch_add(blocked_us, Ordering::Relaxed);
+        }
+        if st.force_closed {
+            return (false, blocked_us);
+        }
+        st.queue.push_back(value);
+        self.stats
+            .occupancy_high_water
+            .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+        self.stats.elements.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(approx_bytes, Ordering::Relaxed);
+        self.recv_cv.notify_one();
+        (true, blocked_us)
+    }
+
+    /// Pops the next element, blocking while the channel is empty and
+    /// a registered writer might still push.
+    ///
+    /// Returns `(element, blocked_us)`; the element is `None` at
+    /// end-of-stream (no open writers and nothing queued) or when the
+    /// channel was force-closed.
+    pub(crate) fn recv(&self) -> (Option<Value>, u64) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        let mut st = self.state.lock();
+        let mut blocked_us = 0u64;
+        loop {
+            if st.force_closed {
+                return (None, blocked_us);
+            }
+            if let Some(v) = st.queue.pop_front() {
+                self.send_cv.notify_one();
+                return (Some(v), blocked_us);
+            }
+            if st.open_writers == 0 {
+                return (None, blocked_us);
+            }
+            let t0 = Instant::now();
+            self.recv_cv.wait(&mut st);
+            let waited = t0.elapsed().as_micros() as u64;
+            blocked_us += waited;
+            self.stats
+                .blocked_recv_us
+                .fetch_add(waited, Ordering::Relaxed);
+        }
+    }
+
+    /// Current queue occupancy (for tests and diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn occupancy(&self) -> usize {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        self.state.lock().queue.len()
+    }
+
+    /// The channel's monotone statistics.
+    pub(crate) fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn val(x: u64) -> Value {
+        Arc::new(x)
+    }
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let c = StreamChannel::new("s", 4);
+        c.register_writer();
+        for i in 0..4 {
+            let (ok, blocked) = c.send(val(i), 8);
+            assert!(ok);
+            assert_eq!(blocked, 0, "under capacity, sends never block");
+        }
+        assert_eq!(c.occupancy(), 4);
+        for i in 0..4 {
+            let (v, _) = c.recv();
+            assert_eq!(*v.unwrap().downcast::<u64>().unwrap(), i);
+        }
+        c.writer_done();
+        let (v, _) = c.recv();
+        assert!(v.is_none(), "empty + no writers = end of stream");
+    }
+
+    #[test]
+    fn no_writers_means_immediately_exhausted() {
+        let c = StreamChannel::new("s", 1);
+        let (v, blocked) = c.recv();
+        assert!(v.is_none());
+        assert_eq!(
+            blocked, 0,
+            "must not wait for writers that never registered"
+        );
+    }
+
+    #[test]
+    fn full_channel_blocks_sender_until_drained() {
+        let c = Arc::new(StreamChannel::new("s", 1));
+        c.register_writer();
+        assert!(c.send(val(0), 8).0);
+        let tx = Arc::clone(&c);
+        let producer = thread::spawn(move || {
+            let (ok, blocked_us) = tx.send(val(1), 8);
+            tx.writer_done();
+            (ok, blocked_us)
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(c.occupancy(), 1, "second element waits for space");
+        assert_eq!(*c.recv().0.unwrap().downcast::<u64>().unwrap(), 0);
+        let (ok, blocked_us) = producer.join().unwrap();
+        assert!(ok);
+        assert!(blocked_us > 0, "the sender measurably blocked");
+        assert_eq!(*c.recv().0.unwrap().downcast::<u64>().unwrap(), 1);
+        assert!(c.recv().0.is_none());
+        assert!(c.stats().blocked_send_us.load(Ordering::Relaxed) > 0);
+        assert_eq!(c.stats().elements.load(Ordering::Relaxed), 2);
+        assert_eq!(c.stats().bytes.load(Ordering::Relaxed), 16);
+        assert_eq!(c.stats().occupancy_high_water.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_channel_blocks_reader_until_send() {
+        let c = Arc::new(StreamChannel::new("s", 4));
+        c.register_writer();
+        let rx = Arc::clone(&c);
+        let consumer = thread::spawn(move || rx.recv());
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(c.send(val(7), 8).0);
+        let (v, _) = consumer.join().unwrap();
+        assert_eq!(*v.unwrap().downcast::<u64>().unwrap(), 7);
+        assert!(c.stats().blocked_recv_us.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn force_close_wakes_a_blocked_sender() {
+        let c = Arc::new(StreamChannel::new("s", 1));
+        c.register_writer();
+        assert!(c.send(val(0), 8).0);
+        let tx = Arc::clone(&c);
+        let blocked_sender = thread::spawn(move || tx.send(val(1), 8).0);
+        thread::sleep(std::time::Duration::from_millis(20));
+        c.force_close();
+        assert!(!blocked_sender.join().unwrap(), "send refused after close");
+    }
+
+    #[test]
+    fn force_close_wakes_a_blocked_reader() {
+        let c = Arc::new(StreamChannel::new("s", 1));
+        c.register_writer();
+        let rx = Arc::clone(&c);
+        // Blocks: the channel is empty but a writer is still open.
+        let blocked_reader = thread::spawn(move || rx.recv().0);
+        thread::sleep(std::time::Duration::from_millis(20));
+        c.force_close();
+        assert!(
+            blocked_reader.join().unwrap().is_none(),
+            "reader observes the close"
+        );
+    }
+
+    #[test]
+    fn writer_count_gates_end_of_stream() {
+        let c = StreamChannel::new("s", 4);
+        c.register_writer();
+        c.register_writer();
+        c.send(val(1), 8).0.then_some(()).unwrap();
+        c.writer_done();
+        // One writer still open: the queued element drains, then a
+        // second writer could still push — but once it closes, `None`.
+        assert!(c.recv().0.is_some());
+        c.writer_done();
+        assert!(c.recv().0.is_none());
+    }
+}

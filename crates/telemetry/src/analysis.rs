@@ -424,8 +424,13 @@ pub struct NodeAttribution {
     pub track: Track,
     /// Executing spans observed on the row.
     pub tasks: u64,
-    /// Time covered by task bodies.
+    /// Time covered by task bodies, minus stream-blocked time.
     pub compute_us: Micros,
+    /// Time a task on this row sat blocked on a stream channel (a
+    /// writer waiting for capacity or a reader waiting for elements).
+    /// Carved out of the enclosing executing span, so compute remains
+    /// pure body time.
+    pub stream_wait_us: Micros,
     /// Time stalled moving inputs (not already counted as compute).
     pub transfer_us: Micros,
     /// Time between a task being placed here and its first activity.
@@ -440,10 +445,17 @@ pub struct NodeAttribution {
 impl NodeAttribution {
     /// Sum of all buckets; equals the run makespan by construction.
     pub fn total_us(&self) -> Micros {
-        self.compute_us + self.transfer_us + self.sched_stall_us + self.queue_wait_us + self.idle_us
+        self.compute_us
+            + self.stream_wait_us
+            + self.transfer_us
+            + self.sched_stall_us
+            + self.queue_wait_us
+            + self.idle_us
     }
 
     /// Time the row was doing productive work (compute + transfer).
+    /// Stream-blocked time occupies the row but produces nothing, so it
+    /// is excluded — a pipeline bottleneck shows up as low busy%.
     pub fn busy_us(&self) -> Micros {
         self.compute_us + self.transfer_us
     }
@@ -493,6 +505,7 @@ impl RunDiagnostics {
 
         // Per-row raw interval sets.
         let mut exec: BTreeMap<Track, Vec<Iv>> = BTreeMap::new();
+        let mut stream: BTreeMap<Track, Vec<Iv>> = BTreeMap::new();
         let mut transfer: BTreeMap<Track, Vec<Iv>> = BTreeMap::new();
         let mut task_counts: BTreeMap<Track, u64> = BTreeMap::new();
         // (track, name) -> sorted activity starts, for stall matching.
@@ -522,6 +535,9 @@ impl RunDiagnostics {
                         }
                         TaskPhase::Transferring => {
                             transfer.entry(*track).or_default().push(iv);
+                        }
+                        TaskPhase::StreamWait => {
+                            stream.entry(*track).or_default().push(iv);
                         }
                         _ => {}
                     }
@@ -571,6 +587,7 @@ impl RunDiagnostics {
 
         let mut tracks: Vec<Track> = exec
             .keys()
+            .chain(stream.keys())
             .chain(transfer.keys())
             .chain(stall.keys())
             .copied()
@@ -580,13 +597,17 @@ impl RunDiagnostics {
 
         let mut nodes = Vec::with_capacity(tracks.len());
         for track in tracks {
-            // Bucket priority: compute > transfer > stall > wait > idle.
-            let compute = normalize(exec.remove(&track).unwrap_or_default());
+            // Bucket priority: stream-wait > compute > transfer >
+            // stall > wait > idle. Stream-blocked intervals happen
+            // *inside* executing spans, so they are carved out first.
+            let stream = normalize(stream.remove(&track).unwrap_or_default());
+            let compute = subtract(&normalize(exec.remove(&track).unwrap_or_default()), &stream);
+            let occupied = union(&compute, &stream);
             let transfer = subtract(
                 &normalize(transfer.remove(&track).unwrap_or_default()),
-                &compute,
+                &occupied,
             );
-            let busy = union(&compute, &transfer);
+            let busy = union(&occupied, &transfer);
             let stall = subtract(&normalize(stall.remove(&track).unwrap_or_default()), &busy);
             let accounted = union(&busy, &stall);
             let uncovered = complement(&accounted, makespan_us);
@@ -596,6 +617,7 @@ impl RunDiagnostics {
                 track,
                 tasks: task_counts.get(&track).copied().unwrap_or(0),
                 compute_us: covered(&compute),
+                stream_wait_us: covered(&stream),
                 transfer_us: covered(&transfer),
                 sched_stall_us: covered(&stall),
                 queue_wait_us: covered(&queue_wait),
@@ -667,13 +689,22 @@ impl fmt::Display for RunDiagnostics {
         )?;
         writeln!(
             f,
-            "  {:<12} {:>6} {:>11} {:>11} {:>11} {:>11} {:>11} {:>7}",
-            "track", "tasks", "compute_s", "transfer_s", "stall_s", "wait_s", "idle_s", "busy%"
+            "  {:<12} {:>6} {:>11} {:>10} {:>11} {:>11} {:>11} {:>11} {:>7}",
+            "track",
+            "tasks",
+            "compute_s",
+            "stream_s",
+            "transfer_s",
+            "stall_s",
+            "wait_s",
+            "idle_s",
+            "busy%"
         )?;
         let mut total = NodeAttribution {
             track: Track::Run,
             tasks: 0,
             compute_us: 0,
+            stream_wait_us: 0,
             transfer_us: 0,
             sched_stall_us: 0,
             queue_wait_us: 0,
@@ -682,16 +713,18 @@ impl fmt::Display for RunDiagnostics {
         for node in &self.nodes {
             total.tasks += node.tasks;
             total.compute_us += node.compute_us;
+            total.stream_wait_us += node.stream_wait_us;
             total.transfer_us += node.transfer_us;
             total.sched_stall_us += node.sched_stall_us;
             total.queue_wait_us += node.queue_wait_us;
             total.idle_us += node.idle_us;
             writeln!(
                 f,
-                "  {:<12} {:>6} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>6.1}%",
+                "  {:<12} {:>6} {:>11.3} {:>10.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>6.1}%",
                 node.track.label(),
                 node.tasks,
                 s(node.compute_us),
+                s(node.stream_wait_us),
                 s(node.transfer_us),
                 s(node.sched_stall_us),
                 s(node.queue_wait_us),
@@ -706,10 +739,11 @@ impl fmt::Display for RunDiagnostics {
         if self.nodes.len() > 1 {
             writeln!(
                 f,
-                "  {:<12} {:>6} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
+                "  {:<12} {:>6} {:>11.3} {:>10.3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
                 "all rows",
                 total.tasks,
                 s(total.compute_us),
+                s(total.stream_wait_us),
                 s(total.transfer_us),
                 s(total.sched_stall_us),
                 s(total.queue_wait_us),
@@ -755,6 +789,16 @@ mod tests {
             track: Track::Node(node),
             name: name.to_string(),
             phase: TaskPhase::Transferring,
+            start_us,
+            dur_us: end_us - start_us,
+        }
+    }
+
+    fn stream_wait(node: u32, name: &str, start_us: Micros, end_us: Micros) -> Event {
+        Event::Span {
+            track: Track::Node(node),
+            name: name.to_string(),
+            phase: TaskPhase::StreamWait,
             start_us,
             dur_us: end_us - start_us,
         }
@@ -834,6 +878,38 @@ mod tests {
         let n1 = &diag.nodes[1];
         assert_eq!(n1.compute_us, 5);
         assert_eq!(n1.queue_wait_us, 95, "queue >0 for the rest of the run");
+    }
+
+    #[test]
+    fn stream_wait_is_carved_out_of_execution() {
+        let events = vec![
+            exec(0, "producer", 0, 100),
+            // Blocked on a full channel for 20..50, inside the
+            // enclosing executing span.
+            stream_wait(0, "s0", 20, 50),
+            exec(1, "consumer", 30, 100),
+        ];
+        let diag = RunDiagnostics::from_events(&events);
+        assert_eq!(diag.makespan_us, 100);
+        let n0 = &diag.nodes[0];
+        assert_eq!(n0.stream_wait_us, 30);
+        assert_eq!(n0.compute_us, 70, "stream wait carved out of compute");
+        assert_eq!(
+            n0.busy_us(),
+            70,
+            "blocked-on-channel time is not productive"
+        );
+        let n1 = &diag.nodes[1];
+        assert_eq!(n1.stream_wait_us, 0);
+        assert_eq!(n1.compute_us, 70);
+        for node in &diag.nodes {
+            assert_eq!(
+                node.total_us(),
+                diag.makespan_us,
+                "buckets must still sum to makespan on {}",
+                node.track.label()
+            );
+        }
     }
 
     #[test]

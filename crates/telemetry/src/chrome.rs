@@ -311,6 +311,55 @@ mod tests {
     }
 
     #[test]
+    fn stream_events_reorder_and_round_trip() {
+        // Stream telemetry — a StreamWait span plus the per-channel
+        // counters — must keep the export byte-deterministic and
+        // survive a parse round trip like every other event kind.
+        let events = vec![
+            Event::Span {
+                track: Track::Worker(0),
+                name: "stream:s0".into(),
+                phase: TaskPhase::StreamWait,
+                start_us: 100,
+                dur_us: 40,
+            },
+            Event::Counter {
+                key: CounterKey::StreamOccupancyHighWater,
+                at_us: 100,
+                value: 7.0,
+            },
+            Event::Counter {
+                key: CounterKey::StreamBlockedSendMicros,
+                at_us: 100,
+                value: 40.0,
+            },
+            Event::Counter {
+                key: CounterKey::StreamElements,
+                at_us: 100,
+                value: 128.0,
+            },
+            Event::Counter {
+                key: CounterKey::StreamBytes,
+                at_us: 100,
+                value: 4096.0,
+            },
+        ];
+        let text = chrome_trace(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        assert_eq!(
+            chrome_trace(&reversed),
+            text,
+            "equal-timestamp stream events must sort into a stable order"
+        );
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back.len(), events.len());
+        for event in &events {
+            assert!(back.contains(event), "missing {event:?}");
+        }
+    }
+
+    #[test]
     fn equal_timestamp_events_order_independently_of_arrival() {
         let a = Event::Span {
             track: Track::Worker(0),

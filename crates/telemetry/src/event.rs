@@ -108,6 +108,9 @@ pub enum TaskPhase {
     Failed,
     /// A lineage replay of an already-completed task.
     Replayed,
+    /// Blocked on a stream channel: a writer waiting for capacity or a
+    /// reader waiting for the next element.
+    StreamWait,
 }
 
 impl TaskPhase {
@@ -122,11 +125,12 @@ impl TaskPhase {
             TaskPhase::Committed => "committed",
             TaskPhase::Failed => "failed",
             TaskPhase::Replayed => "replayed",
+            TaskPhase::StreamWait => "stream_wait",
         }
     }
 
     /// Every phase, in lifecycle order.
-    pub const ALL: [TaskPhase; 8] = [
+    pub const ALL: [TaskPhase; 9] = [
         TaskPhase::Submitted,
         TaskPhase::Ready,
         TaskPhase::Scheduled,
@@ -135,6 +139,7 @@ impl TaskPhase {
         TaskPhase::Committed,
         TaskPhase::Failed,
         TaskPhase::Replayed,
+        TaskPhase::StreamWait,
     ];
 
     /// Inverse of [`TaskPhase::as_str`].
@@ -154,6 +159,7 @@ impl TaskPhase {
             TaskPhase::Committed => 6,
             TaskPhase::Failed => 7,
             TaskPhase::Replayed => 8,
+            TaskPhase::StreamWait => 9,
         }
     }
 }
@@ -181,11 +187,23 @@ pub enum CounterKey {
     /// waiting on in-flight lineage replays (distinguishes replay
     /// stalls from true unschedulability).
     ReplayStallRounds,
+    /// Highest channel occupancy observed on any stream (elements).
+    StreamOccupancyHighWater,
+    /// Cumulative microseconds stream writers spent blocked on a full
+    /// channel.
+    StreamBlockedSendMicros,
+    /// Cumulative microseconds stream readers spent blocked on an
+    /// empty channel.
+    StreamBlockedRecvMicros,
+    /// Cumulative elements moved through stream channels.
+    StreamElements,
+    /// Cumulative payload bytes moved through stream channels.
+    StreamBytes,
 }
 
 impl CounterKey {
     /// Every counter key.
-    pub const ALL: [CounterKey; 9] = [
+    pub const ALL: [CounterKey; 14] = [
         CounterKey::QueueDepth,
         CounterKey::RunningTasks,
         CounterKey::TransferBytes,
@@ -195,6 +213,11 @@ impl CounterKey {
         CounterKey::SchedulerTasksOffered,
         CounterKey::SchedulerTasksPlaced,
         CounterKey::ReplayStallRounds,
+        CounterKey::StreamOccupancyHighWater,
+        CounterKey::StreamBlockedSendMicros,
+        CounterKey::StreamBlockedRecvMicros,
+        CounterKey::StreamElements,
+        CounterKey::StreamBytes,
     ];
 
     /// Inverse of [`CounterKey::as_str`].
@@ -214,6 +237,11 @@ impl CounterKey {
             CounterKey::SchedulerTasksOffered => "scheduler_tasks_offered",
             CounterKey::SchedulerTasksPlaced => "scheduler_tasks_placed",
             CounterKey::ReplayStallRounds => "replay_stall_rounds",
+            CounterKey::StreamOccupancyHighWater => "stream_occupancy_high_water",
+            CounterKey::StreamBlockedSendMicros => "stream_blocked_send_us",
+            CounterKey::StreamBlockedRecvMicros => "stream_blocked_recv_us",
+            CounterKey::StreamElements => "stream_elements",
+            CounterKey::StreamBytes => "stream_bytes",
         }
     }
 }

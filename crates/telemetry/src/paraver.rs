@@ -218,6 +218,30 @@ mod tests {
     }
 
     #[test]
+    fn stream_wait_spans_get_their_own_state() {
+        let mk = |name: &str| Event::Span {
+            track: Track::Worker(2),
+            name: name.into(),
+            phase: TaskPhase::StreamWait,
+            start_us: 10,
+            dur_us: 30,
+        };
+        let prv = paraver_trace(&[mk("stream:s0"), mk("stream:s1")]);
+        assert!(
+            prv.contains(&format!(
+                "1:1:1:1:1:10:40:{}",
+                TaskPhase::StreamWait.paraver_state()
+            )),
+            "stream-wait state record present:\n{prv}"
+        );
+        assert_eq!(
+            paraver_trace(&[mk("stream:s1"), mk("stream:s0")]),
+            prv,
+            "arrival order must not change bytes"
+        );
+    }
+
+    #[test]
     fn equal_timestamp_records_order_independently_of_arrival() {
         let mk = |track, name: &str| Event::Span {
             track,

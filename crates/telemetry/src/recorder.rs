@@ -94,6 +94,41 @@ impl RecorderHandle {
         );
         self.counter(CounterKey::LineageReplays, at_us, lineage_replays as f64);
     }
+
+    /// Emits the aggregate stream-channel counter set. Engines that ran
+    /// at least one stream call this at end of run; engines without
+    /// streams stay silent (absent keys mean "no streams", unlike the
+    /// always-published transfer counters).
+    pub fn run_end_stream_counters(
+        &self,
+        at_us: Micros,
+        occupancy_high_water: u64,
+        blocked_send_us: Micros,
+        blocked_recv_us: Micros,
+        elements: u64,
+        bytes: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.counter(
+            CounterKey::StreamOccupancyHighWater,
+            at_us,
+            occupancy_high_water as f64,
+        );
+        self.counter(
+            CounterKey::StreamBlockedSendMicros,
+            at_us,
+            blocked_send_us as f64,
+        );
+        self.counter(
+            CounterKey::StreamBlockedRecvMicros,
+            at_us,
+            blocked_recv_us as f64,
+        );
+        self.counter(CounterKey::StreamElements, at_us, elements as f64);
+        self.counter(CounterKey::StreamBytes, at_us, bytes as f64);
+    }
 }
 
 impl Default for RecorderHandle {

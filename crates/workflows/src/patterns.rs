@@ -231,6 +231,111 @@ pub fn streaming_pipeline(
     w
 }
 
+/// The continuous-inference service of the hybrid-workflows extension:
+/// sensor → featurize → model → sink, every edge a
+/// [`Stream`](continuum_dag::Direction::Stream) channel, so each stage
+/// is released at its upstream's *first element* and the whole service
+/// runs as one overlapping pipeline instead of four serial phases.
+///
+/// The service is conceptually indefinite; `frames` bounds one
+/// observation window so tests and benchmarks terminate (a deployment
+/// re-submits windows back-to-back). Each stage takes `stage_s` for the
+/// whole window and forwards `frames` elements of `frame_bytes`
+/// downstream; the sink writes one versioned `report` consumed by the
+/// client.
+///
+/// With `frames` elements per window, the streamed makespan approaches
+/// `stage_s × (1 + 3/(frames+1))` — versus `4 × stage_s` for the batch
+/// equivalent of the same DAG with completion edges.
+pub fn continuous_inference(frames: u64, frame_bytes: u64, stage_s: f64) -> SimWorkload {
+    assert!(stage_s > 0.0, "stages need a positive duration");
+    let mut w = SimWorkload::new();
+    let raw = w.data("ci_raw");
+    let feats = w.data("ci_feats");
+    let preds = w.data("ci_preds");
+    let report = w.data("ci_report");
+    w.task(
+        TaskSpec::new("sensor").group("ci").stream_out(raw),
+        TaskProfile::new(stage_s)
+            .stream_elements(frames)
+            .stream_element_bytes(frame_bytes),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("featurize")
+            .group("ci")
+            .stream_in(raw)
+            .stream_out(feats),
+        TaskProfile::new(stage_s)
+            .stream_elements(frames)
+            .stream_element_bytes(frame_bytes / 4),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("model")
+            .group("ci")
+            .stream_in(feats)
+            .stream_out(preds),
+        TaskProfile::new(stage_s)
+            .stream_elements(frames)
+            .stream_element_bytes(64),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("sink")
+            .group("ci")
+            .stream_in(preds)
+            .output(report),
+        TaskProfile::new(stage_s).outputs_bytes(frames * 64),
+    )
+    .expect("valid pattern task");
+    w
+}
+
+/// The batch rendition of [`continuous_inference`]: the same four
+/// stages chained through versioned whole-window data, each stage
+/// starting only at its predecessor's *completion*. The baseline for
+/// the streamed/batch makespan comparison in `stream_bench`.
+pub fn batch_inference(frames: u64, frame_bytes: u64, stage_s: f64) -> SimWorkload {
+    assert!(stage_s > 0.0, "stages need a positive duration");
+    let mut w = SimWorkload::new();
+    let raw = w.data("ci_raw");
+    let feats = w.data("ci_feats");
+    let preds = w.data("ci_preds");
+    let report = w.data("ci_report");
+    let window = frames * frame_bytes;
+    w.task(
+        TaskSpec::new("sensor").group("ci").output(raw),
+        TaskProfile::new(stage_s).outputs_bytes(window),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("featurize")
+            .group("ci")
+            .input(raw)
+            .output(feats),
+        TaskProfile::new(stage_s).outputs_bytes(window / 4),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("model")
+            .group("ci")
+            .input(feats)
+            .output(preds),
+        TaskProfile::new(stage_s).outputs_bytes(frames * 64),
+    )
+    .expect("valid pattern task");
+    w.task(
+        TaskSpec::new("sink")
+            .group("ci")
+            .input(preds)
+            .output(report),
+        TaskProfile::new(stage_s).outputs_bytes(frames * 64),
+    )
+    .expect("valid pattern task");
+    w
+}
+
 /// A random layered DAG: `layers` levels of `width` tasks; each task
 /// reads each task of the previous layer with probability `p_edge`.
 /// Durations are uniform in `[min_s, max_s]`. Deterministic per seed.
@@ -360,6 +465,58 @@ mod tests {
         assert_eq!(s.tasks, 4 * 3);
         // Critical path: 4 ticks then the last batch's two stages.
         assert!((s.critical_path_s - (40.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_inference_is_a_stream_chain() {
+        let w = continuous_inference(32, 4_096, 10.0);
+        let s = w.stats();
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 0, "no completion edges between the stages");
+        assert_eq!(w.graph().stream_edge_count(), 3);
+        assert_eq!(
+            w.profile(continuum_dag::TaskId::from_raw(0))
+                .stream_elements_count(),
+            32
+        );
+        let b = batch_inference(32, 4_096, 10.0);
+        assert_eq!(b.stats().edges, 3, "batch rendition uses completion edges");
+        assert_eq!(b.graph().stream_edge_count(), 0);
+        assert!((b.stats().critical_path_s - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_window_overlaps_batch_serialises() {
+        use continuum_platform::{NodeSpec, PlatformBuilder};
+        use continuum_runtime::{FifoScheduler, SimOptions, SimRuntime};
+        use continuum_sim::FaultPlan;
+        let platform = || {
+            PlatformBuilder::new()
+                .cluster("c", 2, NodeSpec::hpc(4, 96_000))
+                .build()
+        };
+        let streamed = SimRuntime::new(platform(), SimOptions::default())
+            .run(
+                &continuous_inference(32, 4_096, 10.0),
+                &mut FifoScheduler::new(),
+                &FaultPlan::new(),
+            )
+            .unwrap();
+        let batch = SimRuntime::new(platform(), SimOptions::default())
+            .run(
+                &batch_inference(32, 4_096, 10.0),
+                &mut FifoScheduler::new(),
+                &FaultPlan::new(),
+            )
+            .unwrap();
+        assert!(
+            streamed.makespan_s < batch.makespan_s,
+            "streamed {} !< batch {}",
+            streamed.makespan_s,
+            batch.makespan_s
+        );
+        // Four 10 s stages: batch ≥ 40 s; streamed ≈ 10.9 s.
+        assert!(streamed.makespan_s < 12.0, "{}", streamed.makespan_s);
     }
 
     #[test]

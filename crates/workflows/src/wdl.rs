@@ -12,15 +12,20 @@
 //! ```text
 //! # comments and blank lines are ignored
 //! data <name> size=<bytes|K|M|G> [home=<node-index>]
-//! task <type> [in=<d1,d2,..>] [inout=<d,..>] out=<d,..> dur=<seconds>
+//! task <type> [in=<d1,d2,..>] [inout=<d,..>] [out=<d,..>]
+//!      [stream_in=<d,..>] [stream_out=<d,..>] dur=<seconds>
 //!      [mem=<bytes|K|M|G>] [cores=<n>] [nodes=<n>] [out_bytes=<..>]
-//!      [group=<label>]
+//!      [elems=<n>] [elem_bytes=<bytes|K|M|G>] [group=<label>]
 //! ```
 //!
 //! `data` lines declare initial (externally provided) inputs; every
 //! other datum is declared implicitly by first use in a task line.
+//! The access keys are exactly the [`Direction::as_str`] labels, so
+//! every parameter direction — including both stream ends — has a
+//! textual spelling; `elems`/`elem_bytes` set the producer-side stream
+//! profile (elements per output stream and payload bytes per element).
 
-use continuum_dag::{DataId, TaskSpec};
+use continuum_dag::{DataId, Direction, TaskSpec};
 use continuum_platform::{Constraints, NodeId};
 use continuum_runtime::{SimWorkload, TaskProfile};
 use std::collections::HashMap;
@@ -144,28 +149,25 @@ pub fn parse_wdl(text: &str) -> Result<SimWorkload, WdlError> {
                 let mut constraints = Constraints::new();
                 let mut out_bytes = 0u64;
                 let mut n_outputs = 0usize;
+                let mut elems = None;
+                let mut elem_bytes = 0u64;
                 for token in tokens {
                     let (k, v) = split_kv(token, line_no)?;
-                    match k {
-                        "in" => {
-                            for name in v.split(',').filter(|s| !s.is_empty()) {
-                                let id = resolve(&mut w, &mut names, name);
-                                spec = spec.input(id);
-                            }
-                        }
-                        "inout" => {
-                            for name in v.split(',').filter(|s| !s.is_empty()) {
-                                let id = resolve(&mut w, &mut names, name);
-                                spec = spec.inout(id);
-                            }
-                        }
-                        "out" => {
-                            for name in v.split(',').filter(|s| !s.is_empty()) {
-                                let id = resolve(&mut w, &mut names, name);
-                                spec = spec.output(id);
+                    // Access keys are the Direction labels themselves
+                    // (`in`, `out`, `inout`, `stream_in`, `stream_out`),
+                    // so every variant — present and future — parses
+                    // without a per-variant arm here.
+                    if let Some(dir) = Direction::parse(k) {
+                        for name in v.split(',').filter(|s| !s.is_empty()) {
+                            let id = resolve(&mut w, &mut names, name);
+                            spec = spec.param(id, dir);
+                            if dir == Direction::Out {
                                 n_outputs += 1;
                             }
                         }
+                        continue;
+                    }
+                    match k {
                         "dur" => {
                             dur =
                                 Some(v.parse::<f64>().map_err(|_| {
@@ -195,15 +197,26 @@ pub fn parse_wdl(text: &str) -> Result<SimWorkload, WdlError> {
                             )
                         }
                         "out_bytes" => out_bytes = parse_bytes(v, line_no)?,
+                        "elems" => {
+                            elems = Some(
+                                v.parse::<u64>()
+                                    .map_err(|_| err(line_no, format!("invalid elems `{v}`")))?,
+                            )
+                        }
+                        "elem_bytes" => elem_bytes = parse_bytes(v, line_no)?,
                         "group" => spec = spec.group(v),
                         other => return Err(err(line_no, format!("unknown task key `{other}`"))),
                     }
                 }
                 let dur = dur.ok_or_else(|| err(line_no, "task needs dur=<seconds>"))?;
                 let _ = n_outputs;
-                let profile = TaskProfile::new(dur)
+                let mut profile = TaskProfile::new(dur)
                     .constraints(constraints)
-                    .outputs_bytes(out_bytes);
+                    .outputs_bytes(out_bytes)
+                    .stream_element_bytes(elem_bytes);
+                if let Some(n) = elems {
+                    profile = profile.stream_elements(n);
+                }
                 w.task(spec, profile)
                     .map_err(|e| err(line_no, format!("invalid task: {e}")))?;
             }
@@ -238,32 +251,19 @@ pub fn to_wdl(w: &SimWorkload) -> String {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        let ins: Vec<DataId> = spec
-            .params()
-            .iter()
-            .filter(|p| p.direction == continuum_dag::Direction::In)
-            .map(|p| p.data)
-            .collect();
-        let inouts: Vec<DataId> = spec
-            .params()
-            .iter()
-            .filter(|p| p.direction == continuum_dag::Direction::InOut)
-            .map(|p| p.data)
-            .collect();
-        let outs: Vec<DataId> = spec
-            .params()
-            .iter()
-            .filter(|p| p.direction == continuum_dag::Direction::Out)
-            .map(|p| p.data)
-            .collect();
-        if !ins.is_empty() {
-            out.push_str(&format!(" in={}", fmt_list(ins)));
-        }
-        if !inouts.is_empty() {
-            out.push_str(&format!(" inout={}", fmt_list(inouts)));
-        }
-        if !outs.is_empty() {
-            out.push_str(&format!(" out={}", fmt_list(outs)));
+        // Exhaustive over Direction::ALL with the label as the key: a
+        // direction added without a WDL spelling cannot be silently
+        // dropped from dumps (and `parse_wdl` accepts any label).
+        for dir in Direction::ALL {
+            let ids: Vec<DataId> = spec
+                .params()
+                .iter()
+                .filter(|p| p.direction == dir)
+                .map(|p| p.data)
+                .collect();
+            if !ids.is_empty() {
+                out.push_str(&format!(" {}={}", dir.as_str(), fmt_list(ids)));
+            }
         }
         let profile = w.profile(node.id());
         out.push_str(&format!(" dur={}", profile.duration_s()));
@@ -282,6 +282,14 @@ pub fn to_wdl(w: &SimWorkload) -> String {
         }
         if profile.output_size(0) > 0 {
             out.push_str(&format!(" out_bytes={}", profile.output_size(0)));
+        }
+        if spec.stream_writes().next().is_some() {
+            if profile.stream_elements_count() != 1 {
+                out.push_str(&format!(" elems={}", profile.stream_elements_count()));
+            }
+            if profile.stream_element_size() > 0 {
+                out.push_str(&format!(" elem_bytes={}", profile.stream_element_size()));
+            }
         }
         if let Some(g) = spec.group_label() {
             out.push_str(&format!(" group={}", g.replace(' ', "_")));
@@ -393,6 +401,68 @@ task c inout=x dur=1
             w2.initial_home(DataId::from_raw(0)),
             Some(NodeId::from_raw(2))
         );
+    }
+
+    #[test]
+    fn stream_edges_parse_and_round_trip() {
+        let text = "
+task sensor stream_out=frames dur=30 elems=64 elem_bytes=4K
+task featurize stream_in=frames stream_out=feats dur=30 elems=64 elem_bytes=1K
+task model stream_in=feats out=preds dur=30 out_bytes=2M
+";
+        let w = parse_wdl(text).unwrap();
+        assert_eq!(w.stats().tasks, 3);
+        let g = w.graph();
+        assert_eq!(g.stream_edge_count(), 2);
+        assert_eq!(
+            g.node(TaskId::from_raw(1)).unwrap().stream_predecessors(),
+            &[TaskId::from_raw(0)]
+        );
+        let sensor = w.profile(TaskId::from_raw(0));
+        assert_eq!(sensor.stream_elements_count(), 64);
+        assert_eq!(sensor.stream_element_size(), 4_000);
+        // Round trip: stream accesses and profiles survive the dump.
+        let w2 = parse_wdl(&to_wdl(&w)).unwrap();
+        assert_eq!(w.stats(), w2.stats());
+        assert_eq!(w2.graph().stream_edge_count(), 2);
+        for t in 0..3 {
+            let id = TaskId::from_raw(t);
+            assert_eq!(w.profile(id), w2.profile(id), "task {t} profile");
+        }
+    }
+
+    #[test]
+    fn every_direction_has_a_wdl_spelling() {
+        // Exhaustive over Direction::ALL: each label must parse as a
+        // task key and come back out of `to_wdl` verbatim. A direction
+        // added to the dag without a WDL spelling fails here.
+        for dir in Direction::ALL {
+            // Versioned accesses target the versioned datum `x`, stream
+            // accesses the stream datum `s` (mixing the modalities on
+            // one datum is rejected by the access processor).
+            let target = if dir.is_stream() { "s" } else { "x" };
+            let text = format!(
+                "task w out=x stream_out=s dur=1\ntask t {}={target} dur=2",
+                dir.as_str()
+            );
+            let w = parse_wdl(&text).unwrap_or_else(|e| panic!("{}: {e}", dir.as_str()));
+            let spec_dirs: Vec<Direction> = w
+                .graph()
+                .node(TaskId::from_raw(1))
+                .unwrap()
+                .spec()
+                .params()
+                .iter()
+                .map(|p| p.direction)
+                .collect();
+            assert_eq!(spec_dirs, vec![dir], "{}", dir.as_str());
+            let dumped = to_wdl(&w);
+            assert!(
+                dumped.contains(&format!(" {}=", dir.as_str())),
+                "{}: {dumped}",
+                dir.as_str()
+            );
+        }
     }
 
     #[test]
