@@ -118,21 +118,34 @@ fn bench_kv_store(c: &mut Criterion) {
     });
 }
 
-/// DES event queue throughput.
+/// DES event queue throughput: both backends at a 100k-event
+/// population — the regime where the calendar's O(1) ops beat the
+/// heap's O(log n).
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("des/push_pop_100k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..100_000u64 {
-                q.push(VirtualTime::from_seconds((i % 977) as f64), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            black_box(sum)
-        })
-    });
+    for (name, kind) in [
+        (
+            "des/push_pop_100k",
+            continuum_runtime::EventQueueKind::Calendar,
+        ),
+        (
+            "des/push_pop_100k_heap",
+            continuum_runtime::EventQueueKind::Heap,
+        ),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_kind(kind);
+                for i in 0..100_000u64 {
+                    q.push(VirtualTime::from_seconds((i % 977) as f64), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
+    }
 }
 
 /// End-to-end simulated execution throughput.

@@ -34,6 +34,7 @@ pub mod e13_streaming;
 pub mod fixtures;
 pub mod local_bench;
 pub mod sched_bench;
+pub mod sim_bench;
 pub mod stream_bench;
 mod table;
 

@@ -82,6 +82,16 @@ impl DataCatalog {
             .ok_or(DagError::UnknownData(data))
     }
 
+    /// Frees the name string of a retired datum, leaving an empty
+    /// tombstone. The id stays valid (lookups return `""`); used by
+    /// lazily-materialized runs to bound catalog memory once a datum
+    /// is closed and all its versions are retired.
+    pub fn retire_name(&mut self, data: DataId) {
+        if let Some(name) = self.names.get_mut(data.index()) {
+            *name = String::new();
+        }
+    }
+
     fn bump(&mut self, data: DataId, producer: TaskId) -> Result<DataVersion, DagError> {
         let info = self
             .current
@@ -314,6 +324,12 @@ impl AccessProcessor {
     /// The data catalog.
     pub fn catalog(&self) -> &DataCatalog {
         &self.catalog
+    }
+
+    /// Frees the name of a retired datum (see
+    /// [`DataCatalog::retire_name`]).
+    pub fn retire_data_name(&mut self, data: DataId) {
+        self.catalog.retire_name(data);
     }
 
     /// Splits the processor into its catalog and graph, consuming it.

@@ -452,6 +452,38 @@ impl TaskGraph {
         Ok(())
     }
 
+    /// Frees the heap payload of a finished task — its spec (name,
+    /// parameter accesses), dependency lists and data-access lists —
+    /// leaving a tombstone whose id and state stay valid so task ids
+    /// never shift. Lazily-materialized runs call this once a task
+    /// *and every value it produced* have been retired: nothing will
+    /// traverse the payload again, and dropping it bounds resident
+    /// memory by the live frontier instead of the whole campaign.
+    ///
+    /// Completion is the *caller's* claim: engines that track run
+    /// state outside the graph (see [`GraphRun`]) leave node states
+    /// frozen at submission values, so no graph-level state check is
+    /// possible here. Retiring a task that will be traversed again is
+    /// a logic error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownTask`] for unknown ids.
+    pub fn retire_payload(&mut self, id: TaskId) -> Result<(), DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        node.spec = TaskSpec::new(String::new());
+        node.preds = Vec::new();
+        node.succs = Vec::new();
+        node.stream_preds = Vec::new();
+        node.stream_succs = Vec::new();
+        node.consumed = Vec::new();
+        node.produced = Vec::new();
+        Ok(())
+    }
+
     /// Topological order of all tasks (submission order is already
     /// topological because edges only point forward, but this validates
     /// the invariant and is used by static schedulers).
@@ -521,6 +553,54 @@ impl GraphRun {
     /// Current lifecycle state of a task, or `None` for unknown ids.
     pub fn state(&self, id: TaskId) -> Option<TaskState> {
         self.states.get(id.index()).copied()
+    }
+
+    /// Number of tasks this run tracks (the graph length at creation
+    /// or the last [`GraphRun::grow`]).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the run tracks no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Extends the run to cover tasks appended to `graph` since this
+    /// run was created or last grown (lazy materialization). Returns
+    /// how many tasks were added.
+    ///
+    /// Readiness of new tasks is computed from the **run's** states —
+    /// not the graph's, which stay frozen while an engine executes
+    /// through a `GraphRun` — so a consumer materialized after its
+    /// producer completed in this run starts `Ready`. Dependency edges
+    /// only point backward, and the new nodes are scanned in id order,
+    /// so every predecessor's run state exists by the time it is read.
+    pub fn grow(&mut self, graph: &TaskGraph) -> usize {
+        let old = self.states.len();
+        for node in &graph.nodes[old..] {
+            let unfinished = node
+                .preds
+                .iter()
+                .filter(|p| !self.states[p.index()].is_completed())
+                .count();
+            let unreleased = node
+                .stream_preds
+                .iter()
+                .filter(|p| !self.released[p.index()] && !self.states[p.index()].is_completed())
+                .count();
+            let state = if unfinished == 0 && unreleased == 0 {
+                self.ready.insert(node.id);
+                TaskState::Ready
+            } else {
+                TaskState::Pending
+            };
+            self.states.push(state);
+            self.unfinished.push(unfinished);
+            self.stream_unreleased.push(unreleased);
+            self.released.push(false);
+        }
+        self.states.len() - old
     }
 
     /// Tasks whose dependencies are satisfied, in ascending id order.

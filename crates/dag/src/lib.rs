@@ -45,6 +45,7 @@ mod error;
 mod graph;
 mod ids;
 mod param;
+mod source;
 mod spec;
 
 pub use access::{AccessProcessor, DataCatalog, StreamEndpoints, VersionInfo};
@@ -54,4 +55,5 @@ pub use error::DagError;
 pub use graph::{GraphRun, TaskGraph, TaskNode, TaskState};
 pub use ids::{DataId, DataVersion, TaskId, VersionedData};
 pub use param::{Direction, Param, StreamRole};
+pub use source::{ExpandSink, GraphSource};
 pub use spec::TaskSpec;

@@ -327,6 +327,22 @@ impl DataRegistry {
         lost
     }
 
+    /// Retires a datum whose consumers are all finished: drops the
+    /// entry and de-accounts every replica from the locality index.
+    /// Returns `true` if the datum was tracked. Lazily-materialized
+    /// runs call this once the graph source closed the datum and all
+    /// materialized readers completed, bounding registry memory by the
+    /// live frontier.
+    pub fn retire(&mut self, vd: VersionedData) -> bool {
+        let Some(entry) = self.entries.remove(&vd) else {
+            return false;
+        };
+        for &node in entry.replicas.as_slice() {
+            self.sub_node_bytes(node, entry.bytes);
+        }
+        true
+    }
+
     /// Bytes of data resident on a node: an O(1) read of the locality
     /// index.
     pub fn bytes_on(&self, node: NodeId) -> u64 {
@@ -468,6 +484,20 @@ mod tests {
         let before = r.bytes_on(n(5));
         r.add_replica(vd(0, 1), n(5));
         assert_eq!(r.bytes_on(n(5)), before);
+    }
+
+    #[test]
+    fn retire_removes_entry_and_index_bytes() {
+        let mut r = DataRegistry::new();
+        r.record_production(vd(0, 1), n(0), 100);
+        r.add_replica(vd(0, 1), n(1));
+        r.record_production(vd(1, 1), n(0), 30);
+        assert!(r.retire(vd(0, 1)));
+        assert!(!r.is_known(vd(0, 1)));
+        assert_eq!(r.bytes_on(n(0)), 30);
+        assert_eq!(r.bytes_on(n(1)), 0);
+        assert_eq!(r.len(), 1);
+        assert!(!r.retire(vd(0, 1)), "second retire is a no-op");
     }
 
     /// The incremental locality index must always agree with a naive

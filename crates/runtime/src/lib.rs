@@ -52,8 +52,12 @@ pub use scheduler::{
     EnergyScheduler, FifoScheduler, HeftScheduler, ListScheduler, LocalityScheduler, PlacementView,
     Scheduler,
 };
-pub use sim_engine::{DataLossMode, ElasticConfig, SimOptions, SimRuntime};
+pub use sim_engine::{DataLossMode, ElasticConfig, LazyRunOutcome, SimOptions, SimRuntime};
 pub use workload::{SimWorkload, WorkloadStats};
+
+/// Event-queue backend selector ([`SimOptions::event_queue`]),
+/// re-exported from `continuum_sim` for convenience.
+pub use continuum_sim::EventQueueKind;
 
 /// Telemetry surface both engines accept in their configs
 /// ([`LocalConfig::telemetry`], [`SimOptions::telemetry`]), re-exported

@@ -5,19 +5,24 @@
 
 use crate::data::DataRegistry;
 use crate::error::RuntimeError;
+use crate::profile::TaskProfile;
 use crate::scheduler::{PlacementView, Scheduler};
 use crate::workload::SimWorkload;
 use continuum_analyze::{has_errors, LintMode};
-use continuum_dag::{DataId, GraphAnalysis, GraphRun, TaskId, TaskState, VersionedData};
+use continuum_dag::{
+    DagError, DataId, ExpandSink, GraphAnalysis, GraphRun, GraphSource, TaskId, TaskSpec,
+    TaskState, VersionedData,
+};
 use continuum_platform::{Constraints, ElasticityPolicy, NodeId, Platform, ZoneId};
 use continuum_sim::{
-    EventQueue, ExecutionTrace, FaultKind, FaultPlan, NodeState, RunReport, TraceRecord,
-    TransferLedger, TransferRecord, VirtualTime,
+    EventQueue, EventQueueKind, ExecutionTrace, FaultKind, FaultPlan, NodeState, RunReport,
+    TraceRecord, TransferLedger, TransferRecord, VirtualTime,
 };
 use continuum_telemetry::{
     micros_from_seconds, CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Deref;
 
 /// Nominal capacity of a simulated stream channel. Virtual time is
 /// driven by the cost model, not by backpressure, so capacity is
@@ -81,6 +86,12 @@ pub struct SimOptions {
     /// [`RuntimeError::LintRejected`] when any error-severity finding
     /// exists. Default: `Off`.
     pub strict_lints: LintMode,
+    /// Event-queue backend. The calendar queue (default) is O(1)
+    /// amortized under the sim's mostly-monotone event distribution;
+    /// the binary heap is the O(log n) reference both backends are
+    /// proven schedule-identical against. Results are bit-for-bit
+    /// independent of this choice.
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for SimOptions {
@@ -94,6 +105,7 @@ impl Default for SimOptions {
             max_virtual_seconds: 1e9,
             telemetry: RecorderHandle::noop(),
             strict_lints: LintMode::Off,
+            event_queue: EventQueueKind::default(),
         }
     }
 }
@@ -237,8 +249,114 @@ struct VerdictCell {
     ready: bool,
 }
 
+/// The engine's view of its workload: borrowed for eager runs (the
+/// caller keeps the workload and can re-run it under different
+/// configurations), owned for lazy runs (the engine grows it through
+/// the expansion sink as the [`GraphSource`] materializes subgraphs).
+enum WorkloadRef<'w> {
+    Borrowed(&'w SimWorkload),
+    Owned(Box<SimWorkload>),
+}
+
+impl Deref for WorkloadRef<'_> {
+    type Target = SimWorkload;
+
+    fn deref(&self) -> &SimWorkload {
+        match self {
+            WorkloadRef::Borrowed(w) => w,
+            WorkloadRef::Owned(w) => w,
+        }
+    }
+}
+
+impl WorkloadRef<'_> {
+    fn owned_mut(&mut self) -> Option<&mut SimWorkload> {
+        match self {
+            WorkloadRef::Owned(w) => Some(w),
+            WorkloadRef::Borrowed(_) => None,
+        }
+    }
+}
+
+/// Liveness of one tracked value in a lazy run: retirable once its
+/// datum is closed by the source, the value has been produced, and no
+/// materialized reader is still pending.
+#[derive(Debug, Clone, Copy, Default)]
+struct ValueLive {
+    pending_readers: u32,
+    produced: bool,
+}
+
+/// Lazy-materialization state (`None` for eager runs).
+struct LazyState<'s> {
+    source: &'s mut dyn GraphSource<TaskProfile>,
+    /// Data the source declared fully consumed, indexed by [`DataId`].
+    closed: Vec<bool>,
+    /// Liveness of every unretired value the engine knows about.
+    live: HashMap<VersionedData, ValueLive>,
+    /// Produced-but-unretired value count per task (indexed by id);
+    /// reaching zero retires the task's graph payload.
+    outstanding: Vec<u32>,
+}
+
+/// Expansion surface handed to a [`GraphSource`]: registers data and
+/// tasks directly into the engine's owned workload, recording what was
+/// added so the engine can grow its run state afterwards.
+struct LazySink<'a> {
+    w: &'a mut SimWorkload,
+    new_initial: Vec<(DataId, u64)>,
+    closed: Vec<DataId>,
+}
+
+impl ExpandSink<TaskProfile> for LazySink<'_> {
+    fn data(&mut self, name: &str) -> DataId {
+        self.w.data(name)
+    }
+
+    fn initial_data(&mut self, name: &str, bytes: u64) -> DataId {
+        let id = self.w.initial_data(name, bytes, None);
+        self.new_initial.push((id, bytes));
+        id
+    }
+
+    fn submit(&mut self, spec: TaskSpec, payload: TaskProfile) -> Result<TaskId, DagError> {
+        self.w.task(spec, payload)
+    }
+
+    fn close_data(&mut self, data: DataId) {
+        self.closed.push(data);
+    }
+}
+
+/// What [`SimRuntime::run_lazy`] returns beyond the usual report: the
+/// execution trace plus the scale counters that quantify how well lazy
+/// materialization bounded the resident frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyRunOutcome {
+    /// The usual run metrics.
+    pub report: RunReport,
+    /// Per-task placement and timing (byte-identical across event-queue
+    /// backends for the same source and options).
+    pub trace: ExecutionTrace,
+    /// Highest number of materialized (non-retired) tasks resident at
+    /// once — the frontier high-water mark.
+    pub peak_materialized_tasks: usize,
+    /// Total tasks the source emitted over the run.
+    pub total_tasks: usize,
+    /// Tasks whose graph payload was retired (tombstoned).
+    pub retired_tasks: usize,
+    /// Highest number of live values tracked by the registry at once.
+    pub peak_live_values: usize,
+    /// Values retired from the registry over the run.
+    pub retired_values: u64,
+    /// Highest event-queue occupancy observed.
+    pub peak_event_queue: usize,
+    /// Discrete events processed over the run.
+    pub events_processed: u64,
+}
+
 struct Engine<'w, 's> {
-    workload: &'w SimWorkload,
+    workload: WorkloadRef<'w>,
     scheduler: &'s mut dyn Scheduler,
     options: SimOptions,
     platform: Platform,
@@ -311,6 +429,20 @@ struct Engine<'w, 's> {
     /// producer start — the locality index stream edges contribute to
     /// (affinity for co-location, not data-resident bytes).
     stream_sites: HashMap<DataId, NodeId>,
+    /// Lazy-materialization state; `None` for eager runs.
+    lazy: Option<LazyState<'s>>,
+    /// High-water mark of materialized (non-retired) tasks.
+    peak_materialized: usize,
+    /// High-water mark of registry-tracked live values.
+    peak_live_values: usize,
+    /// High-water mark of event-queue occupancy.
+    queue_high_water: usize,
+    /// Tasks whose graph payload was tombstoned (lazy runs only).
+    retired_tasks: usize,
+    /// Values dropped from the registry after draining (lazy only).
+    retired_values: u64,
+    /// Discrete events popped off the queue over the run.
+    events_processed: u64,
 }
 
 impl SimRuntime {
@@ -369,7 +501,8 @@ impl SimRuntime {
             }
         }
         let mut engine = Engine::new(
-            workload,
+            WorkloadRef::Borrowed(workload),
+            None,
             scheduler,
             self.options.clone(),
             self.platform.clone(),
@@ -378,11 +511,71 @@ impl SimRuntime {
         let report = engine.drive()?;
         Ok((report, engine.trace))
     }
+
+    /// Runs a lazily-materialized workload to completion: `source`
+    /// primes an initial frontier, every completion may expand further
+    /// subgraphs, and fully-consumed subgraphs retire as the run
+    /// advances — so resident state tracks the execution frontier, not
+    /// the total task count. The schedule is identical to running the
+    /// fully-materialized equivalent workload eagerly whenever the
+    /// source keeps every not-yet-runnable task's predecessors ahead
+    /// of it (sources expanding ahead of the ready frontier).
+    ///
+    /// Barrier-level execution and [`DataLossMode::Restart`] are not
+    /// supported in lazy mode: both assume the full graph up front.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SimRuntime::run`], plus
+    /// [`RuntimeError::Stuck`] for the unsupported options above.
+    pub fn run_lazy(
+        &self,
+        source: &mut dyn GraphSource<TaskProfile>,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultPlan,
+    ) -> Result<LazyRunOutcome, RuntimeError> {
+        if self.options.barrier_levels {
+            return Err(RuntimeError::Stuck {
+                completed: 0,
+                remaining: 0,
+                reason: "barrier_levels is not supported with lazy materialization".into(),
+            });
+        }
+        if self.options.data_loss == DataLossMode::Restart {
+            return Err(RuntimeError::Stuck {
+                completed: 0,
+                remaining: 0,
+                reason: "DataLossMode::Restart is not supported with lazy materialization".into(),
+            });
+        }
+        let mut engine = Engine::new(
+            WorkloadRef::Owned(Box::new(SimWorkload::new())),
+            Some(source),
+            scheduler,
+            self.options.clone(),
+            self.platform.clone(),
+        );
+        engine.prime(faults);
+        engine.expand(None, VirtualTime::ZERO)?;
+        let report = engine.drive()?;
+        Ok(LazyRunOutcome {
+            report,
+            peak_materialized_tasks: engine.peak_materialized,
+            total_tasks: engine.workload.graph().len(),
+            retired_tasks: engine.retired_tasks,
+            peak_live_values: engine.peak_live_values,
+            retired_values: engine.retired_values,
+            peak_event_queue: engine.queue_high_water,
+            events_processed: engine.events_processed,
+            trace: engine.trace,
+        })
+    }
 }
 
 impl<'w, 's> Engine<'w, 's> {
     fn new(
-        workload: &'w SimWorkload,
+        workload: WorkloadRef<'w>,
+        source: Option<&'s mut dyn GraphSource<TaskProfile>>,
         scheduler: &'s mut dyn Scheduler,
         options: SimOptions,
         platform: Platform,
@@ -423,6 +616,13 @@ impl<'w, 's> Engine<'w, 's> {
                 channels.entry(d).or_insert_with(SimChannel::new);
             }
         }
+        let lazy = source.map(|s| LazyState {
+            source: s,
+            closed: Vec::new(),
+            live: HashMap::new(),
+            outstanding: Vec::new(),
+        });
+        let queue = EventQueue::with_kind(options.event_queue);
         Engine {
             workload,
             scheduler,
@@ -432,7 +632,7 @@ impl<'w, 's> Engine<'w, 's> {
             nodes,
             registry: DataRegistry::new(),
             ledger: TransferLedger::new(),
-            queue: EventQueue::new(),
+            queue,
             running: HashMap::new(),
             epoch: 0,
             replaying: HashSet::new(),
@@ -461,6 +661,13 @@ impl<'w, 's> Engine<'w, 's> {
             host_pool: Vec::new(),
             channels,
             stream_sites: HashMap::new(),
+            lazy,
+            peak_materialized: num_tasks,
+            peak_live_values: 0,
+            queue_high_water: 0,
+            retired_tasks: 0,
+            retired_values: 0,
+            events_processed: 0,
         }
     }
 
@@ -497,7 +704,9 @@ impl<'w, 's> Engine<'w, 's> {
     }
 
     fn drive(&mut self) -> Result<RunReport, RuntimeError> {
-        if self.options.telemetry.enabled() {
+        // Lazy runs emit Submitted instants as subgraphs materialize
+        // (see `expand`); eager runs emit them all up front.
+        if self.options.telemetry.enabled() && self.lazy.is_none() {
             for node in self.workload.graph().nodes() {
                 self.options.telemetry.record(TelemetryEvent::Instant {
                     track: Track::Run,
@@ -509,9 +718,12 @@ impl<'w, 's> Engine<'w, 's> {
         }
         self.schedule_round(VirtualTime::ZERO)?;
         while !self.run.all_completed() {
+            self.queue_high_water = self.queue_high_water.max(self.queue.len());
+            self.peak_live_values = self.peak_live_values.max(self.registry.len());
             let Some((now, event)) = self.queue.pop() else {
                 return self.stall_error("event queue drained");
             };
+            self.events_processed += 1;
             if now.as_seconds() > self.options.max_virtual_seconds {
                 return self.stall_error("virtual time limit exceeded");
             }
@@ -564,6 +776,26 @@ impl<'w, 's> Engine<'w, 's> {
                 micros_from_seconds(self.trace.total_transfer_stall_s()),
                 self.reexecutions as u64,
             );
+            for (key, value) in [
+                (
+                    CounterKey::MaterializedTasksHighWater,
+                    self.peak_materialized as f64,
+                ),
+                (
+                    CounterKey::LiveValuesHighWater,
+                    self.peak_live_values as f64,
+                ),
+                (
+                    CounterKey::EventQueueHighWater,
+                    self.queue_high_water as f64,
+                ),
+            ] {
+                self.options.telemetry.record(TelemetryEvent::Counter {
+                    key,
+                    at_us: end_us,
+                    value,
+                });
+            }
             // Stream counters only exist for workloads with stream
             // edges; their absence means "no streams", mirroring the
             // local engine.
@@ -687,6 +919,13 @@ impl<'w, 's> Engine<'w, 's> {
                     self.current_level += 1;
                 }
             }
+            if self.lazy.is_some() {
+                // Expand before settling so readers materialized by
+                // this very completion are counted before any value
+                // is considered drained.
+                self.expand(Some(task), now)?;
+                self.settle_retirement(task);
+            }
         }
         self.schedule_round(now)
     }
@@ -719,6 +958,212 @@ impl<'w, 's> Engine<'w, 's> {
             }
         }
         self.produced_scratch = produced;
+    }
+
+    // ---- lazy materialization --------------------------------------------
+
+    /// Asks the lazy source to expand (prime when `completed` is
+    /// `None`, react to a completion otherwise), integrates what it
+    /// emitted into the run state, and applies its close notices. A
+    /// no-op for eager runs.
+    fn expand(&mut self, completed: Option<TaskId>, now: VirtualTime) -> Result<(), RuntimeError> {
+        let Some(lazy) = self.lazy.as_mut() else {
+            return Ok(());
+        };
+        let w = self
+            .workload
+            .owned_mut()
+            .expect("lazy runs own their workload");
+        let tasks_before = w.graph().len();
+        let mut sink = LazySink {
+            w,
+            new_initial: Vec::new(),
+            closed: Vec::new(),
+        };
+        match completed {
+            Some(task) => lazy.source.on_task_complete(task, &mut sink)?,
+            None => lazy.source.prime(&mut sink)?,
+        }
+        let LazySink {
+            new_initial,
+            closed: closed_now,
+            ..
+        } = sink;
+        // Externally-provided data from this expansion: available
+        // immediately, liveness-tracked like any produced value.
+        for (data, bytes) in new_initial {
+            let vd = VersionedData::initial(data);
+            self.registry.record_initial(vd, None, bytes);
+            lazy.live.insert(
+                vd,
+                ValueLive {
+                    pending_readers: 0,
+                    produced: true,
+                },
+            );
+        }
+        // Integrate the newly emitted tasks: producer index, value
+        // liveness, stream channels, telemetry, run-state growth.
+        let graph_len = self.workload.graph().len();
+        let at_us = micros_from_seconds(now.as_seconds());
+        for idx in tasks_before..graph_len {
+            let id = TaskId::from_raw(idx as u64);
+            let node = self.workload.graph().node(id).expect("just integrated");
+            lazy.outstanding.push(node.produced().len() as u32);
+            for vd in node.produced() {
+                self.producer_of.insert(*vd, id);
+                lazy.live.entry(*vd).or_default();
+            }
+            for vd in node.consumed() {
+                lazy.live.entry(*vd).or_default().pending_readers += 1;
+            }
+            let spec = node.spec();
+            for d in spec.stream_writes() {
+                let ch = self.channels.entry(d).or_insert_with(SimChannel::new);
+                ch.writers_total += 1;
+                ch.open_writers += 1;
+            }
+            for d in spec.stream_reads() {
+                self.channels.entry(d).or_insert_with(SimChannel::new);
+            }
+            if self.options.telemetry.enabled() {
+                self.options.telemetry.record(TelemetryEvent::Instant {
+                    track: Track::Run,
+                    name: spec.name().to_string(),
+                    phase: TaskPhase::Submitted,
+                    at_us,
+                });
+            }
+        }
+        let catalog_len = self.workload.catalog().len();
+        if lazy.closed.len() < catalog_len {
+            lazy.closed.resize(catalog_len, false);
+        }
+        for &data in &closed_now {
+            lazy.closed[data.index()] = true;
+        }
+        self.run.grow(self.workload.graph());
+        self.verdicts.resize(graph_len, VerdictCell::default());
+        self.peak_materialized = self.peak_materialized.max(graph_len - self.retired_tasks);
+        // Close notices may have made already-drained values retirable
+        // (the initial and the current version cover the write-once
+        // catalogs lazy sources produce).
+        for data in closed_now {
+            self.try_retire_value(VersionedData::initial(data));
+            if let Ok(info) = self.workload.catalog().current(data) {
+                self.try_retire_value(VersionedData {
+                    data,
+                    version: info.version,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Settles value liveness after `task` completed in a lazy run:
+    /// its outputs are now produced, its inputs have one fewer pending
+    /// reader, and anything fully drained retires.
+    fn settle_retirement(&mut self, task: TaskId) {
+        if self.lazy.is_none() {
+            return;
+        }
+        let mut produced = std::mem::take(&mut self.produced_scratch);
+        let mut consumed = std::mem::take(&mut self.consumed_scratch);
+        produced.clear();
+        consumed.clear();
+        {
+            let node = self.workload.graph().node(task).expect("task in graph");
+            produced.extend_from_slice(node.produced());
+            consumed.extend_from_slice(node.consumed());
+        }
+        {
+            let lazy = self.lazy.as_mut().expect("checked above");
+            for vd in &produced {
+                lazy.live.entry(*vd).or_default().produced = true;
+            }
+            for vd in &consumed {
+                if let Some(l) = lazy.live.get_mut(vd) {
+                    l.pending_readers = l.pending_readers.saturating_sub(1);
+                }
+            }
+        }
+        for &vd in &consumed {
+            self.try_retire_value(vd);
+        }
+        for &vd in &produced {
+            self.try_retire_value(vd);
+        }
+        if produced.is_empty() {
+            // No outputs means no value retirement can ever cascade
+            // into this task: tombstone it directly.
+            let w = self
+                .workload
+                .owned_mut()
+                .expect("lazy runs own their workload");
+            if w.retire_task_payload(task).is_ok() {
+                self.retired_tasks += 1;
+            }
+        }
+        produced.clear();
+        consumed.clear();
+        self.produced_scratch = produced;
+        self.consumed_scratch = consumed;
+    }
+
+    /// Retires `vd` if its datum is closed, the value produced, and no
+    /// materialized reader still pending — dropping it from the
+    /// registry, and tombstoning the producing task once none of its
+    /// outputs remain live. A no-op for eager runs and untracked or
+    /// still-live values.
+    fn try_retire_value(&mut self, vd: VersionedData) {
+        let Some(lazy) = self.lazy.as_mut() else {
+            return;
+        };
+        let retirable = match lazy.live.get(&vd) {
+            Some(l) => {
+                l.produced
+                    && l.pending_readers == 0
+                    && lazy.closed.get(vd.data.index()).copied().unwrap_or(false)
+            }
+            None => false,
+        };
+        if !retirable {
+            return;
+        }
+        lazy.live.remove(&vd);
+        self.registry.retire(vd);
+        self.retired_values += 1;
+        if let Some(producer) = self.producer_of.remove(&vd) {
+            let lazy = self.lazy.as_mut().expect("still lazy");
+            let slot = &mut lazy.outstanding[producer.index()];
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 {
+                // `produced` only flips at completion, so the producer
+                // of a retired value is necessarily completed.
+                let w = self
+                    .workload
+                    .owned_mut()
+                    .expect("lazy runs own their workload");
+                if w.retire_task_payload(producer).is_ok() {
+                    self.retired_tasks += 1;
+                }
+            }
+        }
+        // Free the catalog name once the datum's current version is
+        // gone (earlier versions were superseded before close).
+        let frees_name = self
+            .workload
+            .catalog()
+            .current(vd.data)
+            .map(|info| info.version == vd.version)
+            .unwrap_or(false);
+        if frees_name {
+            let w = self
+                .workload
+                .owned_mut()
+                .expect("lazy runs own their workload");
+            w.retire_data(vd.data);
+        }
     }
 
     // ---- faults ----------------------------------------------------------
@@ -795,6 +1240,9 @@ impl<'w, 's> Engine<'w, 's> {
     /// Restart-from-scratch recovery: every completed task is counted
     /// as a re-execution and the whole graph starts over.
     fn restart(&mut self, now: VirtualTime) -> Result<(), RuntimeError> {
+        // Lazy runs reject `DataLossMode::Restart` at entry: a
+        // restarted source would have to replay its expansion history.
+        debug_assert!(self.lazy.is_none(), "lazy runs never restart");
         self.restarts += 1;
         self.reexecutions += self.run.completed_count();
         // Cancel in-flight work.
@@ -971,7 +1419,7 @@ impl<'w, 's> Engine<'w, 's> {
         // per-round budgets).
         while !single.is_empty() {
             let view =
-                PlacementView::new(self.workload, &self.nodes, &self.registry, &self.platform)
+                PlacementView::new(&self.workload, &self.nodes, &self.registry, &self.platform)
                     .with_uplink_state(&self.zone_uplink_busy, now)
                     .with_stream_sites(&self.stream_sites);
             let assignments = self.scheduler.place(&view, &single);
@@ -1204,7 +1652,7 @@ impl<'w, 's> Engine<'w, 's> {
             });
         }
         let transfer_s = self.plan_input_transfers(task, head, now);
-        let profile = self.workload.profile(task);
+        let duration_s = self.workload.profile(task).duration_s();
         let n_hosts = hosts.len();
         for (i, host) in hosts.iter().enumerate() {
             let req = self.reservation_for(task, n_hosts, i, *host);
@@ -1215,7 +1663,7 @@ impl<'w, 's> Engine<'w, 's> {
             .iter()
             .map(|h| self.nodes[h.index()].speed())
             .fold(f64::INFINITY, f64::min);
-        let exec_s = profile.duration_s() / slowest;
+        let exec_s = duration_s / slowest;
         if self.started_once.contains(&task) && !self.replaying.contains(&task) {
             self.reexecutions += 1;
         }
@@ -1258,9 +1706,13 @@ impl<'w, 's> Engine<'w, 's> {
         exec_s: f64,
         epoch: u64,
     ) {
-        let workload = self.workload;
-        let spec = workload.graph().node(task).expect("task in graph").spec();
-        let elems = workload.profile(task).stream_elements_count();
+        let spec = self
+            .workload
+            .graph()
+            .node(task)
+            .expect("task in graph")
+            .spec();
+        let elems = self.workload.profile(task).stream_elements_count();
         for data in spec.stream_writes() {
             self.stream_sites.insert(data, node);
             for k in 0..elems {
@@ -1290,8 +1742,7 @@ impl<'w, 's> Engine<'w, 's> {
     /// wait), a consumer drains whatever is still queued and stops
     /// absorbing future sends.
     fn finish_stream_endpoints(&mut self, task: TaskId, now: VirtualTime) {
-        let workload = self.workload;
-        let Ok(record) = workload.graph().node(task) else {
+        let Ok(record) = self.workload.graph().node(task) else {
             return;
         };
         let spec = record.spec();
@@ -2226,5 +2677,155 @@ mod tests {
         let a = run(&w, cluster(4, 2), SimOptions::default(), &faults).unwrap();
         let b = run(&w, cluster(4, 2), SimOptions::default(), &faults).unwrap();
         assert_eq!(a, b);
+    }
+
+    // ---- lazy materialization ------------------------------------------
+
+    /// A pipeline of `n` unit tasks materialized one step ahead of the
+    /// frontier: stage `i+1` is emitted when stage `i` completes, and
+    /// each intermediate datum is closed as soon as its one consumer
+    /// exists.
+    struct LazyChain {
+        n: usize,
+        dur: f64,
+        emitted: usize,
+        prev: Option<DataId>,
+    }
+
+    impl LazyChain {
+        fn new(n: usize, dur: f64) -> Self {
+            LazyChain {
+                n,
+                dur,
+                emitted: 0,
+                prev: None,
+            }
+        }
+
+        fn emit_next(&mut self, sink: &mut dyn ExpandSink<TaskProfile>) -> Result<(), DagError> {
+            let out = sink.data(&format!("d{}", self.emitted));
+            let spec = match self.prev {
+                Some(prev) => TaskSpec::new(format!("t{}", self.emitted))
+                    .input(prev)
+                    .output(out),
+                None => TaskSpec::new("t0").output(out),
+            };
+            sink.submit(spec, TaskProfile::new(self.dur))?;
+            if let Some(prev) = self.prev {
+                // The one consumer of `prev` is now materialized.
+                sink.close_data(prev);
+            }
+            self.prev = Some(out);
+            self.emitted += 1;
+            Ok(())
+        }
+    }
+
+    impl GraphSource<TaskProfile> for LazyChain {
+        fn prime(&mut self, sink: &mut dyn ExpandSink<TaskProfile>) -> Result<(), DagError> {
+            self.emit_next(sink)
+        }
+
+        fn on_task_complete(
+            &mut self,
+            _task: TaskId,
+            sink: &mut dyn ExpandSink<TaskProfile>,
+        ) -> Result<(), DagError> {
+            if self.emitted < self.n {
+                self.emit_next(sink)?;
+            }
+            Ok(())
+        }
+
+        fn total_tasks(&self) -> Option<u64> {
+            Some(self.n as u64)
+        }
+    }
+
+    fn eager_chain(n: usize, dur: f64) -> SimWorkload {
+        // Same shape as LazyChain: n stages, each with its own datum.
+        let mut w = SimWorkload::new();
+        let mut prev: Option<DataId> = None;
+        for i in 0..n {
+            let out = w.data(format!("d{i}"));
+            let spec = match prev {
+                Some(p) => TaskSpec::new(format!("t{i}")).input(p).output(out),
+                None => TaskSpec::new("t0").output(out),
+            };
+            w.task(spec, TaskProfile::new(dur)).unwrap();
+            prev = Some(out);
+        }
+        w
+    }
+
+    #[test]
+    fn lazy_chain_matches_eager_and_retires() {
+        let n = 50;
+        let rt = SimRuntime::new(cluster(2, 2), SimOptions::default());
+        let (eager_report, eager_trace) = rt
+            .run_traced(
+                &eager_chain(n, 1.0),
+                &mut FifoScheduler::new(),
+                &FaultPlan::new(),
+            )
+            .unwrap();
+        let mut source = LazyChain::new(n, 1.0);
+        let out = rt
+            .run_lazy(&mut source, &mut FifoScheduler::new(), &FaultPlan::new())
+            .unwrap();
+        assert_eq!(out.report, eager_report);
+        assert_eq!(out.trace, eager_trace);
+        assert_eq!(out.total_tasks, n);
+        // Every stage but the frontier retires: peak resident stays
+        // O(1) while the campaign is O(n).
+        assert!(out.peak_materialized_tasks <= 3, "{out:?}");
+        assert_eq!(out.retired_tasks, n - 1);
+        // All data but the last (never closed) retire.
+        assert_eq!(out.retired_values, (n - 1) as u64);
+        assert!(out.peak_live_values <= 3);
+        assert_eq!(out.events_processed, n as u64);
+    }
+
+    #[test]
+    fn lazy_identical_across_queue_backends() {
+        let n = 40;
+        let run_with = |kind: EventQueueKind| {
+            let opts = SimOptions {
+                event_queue: kind,
+                ..Default::default()
+            };
+            let rt = SimRuntime::new(cluster(2, 2), opts);
+            let mut source = LazyChain::new(n, 0.5);
+            rt.run_lazy(&mut source, &mut FifoScheduler::new(), &FaultPlan::new())
+                .unwrap()
+        };
+        let cal = run_with(EventQueueKind::Calendar);
+        let heap = run_with(EventQueueKind::Heap);
+        assert_eq!(cal, heap);
+    }
+
+    #[test]
+    fn lazy_rejects_unsupported_modes() {
+        let barrier = SimOptions {
+            barrier_levels: true,
+            ..Default::default()
+        };
+        let rt = SimRuntime::new(cluster(1, 2), barrier);
+        let mut source = LazyChain::new(3, 1.0);
+        let err = rt
+            .run_lazy(&mut source, &mut FifoScheduler::new(), &FaultPlan::new())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Stuck { .. }));
+
+        let restart = SimOptions {
+            data_loss: DataLossMode::Restart,
+            ..Default::default()
+        };
+        let rt = SimRuntime::new(cluster(1, 2), restart);
+        let mut source = LazyChain::new(3, 1.0);
+        let err = rt
+            .run_lazy(&mut source, &mut FifoScheduler::new(), &FaultPlan::new())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Stuck { .. }));
     }
 }

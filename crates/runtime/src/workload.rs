@@ -169,6 +169,26 @@ impl SimWorkload {
             .map(|(d, b)| (*d, *b, self.initial_home.get(d).copied()))
     }
 
+    /// Retires a completed task's graph payload (spec, dependency and
+    /// access lists), leaving a tombstone with a stable id. Used by
+    /// lazily-materialized runs once the task and every value it
+    /// produced are retired; see [`TaskGraph::retire_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskGraph::retire_payload`] errors.
+    pub fn retire_task_payload(&mut self, task: TaskId) -> Result<(), DagError> {
+        self.ap.graph_mut().retire_payload(task)
+    }
+
+    /// Retires a closed datum: frees its catalog name and drops its
+    /// initial-data metadata. The id stays valid.
+    pub fn retire_data(&mut self, data: DataId) {
+        self.ap.retire_data_name(data);
+        self.initial_bytes.remove(&data);
+        self.initial_home.remove(&data);
+    }
+
     /// Summary statistics under reference durations.
     pub fn stats(&self) -> WorkloadStats {
         let g = self.ap.graph();

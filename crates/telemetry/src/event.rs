@@ -199,11 +199,19 @@ pub enum CounterKey {
     StreamElements,
     /// Cumulative payload bytes moved through stream channels.
     StreamBytes,
+    /// Highest number of materialized (non-retired) tasks resident at
+    /// once — the lazy-materialization frontier high-water mark.
+    MaterializedTasksHighWater,
+    /// Highest number of live (non-retired) data values tracked by the
+    /// registry at once.
+    LiveValuesHighWater,
+    /// Highest event-queue occupancy (pending events) observed.
+    EventQueueHighWater,
 }
 
 impl CounterKey {
     /// Every counter key.
-    pub const ALL: [CounterKey; 14] = [
+    pub const ALL: [CounterKey; 17] = [
         CounterKey::QueueDepth,
         CounterKey::RunningTasks,
         CounterKey::TransferBytes,
@@ -218,6 +226,9 @@ impl CounterKey {
         CounterKey::StreamBlockedRecvMicros,
         CounterKey::StreamElements,
         CounterKey::StreamBytes,
+        CounterKey::MaterializedTasksHighWater,
+        CounterKey::LiveValuesHighWater,
+        CounterKey::EventQueueHighWater,
     ];
 
     /// Inverse of [`CounterKey::as_str`].
@@ -242,6 +253,9 @@ impl CounterKey {
             CounterKey::StreamBlockedRecvMicros => "stream_blocked_recv_us",
             CounterKey::StreamElements => "stream_elements",
             CounterKey::StreamBytes => "stream_bytes",
+            CounterKey::MaterializedTasksHighWater => "materialized_tasks_high_water",
+            CounterKey::LiveValuesHighWater => "live_values_high_water",
+            CounterKey::EventQueueHighWater => "event_queue_high_water",
         }
     }
 }

@@ -13,11 +13,12 @@
 //! bimodal (a small fraction of imputations needs most of a node).
 
 use crate::rng::LogNormal;
-use continuum_dag::TaskSpec;
+use continuum_dag::{DagError, DataId, ExpandSink, GraphSource, TaskId, TaskSpec};
 use continuum_platform::Constraints;
 use continuum_runtime::{SimWorkload, TaskProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Builder for GWAS campaign workloads.
 ///
@@ -224,6 +225,209 @@ impl GwasWorkload {
         .expect("valid gwas task");
         w
     }
+
+    /// Lazy equivalent of [`GwasWorkload::build`]: a [`GraphSource`]
+    /// that materializes `window` chunk pipelines ahead of the
+    /// execution frontier instead of the whole campaign up front.
+    ///
+    /// Unlike [`GwasWorkload::build`] (one sequential RNG over the
+    /// whole campaign), per-chunk cost draws are seeded from
+    /// `(seed, chunk index)` so the generated profiles are a pure
+    /// function of the campaign parameters — independent of the
+    /// completion order that drives expansion.
+    pub fn into_source(self, window: usize) -> GwasSource {
+        GwasSource::new(self, window)
+    }
+}
+
+/// Lazily-materialized GWAS campaign (see [`GwasWorkload::into_source`]).
+///
+/// Expansion protocol: `prime` emits the first `window` chunk
+/// pipelines (filter → impute → association); every *association*
+/// completion emits the next chunk pipeline. A chromosome's merge task
+/// is emitted together with its last chunk, and the campaign merge
+/// together with the last chromosome. Data are closed as soon as every
+/// consumer is materialized, so the engine retires drained subgraphs
+/// behind the frontier: resident state scales with
+/// `window + chunks_per_chromosome`, not with the campaign size.
+#[derive(Debug)]
+pub struct GwasSource {
+    cfg: GwasWorkload,
+    window: usize,
+    /// Next linear chunk index (chromosome-major) to materialize.
+    next_chunk: usize,
+    /// Association tasks emitted but not yet completed (bounded by the
+    /// window plus in-flight work; membership identifies which
+    /// completions advance the frontier).
+    assoc_pending: HashSet<TaskId>,
+    /// Association outputs of the chromosome currently materializing
+    /// (drained into its merge when the last chunk is emitted).
+    assoc_data: Vec<DataId>,
+    /// Per-chromosome merge outputs (inputs of the campaign merge).
+    chrom_merge_data: Vec<DataId>,
+    final_out: Option<DataId>,
+}
+
+impl GwasSource {
+    fn new(cfg: GwasWorkload, window: usize) -> Self {
+        GwasSource {
+            cfg,
+            window: window.max(1),
+            next_chunk: 0,
+            assoc_pending: HashSet::new(),
+            assoc_data: Vec::new(),
+            chrom_merge_data: Vec::new(),
+            final_out: None,
+        }
+    }
+
+    /// The expansion window (chunk pipelines materialized ahead).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn total_chunks(&self) -> usize {
+        self.cfg.chromosomes * self.cfg.chunks
+    }
+
+    /// Deterministic per-stream RNG: draws depend only on the campaign
+    /// seed and the stream index, never on expansion order.
+    fn stream_rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(stream),
+        )
+    }
+
+    fn memory_of(&self, heavy: bool) -> u64 {
+        if self.cfg.worst_case_memory || heavy {
+            self.cfg.heavy_memory_mb
+        } else {
+            self.cfg.light_memory_mb
+        }
+    }
+
+    /// Emits one chunk pipeline, plus the chromosome merge when this
+    /// was the chromosome's last chunk and the campaign merge when it
+    /// was the campaign's last chromosome.
+    fn emit_chunk(&mut self, sink: &mut dyn ExpandSink<TaskProfile>) -> Result<(), DagError> {
+        let cfg = self.cfg.clone();
+        let linear = self.next_chunk;
+        self.next_chunk += 1;
+        let chrom = linear / cfg.chunks;
+        let chunk = linear % cfg.chunks;
+        let durations = LogNormal::from_mean_cv(cfg.mean_task_s, cfg.duration_cv);
+        let mut rng = self.stream_rng(linear as u64);
+        let draw = |rng: &mut StdRng| durations.sample(rng).clamp(1.0, cfg.mean_task_s * 20.0);
+
+        let tag = format!("c{chrom}_{chunk}");
+        let raw = sink.initial_data(&format!("raw_{tag}"), cfg.chunk_bytes);
+        let filtered = sink.data(&format!("filt_{tag}"));
+        let imputed = sink.data(&format!("imp_{tag}"));
+        let assoc = sink.data(&format!("assoc_{tag}"));
+
+        sink.submit(
+            TaskSpec::new("filter")
+                .group("qc")
+                .input(raw)
+                .output(filtered),
+            TaskProfile::new(draw(&mut rng) * 0.3)
+                .constraints(Constraints::new().memory_mb(self.memory_of(false)))
+                .outputs_bytes(cfg.chunk_bytes / 2),
+        )?;
+        let heavy = rng.gen::<f64>() < cfg.heavy_fraction;
+        sink.submit(
+            TaskSpec::new("impute")
+                .group("imputation")
+                .input(filtered)
+                .output(imputed),
+            TaskProfile::new(draw(&mut rng) * if heavy { 2.0 } else { 1.0 })
+                .constraints(Constraints::new().memory_mb(self.memory_of(heavy)))
+                .outputs_bytes(cfg.chunk_bytes),
+        )?;
+        let assoc_task = sink.submit(
+            TaskSpec::new("association")
+                .group("analysis")
+                .input(imputed)
+                .output(assoc),
+            TaskProfile::new(draw(&mut rng) * 0.5)
+                .constraints(Constraints::new().memory_mb(self.memory_of(false)))
+                .outputs_bytes(cfg.chunk_bytes / 10),
+        )?;
+        self.assoc_pending.insert(assoc_task);
+        self.assoc_data.push(assoc);
+        // Every consumer of the intra-chunk data now exists.
+        sink.close_data(raw);
+        sink.close_data(filtered);
+        sink.close_data(imputed);
+
+        if chunk + 1 == cfg.chunks {
+            // Last chunk of the chromosome: its merge (and the
+            // closure of every association output it consumes).
+            let merged = sink.data(&format!("chrom_merge_{chrom}"));
+            let mut merge_rng = self.stream_rng(self.total_chunks() as u64 + chrom as u64);
+            let chunk_outputs = std::mem::take(&mut self.assoc_data);
+            sink.submit(
+                TaskSpec::new("merge_chromosome")
+                    .group("merge")
+                    .inputs(chunk_outputs.iter().copied())
+                    .output(merged),
+                TaskProfile::new(draw(&mut merge_rng) * 0.4)
+                    .constraints(Constraints::new().memory_mb(self.memory_of(false)))
+                    .outputs_bytes(cfg.chunk_bytes / 5),
+            )?;
+            for d in chunk_outputs {
+                sink.close_data(d);
+            }
+            self.chrom_merge_data.push(merged);
+        }
+        if linear + 1 == self.total_chunks() {
+            // Last chunk of the campaign: the final merge.
+            let final_out = sink.data("campaign_summary");
+            let chrom_outputs = std::mem::take(&mut self.chrom_merge_data);
+            sink.submit(
+                TaskSpec::new("merge_campaign")
+                    .group("merge")
+                    .inputs(chrom_outputs.iter().copied())
+                    .output(final_out),
+                TaskProfile::new(cfg.mean_task_s)
+                    .constraints(Constraints::new().memory_mb(self.memory_of(false)))
+                    .outputs_bytes(cfg.chunk_bytes),
+            )?;
+            for d in chrom_outputs {
+                sink.close_data(d);
+            }
+            self.final_out = Some(final_out);
+        }
+        Ok(())
+    }
+}
+
+impl GraphSource<TaskProfile> for GwasSource {
+    fn prime(&mut self, sink: &mut dyn ExpandSink<TaskProfile>) -> Result<(), DagError> {
+        let initial = self.window.min(self.total_chunks());
+        for _ in 0..initial {
+            self.emit_chunk(sink)?;
+        }
+        Ok(())
+    }
+
+    fn on_task_complete(
+        &mut self,
+        task: TaskId,
+        sink: &mut dyn ExpandSink<TaskProfile>,
+    ) -> Result<(), DagError> {
+        if self.assoc_pending.remove(&task) && self.next_chunk < self.total_chunks() {
+            self.emit_chunk(sink)?;
+        }
+        Ok(())
+    }
+
+    fn total_tasks(&self) -> Option<u64> {
+        Some(self.cfg.task_count() as u64)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +511,74 @@ mod tests {
             "chunk pipelines are independent, got {}",
             stats.average_parallelism
         );
+    }
+
+    #[test]
+    fn lazy_source_completes_with_bounded_residency() {
+        use continuum_platform::{NodeSpec, PlatformBuilder};
+        use continuum_runtime::{LocalityScheduler, SimOptions, SimRuntime};
+        use continuum_sim::FaultPlan;
+
+        let cfg = GwasWorkload::new()
+            .chromosomes(3)
+            .chunks_per_chromosome(8)
+            .seed(7);
+        let total = cfg.task_count();
+        let platform = PlatformBuilder::new()
+            .cluster("mn", 4, NodeSpec::hpc(8, 96_000))
+            .build();
+        let rt = SimRuntime::new(platform, SimOptions::default());
+        let mut source = cfg.into_source(2);
+        let out = rt
+            .run_lazy(
+                &mut source,
+                &mut LocalityScheduler::new(),
+                &FaultPlan::new(),
+            )
+            .unwrap();
+        assert_eq!(out.total_tasks, total);
+        assert_eq!(out.report.tasks_completed, total);
+        // The frontier stays bounded by window + one chromosome of
+        // association outputs, well under the whole campaign.
+        assert!(
+            out.peak_materialized_tasks < total / 2,
+            "peak {} vs total {total}",
+            out.peak_materialized_tasks
+        );
+        assert!(out.retired_tasks > total / 2);
+        assert!(out.retired_values > 0);
+    }
+
+    #[test]
+    fn lazy_source_identical_across_queue_backends() {
+        use continuum_platform::{NodeSpec, PlatformBuilder};
+        use continuum_runtime::{EventQueueKind, LocalityScheduler, SimOptions, SimRuntime};
+        use continuum_sim::FaultPlan;
+
+        let run_with = |kind: EventQueueKind| {
+            let platform = PlatformBuilder::new()
+                .cluster("mn", 4, NodeSpec::hpc(8, 96_000))
+                .build();
+            let opts = SimOptions {
+                event_queue: kind,
+                ..Default::default()
+            };
+            let rt = SimRuntime::new(platform, opts);
+            let mut source = GwasWorkload::new()
+                .chromosomes(2)
+                .chunks_per_chromosome(6)
+                .seed(11)
+                .into_source(3);
+            rt.run_lazy(
+                &mut source,
+                &mut LocalityScheduler::new(),
+                &FaultPlan::new(),
+            )
+            .unwrap()
+        };
+        let cal = run_with(EventQueueKind::Calendar);
+        let heap = run_with(EventQueueKind::Heap);
+        assert_eq!(cal, heap);
     }
 
     #[test]

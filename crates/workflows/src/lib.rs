@@ -31,7 +31,7 @@ pub mod patterns;
 mod rng;
 mod wdl;
 
-pub use gwas::GwasWorkload;
+pub use gwas::{GwasSource, GwasWorkload};
 pub use nmmb::NmmbWorkload;
 pub use rng::LogNormal;
 pub use wdl::{parse_wdl, to_wdl, WdlError};
