@@ -7,6 +7,7 @@ use crate::orchestrator::{run_application, AppReport, Application};
 use bytes::Bytes;
 use continuum_platform::DeviceClass;
 use continuum_storage::{ObjectKey, StorageRuntime, StoredValue};
+use continuum_telemetry::{Event as TelemetryEvent, RecorderHandle, SpanContext, TaskPhase, Track};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -73,6 +74,9 @@ pub(crate) enum Msg {
         inputs: Vec<ObjectKey>,
         output: ObjectKey,
         output_class: Option<String>,
+        /// Causal context of the offload hop this execution serves; the
+        /// agent parents its own transfer/execute spans under it.
+        ctx: Option<SpanContext>,
         reply: Sender<ExecReply>,
     },
     Probe {
@@ -81,6 +85,9 @@ pub(crate) enum Msg {
     StartApplication {
         app: Application,
         policy: Box<dyn OffloadPolicy>,
+        /// Inbound causal context when the application is itself a
+        /// remote dispatch (nested orchestration).
+        ctx: Option<SpanContext>,
         reply: Sender<Result<AppReport, crate::error::AgentError>>,
     },
     Shutdown,
@@ -118,6 +125,7 @@ impl Agent {
         ops: OpRegistry,
         store: Arc<dyn StorageRuntime>,
         network: std::sync::Weak<NetworkInner>,
+        telemetry: RecorderHandle,
     ) -> Self {
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
         let alive = Arc::new(AtomicBool::new(true));
@@ -138,6 +146,7 @@ impl Agent {
                     &thread_alive,
                     &thread_executed,
                     &network,
+                    &telemetry,
                 );
             })
             .expect("spawn agent thread");
@@ -228,13 +237,23 @@ fn agent_loop(
     alive: &AtomicBool,
     executed: &AtomicU64,
     network: &std::sync::Weak<NetworkInner>,
+    telemetry: &RecorderHandle,
 ) {
+    // The agent's own clock origin: every span this agent records is
+    // stamped relative to its spawn instant, deliberately independent
+    // of every other agent's origin — the federated merge re-aligns
+    // the clocks from the offload handshakes.
+    let origin = std::time::Instant::now();
+    let now_us = || origin.elapsed().as_micros() as u64;
+    // Monotone per-agent sequence for derived child span ids.
+    let mut span_seq: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Shutdown => break,
             Msg::StartApplication {
                 app,
                 mut policy,
+                ctx,
                 reply,
             } => {
                 // The agent becomes the application's orchestrator
@@ -249,16 +268,23 @@ fn agent_loop(
                     continue;
                 }
                 let network = network.clone();
+                let telemetry = telemetry.clone();
                 thread::Builder::new()
                     .name(format!("agent-{id}-orchestrator"))
                     .spawn(move || {
                         let result = match network.upgrade() {
+                            // The nested orchestration records into the
+                            // agent's own trace with the agent's clock,
+                            // parented under the inbound hop context.
                             Some(inner) => run_application(
                                 &inner,
                                 &app,
                                 policy.as_mut(),
                                 10,
-                                &continuum_telemetry::RecorderHandle::noop(),
+                                &telemetry,
+                                origin,
+                                id.0,
+                                ctx,
                             ),
                             None => Err(crate::error::AgentError::NoAgentAvailable {
                                 op: app.name().to_string(),
@@ -286,14 +312,36 @@ fn agent_loop(
                 inputs,
                 output,
                 output_class,
+                ctx,
                 reply,
             } => {
+                let dequeued_us = now_us();
                 if !alive.load(Ordering::SeqCst) {
+                    // A dead device leaves no trace — the hop shows up
+                    // as pure network time on the submitter's side.
                     let _ = reply.send(ExecReply::Lost);
                     continue;
                 }
+                // The hop context parents everything this execution
+                // records, so the task chains back to the submitting
+                // workflow however many hops away it started.
+                let exec_ctx = ctx.map(|c| {
+                    span_seq += 1;
+                    c.child(id.0, span_seq)
+                });
+                let fail = |reason: String, at_us: u64| {
+                    if telemetry.enabled() {
+                        telemetry.record(TelemetryEvent::Instant {
+                            track: Track::Agent(id.0),
+                            name: op.clone(),
+                            phase: TaskPhase::Failed,
+                            at_us,
+                        });
+                    }
+                    let _ = reply.send(ExecReply::Failed(reason));
+                };
                 let Some(f) = ops.get(&op) else {
-                    let _ = reply.send(ExecReply::Failed(format!("unknown op `{op}`")));
+                    fail(format!("unknown op `{op}`"), now_us());
                     continue;
                 };
                 let mut in_values: Vec<Bytes> = Vec::with_capacity(inputs.len());
@@ -308,9 +356,10 @@ fn agent_loop(
                     }
                 }
                 if let Some(msg) = failed {
-                    let _ = reply.send(ExecReply::Failed(msg));
+                    fail(msg, now_us());
                     continue;
                 }
+                let fetched_us = now_us();
                 let result = f(&in_values);
                 // The paper's recovery hinge: if the device died while
                 // computing, the produced value never reaches the
@@ -326,10 +375,40 @@ fn agent_loop(
                 match store.put(output.clone(), value, None) {
                     Ok(_) => {
                         executed.fetch_add(1, Ordering::SeqCst);
+                        let done_us = now_us();
+                        if telemetry.enabled() {
+                            // Transfer = dequeue → inputs staged;
+                            // execute = staged → output committed. Both
+                            // carry the derived child context and sit
+                            // strictly inside the submitter's
+                            // [send, reply] hop interval.
+                            telemetry.record(TelemetryEvent::Span {
+                                track: Track::Agent(id.0),
+                                name: op.clone(),
+                                phase: TaskPhase::Transferring,
+                                start_us: dequeued_us,
+                                dur_us: fetched_us - dequeued_us,
+                                ctx: exec_ctx,
+                            });
+                            telemetry.record(TelemetryEvent::Span {
+                                track: Track::Agent(id.0),
+                                name: op.clone(),
+                                phase: TaskPhase::Executing,
+                                start_us: fetched_us,
+                                dur_us: done_us - fetched_us,
+                                ctx: exec_ctx,
+                            });
+                            telemetry.record(TelemetryEvent::Instant {
+                                track: Track::Agent(id.0),
+                                name: op.clone(),
+                                phase: TaskPhase::Committed,
+                                at_us: done_us,
+                            });
+                        }
                         let _ = reply.send(ExecReply::Done);
                     }
                     Err(e) => {
-                        let _ = reply.send(ExecReply::Failed(format!("store put: {e}")));
+                        fail(format!("store put: {e}"), now_us());
                     }
                 }
             }
@@ -354,6 +433,16 @@ mod tests {
     }
 
     fn exec(agent: &Agent, op: &str, inputs: Vec<ObjectKey>, output: ObjectKey) -> ExecReply {
+        exec_traced(agent, op, inputs, output, None)
+    }
+
+    fn exec_traced(
+        agent: &Agent,
+        op: &str,
+        inputs: Vec<ObjectKey>,
+        output: ObjectKey,
+        ctx: Option<SpanContext>,
+    ) -> ExecReply {
         let (tx, rx) = unbounded();
         agent
             .sender()
@@ -362,6 +451,7 @@ mod tests {
                 inputs,
                 output,
                 output_class: None,
+                ctx,
                 reply: tx,
             })
             .unwrap();
@@ -384,11 +474,57 @@ mod tests {
             ops,
             Arc::clone(&st),
             std::sync::Weak::new(),
+            RecorderHandle::noop(),
         );
         let reply = exec(&agent, "double", vec!["in".into()], "out".into());
         assert_eq!(reply, ExecReply::Done);
         assert_eq!(&st.get(&"out".into()).unwrap().payload[..], &[2, 4, 6]);
         assert_eq!(agent.executed(), 1);
+    }
+
+    #[test]
+    fn traced_execution_parents_spans_under_inbound_hop() {
+        use continuum_telemetry::TraceBuffer;
+        let ops = OpRegistry::new();
+        ops.register("double", |ins| {
+            Bytes::from(ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>())
+        });
+        let st = store();
+        st.put("in".into(), StoredValue::blob(vec![1, 2, 3]), None)
+            .unwrap();
+        let (buffer, handle) = TraceBuffer::collector();
+        let agent = Agent::spawn(
+            AgentId(4),
+            "fog-4".into(),
+            DeviceClass::Fog,
+            ops,
+            Arc::clone(&st),
+            std::sync::Weak::new(),
+            handle,
+        );
+        let hop = SpanContext::root(77, 0).child(0, 1);
+        let reply = exec_traced(&agent, "double", vec!["in".into()], "out".into(), Some(hop));
+        assert_eq!(reply, ExecReply::Done);
+        let spans: Vec<(TaskPhase, SpanContext)> = buffer
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span { phase, ctx, .. } => ctx.map(|c| (*phase, c)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2, "transfer + execute spans");
+        assert_eq!(spans[0].0, TaskPhase::Transferring);
+        assert_eq!(spans[1].0, TaskPhase::Executing);
+        for (_, ctx) in &spans {
+            assert_eq!(ctx.trace_id, hop.trace_id);
+            assert_eq!(ctx.parent_span_id, Some(hop.span_id));
+            assert_eq!(ctx.agent_id, 4);
+        }
+        assert_eq!(
+            spans[0].1, spans[1].1,
+            "both phases belong to one logical execution"
+        );
     }
 
     #[test]
@@ -403,6 +539,7 @@ mod tests {
             ops,
             Arc::clone(&st),
             std::sync::Weak::new(),
+            RecorderHandle::noop(),
         );
         agent.kill();
         assert_eq!(agent.status(), AgentStatus::Dead);
@@ -426,6 +563,7 @@ mod tests {
             ops,
             st,
             std::sync::Weak::new(),
+            RecorderHandle::noop(),
         );
         assert!(matches!(
             exec(&agent, "ghost", vec![], "o".into()),
@@ -447,6 +585,7 @@ mod tests {
             ops,
             store(),
             std::sync::Weak::new(),
+            RecorderHandle::noop(),
         );
         let (tx, rx) = unbounded();
         agent.sender().send(Msg::Probe { reply: tx }).unwrap();
@@ -468,6 +607,7 @@ mod tests {
             ops,
             store(),
             std::sync::Weak::new(),
+            RecorderHandle::noop(),
         );
         drop(agent); // must join without hanging
     }

@@ -83,6 +83,20 @@ impl AgentNetwork {
 
     /// Deploys a new agent on a device of the given class.
     pub fn deploy(&self, name: impl Into<String>, class: DeviceClass) -> AgentId {
+        self.deploy_with_telemetry(name, class, continuum_telemetry::RecorderHandle::noop())
+    }
+
+    /// Deploys an agent with its own telemetry sink: the agent records
+    /// its local task spans (transfer + execute, parented under the
+    /// inbound offload hop's span context) against its own clock.
+    /// Export each agent's buffer to a separate trace file and join
+    /// them with `continuum_telemetry::merge_traces`.
+    pub fn deploy_with_telemetry(
+        &self,
+        name: impl Into<String>,
+        class: DeviceClass,
+        telemetry: continuum_telemetry::RecorderHandle,
+    ) -> AgentId {
         let mut agents = self.inner.agents.write();
         let id = AgentId(agents.len() as u32);
         agents.push(Agent::spawn(
@@ -92,6 +106,7 @@ impl AgentNetwork {
             self.inner.ops.clone(),
             Arc::clone(&self.inner.store),
             Arc::downgrade(&self.inner),
+            telemetry,
         ));
         id
     }
@@ -186,11 +201,31 @@ impl AgentNetwork {
         app: Application,
         policy: Box<dyn OffloadPolicy>,
     ) -> Result<AppReport, AgentError> {
+        self.start_application_traced(on, app, policy, None)
+    }
+
+    /// [`AgentNetwork::start_application`] with an inbound span
+    /// context: the agent-side orchestration (and every hop it makes)
+    /// nests under `ctx` instead of opening a fresh trace, so a
+    /// workflow can delegate a sub-application to an agent and keep
+    /// one causal trace.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AgentNetwork::start_application`].
+    pub fn start_application_traced(
+        &self,
+        on: AgentId,
+        app: Application,
+        policy: Box<dyn OffloadPolicy>,
+        ctx: Option<continuum_telemetry::SpanContext>,
+    ) -> Result<AppReport, AgentError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         self.sender_of(on)?
             .send(crate::agent::Msg::StartApplication {
                 app,
                 policy,
+                ctx,
                 reply: tx,
             })
             .map_err(|_| AgentError::UnknownAgent(on.to_string()))?;

@@ -7,7 +7,9 @@ use crate::network::{AgentNetwork, NetworkInner};
 use crate::offload::OffloadPolicy;
 use continuum_platform::DeviceClass;
 use continuum_storage::ObjectKey;
-use continuum_telemetry::{CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track};
+use continuum_telemetry::{
+    CounterKey, Event as TelemetryEvent, RecorderHandle, SpanContext, TaskPhase, Track,
+};
 use crossbeam::channel::{unbounded, Receiver};
 use std::collections::{HashMap, HashSet};
 
@@ -118,6 +120,7 @@ pub struct Orchestrator<'n> {
     network: &'n AgentNetwork,
     max_attempts: usize,
     telemetry: RecorderHandle,
+    trace_context: Option<SpanContext>,
 }
 
 impl<'n> Orchestrator<'n> {
@@ -128,6 +131,7 @@ impl<'n> Orchestrator<'n> {
             network,
             max_attempts: 10,
             telemetry: RecorderHandle::noop(),
+            trace_context: None,
         }
     }
 
@@ -142,6 +146,14 @@ impl<'n> Orchestrator<'n> {
     /// since the run started.
     pub fn telemetry(mut self, telemetry: RecorderHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Parents the run under an existing span context instead of
+    /// opening a fresh distributed trace. Use this to nest the run
+    /// inside an enclosing workflow's trace.
+    pub fn trace_context(mut self, ctx: SpanContext) -> Self {
+        self.trace_context = Some(ctx);
         self
     }
 
@@ -169,8 +181,23 @@ impl<'n> Orchestrator<'n> {
             policy,
             self.max_attempts,
             &self.telemetry,
+            std::time::Instant::now(),
+            SpanContext::COORDINATOR,
+            self.trace_context,
         )
     }
+}
+
+/// Derives a stable trace id for a fresh distributed trace from the
+/// application's shape (name + task count). Stable ids keep repeated
+/// runs of the same app comparable; uniqueness across a merge set only
+/// matters per-merge, where traces come from one run.
+fn derive_trace_id(app: &Application) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in app.name().bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ app.tasks().len() as u64
 }
 
 /// Orchestration core, shared by the external [`Orchestrator`] and by
@@ -178,19 +205,42 @@ impl<'n> Orchestrator<'n> {
 /// completion over the network's agents, re-submitting tasks lost to
 /// churn.
 ///
+/// `origin` is the clock every telemetry timestamp is relative to (the
+/// orchestrating agent's own origin for nested runs, so all of one
+/// agent's spans share a timebase). `self_agent` identifies the
+/// recording side in span contexts ([`SpanContext::COORDINATOR`] for an
+/// external driver). `parent_ctx` nests the orchestration under an
+/// inbound hop; when `None` and telemetry is on, the run opens a fresh
+/// distributed trace and emits its root span.
+///
 /// # Errors
 ///
 /// Same failure modes as [`Orchestrator::run`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_application(
     network: &NetworkInner,
     app: &Application,
     policy: &mut dyn OffloadPolicy,
     max_attempts: usize,
     telemetry: &RecorderHandle,
+    origin: std::time::Instant,
+    self_agent: u32,
+    parent_ctx: Option<SpanContext>,
 ) -> Result<AppReport, AgentError> {
     validate(network, app)?;
-    let origin = std::time::Instant::now();
     let now_us = || origin.elapsed().as_micros() as u64;
+    let run_start_us = now_us();
+    // The orchestration's own span context: a child of the inbound hop
+    // for nested runs, or the root of a fresh distributed trace.
+    let run_ctx = if telemetry.enabled() {
+        Some(match parent_ctx {
+            Some(parent) => parent.child(self_agent, 0),
+            None => SpanContext::root(derive_trace_id(app), self_agent),
+        })
+    } else {
+        None
+    };
+    let mut hop_seq: u64 = 0;
     let total = app.tasks().len();
     let mut done: HashSet<usize> = HashSet::new();
     let mut attempts: Vec<usize> = vec![0; total];
@@ -199,7 +249,14 @@ pub(crate) fn run_application(
 
     while done.len() < total {
         // A wave: submit every task whose inputs are in the store.
-        let mut in_flight: Vec<(usize, AgentId, u64, Receiver<ExecReply>)> = Vec::new();
+        type InFlight = (
+            usize,
+            AgentId,
+            u64,
+            Option<SpanContext>,
+            Receiver<ExecReply>,
+        );
+        let mut in_flight: Vec<InFlight> = Vec::new();
         for (idx, task) in app.tasks().iter().enumerate() {
             if done.contains(&idx) {
                 continue;
@@ -222,6 +279,16 @@ pub(crate) fn run_application(
                 });
             }
             let (tx, rx) = unbounded();
+            // One span context per offload hop, shipped with the
+            // message so the executing agent parents its work under
+            // this dispatch. `sent_us` is taken *before* the send: the
+            // hop interval must bracket everything the remote side
+            // records against the hop's clock handshake.
+            let hop_ctx = run_ctx.map(|c| {
+                hop_seq += 1;
+                c.child(self_agent, hop_seq)
+            });
+            let sent_us = now_us();
             network
                 .sender_of(agent)?
                 .send(Msg::Execute {
@@ -229,10 +296,10 @@ pub(crate) fn run_application(
                     inputs: task.inputs.clone(),
                     output: task.output.clone(),
                     output_class: task.output_class.clone(),
+                    ctx: hop_ctx,
                     reply: tx,
                 })
                 .map_err(|_| AgentError::UnknownAgent(agent.to_string()))?;
-            let sent_us = now_us();
             if telemetry.enabled() {
                 telemetry.record(TelemetryEvent::Instant {
                     track: Track::Agent(agent.index() as u32),
@@ -241,7 +308,7 @@ pub(crate) fn run_application(
                     at_us: sent_us,
                 });
             }
-            in_flight.push((idx, agent, sent_us, rx));
+            in_flight.push((idx, agent, sent_us, hop_ctx, rx));
         }
         if telemetry.enabled() {
             telemetry.record(TelemetryEvent::Counter {
@@ -256,7 +323,7 @@ pub(crate) fn run_application(
                 total - done.len()
             )));
         }
-        for (idx, agent, sent_us, rx) in in_flight {
+        for (idx, agent, sent_us, hop_ctx, rx) in in_flight {
             let reply = rx.recv();
             let outcome = match &reply {
                 Ok(ExecReply::Done) => TaskPhase::Committed,
@@ -267,12 +334,18 @@ pub(crate) fn run_application(
                 let op = app.tasks()[idx].op.clone();
                 let track = Track::Agent(agent.index() as u32);
                 let end_us = now_us();
+                // The offload hop as seen from the submitter: the
+                // whole submit→reply interval. The executing agent's
+                // own Transferring/Executing spans (children of
+                // `hop_ctx`) refine it; the clock-alignment pass in
+                // `merge_traces` uses the pair as its handshake.
                 telemetry.record(TelemetryEvent::Span {
                     track,
-                    name: op.clone(),
-                    phase: TaskPhase::Executing,
+                    name: format!("offload:{op}"),
+                    phase: TaskPhase::Offloading,
                     start_us: sent_us,
                     dur_us: end_us.saturating_sub(sent_us),
+                    ctx: hop_ctx,
                 });
                 telemetry.record(TelemetryEvent::Instant {
                     track,
@@ -303,6 +376,20 @@ pub(crate) fn run_application(
                 }
             }
         }
+    }
+    if telemetry.enabled() {
+        // The orchestration span itself — root of the distributed
+        // trace (or child of the inbound hop for nested runs). Every
+        // offload hop above is its child.
+        let end_us = now_us();
+        telemetry.record(TelemetryEvent::Span {
+            track: Track::Run,
+            name: app.name().to_string(),
+            phase: TaskPhase::Executing,
+            start_us: run_start_us,
+            dur_us: end_us.saturating_sub(run_start_us),
+            ctx: run_ctx,
+        });
     }
     Ok(AppReport {
         completed: done.len(),
@@ -428,13 +515,64 @@ mod tests {
                 )
             })
             .count();
-        let spans = events
+        let hops = events
             .iter()
-            .filter(|e| matches!(e, TelemetryEvent::Span { .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::Span {
+                        phase: TaskPhase::Offloading,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let roots = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::Span {
+                        track: Track::Run,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(submits, 3, "one submit marker per task");
         assert_eq!(commits, 3, "every task commits");
-        assert_eq!(spans, 3, "one executing span per dispatch");
+        assert_eq!(hops, 3, "one offload-hop span per dispatch");
+        assert_eq!(roots, 1, "one orchestration root span per run");
+        // Every hop is a distinct child of the run's root context.
+        let root_ctx = events
+            .iter()
+            .find_map(|e| match e {
+                TelemetryEvent::Span {
+                    track: Track::Run,
+                    ctx,
+                    ..
+                } => *ctx,
+                _ => None,
+            })
+            .expect("root span carries a context");
+        let hop_ctxs: Vec<SpanContext> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span {
+                    phase: TaskPhase::Offloading,
+                    ctx,
+                    ..
+                } => *ctx,
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hop_ctxs.len(), 3, "every hop span carries a context");
+        for hop in &hop_ctxs {
+            assert_eq!(hop.trace_id, root_ctx.trace_id);
+            assert_eq!(hop.parent_span_id, Some(root_ctx.span_id));
+        }
+        let distinct: std::collections::HashSet<u64> = hop_ctxs.iter().map(|c| c.span_id).collect();
+        assert_eq!(distinct.len(), 3, "hop span ids are distinct");
         assert!(
             events.iter().all(|e| !matches!(
                 e,

@@ -1,0 +1,127 @@
+//! Property-based end-to-end check of causal cross-agent tracing on
+//! *real* multi-agent runs: for random applications offloaded over a
+//! random agent fleet — every participant recording into its own
+//! telemetry buffer on its own clock — the federated merge is causally
+//! consistent and the cross-agent attribution's per-hop buckets sum
+//! exactly to the end-to-end makespan.
+
+use bytes::Bytes;
+use continuum_agents::{
+    AgentNetwork, AppTask, Application, OpRegistry, Orchestrator, RoundRobinOffload,
+};
+use continuum_platform::{DeviceClass, NodeId};
+use continuum_storage::{KvConfig, KvStore};
+use continuum_telemetry::{
+    cross_agent_report, merge_traces, AgentTrace, Event, SpanContext, TaskPhase, TraceBuffer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn ops() -> OpRegistry {
+    let ops = OpRegistry::new();
+    ops.register("work", |ins| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let sum: u64 = ins.iter().flat_map(|b| b.iter()).map(|b| *b as u64).sum();
+        Bytes::from(sum.to_le_bytes().to_vec())
+    });
+    ops
+}
+
+/// Random DAG of `work` tasks: task 0 is a source, every later task
+/// depends on one or two random earlier outputs.
+fn random_app(seed: u64, ntasks: usize) -> Application {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = Application::new("prop-workflow");
+    for i in 0..ntasks {
+        let mut deps: Vec<String> = Vec::new();
+        if i > 0 {
+            deps.push(format!("d{}", rng.gen_range(0..i)));
+            if i > 1 && rng.gen::<f64>() < 0.5 {
+                let extra = rng.gen_range(0..i);
+                let name = format!("d{extra}");
+                if !deps.contains(&name) {
+                    deps.push(name);
+                }
+            }
+        }
+        app = app.task(AppTask::new(
+            "work",
+            deps.into_iter().map(Into::into).collect(),
+            format!("d{i}"),
+        ));
+    }
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole acceptance: on random multi-agent runs, merging the
+    /// coordinator's and every agent's independently-clocked trace
+    /// yields no happens-before violations, one hop row per dispatch,
+    /// a critical path that crosses an offload hop, and buckets that
+    /// sum exactly to the makespan.
+    #[test]
+    fn real_runs_merge_and_attribution_tiles_makespan(
+        seed in 0u64..1000,
+        ntasks in 3usize..7,
+        nagents in 2usize..4,
+    ) {
+        let store = Arc::new(
+            KvStore::new(
+                (0..4).map(NodeId::from_raw).collect(),
+                KvConfig { replication: 2 },
+            )
+            .unwrap(),
+        );
+        let net = AgentNetwork::new(store, ops());
+        let mut agent_buffers = Vec::new();
+        for i in 0..nagents {
+            let (buffer, handle) = TraceBuffer::collector();
+            let class = if i % 2 == 0 { DeviceClass::Fog } else { DeviceClass::CloudVm };
+            net.deploy_with_telemetry(format!("agent-{i}"), class, handle);
+            agent_buffers.push(buffer);
+        }
+
+        let (coord_buffer, coord_handle) = TraceBuffer::collector();
+        let report = Orchestrator::new(&net)
+            .telemetry(coord_handle)
+            .run(&random_app(seed, ntasks), &mut RoundRobinOffload::new())
+            .unwrap();
+        prop_assert_eq!(report.completed, ntasks);
+
+        // One federated trace per participant; agents that never got
+        // work recorded nothing and ship no trace home.
+        let mut traces = vec![AgentTrace::infer(coord_buffer.events())];
+        for buffer in &agent_buffers {
+            let events = buffer.events();
+            if !events.is_empty() {
+                traces.push(AgentTrace::infer(events));
+            }
+        }
+        prop_assert!(traces.len() >= 2, "round robin spreads work to agents");
+
+        let merged = merge_traces(&traces).unwrap();
+        prop_assert!(
+            merged.violations.is_empty(),
+            "happens-before violations on a real run: {:?}",
+            merged.violations
+        );
+        prop_assert_eq!(merged.root.agent_id, SpanContext::COORDINATOR);
+
+        // Every hop span parents directly under the workflow root.
+        for event in &merged.events {
+            if let Event::Span { phase: TaskPhase::Offloading, ctx: Some(ctx), .. } = event {
+                prop_assert_eq!(ctx.trace_id, merged.root.trace_id);
+                prop_assert_eq!(ctx.parent_span_id, Some(merged.root.span_id));
+            }
+        }
+
+        let xa = cross_agent_report(&merged.events).unwrap();
+        prop_assert_eq!(xa.hops.len(), ntasks + 1, "root row plus one row per dispatch");
+        prop_assert_eq!(xa.attributed_total_us(), xa.makespan_us);
+        prop_assert!(xa.critical_offload_hops() >= 1);
+    }
+}

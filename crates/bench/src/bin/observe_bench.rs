@@ -12,9 +12,17 @@
 //! non-zero if the ring recorder costs more than 2x the no-op
 //! baseline, or if its memory is not bounded by the configured
 //! capacity — the acceptance tripwire for "cheap enough to leave on".
+//!
+//! A second section benchmarks the federated trace merge: a synthetic
+//! N-agent, H-hop trace set (every agent clock skewed) is merged and
+//! attributed, asserting the causal invariants (no happens-before
+//! violations, buckets sum to the makespan) while timing the pipeline.
 
 use continuum_dag::TaskSpec;
 use continuum_runtime::{LocalConfig, LocalRuntime, RecorderHandle, RingRecorder, TraceBuffer};
+use continuum_telemetry::{
+    cross_agent_report, merge_traces, AgentTrace, Event, SpanContext, TaskPhase, Track,
+};
 use std::time::Instant;
 
 const RING_CAPACITY: usize = 4096;
@@ -101,6 +109,112 @@ fn measure(recorder: &'static str, tasks: usize, repeats: usize) -> Measurement 
     }
 }
 
+/// Deterministic synthetic federated run: a coordinator dispatching
+/// `hops` sequential offloads round-robin over `agents` agents, each
+/// agent recording on a clock skewed by a per-agent constant.
+fn synthetic_federated(agents: usize, hops: usize) -> Vec<AgentTrace> {
+    let root = SpanContext::root(0xC0FFEE, SpanContext::COORDINATOR);
+    let skew = |a: usize| (a as i64 * 131_071) - 3_000_000;
+    let mut coord = Vec::with_capacity(hops + 1);
+    let mut per_agent: Vec<Vec<Event>> = vec![Vec::new(); agents];
+    let mut t = 8_000_000u64; // keeps every skewed clock positive
+    for h in 0..hops {
+        let a = h % agents;
+        let hop = root.child(SpanContext::COORDINATOR, h as u64 + 1);
+        let (send, c1, cm, c2) = (t, t + 40, t + 340, t + 1_040);
+        let reply = c2 + 60;
+        coord.push(Event::Span {
+            track: Track::Agent(a as u32),
+            name: format!("offload:t{h}"),
+            phase: TaskPhase::Offloading,
+            start_us: send,
+            dur_us: reply - send,
+            ctx: Some(hop),
+        });
+        let remote = hop.child(a as u32, 1);
+        let to_a = |x: u64| (x as i64 - skew(a)) as u64;
+        per_agent[a].push(Event::Span {
+            track: Track::Agent(a as u32),
+            name: format!("t{h}"),
+            phase: TaskPhase::Transferring,
+            start_us: to_a(c1),
+            dur_us: cm - c1,
+            ctx: Some(remote),
+        });
+        per_agent[a].push(Event::Span {
+            track: Track::Agent(a as u32),
+            name: format!("t{h}"),
+            phase: TaskPhase::Executing,
+            start_us: to_a(cm),
+            dur_us: c2 - cm,
+            ctx: Some(remote),
+        });
+        t = reply + 25;
+    }
+    coord.insert(
+        0,
+        Event::Span {
+            track: Track::Run,
+            name: "bench-app".into(),
+            phase: TaskPhase::Executing,
+            start_us: 0,
+            dur_us: t + 50,
+            ctx: Some(root),
+        },
+    );
+    let mut traces = vec![AgentTrace {
+        agent_id: SpanContext::COORDINATOR,
+        events: coord,
+    }];
+    for (a, events) in per_agent.into_iter().enumerate() {
+        traces.push(AgentTrace {
+            agent_id: a as u32,
+            events,
+        });
+    }
+    traces
+}
+
+struct MergeMeasurement {
+    agents: usize,
+    hops: usize,
+    merged_events: u64,
+    merge_ms: f64,
+}
+
+/// Times `merge_traces` + `cross_agent_report` over the synthetic set
+/// and asserts the causal invariants on every repeat.
+fn measure_merge(agents: usize, hops: usize, repeats: usize) -> MergeMeasurement {
+    let traces = synthetic_federated(agents, hops);
+    let mut best_ms = f64::INFINITY;
+    let mut merged_events = 0u64;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let merged = merge_traces(&traces).expect("synthetic traces merge");
+        let xa = cross_agent_report(&merged.events).expect("cross-agent view");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            merged.violations.is_empty(),
+            "synthetic merge produced violations: {:?}",
+            merged.violations
+        );
+        assert_eq!(
+            xa.attributed_total_us(),
+            xa.makespan_us,
+            "attribution must tile the makespan exactly"
+        );
+        assert_eq!(xa.hops.len(), hops + 1, "root row plus one row per hop");
+        merged_events = merged.events.len() as u64;
+        best_ms = best_ms.min(ms);
+    }
+    MergeMeasurement {
+        agents,
+        hops,
+        merged_events,
+        merge_ms: best_ms,
+    }
+}
+
 fn measurement_to_value(m: &Measurement, overhead_vs_noop: f64) -> serde::Value {
     serde::Value::Obj(vec![
         (
@@ -158,6 +272,14 @@ fn main() {
         results.push((m, overhead));
     }
 
+    let (merge_agents, merge_hops) = if smoke { (8, 400) } else { (32, 8_000) };
+    let mm = measure_merge(merge_agents, merge_hops, repeats);
+    println!(
+        "\nfederated merge — {} agents, {} hops, {} merged events: {:.2} ms \
+         (merge + cross-agent attribution, invariants asserted)",
+        mm.agents, mm.hops, mm.merged_events, mm.merge_ms
+    );
+
     // Merge into the output file, preserving other labels.
     let mut runs: Vec<(String, serde::Value)> = match std::fs::read_to_string(&out_path) {
         Ok(text) => serde::json::parse(&text)
@@ -188,6 +310,18 @@ fn main() {
                     .map(|(m, o)| measurement_to_value(m, *o))
                     .collect(),
             ),
+        ),
+        (
+            "merge".to_string(),
+            serde::Value::Obj(vec![
+                ("agents".to_string(), serde::Value::U64(mm.agents as u64)),
+                ("hops".to_string(), serde::Value::U64(mm.hops as u64)),
+                (
+                    "merged_events".to_string(),
+                    serde::Value::U64(mm.merged_events),
+                ),
+                ("merge_ms".to_string(), serde::Value::F64(mm.merge_ms)),
+            ]),
         ),
     ]);
     runs.retain(|(k, _)| *k != label);

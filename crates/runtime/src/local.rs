@@ -59,14 +59,16 @@ use continuum_dag::{
     AccessProcessor, DataId, DataVersion, TaskId, TaskSpec, TaskState, VersionedData,
 };
 use continuum_platform::{Constraints, NodeCapacity};
-use continuum_telemetry::{CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track};
+use continuum_telemetry::{
+    CounterKey, Event as TelemetryEvent, RecorderHandle, SpanContext, TaskPhase, Track,
+};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as WorkerQueue};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -264,6 +266,7 @@ impl StreamEndpointCore {
             phase: TaskPhase::StreamWait,
             start_us: end_us.saturating_sub(blocked_us),
             dur_us: blocked_us,
+            ctx: None,
         });
     }
 }
@@ -357,6 +360,12 @@ pub struct LocalConfig {
     /// the submission with [`RuntimeError::LintRejected`]. Default:
     /// `Off`.
     pub strict_lints: LintMode,
+    /// Causal context of the run for distributed tracing: the
+    /// `local-run` span carries this context and every task span
+    /// becomes its child, so a local run dispatched from another agent
+    /// chains back to the submitting workflow. `None` (default) leaves
+    /// spans context-free.
+    pub trace_context: Option<SpanContext>,
 }
 
 impl Default for LocalConfig {
@@ -368,6 +377,7 @@ impl Default for LocalConfig {
             gpus: 0,
             telemetry: RecorderHandle::noop(),
             strict_lints: LintMode::Off,
+            trace_context: None,
         }
     }
 }
@@ -660,6 +670,11 @@ struct Shared {
     strict_lints: LintMode,
     telemetry: RecorderHandle,
     origin: std::time::Instant,
+    /// Base span context tasks parent under (see
+    /// [`LocalConfig::trace_context`]).
+    trace_context: Option<SpanContext>,
+    /// Monotone sequence for derived child span ids across workers.
+    span_seq: AtomicU64,
 }
 
 impl Shared {
@@ -788,6 +803,8 @@ impl LocalRuntime {
             strict_lints: config.strict_lints,
             telemetry: config.telemetry.clone(),
             origin: std::time::Instant::now(),
+            trace_context: config.trace_context,
+            span_seq: AtomicU64::new(0),
         });
         let workers = queues
             .into_iter()
@@ -1179,6 +1196,7 @@ impl Drop for LocalRuntime {
                 phase: TaskPhase::Executing,
                 start_us: 0,
                 dur_us: end_us,
+                ctx: self.shared.trace_context,
             });
         }
     }
@@ -1501,12 +1519,21 @@ fn execute(
     // -- telemetry ------------------------------------------------------
     if let Some(name) = &meta.name {
         let track = Track::Worker(worker);
+        // Child context per executed task; the atomic sequence keeps
+        // ids distinct across concurrent workers.
+        let ctx = shared.trace_context.map(|c| {
+            c.child(
+                c.agent_id,
+                shared.span_seq.fetch_add(1, Ordering::Relaxed) + 1,
+            )
+        });
         shared.telemetry.record(TelemetryEvent::Span {
             track,
             name: name.clone(),
             phase: TaskPhase::Executing,
             start_us,
             dur_us: end_us.saturating_sub(start_us),
+            ctx,
         });
         shared.telemetry.record(TelemetryEvent::Instant {
             track,

@@ -19,7 +19,8 @@ use continuum_sim::{
     TraceRecord, TransferLedger, TransferRecord, VirtualTime,
 };
 use continuum_telemetry::{
-    micros_from_seconds, CounterKey, Event as TelemetryEvent, RecorderHandle, TaskPhase, Track,
+    micros_from_seconds, CounterKey, Event as TelemetryEvent, RecorderHandle, SpanContext,
+    TaskPhase, Track,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Deref;
@@ -80,6 +81,12 @@ pub struct SimOptions {
     /// Telemetry sink for task-lifecycle events, stamped with virtual
     /// microseconds. Defaults to the no-op recorder.
     pub telemetry: RecorderHandle,
+    /// Causal context of the run for distributed tracing: the run's
+    /// `sim-run` span carries this context and every task span becomes
+    /// its child, so a simulated run dispatched from another agent
+    /// chains back to the submitting workflow. `None` (default) leaves
+    /// spans context-free.
+    pub trace_context: Option<SpanContext>,
     /// Ahead-of-run verification of the workload against the platform
     /// (see `continuum_analyze`). `Warn` prints every finding to
     /// stderr; `Reject` additionally fails the run with
@@ -104,6 +111,7 @@ impl Default for SimOptions {
             elastic: None,
             max_virtual_seconds: 1e9,
             telemetry: RecorderHandle::noop(),
+            trace_context: None,
             strict_lints: LintMode::Off,
             event_queue: EventQueueKind::default(),
         }
@@ -769,6 +777,7 @@ impl<'w, 's> Engine<'w, 's> {
                 phase: TaskPhase::Executing,
                 start_us: 0,
                 dur_us: end_us,
+                ctx: self.options.trace_context,
             });
             self.options.telemetry.run_end_counters(
                 end_us,
@@ -894,7 +903,13 @@ impl<'w, 's> Engine<'w, 's> {
             replay: was_replay,
         };
         if self.options.telemetry.enabled() {
-            for event in record.to_events(&self.task_name(task)) {
+            // Child context per emitted record (sequence = record
+            // count so far + 1): replays of a task get their own ids.
+            let ctx = self
+                .options
+                .trace_context
+                .map(|c| c.child(c.agent_id, self.trace.len() as u64 + 1));
+            for event in record.to_events(&self.task_name(task), ctx) {
                 self.options.telemetry.record(event);
             }
             self.options.telemetry.record(TelemetryEvent::Counter {
@@ -1466,6 +1481,7 @@ impl<'w, 's> Engine<'w, 's> {
                 phase: TaskPhase::Scheduled,
                 start_us: at_us,
                 dur_us: 0,
+                ctx: None,
             });
             self.options.telemetry.record(TelemetryEvent::Counter {
                 key: CounterKey::SchedulerTasksOffered,

@@ -172,6 +172,7 @@ fn local_traces_are_well_formed() {
             phase: TaskPhase::Executing,
             start_us,
             dur_us,
+            ctx: _,
         } = e
         {
             assert!(start_us + dur_us <= run_end);

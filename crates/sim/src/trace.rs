@@ -4,7 +4,7 @@
 
 use continuum_dag::TaskId;
 use continuum_platform::NodeId;
-use continuum_telemetry::{micros_from_seconds, Event, GanttSpan, TaskPhase, Track};
+use continuum_telemetry::{micros_from_seconds, Event, GanttSpan, SpanContext, TaskPhase, Track};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -31,8 +31,10 @@ impl TraceRecord {
     /// `Transferring` span for any input stall, an `Executing` span,
     /// and a `Committed` (or `Replayed`) marker. This is the single
     /// conversion the simulated engine and post-hoc trace exports
-    /// share.
-    pub fn to_events(&self, name: &str) -> Vec<Event> {
+    /// share. `ctx`, when given, stamps the spans so the task chains
+    /// into a distributed trace (both phases share the one context:
+    /// they are phases of a single logical execution).
+    pub fn to_events(&self, name: &str, ctx: Option<SpanContext>) -> Vec<Event> {
         let track = Track::Node(self.node.index() as u32);
         let start_us = micros_from_seconds(self.start_s);
         let exec_start_us = micros_from_seconds(self.start_s + self.transfer_stall_s);
@@ -45,6 +47,7 @@ impl TraceRecord {
                 phase: TaskPhase::Transferring,
                 start_us,
                 dur_us: exec_start_us - start_us,
+                ctx,
             });
         }
         events.push(Event::Span {
@@ -53,6 +56,7 @@ impl TraceRecord {
             phase: TaskPhase::Executing,
             start_us: exec_start_us,
             dur_us: end_us.saturating_sub(exec_start_us),
+            ctx,
         });
         events.push(Event::Instant {
             track,
@@ -133,9 +137,21 @@ impl ExecutionTrace {
     /// Converts the whole trace to telemetry events (see
     /// [`TraceRecord::to_events`]), labelling spans with the task id.
     pub fn to_events(&self) -> Vec<Event> {
+        self.to_events_traced(None)
+    }
+
+    /// Like [`ExecutionTrace::to_events`], but parents every record
+    /// under `ctx`: record *i* gets the child context derived with
+    /// sequence `i + 1` (record order, so lineage replays of one task
+    /// still get distinct span ids).
+    pub fn to_events_traced(&self, ctx: Option<SpanContext>) -> Vec<Event> {
         self.records
             .iter()
-            .flat_map(|r| r.to_events(&r.task.to_string()))
+            .enumerate()
+            .flat_map(|(i, r)| {
+                let child = ctx.map(|c| c.child(c.agent_id, i as u64 + 1));
+                r.to_events(&r.task.to_string(), child)
+            })
             .collect()
     }
 }

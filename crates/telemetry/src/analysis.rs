@@ -64,6 +64,7 @@ pub fn collect_task_obs(events: &[Event]) -> Vec<TaskObs> {
             phase: TaskPhase::Transferring,
             start_us,
             dur_us,
+            ctx: _,
         } = event
         {
             transfers
@@ -84,6 +85,7 @@ pub fn collect_task_obs(events: &[Event]) -> Vec<TaskObs> {
             phase: TaskPhase::Executing,
             start_us,
             dur_us,
+            ctx: _,
         } = event
         {
             if *track == Track::Run {
@@ -522,6 +524,7 @@ impl RunDiagnostics {
                     phase,
                     start_us,
                     dur_us,
+                    ctx: _,
                 } => {
                     *phase_totals_us.entry(*phase).or_default() += dur_us;
                     if *track == Track::Run {
@@ -781,6 +784,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us,
             dur_us: end_us - start_us,
+            ctx: None,
         }
     }
 
@@ -791,6 +795,7 @@ mod tests {
             phase: TaskPhase::Transferring,
             start_us,
             dur_us: end_us - start_us,
+            ctx: None,
         }
     }
 
@@ -801,6 +806,7 @@ mod tests {
             phase: TaskPhase::StreamWait,
             start_us,
             dur_us: end_us - start_us,
+            ctx: None,
         }
     }
 
@@ -842,6 +848,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 100,
+            ctx: None,
         }];
         assert!(collect_task_obs(&events).is_empty());
     }

@@ -9,15 +9,27 @@
 //! continuum-trace critical-path  trace.json [--limit N]
 //! continuum-trace attrib         trace.json [--json]
 //! continuum-trace diff           a.json b.json
+//! continuum-trace merge          a.json b.json [...] [--out PATH] [--check]
 //! continuum-trace convert        trace.json --to paraver|prometheus|chrome [--out PATH]
 //! ```
 //!
+//! `merge` joins per-agent trace files of one distributed run into a
+//! single causally-consistent trace: clocks are re-aligned from the
+//! offload send/reply handshakes and remote agents' rows are remapped
+//! under a *remote* track family. On a merged (or any span-context
+//! carrying) trace, `critical-path` and `attrib` additionally report
+//! the cross-agent view: the end-to-end critical chain through offload
+//! hops and a per-hop compute/transfer/queue/network attribution whose
+//! buckets sum exactly to the makespan.
+//!
 //! Exit codes: 0 success, 1 usage error, 2 unreadable/unparseable
-//! trace, 3 parseable trace with nothing to attribute (empty run).
+//! trace, 3 parseable trace with nothing to attribute (empty run),
+//! 4 `merge --check` invariant violation.
 
 use continuum_telemetry::{
-    chrome_trace, paraver_trace, parse_chrome_trace, prometheus_text, render_table,
-    trace_critical_chain, Align, Event, MetricsSnapshot, RunDiagnostics, TaskObs,
+    chrome_trace, cross_agent_report, merge_traces, paraver_trace, parse_chrome_trace,
+    prometheus_text, render_table, trace_critical_chain, AgentTrace, Align, CrossAgentReport,
+    Event, MetricsSnapshot, RunDiagnostics, TaskObs,
 };
 
 const USAGE: &str = "continuum-trace — trace analysis for continuum runs
@@ -27,11 +39,16 @@ USAGE:
   continuum-trace critical-path  <trace.json> [--limit N]
   continuum-trace attrib         <trace.json> [--json]
   continuum-trace diff           <a.json> <b.json>
+  continuum-trace merge          <a.json> <b.json> [...] [--out PATH] [--check]
   continuum-trace convert        <trace.json> --to paraver|prometheus|chrome [--out PATH]
 
 Traces are Chrome trace_event JSON, e.g. from
 `cargo run --release -p continuum-bench --bin experiments -- --quick e1 --trace e1.json`
-or `cargo run --release --example telemetry_demo`.";
+or `cargo run --release --example telemetry_demo`. `merge` joins one
+trace file per agent (e.g. from `--example trace_merge_demo`) into a
+single causally-consistent trace; `--check` fails (exit 4) unless the
+cross-agent attribution sums to the makespan and the critical path
+crosses at least one offload hop.";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -63,6 +80,10 @@ fn seconds(us: u64) -> f64 {
 
 fn cmd_summary(path: &str) {
     let events = load_events(path);
+    if events.is_empty() {
+        println!("{path}: empty trace (no events)");
+        std::process::exit(3);
+    }
     let (mut spans, mut instants, mut counters) = (0usize, 0usize, 0usize);
     for event in &events {
         match event {
@@ -120,6 +141,82 @@ fn print_chain(chain: &[TaskObs], makespan_us: u64, limit: usize) {
     }
 }
 
+fn agent_label(agent: u32) -> String {
+    if agent == continuum_telemetry::SpanContext::COORDINATOR {
+        "coord".to_string()
+    } else {
+        format!("agent{agent}")
+    }
+}
+
+/// Prints the cross-agent view of a span-context-carrying trace: the
+/// causal critical chain through offload hops, and the per-hop
+/// attribution whose buckets sum exactly to the makespan.
+fn print_cross_agent(report: &CrossAgentReport) {
+    println!(
+        "\ncross-agent trace `{}`: {:.3} s end-to-end, {} hop rows, critical path crosses {} offload hop(s)",
+        report.root_name,
+        seconds(report.makespan_us),
+        report.hops.len(),
+        report.critical_offload_hops()
+    );
+    let cells: Vec<Vec<String>> = report
+        .hops
+        .iter()
+        .map(|h| {
+            vec![
+                format!("{}{}", "  ".repeat(h.depth as usize), h.name),
+                format!("{}→{}", agent_label(h.from_agent), agent_label(h.to_agent)),
+                format!("{:.3}", seconds(h.compute_us)),
+                format!("{:.3}", seconds(h.transfer_us)),
+                format!("{:.3}", seconds(h.queue_us)),
+                format!("{:.3}", seconds(h.network_us)),
+                format!("{:.3}", seconds(h.total_us())),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "hop",
+                "route",
+                "compute_s",
+                "transfer_s",
+                "queue_s",
+                "network_s",
+                "total_s"
+            ],
+            &[
+                Align::Left,
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ],
+            &cells,
+        )
+    );
+    println!(
+        "  attributed {:.3} s of {:.3} s makespan (exact tiling)",
+        seconds(report.attributed_total_us()),
+        seconds(report.makespan_us)
+    );
+    println!("  causal critical chain:");
+    for hop in &report.critical {
+        println!(
+            "    {:<28} {:<8} {:>9.3}s → {:>9.3}s{}",
+            hop.name,
+            agent_label(hop.agent_id),
+            seconds(hop.start_us),
+            seconds(hop.end_us),
+            if hop.offload { "  [offload]" } else { "" }
+        );
+    }
+}
+
 fn cmd_critical_path(path: &str, limit: usize) {
     let events = load_events(path);
     let chain = trace_critical_chain(&events);
@@ -129,6 +226,9 @@ fn cmd_critical_path(path: &str, limit: usize) {
     }
     let makespan_us = chain.last().map(|o| o.end_us).unwrap_or(0);
     print_chain(&chain, makespan_us, limit);
+    if let Ok(report) = cross_agent_report(&events) {
+        print_cross_agent(&report);
+    }
     println!(
         "\nnote: chain inferred from the trace alone (latest-gating-span\nheuristic); run the analysis against the DAG for proven edges."
     );
@@ -138,13 +238,95 @@ fn cmd_attrib(path: &str, json: bool) {
     let events = load_events(path);
     let diag = RunDiagnostics::from_events(&events);
     if diag.is_empty() {
-        eprintln!("continuum-trace: nothing to attribute in {path} (no task rows)");
+        eprintln!("continuum-trace: empty trace — nothing to attribute in {path} (no task rows)");
+        std::process::exit(3);
+    }
+    if diag.makespan_us == 0 {
+        eprintln!("continuum-trace: empty trace — zero makespan in {path}");
         std::process::exit(3);
     }
     if json {
         println!("{}", serde::Serialize::to_json_value(&diag));
     } else {
         print!("{diag}");
+        if let Ok(report) = cross_agent_report(&events) {
+            print_cross_agent(&report);
+        }
+    }
+}
+
+fn cmd_merge(paths: &[&String], out: Option<String>, check: bool) {
+    let traces: Vec<AgentTrace> = paths
+        .iter()
+        .map(|p| AgentTrace::infer(load_events(p)))
+        .collect();
+    let merged = match merge_traces(&traces) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("continuum-trace: merge failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "merged {} traces, {} events, root agent {}",
+        traces.len(),
+        merged.events.len(),
+        agent_label(merged.root.agent_id)
+    );
+    for a in &merged.alignments {
+        eprintln!(
+            "  clock {}: offset {:+} µs (feasible [{}, {}] µs, via {})",
+            agent_label(a.agent_id),
+            a.offset_us,
+            a.feasible_lo_us,
+            a.feasible_hi_us,
+            agent_label(a.via)
+        );
+    }
+    for v in &merged.violations {
+        eprintln!("  violation: {v}");
+    }
+    if let Some(out_path) = out {
+        let rendered = chrome_trace(&merged.events);
+        if let Err(e) = std::fs::write(&out_path, &rendered) {
+            eprintln!("continuum-trace: cannot write {out_path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {} bytes to {out_path}", rendered.len());
+    }
+    let report = match cross_agent_report(&merged.events) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("continuum-trace: no cross-agent view: {e}");
+            std::process::exit(3);
+        }
+    };
+    print_cross_agent(&report);
+    if check {
+        let mut failures = Vec::new();
+        if !merged.violations.is_empty() {
+            failures.push(format!(
+                "{} happens-before violation(s)",
+                merged.violations.len()
+            ));
+        }
+        if report.attributed_total_us() != report.makespan_us {
+            failures.push(format!(
+                "attribution does not sum to makespan ({} µs != {} µs)",
+                report.attributed_total_us(),
+                report.makespan_us
+            ));
+        }
+        if report.critical_offload_hops() == 0 {
+            failures.push("critical path crosses no offload hop".to_string());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("continuum-trace: check failed: {f}");
+            }
+            std::process::exit(4);
+        }
+        eprintln!("check passed: buckets sum to makespan, critical path crosses an offload hop");
     }
 }
 
@@ -260,7 +442,7 @@ fn main() {
                 skip_next = false;
                 continue;
             }
-            if arg == "--json" {
+            if arg == "--json" || arg == "--check" {
                 continue;
             }
             if arg.starts_with("--") {
@@ -285,6 +467,13 @@ fn main() {
         }
         ("attrib", [path]) => cmd_attrib(path, args.iter().any(|a| a == "--json")),
         ("diff", [a, b]) => cmd_diff(a, b),
+        ("merge", paths) if !paths.is_empty() => {
+            cmd_merge(
+                paths,
+                flag_value(&args, "--out"),
+                args.iter().any(|a| a == "--check"),
+            );
+        }
         ("convert", [path]) => {
             let Some(to) = flag_value(&args, "--to") else {
                 eprintln!("continuum-trace: convert needs --to paraver|prometheus|chrome");

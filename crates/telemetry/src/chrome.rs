@@ -9,9 +9,36 @@
 //! traces. [`parse_chrome_trace`] reads the same dialect back into
 //! [`Event`]s, so analysis tools work on standalone trace files.
 
-use crate::event::{CounterKey, Event, Micros, TaskPhase, Track};
+use crate::event::{CounterKey, Event, Micros, SpanContext, TaskPhase, Track};
 use serde::Value;
 use std::collections::BTreeSet;
+
+/// Span-context `args` keys, in the fixed order the exporter writes
+/// them (alphabetical, so the bytes are deterministic).
+const CTX_AGENT: &str = "ctx_agent";
+const CTX_PARENT: &str = "ctx_parent";
+const CTX_SPAN: &str = "ctx_span";
+const CTX_TRACE: &str = "ctx_trace";
+
+fn ctx_args(ctx: &SpanContext) -> Value {
+    let mut fields = vec![(CTX_AGENT.to_string(), Value::U64(u64::from(ctx.agent_id)))];
+    if let Some(parent) = ctx.parent_span_id {
+        fields.push((CTX_PARENT.to_string(), Value::U64(parent)));
+    }
+    fields.push((CTX_SPAN.to_string(), Value::U64(ctx.span_id)));
+    fields.push((CTX_TRACE.to_string(), Value::U64(ctx.trace_id)));
+    Value::Obj(fields)
+}
+
+fn parse_ctx_args(entry: &Value) -> Option<SpanContext> {
+    let args = entry.get("args")?;
+    Some(SpanContext {
+        trace_id: args.get(CTX_TRACE).and_then(Value::as_u64)?,
+        span_id: args.get(CTX_SPAN).and_then(Value::as_u64)?,
+        parent_span_id: args.get(CTX_PARENT).and_then(Value::as_u64),
+        agent_id: u32::try_from(args.get(CTX_AGENT).and_then(Value::as_u64)?).ok()?,
+    })
+}
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(
@@ -63,7 +90,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
     // Stable sort key so equal-timestamp events export identically
     // regardless of recorder interleaving (worker threads racing to a
     // shared buffer must not change the bytes on disk).
-    fn sort_key(e: &Event) -> (Micros, u64, u64, u8, Micros, &str, &str) {
+    fn sort_key(e: &Event) -> (Micros, u64, u64, u8, Micros, &str, &str, u64) {
         match e {
             Event::Span {
                 track,
@@ -71,6 +98,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 phase,
                 start_us,
                 dur_us,
+                ctx,
             } => (
                 *start_us,
                 track.chrome_pid(),
@@ -79,6 +107,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 u64::MAX - dur_us, // longer spans first: parents enclose children
                 name.as_str(),
                 phase.as_str(),
+                ctx.map_or(0, |c| c.span_id), // tiebreak for same-name hops
             ),
             Event::Instant {
                 track,
@@ -93,8 +122,9 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 0,
                 name.as_str(),
                 phase.as_str(),
+                0,
             ),
-            Event::Counter { key, at_us, .. } => (*at_us, 0, 0, 2, 0, key.as_str(), ""),
+            Event::Counter { key, at_us, .. } => (*at_us, 0, 0, 2, 0, key.as_str(), "", 0),
         }
     }
     let mut ordered: Vec<&Event> = events.iter().collect();
@@ -108,10 +138,14 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 phase,
                 start_us,
                 dur_us,
+                ctx,
             } => {
                 let mut fields = common(name, "X", *start_us, *track);
                 fields.push(("dur", Value::U64(*dur_us)));
                 fields.push(("cat", Value::Str(phase.as_str().to_string())));
+                if let Some(ctx) = ctx {
+                    fields.push(("args", ctx_args(ctx)));
+                }
                 out.push(obj(fields));
             }
             Event::Instant {
@@ -187,6 +221,7 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
                         phase,
                         start_us: ts,
                         dur_us: dur,
+                        ctx: parse_ctx_args(entry),
                     });
                 } else {
                     events.push(Event::Instant {
@@ -231,6 +266,7 @@ mod tests {
                 phase: TaskPhase::Executing,
                 start_us: 100,
                 dur_us: 50,
+                ctx: None,
             },
             Event::Instant {
                 track: Track::Worker(1),
@@ -303,6 +339,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 10,
+            ctx: None,
         }];
         let text = chrome_trace(&events);
         assert_eq!(chrome_trace(&events), text, "deterministic");
@@ -322,6 +359,7 @@ mod tests {
                 phase: TaskPhase::StreamWait,
                 start_us: 100,
                 dur_us: 40,
+                ctx: None,
             },
             Event::Counter {
                 key: CounterKey::StreamOccupancyHighWater,
@@ -367,6 +405,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 100,
             dur_us: 5,
+            ctx: None,
         };
         let b = Event::Span {
             track: Track::Worker(1),
@@ -374,6 +413,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 100,
             dur_us: 5,
+            ctx: None,
         };
         let c = Event::Instant {
             track: Track::Worker(0),

@@ -31,13 +31,28 @@ pub enum Track {
     Worker(u32),
     /// An autonomous agent on the message bus.
     Agent(u32),
+    /// A row from another agent's trace after a federated merge:
+    /// `(agent, row)` where `row` is the remote track's index on its
+    /// home agent ([`Track::REMOTE_RUN_ROW`] for its `Run` row).
+    ///
+    /// Merging never nests: a remote trace's own `Remote` rows keep
+    /// their original agent id. Both components must fit in 16 bits so
+    /// the pair packs into one Chrome `tid`.
+    Remote(u32, u32),
 }
 
 impl Track {
+    /// Row index [`Track::Remote`] uses for a remote trace's `Run` row.
+    pub const REMOTE_RUN_ROW: u32 = 0xFFFF;
+
     /// Inverse of [`Track::chrome_pid`]/[`Track::chrome_tid`]: rebuilds
     /// the track from a Chrome `(pid, tid)` pair, `None` for pids this
     /// crate never emits.
     pub fn from_chrome(pid: u64, tid: u64) -> Option<Track> {
+        if pid == 5 {
+            let packed = u32::try_from(tid).ok()?;
+            return Some(Track::Remote(packed >> 16, packed & 0xFFFF));
+        }
         let id = u32::try_from(tid).ok()?;
         match pid {
             1 => Some(Track::Run),
@@ -55,6 +70,8 @@ impl Track {
             Track::Node(i) => format!("node {i}"),
             Track::Worker(i) => format!("worker {i}"),
             Track::Agent(i) => format!("agent {i}"),
+            Track::Remote(a, r) if *r == Track::REMOTE_RUN_ROW => format!("agent {a} run"),
+            Track::Remote(a, r) => format!("agent {a} row {r}"),
         }
     }
 
@@ -65,6 +82,7 @@ impl Track {
             Track::Node(_) => 2,
             Track::Worker(_) => 3,
             Track::Agent(_) => 4,
+            Track::Remote(..) => 5,
         }
     }
 
@@ -73,6 +91,7 @@ impl Track {
         match self {
             Track::Run => 0,
             Track::Node(i) | Track::Worker(i) | Track::Agent(i) => u64::from(*i),
+            Track::Remote(a, r) => u64::from((a & 0xFFFF) << 16 | (r & 0xFFFF)),
         }
     }
 
@@ -83,6 +102,68 @@ impl Track {
             Track::Node(_) => "sim nodes",
             Track::Worker(_) => "local workers",
             Track::Agent(_) => "agents",
+            Track::Remote(..) => "remote agents",
+        }
+    }
+}
+
+/// Causal identity of a span: which distributed trace it belongs to and
+/// where it sits in the cross-agent parent tree.
+///
+/// Contexts propagate through offload hops: the orchestrator stamps the
+/// dispatch span with a child of the workflow root, ships that context
+/// in the network message, and the executing agent parents its own
+/// transfer/execute spans under it — so a task running three hops away
+/// still chains back to the submitting workflow. Span ids are derived
+/// by hashing `(parent span id, agent, seq)`, which needs no cross-agent
+/// coordination and is deterministic for a given tree shape; the merge
+/// pass verifies ids stay unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Identity of the whole distributed trace (shared by every span).
+    pub trace_id: u64,
+    /// This span's unique id within the trace.
+    pub span_id: u64,
+    /// Causal parent span, `None` for the workflow root.
+    pub parent_span_id: Option<u64>,
+    /// Agent that recorded the span ([`SpanContext::COORDINATOR`] for
+    /// an orchestrator running outside any agent).
+    pub agent_id: u32,
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl SpanContext {
+    /// Sentinel agent id for an orchestrator that is not itself an
+    /// agent on the bus (e.g. a test driver or the CLI).
+    pub const COORDINATOR: u32 = u32::MAX;
+
+    /// Root context for a new distributed trace.
+    pub fn root(trace_id: u64, agent_id: u32) -> SpanContext {
+        SpanContext {
+            trace_id,
+            span_id: mix64(trace_id),
+            parent_span_id: None,
+            agent_id,
+        }
+    }
+
+    /// Child context under `self`, recorded by `agent_id`. `seq` must be
+    /// unique per `(parent, agent)` pair — callers use a per-parent or
+    /// per-agent monotone counter.
+    pub fn child(&self, agent_id: u32, seq: u64) -> SpanContext {
+        let id = mix64(mix64(self.span_id ^ u64::from(agent_id).rotate_left(32)).wrapping_add(seq));
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id: id,
+            parent_span_id: Some(self.span_id),
+            agent_id,
         }
     }
 }
@@ -111,6 +192,9 @@ pub enum TaskPhase {
     /// Blocked on a stream channel: a writer waiting for capacity or a
     /// reader waiting for the next element.
     StreamWait,
+    /// A remote dispatch as seen from the submitting side: the interval
+    /// from sending an offload request to receiving its reply.
+    Offloading,
 }
 
 impl TaskPhase {
@@ -126,11 +210,12 @@ impl TaskPhase {
             TaskPhase::Failed => "failed",
             TaskPhase::Replayed => "replayed",
             TaskPhase::StreamWait => "stream_wait",
+            TaskPhase::Offloading => "offloading",
         }
     }
 
     /// Every phase, in lifecycle order.
-    pub const ALL: [TaskPhase; 9] = [
+    pub const ALL: [TaskPhase; 10] = [
         TaskPhase::Submitted,
         TaskPhase::Ready,
         TaskPhase::Scheduled,
@@ -140,6 +225,7 @@ impl TaskPhase {
         TaskPhase::Failed,
         TaskPhase::Replayed,
         TaskPhase::StreamWait,
+        TaskPhase::Offloading,
     ];
 
     /// Inverse of [`TaskPhase::as_str`].
@@ -160,6 +246,7 @@ impl TaskPhase {
             TaskPhase::Failed => 7,
             TaskPhase::Replayed => 8,
             TaskPhase::StreamWait => 9,
+            TaskPhase::Offloading => 10,
         }
     }
 }
@@ -275,6 +362,9 @@ pub enum Event {
         start_us: Micros,
         /// Interval length.
         dur_us: Micros,
+        /// Causal identity for cross-agent correlation, `None` for
+        /// spans that never leave one engine's trace.
+        ctx: Option<SpanContext>,
     },
     /// A point-in-time marker (e.g. a task commit).
     Instant {
@@ -338,6 +428,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 10,
             dur_us: 5,
+            ctx: None,
         };
         assert_eq!(span.at_us(), 10);
         assert_eq!(span.end_us(), 15);
@@ -362,6 +453,8 @@ mod tests {
             Track::Node(7),
             Track::Worker(0),
             Track::Agent(42),
+            Track::Remote(3, 1),
+            Track::Remote(0, Track::REMOTE_RUN_ROW),
         ] {
             assert_eq!(
                 Track::from_chrome(track.chrome_pid(), track.chrome_tid()),
@@ -369,6 +462,25 @@ mod tests {
             );
         }
         assert_eq!(Track::from_chrome(9, 0), None);
+    }
+
+    #[test]
+    fn span_context_children_are_distinct_and_parented() {
+        let root = SpanContext::root(42, SpanContext::COORDINATOR);
+        assert_eq!(root.parent_span_id, None);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(root.span_id);
+        for agent in 0..4u32 {
+            for seq in 0..16u64 {
+                let c = root.child(agent, seq);
+                assert_eq!(c.trace_id, root.trace_id);
+                assert_eq!(c.parent_span_id, Some(root.span_id));
+                assert_eq!(c.agent_id, agent);
+                assert!(seen.insert(c.span_id), "span id collision");
+                let grand = c.child(agent, seq);
+                assert!(seen.insert(grand.span_id), "grandchild collision");
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 2_000_000,
+            ctx: None,
         }];
         let g = render_events(&events, 10);
         assert!(g.starts_with("node 0 |"));

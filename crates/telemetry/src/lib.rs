@@ -36,6 +36,7 @@ pub mod analysis;
 pub mod chrome;
 pub mod event;
 pub mod gantt;
+pub mod merge;
 pub mod metrics;
 pub mod paraver;
 pub mod prometheus;
@@ -48,11 +49,15 @@ pub use analysis::{
     CriticalPathReport, CriticalTask, NodeAttribution, RunDiagnostics, TaskObs, UtilizationMetrics,
 };
 pub use chrome::{chrome_trace, parse_chrome_trace};
-pub use event::{micros_from_seconds, CounterKey, Event, Micros, TaskPhase, Track};
+pub use event::{micros_from_seconds, CounterKey, Event, Micros, SpanContext, TaskPhase, Track};
 pub use gantt::GanttSpan;
+pub use merge::{
+    cross_agent_report, merge_traces, AgentTrace, ClockAlignment, CriticalHop, CrossAgentReport,
+    HopAttribution, MergeError, MergeReport,
+};
 pub use metrics::{Histogram, MetricsSnapshot, PhaseStat};
 pub use paraver::paraver_trace;
-pub use prometheus::prometheus_text;
+pub use prometheus::{prometheus_text, prometheus_text_with_ring};
 pub use recorder::{NoopRecorder, Recorder, RecorderHandle, TraceBuffer};
 pub use ring::RingRecorder;
 pub use table::{render_table, Align};

@@ -211,6 +211,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us,
+            ctx: None,
         }
     }
 

@@ -95,6 +95,7 @@ pub fn paraver_trace(events: &[Event]) -> String {
                 phase,
                 start_us,
                 dur_us,
+                ctx: _,
             } => {
                 let row = rows[track];
                 records.push((
@@ -159,6 +160,7 @@ mod tests {
                 phase: TaskPhase::Executing,
                 start_us: 0,
                 dur_us: 1_000,
+                ctx: None,
             },
             Event::Instant {
                 track: Track::Node(0),
@@ -183,6 +185,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 1,
+            ctx: None,
         };
         // Arrival order worker-then-node; sorted order is node first.
         let prv = paraver_trace(&[mk(Track::Worker(0)), mk(Track::Node(3))]);
@@ -198,6 +201,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 42,
+            ctx: None,
         }];
         assert_eq!(paraver_trace(&events), paraver_trace(&events));
     }
@@ -210,6 +214,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 0,
             dur_us: 1,
+            ctx: None,
         }];
         let prv = paraver_trace(&events);
         assert!(prv.contains("# value 1: a\\:b\\,c\\nd"));
@@ -225,6 +230,7 @@ mod tests {
             phase: TaskPhase::StreamWait,
             start_us: 10,
             dur_us: 30,
+            ctx: None,
         };
         let prv = paraver_trace(&[mk("stream:s0"), mk("stream:s1")]);
         assert!(
@@ -249,6 +255,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: 50,
             dur_us: 5,
+            ctx: None,
         };
         let a = mk(Track::Node(0), "x");
         let b = mk(Track::Node(1), "y");

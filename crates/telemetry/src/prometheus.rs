@@ -8,6 +8,7 @@
 
 use crate::event::{CounterKey, TaskPhase};
 use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::ring::RingRecorder;
 use std::fmt::Write as _;
 
 /// Prometheus floats: integral values render without an exponent so
@@ -133,6 +134,51 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Like [`prometheus_text`], with the bounded recorder's data-loss
+/// counters appended — how many events the ring overwrote and how many
+/// spans its sampler dropped. A snapshot scraped from a [`RingRecorder`]
+/// without these gauges silently under-reports; with them, dashboards
+/// can alert on loss instead of trusting a truncated window.
+pub fn prometheus_text_with_ring(snap: &MetricsSnapshot, ring: &RingRecorder) -> String {
+    let mut out = prometheus_text(snap);
+    let _ = writeln!(
+        out,
+        "# HELP continuum_ring_capacity_events Bounded recorder ring capacity."
+    );
+    let _ = writeln!(out, "# TYPE continuum_ring_capacity_events gauge");
+    let _ = writeln!(out, "continuum_ring_capacity_events {}", ring.capacity());
+    let _ = writeln!(
+        out,
+        "# HELP continuum_ring_buffered_events Events currently retained in the ring."
+    );
+    let _ = writeln!(out, "# TYPE continuum_ring_buffered_events gauge");
+    let _ = writeln!(out, "continuum_ring_buffered_events {}", ring.len());
+    let _ = writeln!(
+        out,
+        "# HELP continuum_ring_overwritten_events_total Events evicted by ring wraparound."
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE continuum_ring_overwritten_events_total counter"
+    );
+    let _ = writeln!(
+        out,
+        "continuum_ring_overwritten_events_total {}",
+        ring.overwritten()
+    );
+    let _ = writeln!(
+        out,
+        "# HELP continuum_ring_sampled_out_spans_total Spans dropped by 1-in-N sampling before buffering."
+    );
+    let _ = writeln!(out, "# TYPE continuum_ring_sampled_out_spans_total counter");
+    let _ = writeln!(
+        out,
+        "continuum_ring_sampled_out_spans_total {}",
+        ring.sampled_out()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +192,7 @@ mod tests {
                 phase: TaskPhase::Executing,
                 start_us: 0,
                 dur_us: 1_500_000,
+                ctx: None,
             },
             Event::Span {
                 track: Track::Node(1),
@@ -153,6 +200,7 @@ mod tests {
                 phase: TaskPhase::Executing,
                 start_us: 0,
                 dur_us: 3,
+                ctx: None,
             },
             Event::Instant {
                 track: Track::Node(0),
@@ -206,5 +254,40 @@ mod tests {
     fn page_is_deterministic() {
         let snap = sample_snapshot();
         assert_eq!(prometheus_text(&snap), prometheus_text(&snap));
+    }
+
+    #[test]
+    fn ring_page_exposes_data_loss() {
+        use crate::recorder::Recorder;
+
+        // Capacity 2, sampling 1-in-2: feed 5 spans so both loss modes
+        // (sampler drops and ring overwrites) have non-zero counters.
+        let ring = crate::ring::RingRecorder::with_sampling(2, 2);
+        for i in 0..5u64 {
+            ring.record(Event::Span {
+                track: Track::Worker(0),
+                name: format!("t{i}"),
+                phase: TaskPhase::Executing,
+                start_us: i,
+                dur_us: 1,
+                ctx: None,
+            });
+        }
+        let snap = MetricsSnapshot::from_events(&ring.events());
+        let page = prometheus_text_with_ring(&snap, &ring);
+        assert!(page.contains("continuum_ring_capacity_events 2"));
+        assert!(page.contains("continuum_ring_buffered_events 2"));
+        assert!(page.contains(&format!(
+            "continuum_ring_overwritten_events_total {}",
+            ring.overwritten()
+        )));
+        assert!(page.contains(&format!(
+            "continuum_ring_sampled_out_spans_total {}",
+            ring.sampled_out()
+        )));
+        assert!(ring.sampled_out() > 0, "sampler must have dropped spans");
+        assert!(ring.overwritten() > 0, "ring must have wrapped");
+        // The base page is a prefix: ring metrics only append.
+        assert!(page.starts_with(&prometheus_text(&snap)));
     }
 }

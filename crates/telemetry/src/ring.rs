@@ -160,6 +160,7 @@ mod tests {
             phase: TaskPhase::Executing,
             start_us: at_us,
             dur_us: 1,
+            ctx: None,
         }
     }
 

@@ -15,6 +15,7 @@ fn exec(node: u32, name: &str, start_s: u64, end_s: u64) -> Event {
         phase: TaskPhase::Executing,
         start_us: start_s * S,
         dur_us: (end_s - start_s) * S,
+        ctx: None,
     }
 }
 
@@ -25,6 +26,7 @@ fn transfer(node: u32, name: &str, start_s: u64, end_s: u64) -> Event {
         phase: TaskPhase::Transferring,
         start_us: start_s * S,
         dur_us: (end_s - start_s) * S,
+        ctx: None,
     }
 }
 

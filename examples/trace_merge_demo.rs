@@ -1,0 +1,154 @@
+//! Federated tracing across agents: a two-agent offload run where the
+//! coordinator and each agent record *separate* trace files on their
+//! own clocks, then `continuum-trace merge` joins them into one
+//! causally-consistent trace.
+//!
+//! ```text
+//! cargo run --example trace_merge_demo
+//! cargo run --release -p continuum-telemetry --bin continuum-trace -- \
+//!     merge trace_merge_demo.coord.trace.json \
+//!           trace_merge_demo.agent0.trace.json \
+//!           trace_merge_demo.agent1.trace.json \
+//!           --out trace_merge_demo.merged.trace.json --check
+//! ```
+//!
+//! The demo also performs the merge in-process and prints the
+//! cross-agent attribution, whose per-hop compute / transfer / queue /
+//! network buckets sum exactly to the end-to-end makespan.
+
+use bytes::Bytes;
+use continuum::agents::{
+    AgentNetwork, AppTask, Application, OpRegistry, Orchestrator, RoundRobinOffload,
+};
+use continuum::platform::{DeviceClass, NodeId};
+use continuum::storage::{KvConfig, KvStore};
+use continuum::telemetry::{
+    chrome_trace, cross_agent_report, merge_traces, AgentTrace, TraceBuffer,
+};
+use std::sync::Arc;
+
+fn ops() -> OpRegistry {
+    let ops = OpRegistry::new();
+    ops.register("sense", |_| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        Bytes::from(vec![3u8; 64 * 1024])
+    });
+    ops.register("filter", |ins| {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        Bytes::from(
+            ins[0]
+                .iter()
+                .filter(|b| **b > 1)
+                .copied()
+                .collect::<Vec<u8>>(),
+        )
+    });
+    ops.register("aggregate", |ins| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let sum: u64 = ins.iter().flat_map(|b| b.iter()).map(|b| *b as u64).sum();
+        Bytes::copy_from_slice(&sum.to_le_bytes())
+    });
+    ops
+}
+
+fn main() {
+    let store = Arc::new(
+        KvStore::new(
+            (0..4).map(NodeId::from_raw).collect(),
+            KvConfig { replication: 2 },
+        )
+        .expect("valid store"),
+    );
+    let net = AgentNetwork::new(store, ops());
+
+    // Each agent records into its own buffer, stamped on its own clock
+    // origin — exactly the federated setting the merge re-aligns.
+    let (fog_buffer, fog_handle) = TraceBuffer::collector();
+    let (cloud_buffer, cloud_handle) = TraceBuffer::collector();
+    net.deploy_with_telemetry("fog-0", DeviceClass::Fog, fog_handle);
+    net.deploy_with_telemetry("cloud-0", DeviceClass::CloudVm, cloud_handle);
+
+    let app = Application::new("sense-filter-aggregate")
+        .task(AppTask::new("sense", vec![], "raw"))
+        .task(AppTask::new("filter", vec!["raw".into()], "clean").input_bytes_hint(64 * 1024))
+        .task(AppTask::new("aggregate", vec!["clean".into()], "result").input_bytes_hint(16));
+
+    // The coordinator's trace: the orchestration root span plus one
+    // offload-hop span per dispatch, on the coordinator's clock.
+    let (coord_buffer, coord_handle) = TraceBuffer::collector();
+    let report = Orchestrator::new(&net)
+        .telemetry(coord_handle)
+        .run(&app, &mut RoundRobinOffload::new())
+        .expect("application completes");
+    println!(
+        "run complete: {} tasks over {} agents",
+        report.completed,
+        report.executions_per_agent.len()
+    );
+
+    // One trace file per participant — what each side would ship home.
+    let parts = [
+        ("trace_merge_demo.coord.trace.json", coord_buffer.events()),
+        ("trace_merge_demo.agent0.trace.json", fog_buffer.events()),
+        ("trace_merge_demo.agent1.trace.json", cloud_buffer.events()),
+    ];
+    for (path, events) in &parts {
+        std::fs::write(path, chrome_trace(events)).expect("write trace");
+        println!("wrote {path} ({} events)", events.len());
+    }
+
+    // The same merge `continuum-trace merge` performs, in-process.
+    let traces: Vec<AgentTrace> = parts
+        .iter()
+        .map(|(_, events)| AgentTrace::infer(events.clone()))
+        .collect();
+    let merged = merge_traces(&traces).expect("traces merge");
+    for a in &merged.alignments {
+        println!(
+            "clock agent{}: offset {:+} µs (feasible [{}, {}] µs)",
+            a.agent_id, a.offset_us, a.feasible_lo_us, a.feasible_hi_us
+        );
+    }
+    assert!(
+        merged.violations.is_empty(),
+        "happens-before violations: {:?}",
+        merged.violations
+    );
+
+    let xa = cross_agent_report(&merged.events).expect("cross-agent view");
+    println!(
+        "\ncross-agent `{}`: {:.3} ms makespan, critical path crosses {} offload hop(s)",
+        xa.root_name,
+        xa.makespan_us as f64 / 1e3,
+        xa.critical_offload_hops()
+    );
+    let label = |a: u32| {
+        if a == continuum::telemetry::SpanContext::COORDINATOR {
+            "coord".to_string()
+        } else {
+            format!("agent{a}")
+        }
+    };
+    for h in &xa.hops {
+        println!(
+            "  {:28} {:>6}→{:<6} compute {:7} µs  transfer {:7} µs  queue {:7} µs  network {:7} µs",
+            h.name,
+            label(h.from_agent),
+            label(h.to_agent),
+            h.compute_us,
+            h.transfer_us,
+            h.queue_us,
+            h.network_us
+        );
+    }
+    assert_eq!(
+        xa.attributed_total_us(),
+        xa.makespan_us,
+        "per-hop buckets sum exactly to the makespan"
+    );
+    assert!(
+        xa.critical_offload_hops() >= 1,
+        "the critical path crosses an offload hop"
+    );
+    println!("\nattribution sums to makespan: {} µs", xa.makespan_us);
+}
