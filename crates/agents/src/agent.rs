@@ -57,15 +57,33 @@ pub struct AgentInfo {
     pub executed: u64,
 }
 
-/// Result of one task execution request.
+/// Result of one task execution request (the reply of the REST
+/// *execute* verb).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum ExecReply {
+pub enum ExecReply {
     /// Output stored under the task's output key.
     Done,
     /// The agent died before the result could be committed.
     Lost,
     /// The operation is unknown or an input could not be read.
     Failed(String),
+}
+
+/// Where an execution reply goes: a blocking channel (the orchestrator
+/// waiting for a wave) or a waker-aware reply cell (an async caller
+/// parked on the RPC).
+pub(crate) enum ReplyTo {
+    Channel(Sender<ExecReply>),
+    Cell(continuum_platform::oneshot::OneshotSender<ExecReply>),
+}
+
+impl ReplyTo {
+    pub(crate) fn send(&self, reply: ExecReply) -> bool {
+        match self {
+            ReplyTo::Channel(tx) => tx.send(reply).is_ok(),
+            ReplyTo::Cell(cell) => cell.send(reply),
+        }
+    }
 }
 
 pub(crate) enum Msg {
@@ -77,7 +95,7 @@ pub(crate) enum Msg {
         /// Causal context of the offload hop this execution serves; the
         /// agent parents its own transfer/execute spans under it.
         ctx: Option<SpanContext>,
-        reply: Sender<ExecReply>,
+        reply: ReplyTo,
     },
     Probe {
         reply: Sender<AgentInfo>,
@@ -452,7 +470,7 @@ mod tests {
                 output,
                 output_class: None,
                 ctx,
-                reply: tx,
+                reply: ReplyTo::Channel(tx),
             })
             .unwrap();
         rx.recv().unwrap()

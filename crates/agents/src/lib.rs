@@ -30,9 +30,9 @@ mod ops;
 mod orchestrator;
 mod sim_sched;
 
-pub use agent::{Agent, AgentId, AgentInfo, AgentStatus};
+pub use agent::{Agent, AgentId, AgentInfo, AgentStatus, ExecReply};
 pub use error::AgentError;
-pub use network::AgentNetwork;
+pub use network::{AgentNetwork, ExecFuture};
 pub use offload::{LatencyAwareOffload, OffloadPolicy, PreferClass, RoundRobinOffload};
 pub use ops::OpRegistry;
 pub use orchestrator::{AppReport, AppTask, Application, Orchestrator};

@@ -1,11 +1,12 @@
 //! A network of agents sharing an operation registry and a persistent
 //! store (the deployment of paper Fig. 6).
 
-use crate::agent::{Agent, AgentId, AgentInfo};
+use crate::agent::{Agent, AgentId, AgentInfo, ExecReply};
 use crate::error::AgentError;
 use crate::offload::OffloadPolicy;
 use crate::ops::OpRegistry;
-use crate::orchestrator::{AppReport, Application};
+use crate::orchestrator::{AppReport, AppTask, Application};
+use continuum_platform::oneshot::OneshotReceiver;
 use continuum_platform::DeviceClass;
 use continuum_storage::StorageRuntime;
 use std::fmt;
@@ -35,6 +36,11 @@ impl NetworkInner {
             .ok_or_else(|| AgentError::UnknownAgent(id.to_string()))
     }
 }
+
+/// A pending agent execution reply: the future returned by
+/// [`AgentNetwork::execute_async`]. Resolves to `None` only if the
+/// agent thread vanished before answering.
+pub type ExecFuture = OneshotReceiver<ExecReply>;
 
 /// A set of deployed agents plus the shared store and code registry.
 ///
@@ -180,6 +186,46 @@ impl AgentNetwork {
             .map_err(|_| AgentError::UnknownAgent(id.to_string()))?;
         rx.recv()
             .map_err(|_| AgentError::UnknownAgent(id.to_string()))
+    }
+
+    /// The REST *execute* verb, asynchronously: ships one operation to
+    /// agent `on` and returns a future resolving to the outcome. The
+    /// awaiting caller parks — one waker clone, no blocked thread —
+    /// until the agent replies, which is how a workflow task offloading
+    /// to the continuum yields its worker for the round-trip. The
+    /// future resolves to `None` if the agent's thread is gone before
+    /// it answers (e.g. the network is dropped mid-call); a *dead but
+    /// responsive* agent answers [`ExecReply::Lost`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgentError::UnknownAgent`] if the id is not deployed
+    /// or its inbox is disconnected.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// # use continuum_agents::{AgentNetwork, AppTask, OpRegistry};
+    /// # use continuum_storage::ObjectKey;
+    /// # fn demo(net: &AgentNetwork, fog: continuum_agents::AgentId) {
+    /// let task = AppTask::new("double", vec![ObjectKey::new("in")], "out");
+    /// let pending = net.execute_async(fog, &task).unwrap();
+    /// // ... inside an async task body: `pending.await`
+    /// # }
+    /// ```
+    pub fn execute_async(&self, on: AgentId, task: &AppTask) -> Result<ExecFuture, AgentError> {
+        let (reply, rx) = continuum_platform::oneshot::channel();
+        self.sender_of(on)?
+            .send(crate::agent::Msg::Execute {
+                op: task.op.clone(),
+                inputs: task.inputs.clone(),
+                output: task.output.clone(),
+                output_class: task.output_class.clone(),
+                ctx: None,
+                reply: crate::agent::ReplyTo::Cell(reply),
+            })
+            .map_err(|_| AgentError::UnknownAgent(on.to_string()))?;
+        Ok(rx)
     }
 
     /// The REST *Start Application* verb (paper Fig. 6): asks the given

@@ -1,7 +1,7 @@
 //! The orchestrating agent: drives an application's task list over
 //! the network, offloading per policy and recovering lost tasks.
 
-use crate::agent::{AgentId, ExecReply, Msg};
+use crate::agent::{AgentId, ExecReply, Msg, ReplyTo};
 use crate::error::AgentError;
 use crate::network::{AgentNetwork, NetworkInner};
 use crate::offload::OffloadPolicy;
@@ -297,7 +297,7 @@ pub(crate) fn run_application(
                     output: task.output.clone(),
                     output_class: task.output_class.clone(),
                     ctx: hop_ctx,
-                    reply: tx,
+                    reply: ReplyTo::Channel(tx),
                 })
                 .map_err(|_| AgentError::UnknownAgent(agent.to_string()))?;
             if telemetry.enabled() {

@@ -1,0 +1,91 @@
+//! End-to-end M:N integration: a workflow task that offloads an
+//! operation to an agent and then fetches the result from storage —
+//! awaiting both round-trips — must *yield its worker* while it waits,
+//! so a single-worker runtime keeps executing other tasks during the
+//! RPC. This is the serving regime the async runtime exists for: the
+//! wait costs a parked task cell, not an OS thread.
+
+use continuum_agents::{AgentNetwork, AppTask, ExecReply, OpRegistry};
+use continuum_dag::TaskSpec;
+use continuum_platform::{Constraints, DeviceClass, NodeId};
+use continuum_runtime::{LocalConfig, LocalRuntime};
+use continuum_storage::{AsyncStorage, KvConfig, KvStore, ObjectKey, StorageRuntime, StoredValue};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn task_awaiting_agent_rpc_yields_its_worker() {
+    let store = Arc::new(
+        KvStore::new(
+            (0..2).map(NodeId::from_raw).collect(),
+            KvConfig { replication: 1 },
+        )
+        .unwrap(),
+    );
+    let ops = OpRegistry::new();
+    // Slow on purpose: the offload round-trip must outlive the side
+    // task's entire schedule-execute-commit cycle.
+    ops.register("slow-double", |ins| {
+        std::thread::sleep(Duration::from_millis(150));
+        bytes::Bytes::from(ins[0].iter().map(|b| b * 2).collect::<Vec<u8>>())
+    });
+    let net = AgentNetwork::new(Arc::clone(&store) as Arc<dyn StorageRuntime>, ops);
+    let fog = net.deploy("fog-0", DeviceClass::Fog);
+    store
+        .put(ObjectKey::new("in"), StoredValue::blob(vec![1, 2, 3]), None)
+        .unwrap();
+
+    let astore = AsyncStorage::new(Arc::clone(&store) as Arc<dyn StorageRuntime>);
+    let pending = net
+        .execute_async(
+            fog,
+            &AppTask::new("slow-double", vec![ObjectKey::new("in")], "out"),
+        )
+        .unwrap();
+
+    // ONE worker: if awaiting the RPC blocked the thread, the side
+    // task could not run until the reply arrived.
+    let rt = LocalRuntime::new(LocalConfig::with_workers(1));
+    let rpc_sum = rt.data::<u64>("rpc-sum");
+    let side_ran = Arc::new(AtomicBool::new(false));
+    let side_flag = Arc::clone(&side_ran);
+
+    rt.submit_async(
+        TaskSpec::new("offload").output(rpc_sum.id()),
+        Constraints::new(),
+        move |mut ctx| async move {
+            let reply = pending.await;
+            assert_eq!(reply, Some(ExecReply::Done));
+            // The side task must have used the worker we yielded.
+            assert!(
+                side_ran.load(Ordering::SeqCst),
+                "worker was blocked during the agent round-trip"
+            );
+            let out = astore
+                .get(ObjectKey::new("out"))
+                .await
+                .expect("storage service alive")
+                .expect("output stored");
+            let sum: u64 = out.payload.iter().map(|b| u64::from(*b)).sum();
+            ctx.set_output(0, sum);
+            ctx
+        },
+    )
+    .unwrap();
+
+    let side = rt.data::<u64>("side");
+    rt.submit(
+        TaskSpec::new("side").output(side.id()),
+        Constraints::new(),
+        move |ctx| {
+            side_flag.store(true, Ordering::SeqCst);
+            ctx.set_output(0, 1u64);
+        },
+    )
+    .unwrap();
+
+    assert_eq!(*rt.get(&rpc_sum).unwrap(), 2 + 4 + 6);
+    assert_eq!(*rt.get(&side).unwrap(), 1);
+    rt.wait_all().unwrap();
+}

@@ -5,14 +5,15 @@
 //! model_check [--smoke]
 //! ```
 //!
-//! Runs the counted-sleeper and deque models at their stated bounds and
-//! prints the explored state counts; `--smoke` uses the smaller CI
-//! bounds. Exits non-zero on any violation (lost wakeup, conservation
-//! failure, or a state space exceeding its bound — bounds must be
-//! raised explicitly, never silently).
+//! Runs the counted-sleeper, deque and task-cell park/wake models at
+//! their stated bounds and prints the explored state counts; `--smoke`
+//! uses the smaller CI bounds. Exits non-zero on any violation (lost
+//! wakeup, conservation failure, or a state space exceeding its bound
+//! — bounds must be raised explicitly, never silently).
 
 use continuum_analyze::conc::{
-    explore, DequeModel, DequeVariant, Exploration, Model, SleeperModel, SleeperVariant, Violation,
+    explore, DequeModel, DequeVariant, Exploration, Model, ParkWakeModel, ParkWakeVariant,
+    SleeperModel, SleeperVariant, Violation,
 };
 
 fn run<M: Model>(name: &str, model: &M, max_states: usize) -> Result<Exploration, Violation> {
@@ -34,6 +35,7 @@ fn run<M: Model>(name: &str, model: &M, max_states: usize) -> Result<Exploration
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (workers, items, deque_items, thieves) = if smoke { (2, 2, 3, 2) } else { (3, 2, 4, 2) };
+    let (pw_workers, pw_polls) = if smoke { (2, 2) } else { (2, 4) };
     let mut failed = false;
 
     let sleeper = SleeperModel {
@@ -57,6 +59,18 @@ fn main() {
     failed |= run(
         &format!("deque[items={deque_items},thieves={thieves},attempts=2]"),
         &deque,
+        10_000_000,
+    )
+    .is_err();
+
+    let parkwake = ParkWakeModel {
+        workers: pw_workers,
+        polls: pw_polls,
+        variant: ParkWakeVariant::Correct,
+    };
+    failed |= run(
+        &format!("parkwake[w={pw_workers},polls={pw_polls}]"),
+        &parkwake,
         10_000_000,
     )
     .is_err();
@@ -89,6 +103,20 @@ fn main() {
         }
         other => {
             eprintln!("deque[forget-remove]: FAILED — planted bug not detected: {other:?}");
+            failed = true;
+        }
+    }
+    let planted_parkwake = ParkWakeModel {
+        workers: 1,
+        polls: 1,
+        variant: ParkWakeVariant::DropRunningWake,
+    };
+    match explore(&planted_parkwake, 10_000_000) {
+        Err(Violation::Deadlock { .. }) => {
+            println!("parkwake[drop-running-wake]: OK — planted lost wakeup detected");
+        }
+        other => {
+            eprintln!("parkwake[drop-running-wake]: FAILED — planted bug not detected: {other:?}");
             failed = true;
         }
     }

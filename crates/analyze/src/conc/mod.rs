@@ -1,11 +1,14 @@
 //! Mini-loom: exhaustive deterministic-interleaving checking for the
 //! runtime's concurrency protocols.
 //!
-//! The runtime's executor (PR 4) relies on two hand-rolled primitives
+//! The runtime's executor (PR 4) relies on hand-rolled primitives
 //! whose correctness was previously argued only in comments and stress
-//! tests: the counted-sleeper wake/sleep protocol (lost-wakeup freedom)
-//! and the mutex-backed work-stealing deque from `shims/crossbeam`
-//! (no item ever lost or duplicated). This module model-checks both.
+//! tests: the counted-sleeper wake/sleep protocol (lost-wakeup
+//! freedom), the mutex-backed work-stealing deque from
+//! `shims/crossbeam` (no item ever lost or duplicated), and — since
+//! the async task bodies of PR 9 — the task-cell park/wake handshake
+//! (readiness racing the park must never strand a task). This module
+//! model-checks all three.
 //!
 //! A [`Model`](explore::Model) describes a protocol as an explicit
 //! state machine: each *state* is a snapshot of every thread's program
@@ -21,7 +24,8 @@
 //! wait). Deliberately-broken variants of each protocol are kept next
 //! to the correct ones so tests can demonstrate the harness actually
 //! detects the historical failure modes (sleeping without rechecking
-//! pending work; forgetting to remove stolen items).
+//! pending work; forgetting to remove stolen items; dropping a wake
+//! that lands while the task is still being polled).
 //!
 //! Bounds: the state spaces are exhaustive but bounded by the model
 //! parameters (worker/item/thief counts). CI runs the smoke bounds via
@@ -29,8 +33,10 @@
 
 pub mod deque;
 pub mod explore;
+pub mod parkwake;
 pub mod sleeper;
 
 pub use deque::{DequeModel, DequeVariant};
 pub use explore::{explore, Exploration, Model, Violation};
+pub use parkwake::{ParkWakeModel, ParkWakeState, ParkWakeVariant};
 pub use sleeper::{SleeperModel, SleeperVariant};

@@ -1,0 +1,424 @@
+//! Explicit-state model of the async task park/wake handshake — the
+//! `TaskCell` protocol in `continuum_runtime` (PR 9).
+//!
+//! The protocol under test: a task body polled to `Poll::Pending` must
+//! suspend without a thread, and the waker its resource holds must be
+//! the only way back. The race is classic: the resource can become
+//! ready (and fire the waker) *between* the poll returning `Pending`
+//! and the worker parking the task. The runtime closes the window with
+//! a CAS handshake over five states:
+//!
+//! ```text
+//! Scheduled --claim(swap)--> Running --CAS--> Parked --wake CAS--> Scheduled
+//!                               |                 ^
+//!                               | wake CAS        | (enqueue)
+//!                               v                 |
+//!                            Notified --store Running, re-poll--+
+//! ```
+//!
+//! * The **poller** (a worker thread) claims the task from a queue
+//!   (`Scheduled → Running` by atomic swap), polls it, and on
+//!   `Pending` tries `CAS Running → Parked`. If the CAS fails it must
+//!   observe `Notified` — a wake raced the park — and it consumes the
+//!   notification (`store Running`) and re-polls inline.
+//! * The **waker** (reactor / stream peer / storage reply thread)
+//!   loops: load the state; `Parked → Scheduled` by CAS wins the
+//!   handoff and re-enqueues the task; `Running → Notified` by CAS
+//!   records the readiness for the in-progress poll; `Scheduled`,
+//!   `Notified` and `Complete` coalesce. A failed CAS retries the
+//!   load, because the poller may park between the load and the CAS.
+//!
+//! Arming is part of the model: each `Pending` poll registers exactly
+//! one readiness event (`armed`) that the waker thread later delivers,
+//! so a "lost" wake is observable as a quiescent state where the task
+//! is parked, nothing is armed, and nothing is queued — a deadlock for
+//! the explorer.
+//!
+//! The deliberately broken variant
+//! ([`ParkWakeVariant::DropRunningWake`]) makes the waker treat
+//! `Running` as "the poller is awake, it will notice readiness itself"
+//! and discard the wake instead of recording `Notified`. The poller
+//! then parks on a consumed event and nothing ever re-queues it — the
+//! exact lost-wakeup bug the `Notified` state exists to prevent, and
+//! the explorer must keep reporting it as a deadlock.
+
+use super::explore::Model;
+
+/// Which rendition of the park/wake protocol to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkWakeVariant {
+    /// The protocol as implemented in `continuum_runtime::task_cell`.
+    Correct,
+    /// Deliberately broken: a wake that observes `Running` is dropped
+    /// instead of CAS-ing `Notified`. Exists to prove the harness
+    /// detects the lost-wakeup race the handshake closes.
+    DropRunningWake,
+}
+
+/// The five-state task cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Cell {
+    /// In a dispatch queue (or about to be: between the waker's CAS
+    /// and its enqueue).
+    Scheduled,
+    /// A worker is inside `Future::poll`.
+    Running,
+    /// Suspended; only a wake can move it.
+    Parked,
+    /// A wake landed mid-poll; the poller must re-poll, not park.
+    Notified,
+    /// The future returned `Ready`.
+    Complete,
+}
+
+/// Worker (poller) program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Wpc {
+    /// Scanning the dispatch queue.
+    Idle,
+    /// Popped the task; about to swap `Scheduled → Running`.
+    Claim,
+    /// Inside `poll`: either returns `Pending` (arming a wake) or
+    /// `Ready`.
+    Poll,
+    /// `CAS Running → Parked`.
+    TryPark,
+    /// The CAS observed `Notified`: `store Running`, then re-poll.
+    ConsumeNotify,
+    /// `Ready`: `store Complete`, mark the run finished.
+    Finish,
+}
+
+/// Waker program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kpc {
+    /// Waiting for an armed readiness event.
+    Idle,
+    /// `load` of the cell state (the wake loop's top).
+    Load,
+    /// Loaded `Parked`; about to `CAS Parked → Scheduled`.
+    SawParked,
+    /// Loaded `Running`; about to `CAS Running → Notified`.
+    SawRunning,
+    /// Won the park handoff; push the task onto the dispatch queue.
+    Enqueue,
+}
+
+/// One snapshot: every thread's pc plus the shared cell, queue and
+/// readiness-event memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParkWakeState {
+    workers: Vec<Wpc>,
+    waker: Kpc,
+    cell: Cell,
+    /// Task present in the dispatch queue.
+    queued: bool,
+    /// Readiness events fired by the resource but not yet delivered
+    /// through the wake protocol.
+    armed: u8,
+    /// `Pending` polls performed so far.
+    polls_done: u8,
+    /// The final poll returned `Ready` and the cell was completed.
+    done: bool,
+}
+
+/// Bounded park/wake model: `workers` pollers contending for one async
+/// task whose future returns `Pending` exactly `polls` times (arming
+/// one readiness event each) before returning `Ready`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParkWakeModel {
+    /// Number of poller threads (the task is claimed by at most one at
+    /// a time; more workers add claim contention interleavings).
+    pub workers: usize,
+    /// Number of `Pending` polls before the future is ready.
+    pub polls: u8,
+    /// Protocol rendition.
+    pub variant: ParkWakeVariant,
+}
+
+impl Model for ParkWakeModel {
+    type State = ParkWakeState;
+
+    fn initial(&self) -> ParkWakeState {
+        ParkWakeState {
+            workers: vec![Wpc::Idle; self.workers],
+            waker: Kpc::Idle,
+            cell: Cell::Scheduled,
+            queued: true,
+            armed: 0,
+            polls_done: 0,
+            done: false,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn successors(&self, s: &ParkWakeState, out: &mut Vec<ParkWakeState>) {
+        // Poller steps.
+        for (i, pc) in s.workers.iter().copied().enumerate() {
+            let mut n = s.clone();
+            match pc {
+                Wpc::Idle => {
+                    if !s.queued {
+                        continue; // nothing to claim
+                    }
+                    // Queue pop is atomic: exactly one worker gets it.
+                    n.queued = false;
+                    n.workers[i] = Wpc::Claim;
+                }
+                Wpc::Claim => {
+                    // swap(RUNNING); queues hold only Scheduled tasks
+                    // (checked as an invariant below).
+                    n.cell = Cell::Running;
+                    n.workers[i] = Wpc::Poll;
+                }
+                Wpc::Poll => {
+                    if s.polls_done < self.polls {
+                        // Pending: the poll registered a waker with the
+                        // resource, which may fire at any later step —
+                        // including before we reach `try_park`.
+                        n.polls_done += 1;
+                        n.armed += 1;
+                        n.workers[i] = Wpc::TryPark;
+                    } else {
+                        n.workers[i] = Wpc::Finish;
+                    }
+                }
+                Wpc::TryPark => {
+                    if s.cell == Cell::Running {
+                        // CAS Running → Parked: ownership handed to the
+                        // waker; back to scanning the queue.
+                        n.cell = Cell::Parked;
+                        n.workers[i] = Wpc::Idle;
+                    } else {
+                        // CAS failed: a wake recorded Notified mid-poll.
+                        n.workers[i] = Wpc::ConsumeNotify;
+                    }
+                }
+                Wpc::ConsumeNotify => {
+                    // store(RUNNING): consume the notification, keep
+                    // ownership, re-poll inline.
+                    n.cell = Cell::Running;
+                    n.workers[i] = Wpc::Poll;
+                }
+                Wpc::Finish => {
+                    n.cell = Cell::Complete;
+                    n.done = true;
+                    n.workers[i] = Wpc::Idle;
+                }
+            }
+            out.push(n);
+        }
+        // Waker steps.
+        {
+            let mut n = s.clone();
+            match s.waker {
+                Kpc::Idle => {
+                    if s.armed > 0 {
+                        // Pick up a fired readiness event and deliver
+                        // it through wake().
+                        n.armed -= 1;
+                        n.waker = Kpc::Load;
+                        out.push(n);
+                    }
+                }
+                Kpc::Load => {
+                    n.waker = match s.cell {
+                        Cell::Parked => Kpc::SawParked,
+                        Cell::Running => Kpc::SawRunning,
+                        // Already queued, already notified, or done:
+                        // the wake coalesces.
+                        Cell::Scheduled | Cell::Notified | Cell::Complete => Kpc::Idle,
+                    };
+                    out.push(n);
+                }
+                Kpc::SawParked => {
+                    if s.cell == Cell::Parked {
+                        // CAS Parked → Scheduled: this wake owns the
+                        // re-enqueue.
+                        n.cell = Cell::Scheduled;
+                        n.waker = Kpc::Enqueue;
+                    } else {
+                        // The poller cannot un-park the task (only a
+                        // wake can), but model the retry loop anyway.
+                        n.waker = Kpc::Load;
+                    }
+                    out.push(n);
+                }
+                Kpc::SawRunning => {
+                    match self.variant {
+                        ParkWakeVariant::Correct => {
+                            if s.cell == Cell::Running {
+                                // CAS Running → Notified: the poller
+                                // will observe it at try_park.
+                                n.cell = Cell::Notified;
+                                n.waker = Kpc::Idle;
+                            } else {
+                                // Poller parked between our load and
+                                // CAS: retry, we'll see Parked now.
+                                n.waker = Kpc::Load;
+                            }
+                        }
+                        // Broken: "it's running, the poller will
+                        // notice readiness itself" — drop the wake.
+                        ParkWakeVariant::DropRunningWake => {
+                            n.waker = Kpc::Idle;
+                        }
+                    }
+                    out.push(n);
+                }
+                Kpc::Enqueue => {
+                    n.queued = true;
+                    n.waker = Kpc::Idle;
+                    out.push(n);
+                }
+            }
+        }
+    }
+
+    fn is_terminal(&self, s: &ParkWakeState) -> bool {
+        s.done
+            && s.cell == Cell::Complete
+            && !s.queued
+            && s.armed == 0
+            && s.waker == Kpc::Idle
+            && s.workers.iter().all(|pc| *pc == Wpc::Idle)
+    }
+
+    fn check(&self, s: &ParkWakeState) -> Result<(), String> {
+        if s.polls_done > self.polls {
+            return Err(format!(
+                "future polled Pending {} times, bound is {}",
+                s.polls_done, self.polls
+            ));
+        }
+        if s.armed > 1 {
+            return Err(format!(
+                "{} readiness events in flight; each park arms exactly one",
+                s.armed
+            ));
+        }
+        if s.queued && s.cell != Cell::Scheduled {
+            return Err(format!(
+                "queue holds a task in state {:?}; queues hold Scheduled tasks only",
+                s.cell
+            ));
+        }
+        if s.done && s.cell != Cell::Complete {
+            return Err(format!("run marked done but the cell is {:?}", s.cell));
+        }
+        let polling = s
+            .workers
+            .iter()
+            .filter(|pc| {
+                matches!(
+                    pc,
+                    Wpc::Claim | Wpc::Poll | Wpc::TryPark | Wpc::ConsumeNotify | Wpc::Finish
+                )
+            })
+            .count();
+        if polling > 1 {
+            return Err(format!("{polling} workers own the task simultaneously"));
+        }
+        for pc in &s.workers {
+            // Mirror the debug_asserts in TaskCell.
+            let ok = match pc {
+                Wpc::Claim => s.cell == Cell::Scheduled,
+                Wpc::Poll | Wpc::TryPark | Wpc::Finish => {
+                    matches!(s.cell, Cell::Running | Cell::Notified)
+                }
+                Wpc::ConsumeNotify => s.cell == Cell::Notified,
+                Wpc::Idle => true,
+            };
+            if !ok {
+                return Err(format!(
+                    "worker at {pc:?} with the cell in state {:?}",
+                    s.cell
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conc::explore::{explore, Violation};
+
+    #[test]
+    fn correct_protocol_has_no_lost_wakeups() {
+        for workers in [1usize, 2] {
+            for polls in [1u8, 2, 3] {
+                let model = ParkWakeModel {
+                    workers,
+                    polls,
+                    variant: ParkWakeVariant::Correct,
+                };
+                let r = explore(&model, 1_000_000).unwrap_or_else(|v| {
+                    panic!("workers={workers} polls={polls}: {v}");
+                });
+                assert!(r.states > 0);
+                assert!(r.terminals >= 1, "no terminal reached");
+            }
+        }
+    }
+
+    #[test]
+    fn notified_path_is_reachable() {
+        // With polls ≥ 1 the interleaving "waker fires before try_park"
+        // must appear, i.e. some state has the cell Notified. Use a
+        // wrapper invariant that *fails* when Notified shows up to
+        // prove the explorer visits it.
+        struct SeesNotified(ParkWakeModel);
+        impl Model for SeesNotified {
+            type State = ParkWakeState;
+            fn initial(&self) -> ParkWakeState {
+                self.0.initial()
+            }
+            fn successors(&self, s: &ParkWakeState, out: &mut Vec<ParkWakeState>) {
+                self.0.successors(s, out);
+            }
+            fn is_terminal(&self, s: &ParkWakeState) -> bool {
+                self.0.is_terminal(s)
+            }
+            fn check(&self, s: &ParkWakeState) -> Result<(), String> {
+                self.0.check(s)?;
+                if s.cell == Cell::Notified {
+                    return Err("reached Notified".into());
+                }
+                Ok(())
+            }
+        }
+        let probe = SeesNotified(ParkWakeModel {
+            workers: 1,
+            polls: 1,
+            variant: ParkWakeVariant::Correct,
+        });
+        match explore(&probe, 1_000_000) {
+            Err(Violation::Invariant { detail, .. }) => {
+                assert_eq!(detail, "reached Notified");
+            }
+            other => panic!("Notified state never reached: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planted_dropped_wake_is_a_lost_wakeup() {
+        for workers in [1usize, 2] {
+            let model = ParkWakeModel {
+                workers,
+                polls: 1,
+                variant: ParkWakeVariant::DropRunningWake,
+            };
+            match explore(&model, 1_000_000) {
+                Err(Violation::Deadlock { state, .. }) => {
+                    assert!(
+                        state.contains("Parked"),
+                        "the stuck state should be a parked task: {state}"
+                    );
+                }
+                other => panic!("planted lost wakeup not detected: {other:?}"),
+            }
+        }
+    }
+}

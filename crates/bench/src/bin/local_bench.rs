@@ -14,13 +14,15 @@
 //! in the output file (default `BENCH_local.json`), preserving runs
 //! recorded under other labels; when several labels are present, a
 //! comparison table is printed. `--smoke` shrinks workloads for CI.
-//! `--check` enforces two invariants and exits non-zero on violation:
-//! every worker count must produce a result identical to the
-//! single-worker reference execution (checksum + completed count), and
-//! no case/worker pair may regress more than 3× the wall time of the
-//! same pair under any other same-scale stored label.
+//! `--check` enforces three invariants and exits non-zero on
+//! violation: every worker count must produce a result identical to
+//! the single-worker reference execution (checksum + completed count);
+//! the await-heavy case must reach its M:N plateau (≥90% of the storm
+//! concurrently parked); and no case/worker pair may regress more than
+//! 3× the wall time of the same pair under any other same-scale stored
+//! label.
 
-use continuum_bench::local_bench::{cases, measure, worker_counts, LocalMeasurement};
+use continuum_bench::local_bench::{case_worker_counts, cases, measure, LocalMeasurement};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,17 +76,26 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     );
     println!(
-        "{:<9} {:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "case", "workers", "tasks", "wall_ms", "tasks/s", "allocs", "allocs/task", "live_peak"
+        "{:<12} {:>7} {:>7} {:>10} {:>12} {:>12} {:>12} {:>10} {:>11} {:>8}",
+        "case",
+        "workers",
+        "tasks",
+        "wall_ms",
+        "tasks/s",
+        "allocs",
+        "allocs/task",
+        "live_peak",
+        "parked_peak",
+        "threads"
     );
     let mut results: Vec<LocalMeasurement> = Vec::new();
     for case in cases(smoke) {
-        for &workers in worker_counts(smoke) {
+        for &workers in case_worker_counts(&case, smoke) {
             let m = measure(&case, workers, repeats, || {
                 ALLOCATIONS.load(Ordering::Relaxed)
             });
             println!(
-                "{:<9} {:>7} {:>7} {:>10.2} {:>12.0} {:>12} {:>12.1} {:>10}",
+                "{:<12} {:>7} {:>7} {:>10.2} {:>12.0} {:>12} {:>12.1} {:>10} {:>11} {:>8}",
                 m.case,
                 m.workers,
                 m.tasks,
@@ -92,7 +103,9 @@ fn main() {
                 m.tasks_per_sec,
                 m.allocations,
                 m.allocs_per_task,
-                m.live_values_peak
+                m.live_values_peak,
+                m.parked_peak,
+                m.peak_threads
             );
             results.push(m);
         }
@@ -119,6 +132,23 @@ fn main() {
     }
     if violations == 0 {
         println!("\nequivalence: all worker counts match the 1-worker reference execution");
+    }
+
+    // -- M:N gate: await-heavy must actually reach its parked plateau --
+    for m in results.iter().filter(|m| m.case == "await-heavy") {
+        if m.parked_peak < m.tasks * 9 / 10 {
+            eprintln!(
+                "PARK SHORTFALL: await-heavy at {} workers parked only {} of {} tasks \
+                 concurrently — the M:N plateau was not reached",
+                m.workers, m.parked_peak, m.tasks
+            );
+            violations += 1;
+        } else {
+            println!(
+                "await-heavy at {} workers: {} tasks concurrently parked on {} OS thread(s)",
+                m.workers, m.parked_peak, m.peak_threads
+            );
+        }
     }
 
     // -- merge into the output file, preserving other labels ------------

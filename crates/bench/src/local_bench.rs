@@ -9,7 +9,12 @@
 //!   re-dispatch) is measured raw, and value eviction keeps the live
 //!   store bounded;
 //! * **diamond** — chained fan-out/fan-in blocks: mixed release
-//!   patterns, every join waits on several predecessors.
+//!   patterns, every join waits on several predecessors;
+//! * **await-heavy** — async task bodies that all park on one common
+//!   timer deadline: the M:N scaling claim measured directly. Every
+//!   task suspends mid-body, so the run's parked plateau must reach
+//!   the full task count while the OS thread count stays at workers
+//!   plus the reactor — tasks cost a heap cell each, not a thread.
 //!
 //! Everything here is *real* wall-clock execution on worker threads;
 //! task bodies are a few arithmetic ops, so the numbers are dominated
@@ -26,7 +31,7 @@ use continuum_dag::TaskSpec;
 use continuum_platform::Constraints;
 use continuum_runtime::{LocalConfig, LocalRuntime};
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Topology shapes exercised by the macro-bench.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +42,9 @@ pub enum Topology {
     Chain,
     /// Chained fan-out/fan-in blocks of the given width.
     Diamond,
+    /// Independent async tasks all parked on one common timer
+    /// deadline.
+    AwaitHeavy,
 }
 
 /// One benchmark workload description.
@@ -48,6 +56,10 @@ pub struct LocalCase {
     pub topology: Topology,
     /// Total number of tasks submitted.
     pub tasks: usize,
+    /// Worker counts to run at, overriding [`worker_counts`]. The
+    /// await-heavy case caps at 8 workers — the entire point is that
+    /// parked-task concurrency does not need threads.
+    pub workers_override: Option<&'static [usize]>,
 }
 
 /// Worker counts each case is run at.
@@ -62,10 +74,10 @@ pub fn worker_counts(smoke: bool) -> &'static [usize] {
 /// The benchmark cases. `smoke` shrinks task counts ~10× for CI while
 /// keeping every topology.
 pub fn cases(smoke: bool) -> Vec<LocalCase> {
-    let (wide, chain, blocks) = if smoke {
-        (1_500, 1_200, 80)
+    let (wide, chain, blocks, parked) = if smoke {
+        (1_500, 1_200, 80, 20_000)
     } else {
-        (20_000, 10_000, 600)
+        (20_000, 10_000, 600, 150_000)
     };
     const DIAMOND_WIDTH: usize = 8;
     vec![
@@ -73,18 +85,33 @@ pub fn cases(smoke: bool) -> Vec<LocalCase> {
             name: "wide",
             topology: Topology::Wide,
             tasks: wide,
+            workers_override: None,
         },
         LocalCase {
             name: "chain",
             topology: Topology::Chain,
             tasks: chain,
+            workers_override: None,
         },
         LocalCase {
             name: "diamond",
             topology: Topology::Diamond,
             tasks: blocks * (DIAMOND_WIDTH + 2),
+            workers_override: None,
+        },
+        LocalCase {
+            name: "await-heavy",
+            topology: Topology::AwaitHeavy,
+            tasks: parked,
+            workers_override: Some(if smoke { &[1, 4] } else { &[1, 8] }),
         },
     ]
+}
+
+/// The worker counts `case` runs at.
+pub fn case_worker_counts(case: &LocalCase, smoke: bool) -> &'static [usize] {
+    case.workers_override
+        .unwrap_or_else(|| worker_counts(smoke))
 }
 
 /// What one run of a case produced, independent of timing: used by
@@ -121,6 +148,14 @@ pub struct LocalMeasurement {
     /// memory metric for the chain case (a leaking store grows to the
     /// chain length; an evicting one stays O(1)).
     pub live_values_peak: usize,
+    /// Highest concurrently-parked async task count sampled during the
+    /// run (0 for closure-only cases) — the M:N headline metric.
+    pub parked_peak: usize,
+    /// Highest OS thread count of the whole process sampled during the
+    /// run (`/proc/self/status`; 0 where unavailable). For await-heavy
+    /// this stays near `workers + 2` (main + reactor) while
+    /// `parked_peak` reaches the full task count.
+    pub peak_threads: usize,
     /// Order-insensitive digest of the final values.
     pub checksum: u64,
 }
@@ -137,6 +172,22 @@ struct RunResult {
     outcome: RunOutcome,
     wall_ms: f64,
     live_peak: usize,
+    parked_peak: usize,
+    peak_threads: usize,
+}
+
+/// Current OS thread count of this process (Linux `/proc`; 0
+/// elsewhere).
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
 }
 
 /// How often (in submissions) the live-value store is sampled for the
@@ -249,13 +300,63 @@ fn run_diamond(rt: &LocalRuntime, total_tasks: usize) -> (u64, usize) {
     (*rt.get(&carry).expect("value present"), live_peak)
 }
 
+/// Submits `n` async tasks that all `sleep_until` one common absolute
+/// deadline, then samples the parked plateau until the deadline fires.
+/// The deadline is sized so every submission lands (and every task is
+/// polled to its first `Pending`) well before it passes — the plateau
+/// therefore reaches `n` parked tasks regardless of worker count.
+fn run_await_heavy(rt: &LocalRuntime, n: usize) -> (u64, usize, usize, usize) {
+    let deadline =
+        Instant::now() + Duration::from_micros(n as u64 * 6).max(Duration::from_millis(400));
+    let outs = rt.data_batch::<u64>("a", n);
+    let mut live_peak = 0;
+    for (i, d) in outs.iter().enumerate() {
+        let seed = i as u64;
+        rt.submit_async(
+            TaskSpec::new("a").output(d.id()),
+            Constraints::new(),
+            move |mut ctx| async move {
+                ctx.sleep_until(deadline).await;
+                ctx.set_output(0, mix(seed));
+                ctx
+            },
+        )
+        .expect("admitted");
+        if i % LIVE_SAMPLE_EVERY == 0 {
+            live_peak = live_peak.max(rt.live_value_count());
+        }
+    }
+    let mut parked_peak = 0;
+    let mut peak_threads = 0;
+    while Instant::now() < deadline {
+        parked_peak = parked_peak.max(rt.parked_count());
+        peak_threads = peak_threads.max(os_thread_count());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    rt.wait_all().expect("completes");
+    live_peak = live_peak.max(rt.live_value_count());
+    let checksum = outs
+        .iter()
+        .map(|d| *rt.get(d).expect("value present"))
+        .fold(0u64, u64::wrapping_add);
+    (checksum, live_peak, parked_peak, peak_threads)
+}
+
 fn run_once(case: &LocalCase, workers: usize) -> RunResult {
     let rt = LocalRuntime::new(LocalConfig::with_workers(workers));
     let start = Instant::now();
+    let mut parked_peak = 0;
+    let mut peak_threads = 0;
     let (checksum, live_peak) = match case.topology {
         Topology::Wide => run_wide(&rt, case.tasks),
         Topology::Chain => run_chain(&rt, case.tasks),
         Topology::Diamond => run_diamond(&rt, case.tasks),
+        Topology::AwaitHeavy => {
+            let (checksum, live_peak, parked, threads) = run_await_heavy(&rt, case.tasks);
+            parked_peak = parked;
+            peak_threads = threads;
+            (checksum, live_peak)
+        }
     };
     // `wait_all` has returned inside the runners; timing stops before
     // the digest reads so measurements isolate submit+dispatch+commit.
@@ -268,6 +369,8 @@ fn run_once(case: &LocalCase, workers: usize) -> RunResult {
         },
         wall_ms,
         live_peak,
+        parked_peak,
+        peak_threads,
     }
 }
 
@@ -290,6 +393,8 @@ pub fn measure(
     let mut best_ms = f64::INFINITY;
     let mut allocations = 0;
     let mut live_peak = 0;
+    let mut parked_peak = 0;
+    let mut peak_threads = 0;
     let mut checksum = 0;
     let mut completed = 0;
     for _ in 0..repeats.max(1) {
@@ -298,6 +403,8 @@ pub fn measure(
         allocations = alloc_count() - allocs_before;
         best_ms = best_ms.min(r.wall_ms);
         live_peak = live_peak.max(r.live_peak);
+        parked_peak = parked_peak.max(r.parked_peak);
+        peak_threads = peak_threads.max(r.peak_threads);
         checksum = r.outcome.checksum;
         completed = r.outcome.completed;
     }
@@ -311,6 +418,8 @@ pub fn measure(
         allocations,
         allocs_per_task: allocations as f64 / case.tasks as f64,
         live_values_peak: live_peak,
+        parked_peak,
+        peak_threads,
         checksum,
     }
 }
@@ -328,6 +437,31 @@ mod tests {
                 let outcome = reference_outcome(&case, w);
                 assert_eq!(outcome, reference, "{} at {w} workers", case.name);
             }
+        }
+    }
+
+    #[test]
+    fn await_heavy_parks_the_whole_storm_on_two_workers() {
+        let case = cases(true)
+            .into_iter()
+            .find(|c| c.name == "await-heavy")
+            .expect("case exists");
+        let m = measure(&case, 2, 1, || 0);
+        assert_eq!(m.tasks, case.tasks);
+        assert!(
+            m.parked_peak >= case.tasks * 9 / 10,
+            "parked plateau reached only {} of {} tasks",
+            m.parked_peak,
+            case.tasks
+        );
+        if m.peak_threads > 0 {
+            // main + 2 workers + reactor + slack: parked tasks must
+            // not cost threads.
+            assert!(
+                m.peak_threads <= 16,
+                "{} OS threads for a 2-worker async storm",
+                m.peak_threads
+            );
         }
     }
 

@@ -285,6 +285,37 @@ impl TaskGraph {
         Ok(())
     }
 
+    /// Idempotent form of [`TaskGraph::mark_running`]: promotes a
+    /// `Ready` task to `Running` and leaves an already-`Running` task
+    /// untouched. Poll-based executors use this because a task that
+    /// parked and was re-polled (possibly on a different worker)
+    /// transitions to `Running` only on its *first* dispatch, while the
+    /// failure path may fire on any later poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidTransition`] unless the task is
+    /// `Ready` or `Running`, and [`DagError::UnknownTask`] for unknown
+    /// ids.
+    pub fn ensure_running(&mut self, id: TaskId) -> Result<(), DagError> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(DagError::UnknownTask(id))?;
+        match node.state {
+            TaskState::Running => Ok(()),
+            TaskState::Ready => {
+                node.state = TaskState::Running;
+                self.ready.remove(&id);
+                Ok(())
+            }
+            other => Err(DagError::InvalidTransition {
+                task: id,
+                detail: format!("ensure_running from {other:?}"),
+            }),
+        }
+    }
+
     /// Marks a running task as completed and releases its successors.
     /// Returns the successors that became ready.
     ///

@@ -45,6 +45,7 @@ mod elastic;
 mod energy;
 mod network;
 mod node;
+pub mod oneshot;
 mod platform;
 pub mod presets;
 

@@ -1,0 +1,187 @@
+//! Single-use, waker-aware reply cells: the bridge between the
+//! blocking service threads of the stack (storage backends, agent
+//! inboxes) and async task bodies polled by an executor.
+//!
+//! A [`channel`] pair carries exactly one value. The sender side lives
+//! on a service thread and [`send`](OneshotSender::send)s the reply
+//! when the blocking call finishes; the receiver side is a
+//! [`Future`] an async task awaits, parking itself (costing a waker
+//! clone, not a thread) until the reply lands. Dropping the sender
+//! without sending resolves the receiver to `None`, so a dying service
+//! thread can never strand a parked task.
+//!
+//! The cell is executor-agnostic — it speaks only `std::task::Waker` —
+//! which keeps the lower layers of the stack free of any dependency on
+//! the runtime crate. The registered waker is always invoked *after*
+//! the internal lock is released, so executors whose wakers take their
+//! own locks (the runtime's scheduler does) cannot deadlock through a
+//! reply.
+
+#![deny(clippy::await_holding_lock)]
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    /// The reply, once sent.
+    value: Option<T>,
+    /// Waker of the awaiting task, registered at the latest poll.
+    waker: Option<Waker>,
+    /// The sender is gone (dropped or consumed by a send).
+    closed: bool,
+}
+
+/// Producer half: fulfilled once by the service thread.
+pub struct OneshotSender<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+/// Consumer half: a [`Future`] resolving to `Some(reply)`, or `None`
+/// if the sender was dropped without replying.
+pub struct OneshotReceiver<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+/// Creates a connected reply-cell pair.
+pub fn channel<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner = Arc::new(Mutex::new(Inner {
+        value: None,
+        waker: None,
+        closed: false,
+    }));
+    (
+        OneshotSender {
+            inner: Arc::clone(&inner),
+        },
+        OneshotReceiver { inner },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the reply and wakes the awaiting task. Returns `false`
+    /// if a reply was already delivered (the extra value is dropped) —
+    /// `&self` so the cell can sit behind shared reply-routing enums.
+    pub fn send(&self, value: T) -> bool {
+        let waker = {
+            let mut s = self.inner.lock().expect("oneshot lock poisoned");
+            if s.closed {
+                return false;
+            }
+            s.value = Some(value);
+            s.closed = true;
+            s.waker.take()
+        };
+        // Outside the lock: the waker may re-enter the executor.
+        if let Some(w) = waker {
+            w.wake();
+        }
+        true
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut s = self.inner.lock().expect("oneshot lock poisoned");
+            if s.closed {
+                return;
+            }
+            // No reply will ever come; resolve the receiver to `None`
+            // rather than stranding it parked.
+            s.closed = true;
+            s.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.inner.lock().expect("oneshot lock poisoned");
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Some(v));
+        }
+        if s.closed {
+            return Poll::Ready(None);
+        }
+        // Re-register only when the stored waker would not already
+        // wake this task.
+        match &s.waker {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            _ => s.waker = Some(cx.waker().clone()),
+        }
+        Poll::Pending
+    }
+}
+
+impl<T> std::fmt::Debug for OneshotSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OneshotSender")
+    }
+}
+
+impl<T> std::fmt::Debug for OneshotReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OneshotReceiver")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::task::Wake;
+
+    struct CountingWaker(AtomicUsize);
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn poll_once<T>(rx: &mut OneshotReceiver<T>, waker: &Waker) -> Poll<Option<T>> {
+        Pin::new(rx).poll(&mut Context::from_waker(waker))
+    }
+
+    #[test]
+    fn send_before_poll_resolves_immediately() {
+        let (tx, mut rx) = channel::<u32>();
+        assert!(tx.send(7));
+        let counter = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Ready(Some(7)));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0, "no park, no wake");
+    }
+
+    #[test]
+    fn send_after_poll_wakes_exactly_once() {
+        let (tx, mut rx) = channel::<u32>();
+        let counter = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Pending);
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Pending, "re-poll is fine");
+        assert!(tx.send(9));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Ready(Some(9)));
+        assert!(!tx.send(10), "second send is rejected");
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropped_sender_resolves_to_none() {
+        let (tx, mut rx) = channel::<u32>();
+        let counter = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Pending);
+        drop(tx);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        assert_eq!(poll_once(&mut rx, &waker), Poll::Ready(None));
+    }
+}

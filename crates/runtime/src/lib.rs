@@ -36,18 +36,22 @@ mod lineage;
 mod local;
 mod lockorder;
 mod profile;
+mod reactor;
 mod scheduler;
 mod sim_engine;
 mod stream;
+mod task_cell;
 mod workload;
 
 pub use data::{DataRegistry, StorageResidency};
 pub use error::RuntimeError;
 pub use lineage::{LineageChain, LineagePolicy, LineageReport, Stage};
 pub use local::{
-    DataHandle, LocalConfig, LocalRuntime, StreamHandle, StreamReader, StreamWriter, TaskContext,
+    DataHandle, LocalConfig, LocalRuntime, StreamHandle, StreamReader, StreamRecv, StreamSend,
+    StreamWriter, TaskContext,
 };
 pub use profile::TaskProfile;
+pub use reactor::Sleep;
 pub use scheduler::{
     EnergyScheduler, FifoScheduler, HeftScheduler, ListScheduler, LocalityScheduler, PlacementView,
     Scheduler,

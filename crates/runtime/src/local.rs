@@ -41,17 +41,30 @@
 //!   element* releases its stream consumers for dispatch (completion
 //!   releases them for empty streams), so pipeline stages overlap
 //!   instead of running back-to-back. A send on a full channel blocks
-//!   with backpressure. **Limitation**: a blocked stream endpoint
-//!   occupies its worker thread — this executor has no task
-//!   continuations to park a task without parking its thread — so
-//!   liveness requires `workers` ≥ the number of concurrently-live
-//!   stream stages. First-element release keeps this workable: every
-//!   consumer is dispatchable before any producer can fill a channel
-//!   and block.
+//!   with backpressure. A *synchronous* blocked stream endpoint
+//!   occupies its worker thread, so closure-based pipelines still need
+//!   `workers` ≥ the number of concurrently-live stream stages;
+//!   *async* bodies using [`StreamWriter::send_async`] /
+//!   [`StreamReader::recv_async`] park the task instead and free the
+//!   worker.
+//! * **M:N async tasks** — [`LocalRuntime::submit_async`] accepts
+//!   poll-based task bodies multiplexed over the same bounded worker
+//!   pool. A body that awaits a timer ([`TaskContext::sleep`]), a
+//!   stream endpoint, or any other waker-backed future *parks* —
+//!   costing one stored future plus one waker clone, not one OS
+//!   thread — and its worker returns to the steal loop. The park/wake
+//!   handoff is a lost-wakeup-free CAS protocol ([`crate::task_cell`]);
+//!   timers are served by a hashed-wheel reactor thread
+//!   ([`crate::reactor`]). Millions of in-flight workflows therefore
+//!   ride on `workers` + 1 threads. The closure API is the degenerate
+//!   case — a trivially-ready body that never parks — and keeps its
+//!   original dispatch path bit-for-bit.
 
 use crate::error::RuntimeError;
 use crate::lockorder::{self, RANK_GRAPH, RANK_POOL, RANK_SHARD, RANK_SLEEP};
-use crate::stream::StreamChannel;
+use crate::reactor::{Reactor, ReactorInner, Sleep};
+use crate::stream::{PollRecv, PollSend, StreamChannel};
+use crate::task_cell::{ParkOutcome, TaskCell, WakeOutcome};
 use continuum_analyze::{
     check_task_constraints, has_errors, read_without_producer, Diagnostic, LintMode, LintNode,
 };
@@ -66,11 +79,15 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker as WorkerQueue};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::future::Future;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+use std::task::{Context, Poll, Wake, Waker};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A shareable, type-erased value flowing between tasks.
 type Value = Arc<dyn Any + Send + Sync>;
@@ -155,6 +172,10 @@ pub struct TaskContext {
     /// Reader endpoints for the spec's `stream_in` params, in
     /// declaration order. Empty for non-streaming tasks.
     stream_ins: Vec<StreamEndpointCore>,
+    /// Timer-reactor handle; `Some` only for async bodies
+    /// ([`LocalRuntime::submit_async`]), whose futures may await
+    /// [`TaskContext::sleep`].
+    reactor: Option<Arc<ReactorInner>>,
 }
 
 impl TaskContext {
@@ -238,6 +259,34 @@ impl TaskContext {
             _marker: PhantomData,
         }
     }
+
+    /// A future resolving after `dur`, served by the runtime's timer
+    /// wheel: awaiting it parks the *task* (one waker clone in a wheel
+    /// bucket) and frees the worker thread. Resolution granularity is
+    /// [`LocalConfig::reactor_tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in a closure task body — only async bodies
+    /// ([`LocalRuntime::submit_async`]) can suspend; a closure should
+    /// use `std::thread::sleep`, which holds its worker.
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + dur)
+    }
+
+    /// Like [`TaskContext::sleep`], but with an absolute deadline —
+    /// useful to park many tasks until one common instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in a closure task body (see [`TaskContext::sleep`]).
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        let inner = self
+            .reactor
+            .as_ref()
+            .expect("TaskContext::sleep requires an async task body (LocalRuntime::submit_async)");
+        Sleep::new(Arc::clone(inner), deadline)
+    }
 }
 
 /// Shared plumbing of one stream endpoint inside a running task: the
@@ -299,6 +348,72 @@ impl<T: Send + Sync + 'static> StreamWriter<T> {
         self.core.emit_wait(blocked_us);
         accepted
     }
+
+    /// Async variant of [`StreamWriter::send`]: where `send` blocks the
+    /// worker thread on a full channel, awaiting this future parks the
+    /// *task* and frees the worker (the parked interval shows up as a
+    /// [`TaskPhase::Parked`] span rather than a `StreamWait` span).
+    /// Only meaningful inside an async body
+    /// ([`LocalRuntime::submit_async`]).
+    ///
+    /// Stream-successor release happens eagerly when the future is
+    /// created, preserving the `send` guarantee that consumers are
+    /// dispatchable before backpressure can suspend their producer.
+    pub fn send_async(&self, value: T) -> StreamSend<'_> {
+        release_stream_successors(&self.core.shared, &self.core.meta);
+        StreamSend {
+            core: &self.core,
+            slot: Some(Arc::new(value) as Value),
+            bytes: std::mem::size_of::<T>() as u64,
+            registered: None,
+        }
+    }
+}
+
+/// In-flight [`StreamWriter::send_async`] operation. Resolves to the
+/// same `bool` as the blocking send.
+pub struct StreamSend<'a> {
+    core: &'a StreamEndpointCore,
+    /// The element, until the channel accepts (or drops) it.
+    slot: Option<Value>,
+    bytes: u64,
+    /// Waker currently registered with the channel, if the last poll
+    /// returned `Full` — deregistered on completion or drop.
+    registered: Option<Waker>,
+}
+
+impl Future for StreamSend<'_> {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = self.get_mut();
+        match this
+            .core
+            .chan
+            .poll_send(&mut this.slot, this.bytes, Some(cx.waker()))
+        {
+            PollSend::Accepted => {
+                this.registered = None;
+                Poll::Ready(true)
+            }
+            PollSend::Closed => {
+                this.registered = None;
+                Poll::Ready(false)
+            }
+            PollSend::Full => {
+                this.registered = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for StreamSend<'_> {
+    fn drop(&mut self) {
+        if let Some(w) = self.registered.take() {
+            self.core.chan.cancel_waiter(&w);
+        }
+    }
 }
 
 /// The reading end of a stream, obtained from
@@ -335,6 +450,68 @@ impl<T: Send + Sync + 'static> StreamReader<T> {
     pub fn iter(&self) -> impl Iterator<Item = Arc<T>> + '_ {
         std::iter::from_fn(move || self.recv())
     }
+
+    /// Async variant of [`StreamReader::recv`]: where `recv` blocks the
+    /// worker thread on an empty channel, awaiting this future parks
+    /// the *task* and frees the worker. Resolves to `None` at
+    /// end-of-stream. Only meaningful inside an async body
+    /// ([`LocalRuntime::submit_async`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (as a task failure) if the element's stored type is not
+    /// `T`, like the blocking variant.
+    pub fn recv_async(&self) -> StreamRecv<'_, T> {
+        StreamRecv {
+            core: &self.core,
+            registered: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// In-flight [`StreamReader::recv_async`] operation.
+pub struct StreamRecv<'a, T> {
+    core: &'a StreamEndpointCore,
+    /// Waker currently registered with the channel, if the last poll
+    /// returned `Empty` — deregistered on completion or drop.
+    registered: Option<Waker>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> Future for StreamRecv<'_, T> {
+    type Output = Option<Arc<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Arc<T>>> {
+        let this = self.get_mut();
+        match this.core.chan.poll_recv(Some(cx.waker())) {
+            PollRecv::Element(v) => {
+                this.registered = None;
+                Poll::Ready(Some(v.downcast::<T>().unwrap_or_else(|_| {
+                    panic!(
+                        "stream `{}` element has unexpected type",
+                        this.core.chan.name()
+                    )
+                })))
+            }
+            PollRecv::EndOfStream => {
+                this.registered = None;
+                Poll::Ready(None)
+            }
+            PollRecv::Empty => {
+                this.registered = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T> Drop for StreamRecv<'_, T> {
+    fn drop(&mut self) {
+        if let Some(w) = self.registered.take() {
+            self.core.chan.cancel_waiter(&w);
+        }
+    }
 }
 
 /// Configuration of a [`LocalRuntime`].
@@ -366,6 +543,15 @@ pub struct LocalConfig {
     /// chains back to the submitting workflow. `None` (default) leaves
     /// spans context-free.
     pub trace_context: Option<SpanContext>,
+    /// Cap on tasks admitted into execution concurrently — running
+    /// *plus parked* async bodies. Fresh tasks beyond the cap wait in
+    /// an overflow queue until a completion frees a slot, bounding the
+    /// memory held by in-flight futures. `None` (default): unbounded.
+    pub max_inflight_tasks: Option<usize>,
+    /// Granularity of the timer wheel serving [`TaskContext::sleep`]:
+    /// a sleep fires on the first tick boundary at or after its
+    /// deadline. Clamped to ≥ 50 µs. Default: 1 ms.
+    pub reactor_tick: Duration,
 }
 
 impl Default for LocalConfig {
@@ -378,6 +564,8 @@ impl Default for LocalConfig {
             telemetry: RecorderHandle::noop(),
             strict_lints: LintMode::Off,
             trace_context: None,
+            max_inflight_tasks: None,
+            reactor_tick: Duration::from_millis(1),
         }
     }
 }
@@ -390,9 +578,81 @@ impl LocalConfig {
             ..LocalConfig::default()
         }
     }
+
+    /// Builder-style worker-thread count (≥ 1).
+    ///
+    /// ```
+    /// use continuum_runtime::LocalConfig;
+    /// use std::time::Duration;
+    ///
+    /// let config = LocalConfig::default()
+    ///     .worker_threads(8)
+    ///     .max_inflight_tasks(1_000_000)
+    ///     .reactor_tick(Duration::from_millis(1));
+    /// # assert_eq!(config.workers, 8);
+    /// ```
+    pub fn worker_threads(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style cap on concurrently in-flight (running + parked)
+    /// tasks (≥ 1); see [`LocalConfig::max_inflight_tasks`].
+    pub fn max_inflight_tasks(mut self, cap: usize) -> Self {
+        self.max_inflight_tasks = Some(cap.max(1));
+        self
+    }
+
+    /// Builder-style reactor timer-wheel tick; see
+    /// [`LocalConfig::reactor_tick`].
+    pub fn reactor_tick(mut self, tick: Duration) -> Self {
+        self.reactor_tick = tick;
+        self
+    }
+
+    /// Builder-style telemetry recorder.
+    pub fn telemetry(mut self, recorder: RecorderHandle) -> Self {
+        self.telemetry = recorder;
+        self
+    }
 }
 
 type TaskBody = Box<dyn FnOnce(&mut TaskContext) + Send>;
+
+/// A pinned, type-erased async task body between polls.
+type TaskFuture = Pin<Box<dyn Future<Output = TaskContext> + Send>>;
+
+/// Deferred constructor of an async body: runs on the first poll, once
+/// the inputs have been resolved into a [`TaskContext`].
+type AsyncFactory = Box<dyn FnOnce(TaskContext) -> TaskFuture + Send>;
+
+/// The executable payload of a task: a run-to-completion closure or a
+/// poll-based async body with its park/wake cell.
+enum TaskPayload {
+    /// Original API: runs once on the claiming worker, never parks.
+    /// Its dispatch path is byte-identical to the pre-async executor.
+    Closure(Mutex<Option<TaskBody>>),
+    /// Async API ([`LocalRuntime::submit_async`]): polled on whichever
+    /// worker claims it; parks on `Poll::Pending`.
+    Async(AsyncBody),
+}
+
+/// State of one async task body between polls. The mutexes are
+/// uncontended by construction — exactly one worker owns a claimed
+/// task, and the cell's CAS handshake serializes ownership handoffs —
+/// so they exist only to satisfy `Sync`, not to arbitrate.
+struct AsyncBody {
+    /// Park/wake handshake (see [`crate::task_cell`]).
+    cell: TaskCell,
+    /// Builds the future at first poll. Consumed exactly once.
+    factory: Mutex<Option<AsyncFactory>>,
+    /// The future between polls: `Some` exactly while the task is
+    /// parked or re-queued after its first poll.
+    future: Mutex<Option<TaskFuture>>,
+    /// Wall-clock µs when the task last parked (for the
+    /// [`TaskPhase::Parked`] telemetry span emitted at wake).
+    parked_at_us: AtomicU64,
+}
 
 /// Everything a worker needs to run a task, carried through the
 /// dispatch queues so claiming and executing a task touches no graph
@@ -415,7 +675,56 @@ struct TaskMeta {
     /// Whether this producer's first element already released its
     /// stream consumers (checked lock-free on every send).
     streams_released: AtomicBool,
-    body: Mutex<Option<TaskBody>>,
+    /// Whether this task already holds an in-flight slot (set at first
+    /// successful admission; resource-blocked and resumed re-dispatches
+    /// must not reserve twice). Only the claiming worker touches it.
+    inflight_reserved: AtomicBool,
+    payload: TaskPayload,
+}
+
+/// Waker for one async task: the wake half of the task-cell handshake.
+/// Holds the runtime weakly so stale waker clones (e.g. left in a
+/// timer-wheel bucket or channel waiter queue) can neither keep the
+/// executor alive nor form an `Arc` cycle through it.
+struct TaskWaker {
+    meta: Arc<TaskMeta>,
+    shared: Weak<Shared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        let TaskPayload::Async(body) = &self.meta.payload else {
+            debug_assert!(false, "task waker attached to a closure task");
+            return;
+        };
+        if body.cell.wake() != WakeOutcome::Enqueue {
+            return;
+        }
+        // This invocation won the handoff and owns re-dispatch.
+        let Some(shared) = self.shared.upgrade() else {
+            return; // runtime torn down; the task is abandoned
+        };
+        shared.parked.fetch_sub(1, Ordering::SeqCst);
+        if let Some(name) = &self.meta.name {
+            let now = shared.now_us();
+            let start = body.parked_at_us.load(Ordering::SeqCst);
+            shared.telemetry.record(TelemetryEvent::Span {
+                track: Track::Run,
+                name: name.clone(),
+                phase: TaskPhase::Parked,
+                start_us: start,
+                dur_us: now.saturating_sub(start),
+                ctx: None,
+            });
+        }
+        shared.pending.fetch_add(1, Ordering::SeqCst);
+        shared.injector.push(Arc::clone(&self.meta));
+        shared.wake_workers(1);
+    }
 }
 
 /// Liveness accounting for one materialized value. A value can be
@@ -675,6 +984,28 @@ struct Shared {
     trace_context: Option<SpanContext>,
     /// Monotone sequence for derived child span ids across workers.
     span_seq: AtomicU64,
+    /// Tasks admitted into execution and not yet committed/failed —
+    /// running bodies *plus parked* async tasks. Drives the
+    /// `max_inflight` gate and the high-water counter.
+    inflight: AtomicUsize,
+    /// High-water mark of `inflight` over the runtime's lifetime.
+    inflight_peak: AtomicUsize,
+    /// Async tasks currently parked on a waker.
+    parked: AtomicUsize,
+    /// Cap on `inflight` (`usize::MAX` when unbounded).
+    max_inflight: usize,
+    /// Fresh tasks deferred by the `max_inflight` gate; completions
+    /// re-inject them one per freed slot. Gate decisions read
+    /// `inflight` under this lock so a concurrent release can't strand
+    /// a deferral.
+    overflow: Mutex<VecDeque<Arc<TaskMeta>>>,
+    /// Lazily-started timer reactor (owns the tick thread); closure-only
+    /// runtimes never start it, keeping their thread count unchanged.
+    reactor: Mutex<Option<Reactor>>,
+    /// Fast-path cache of the reactor's shared half.
+    reactor_cell: OnceLock<Arc<ReactorInner>>,
+    /// Timer-wheel tick (from [`LocalConfig::reactor_tick`]).
+    reactor_tick: Duration,
 }
 
 impl Shared {
@@ -716,6 +1047,84 @@ impl Shared {
     fn notify_clients(&self) {
         if self.client_waiters.load(Ordering::SeqCst) > 0 {
             self.client_cv.notify_all();
+        }
+    }
+
+    /// The timer reactor, starting its tick thread on first use. The
+    /// owning mutex is untracked by the lock-order checker: it guards
+    /// only this one-shot initialization and the teardown in `Drop`,
+    /// and never nests with another lock.
+    fn reactor_inner(&self) -> Arc<ReactorInner> {
+        if let Some(inner) = self.reactor_cell.get() {
+            return Arc::clone(inner);
+        }
+        let mut owner = self.reactor.lock();
+        if let Some(inner) = self.reactor_cell.get() {
+            return Arc::clone(inner);
+        }
+        let reactor = Reactor::start(self.origin, self.reactor_tick);
+        let inner = Arc::clone(reactor.inner());
+        *owner = Some(reactor);
+        self.reactor_cell
+            .set(Arc::clone(&inner))
+            .unwrap_or_else(|_| unreachable!("reactor initialized once under the owner lock"));
+        inner
+    }
+
+    /// Counts a task into the in-flight set (first admission).
+    fn note_inflight_start(&self, meta: &TaskMeta) {
+        meta.inflight_reserved.store(true, Ordering::SeqCst);
+        // Relaxed: with no cap these counters are statistics only; with
+        // a cap every read/write happens under the overflow mutex,
+        // which orders them. The peak store is guarded by a plain load
+        // so the common below-peak case costs no RMW on the hot path.
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        if now > self.inflight_peak.load(Ordering::Relaxed) {
+            self.inflight_peak.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Admission gate for a fresh task: under the cap (or with no cap)
+    /// it joins the in-flight set and `true` is returned; otherwise it
+    /// is queued in `overflow` — a completion will re-inject it — and
+    /// the claiming worker moves on.
+    fn reserve_inflight(&self, meta: &Arc<TaskMeta>) -> bool {
+        if self.max_inflight == usize::MAX {
+            self.note_inflight_start(meta);
+            return true;
+        }
+        let _order = lockorder::acquire(RANK_POOL, "inflight-overflow");
+        let mut q = self.overflow.lock();
+        if self.inflight.load(Ordering::Relaxed) >= self.max_inflight {
+            q.push_back(Arc::clone(meta));
+            false
+        } else {
+            self.note_inflight_start(meta);
+            true
+        }
+    }
+
+    /// A task left the in-flight set (committed or failed): free its
+    /// slot and re-inject one deferred task, if any. The re-injected
+    /// task re-enters the gate at claim time — it may lose the freed
+    /// slot to a fresh arrival and re-defer, but every completion pops
+    /// at most one deferral, so the overflow queue drains as long as
+    /// in-flight tasks terminate.
+    fn finish_inflight(&self) {
+        if self.max_inflight == usize::MAX {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let next = {
+            let _order = lockorder::acquire(RANK_POOL, "inflight-overflow");
+            let mut q = self.overflow.lock();
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            q.pop_front()
+        };
+        if let Some(meta) = next {
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            self.injector.push(meta);
+            self.wake_workers(1);
         }
     }
 }
@@ -805,6 +1214,14 @@ impl LocalRuntime {
             origin: std::time::Instant::now(),
             trace_context: config.trace_context,
             span_seq: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            inflight_peak: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            max_inflight: config.max_inflight_tasks.unwrap_or(usize::MAX),
+            overflow: Mutex::new(VecDeque::new()),
+            reactor: Mutex::new(None),
+            reactor_cell: OnceLock::new(),
+            reactor_tick: config.reactor_tick,
         });
         let workers = queues
             .into_iter()
@@ -902,6 +1319,80 @@ impl LocalRuntime {
     where
         F: FnOnce(&mut TaskContext) + Send + 'static,
     {
+        self.submit_inner(
+            spec,
+            constraints,
+            TaskPayload::Closure(Mutex::new(Some(Box::new(body)))),
+        )
+    }
+
+    /// Submits a task with a poll-based async body, multiplexed over
+    /// the bounded worker pool: an await that suspends (a
+    /// [`TaskContext::sleep`], a stream endpoint, any waker-backed
+    /// future) parks the *task* — one stored future — and frees both
+    /// the worker thread and the task's admitted resources, so millions
+    /// of workflows can be in flight on a handful of threads.
+    ///
+    /// The body takes the [`TaskContext`] by value and must return it
+    /// from the future (outputs travel with it). Dependency semantics,
+    /// constraints, failure handling and telemetry are identical to
+    /// [`LocalRuntime::submit`].
+    ///
+    /// ```
+    /// use continuum_runtime::{LocalRuntime, LocalConfig};
+    /// use continuum_dag::TaskSpec;
+    /// use continuum_platform::Constraints;
+    /// use std::time::Duration;
+    ///
+    /// let rt = LocalRuntime::new(LocalConfig::default().worker_threads(2));
+    /// let out = rt.data::<u64>("out");
+    /// rt.submit_async(
+    ///     TaskSpec::new("nap").output(out.id()),
+    ///     Constraints::new(),
+    ///     |mut ctx| async move {
+    ///         ctx.sleep(Duration::from_millis(2)).await;
+    ///         ctx.set_output(0, 7u64);
+    ///         ctx
+    ///     },
+    /// )?;
+    /// assert_eq!(*rt.get(&out)?, 7);
+    /// # Ok::<(), continuum_runtime::RuntimeError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalRuntime::submit`].
+    pub fn submit_async<F, Fut>(
+        &self,
+        spec: TaskSpec,
+        constraints: Constraints,
+        body: F,
+    ) -> Result<TaskId, RuntimeError>
+    where
+        F: FnOnce(TaskContext) -> Fut + Send + 'static,
+        Fut: Future<Output = TaskContext> + Send + 'static,
+    {
+        let factory: AsyncFactory = Box::new(move |ctx| Box::pin(body(ctx)) as TaskFuture);
+        self.submit_inner(
+            spec,
+            constraints,
+            TaskPayload::Async(AsyncBody {
+                cell: TaskCell::new(),
+                factory: Mutex::new(Some(factory)),
+                future: Mutex::new(None),
+                parked_at_us: AtomicU64::new(0),
+            }),
+        )
+    }
+
+    /// Common submission path behind [`LocalRuntime::submit`] and
+    /// [`LocalRuntime::submit_async`].
+    fn submit_inner(
+        &self,
+        spec: TaskSpec,
+        constraints: Constraints,
+        payload: TaskPayload,
+    ) -> Result<TaskId, RuntimeError> {
         // Admission: reject constraints this machine can never satisfy
         // even with everything idle. Because free + allocated always
         // equals the static total, this is a single O(1) comparison —
@@ -998,7 +1489,8 @@ impl LocalRuntime {
                 stream_outs,
                 stream_ins,
                 streams_released: AtomicBool::new(false),
-                body: Mutex::new(Some(Box::new(body))),
+                inflight_reserved: AtomicBool::new(false),
+                payload,
             });
             g.note_registered(&meta, &mut evicted);
             debug_assert_eq!(g.metas.len(), id.index());
@@ -1137,6 +1629,20 @@ impl LocalRuntime {
     pub fn live_value_count(&self) -> usize {
         self.shared.store.len()
     }
+
+    /// Async tasks currently parked on a waker (timer, stream or other
+    /// future). Each costs one stored future, not one thread.
+    pub fn parked_count(&self) -> usize {
+        self.shared.parked.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of concurrently in-flight (running + parked)
+    /// tasks over the runtime's lifetime. Exposed so benchmarks can
+    /// assert that parked concurrency exceeds the worker count by
+    /// orders of magnitude.
+    pub fn inflight_high_water(&self) -> usize {
+        self.shared.inflight_peak.load(Ordering::SeqCst)
+    }
 }
 
 impl Drop for LocalRuntime {
@@ -1159,6 +1665,11 @@ impl Drop for LocalRuntime {
         for chan in &channels {
             chan.force_close();
         }
+        // Stop the reactor (if it ever started): clears the timer
+        // wheel, dropping its waker clones, and joins the tick thread.
+        if let Some(mut reactor) = self.shared.reactor.lock().take() {
+            reactor.stop();
+        }
         {
             let _order = lockorder::acquire(RANK_SLEEP, "sleep");
             let _guard = self.shared.sleep.lock();
@@ -1167,6 +1678,21 @@ impl Drop for LocalRuntime {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Abandoned async tasks hold futures whose captured
+        // `TaskContext` owns stream endpoints with `Arc<Shared>` —
+        // an `Arc` cycle (shared → metas → future → shared) that must
+        // be broken explicitly now that no worker can resume them.
+        {
+            let _order = lockorder::acquire(RANK_GRAPH, "graph");
+            let g = self.shared.graph.lock();
+            for meta in &g.metas {
+                if let TaskPayload::Async(abody) = &meta.payload {
+                    *abody.factory.lock() = None;
+                    *abody.future.lock() = None;
+                }
+            }
+        }
+        self.shared.overflow.lock().clear();
         if self.shared.telemetry.enabled() {
             let end_us = self.shared.now_us();
             // Same end-of-run counter set the simulator publishes, so
@@ -1189,6 +1715,11 @@ impl Drop for LocalRuntime {
                     .telemetry
                     .run_end_stream_counters(end_us, high_water, send_us, recv_us, elements, bytes);
             }
+            self.shared.telemetry.record(TelemetryEvent::Counter {
+                key: CounterKey::InflightTasksHighWater,
+                at_us: end_us,
+                value: self.shared.inflight_peak.load(Ordering::SeqCst) as f64,
+            });
             // The run span closes last, covering every task span.
             self.shared.telemetry.record(TelemetryEvent::Span {
                 track: Track::Run,
@@ -1231,6 +1762,12 @@ fn worker_loop(shared: &Arc<Shared>, queue: &WorkerQueue<Arc<TaskMeta>>, worker:
         match found {
             Some(meta) => {
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
+                if !meta.inflight_reserved.load(Ordering::SeqCst) && !shared.reserve_inflight(&meta)
+                {
+                    // Deferred by the in-flight cap; a completion will
+                    // re-inject it from the overflow queue.
+                    continue;
+                }
                 if !try_admit(shared, &meta) {
                     continue;
                 }
@@ -1357,6 +1894,9 @@ fn release_stream_successors(shared: &Shared, meta: &TaskMeta) {
     shared.inject_ready(&mut ready);
 }
 
+/// Runs one claimed, admitted task: the closure path executes the body
+/// to completion on this worker; the async path polls it, parking on
+/// `Poll::Pending`.
 fn execute(
     shared: &Arc<Shared>,
     queue: &WorkerQueue<Arc<TaskMeta>>,
@@ -1364,7 +1904,21 @@ fn execute(
     worker: u32,
     s: &mut Scratch,
 ) {
-    let body = meta.body.lock().take().expect("task body runs once");
+    match &meta.payload {
+        TaskPayload::Closure(body) => execute_closure(shared, queue, meta, body, worker, s),
+        TaskPayload::Async(abody) => poll_async(shared, queue, meta, abody, worker, s),
+    }
+}
+
+fn execute_closure(
+    shared: &Arc<Shared>,
+    queue: &WorkerQueue<Arc<TaskMeta>>,
+    meta: &Arc<TaskMeta>,
+    body: &Mutex<Option<TaskBody>>,
+    worker: u32,
+    s: &mut Scratch,
+) {
+    let body = body.lock().take().expect("task body runs once");
     s.inputs.clear();
     for vd in &meta.consumed {
         s.inputs.push(
@@ -1397,6 +1951,7 @@ fn execute(
         outputs: std::mem::take(&mut s.outputs),
         stream_outs: meta.stream_outs.iter().map(endpoint).collect(),
         stream_ins: meta.stream_ins.iter().map(endpoint).collect(),
+        reactor: None,
     };
     let result = catch_unwind(AssertUnwindSafe(|| {
         let body = body;
@@ -1432,12 +1987,228 @@ fn execute(
         mut outputs,
         stream_outs: _,
         stream_ins: _,
+        reactor: _,
     } = ctx;
     inputs.clear();
     outputs.clear();
     s.inputs = inputs;
     s.outputs = outputs;
 
+    commit_task(
+        shared,
+        queue,
+        meta,
+        worker,
+        failure_message,
+        start_us,
+        end_us,
+        s,
+    );
+}
+
+/// Polls an async task body on the claiming worker. The first dispatch
+/// resolves inputs and builds the future; `Poll::Pending` parks the
+/// task, freeing the worker *and* the task's admitted resources (a
+/// default task holds one core — without the release, parked
+/// concurrency would cap at the worker count); `Poll::Ready` commits
+/// exactly like a finished closure.
+fn poll_async(
+    shared: &Arc<Shared>,
+    queue: &WorkerQueue<Arc<TaskMeta>>,
+    meta: &Arc<TaskMeta>,
+    abody: &AsyncBody,
+    worker: u32,
+    s: &mut Scratch,
+) {
+    abody.cell.claim();
+    let resumed = abody.future.lock().take();
+    let mut fut = match resumed {
+        Some(fut) => fut,
+        None => {
+            // First dispatch: move the graph node to Running now. The
+            // task may park and later fail or complete from a different
+            // worker; the graph must already reflect that it started.
+            {
+                let _order = lockorder::acquire(RANK_GRAPH, "graph");
+                shared
+                    .graph
+                    .lock()
+                    .ap
+                    .graph_mut()
+                    .ensure_running(meta.id)
+                    .expect("claimed task was ready");
+            }
+            if let Some(name) = &meta.name {
+                shared.telemetry.record(TelemetryEvent::Instant {
+                    track: Track::Worker(worker),
+                    name: name.clone(),
+                    phase: TaskPhase::Scheduled,
+                    at_us: shared.now_us(),
+                });
+            }
+            let mut inputs = Vec::with_capacity(meta.consumed.len());
+            for vd in &meta.consumed {
+                inputs.push(
+                    shared
+                        .store
+                        .get(vd)
+                        .unwrap_or_else(missing_input_placeholder),
+                );
+            }
+            let mut outputs = Vec::new();
+            outputs.resize_with(meta.produced.len(), || None);
+            let endpoint = |chan: &Arc<StreamChannel>| StreamEndpointCore {
+                chan: Arc::clone(chan),
+                shared: Arc::clone(shared),
+                meta: Arc::clone(meta),
+                worker,
+            };
+            let ctx = TaskContext {
+                inputs,
+                outputs,
+                stream_outs: meta.stream_outs.iter().map(endpoint).collect(),
+                stream_ins: meta.stream_ins.iter().map(endpoint).collect(),
+                reactor: Some(shared.reactor_inner()),
+            };
+            let factory = abody
+                .factory
+                .lock()
+                .take()
+                .expect("async body constructed once");
+            match catch_unwind(AssertUnwindSafe(move || factory(ctx))) {
+                Ok(fut) => fut,
+                Err(payload) => {
+                    // The factory (the synchronous prefix of an async
+                    // fn) panicked before producing a future.
+                    abody.cell.complete();
+                    for chan in &meta.stream_outs {
+                        chan.writer_done();
+                    }
+                    let end_us = shared.now_us();
+                    let message = Some(panic_message(payload.as_ref()));
+                    commit_task(shared, queue, meta, worker, message, end_us, end_us, s);
+                    return;
+                }
+            }
+        }
+    };
+    let start_us = shared.now_us();
+    let waker = Waker::from(Arc::new(TaskWaker {
+        meta: Arc::clone(meta),
+        shared: Arc::downgrade(shared),
+    }));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx))) {
+            Err(payload) => {
+                abody.cell.complete();
+                for chan in &meta.stream_outs {
+                    chan.writer_done();
+                }
+                let end_us = shared.now_us();
+                let message = Some(panic_message(payload.as_ref()));
+                commit_task(shared, queue, meta, worker, message, start_us, end_us, s);
+                return;
+            }
+            Ok(Poll::Ready(mut ctx)) => {
+                abody.cell.complete();
+                for chan in &meta.stream_outs {
+                    chan.writer_done();
+                }
+                let end_us = shared.now_us();
+                let failure_message = ctx
+                    .outputs
+                    .iter()
+                    .position(Option::is_none)
+                    .map(|i| format!("task body did not set output {i}"));
+                if failure_message.is_none() {
+                    // Publish before the graph commit, as in the
+                    // closure path.
+                    for (vd, value) in meta.produced.iter().zip(ctx.outputs.drain(..)) {
+                        shared.store.insert(*vd, value.expect("all outputs set"));
+                    }
+                }
+                drop(ctx);
+                commit_task(
+                    shared,
+                    queue,
+                    meta,
+                    worker,
+                    failure_message,
+                    start_us,
+                    end_us,
+                    s,
+                );
+                return;
+            }
+            Ok(Poll::Pending) => {
+                // Store the future back BEFORE the park CAS: the moment
+                // the CAS lands, a concurrent wake may re-queue the
+                // task and another worker may resume it.
+                *abody.future.lock() = Some(fut);
+                abody.parked_at_us.store(shared.now_us(), Ordering::SeqCst);
+                shared.parked.fetch_add(1, Ordering::SeqCst);
+                match abody.cell.try_park() {
+                    ParkOutcome::Parked => {
+                        // The task now costs one stored future. Free
+                        // the worker and release its admitted
+                        // resources; the resume path re-admits through
+                        // `try_admit` like any claimed task.
+                        shared.running.fetch_sub(1, Ordering::SeqCst);
+                        s.unblocked.clear();
+                        {
+                            let _order = lockorder::acquire(RANK_POOL, "pool");
+                            shared
+                                .pool
+                                .lock()
+                                .release_and_unblock(&meta.constraints, &mut s.unblocked);
+                        }
+                        if !s.unblocked.is_empty() {
+                            shared
+                                .blocked_count
+                                .fetch_sub(s.unblocked.len(), Ordering::SeqCst);
+                        }
+                        shared.inject_ready(&mut s.unblocked);
+                        // A waiter in `wait_all` watching a failed run
+                        // drain needs the `running` transition.
+                        shared.notify_clients();
+                        return;
+                    }
+                    ParkOutcome::MustRepoll => {
+                        // Readiness raced the park: take the future
+                        // back and re-poll inline. Re-queueing instead
+                        // would re-enter admission and double-allocate
+                        // the task's resources.
+                        shared.parked.fetch_sub(1, Ordering::SeqCst);
+                        fut = abody
+                            .future
+                            .lock()
+                            .take()
+                            .expect("repolling owner retains the future");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Commits a finished task body — shared tail of the closure and async
+/// paths: graph transition, value liveness, resource release, in-flight
+/// slot release, dispatch of newly-runnable work, telemetry and client
+/// wakeup. `failure_message == None` means the outputs are already
+/// published.
+#[allow(clippy::too_many_arguments)]
+fn commit_task(
+    shared: &Arc<Shared>,
+    queue: &WorkerQueue<Arc<TaskMeta>>,
+    meta: &Arc<TaskMeta>,
+    worker: u32,
+    failure_message: Option<String>,
+    start_us: u64,
+    end_us: u64,
+    s: &mut Scratch,
+) {
+    let committed = failure_message.is_none();
     // -- graph commit ---------------------------------------------------
     s.ready_ids.clear();
     s.ready.clear();
@@ -1458,9 +2229,11 @@ fn execute(
                 }
             }
             Some(message) => {
+                // Closure tasks arrive here still `Ready`; async tasks
+                // moved to `Running` at first dispatch.
                 g.ap.graph_mut()
-                    .mark_running(meta.id)
-                    .expect("claimed task was ready");
+                    .ensure_running(meta.id)
+                    .expect("claimed task was ready or running");
                 g.ap.graph_mut()
                     .mark_failed(meta.id)
                     .expect("running task can fail");
@@ -1499,6 +2272,7 @@ fn execute(
             .blocked_count
             .fetch_sub(s.unblocked.len(), Ordering::SeqCst);
     }
+    shared.finish_inflight();
 
     // -- dispatch -------------------------------------------------------
     // Newly-ready successors go onto this worker's own deque (it will
@@ -2012,5 +2786,237 @@ mod tests {
         assert_eq!(*rt.get(&old_sum).unwrap(), 11, "late reader saw d@v1");
         assert_eq!(*rt.get(&d).unwrap(), 1000, "current version is d@v2");
         rt.wait_all().unwrap();
+    }
+
+    #[test]
+    fn async_body_with_sleep_produces_result() {
+        let rt = rt(2);
+        let out = rt.data::<u64>("out");
+        rt.submit_async(
+            TaskSpec::new("nap").output(out.id()),
+            Constraints::new(),
+            |mut ctx| async move {
+                ctx.sleep(Duration::from_millis(3)).await;
+                ctx.set_output(0, 99u64);
+                ctx
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&out).unwrap(), 99);
+        rt.wait_all().unwrap();
+        assert!(rt.inflight_high_water() >= 1);
+    }
+
+    #[test]
+    fn async_dependencies_mix_with_closures() {
+        // closure -> async -> closure chain through versioned data.
+        let rt = rt(2);
+        let a = rt.data::<u64>("a");
+        let b = rt.data::<u64>("b");
+        let c = rt.data::<u64>("c");
+        rt.submit(
+            TaskSpec::new("seed").output(a.id()),
+            Constraints::new(),
+            |ctx| ctx.set_output(0, 5u64),
+        )
+        .unwrap();
+        rt.submit_async(
+            TaskSpec::new("triple").input(a.id()).output(b.id()),
+            Constraints::new(),
+            |mut ctx| async move {
+                let x = *ctx.input::<u64>(0);
+                ctx.sleep(Duration::from_millis(1)).await;
+                ctx.set_output(0, x * 3);
+                ctx
+            },
+        )
+        .unwrap();
+        rt.submit(
+            TaskSpec::new("inc").input(b.id()).output(c.id()),
+            Constraints::new(),
+            |ctx| {
+                let x: &u64 = ctx.input(0);
+                ctx.set_output(0, x + 1);
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&c).unwrap(), 16);
+        rt.wait_all().unwrap();
+    }
+
+    #[test]
+    fn parked_tasks_vastly_exceed_worker_count() {
+        // 200 async tasks all sleep until one common deadline on 2
+        // workers: every one of them must be in flight (parked)
+        // simultaneously — impossible if a parked task held a thread
+        // or a core.
+        const N: usize = 200;
+        let rt = rt(2);
+        let outs = rt.data_batch::<u64>("o", N);
+        let deadline = Instant::now() + Duration::from_millis(120);
+        for (i, o) in outs.iter().enumerate() {
+            rt.submit_async(
+                TaskSpec::new("deadline").output(o.id()),
+                Constraints::new(),
+                move |mut ctx| async move {
+                    ctx.sleep_until(deadline).await;
+                    ctx.set_output(0, i as u64);
+                    ctx
+                },
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert!(
+            rt.inflight_high_water() >= N,
+            "all {N} tasks must park concurrently, high water = {}",
+            rt.inflight_high_water()
+        );
+        assert_eq!(rt.parked_count(), 0, "nothing stays parked after the run");
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(*rt.get(o).unwrap(), i as u64);
+        }
+    }
+
+    #[test]
+    fn async_stream_pipeline_runs_on_one_worker() {
+        // Producer and consumer share a capacity-1 channel on a
+        // single-worker runtime: with blocking endpoints this deadlocks
+        // (the producer's thread can never yield to the consumer);
+        // async endpoints park instead, so one worker suffices.
+        let rt = rt(1);
+        let s = rt.stream::<u64>("s", 1);
+        let total = rt.data::<u64>("total");
+        rt.submit_async(
+            TaskSpec::new("producer").stream_out(s.id()),
+            Constraints::new(),
+            |ctx| async move {
+                let w = ctx.stream_writer::<u64>(0);
+                for i in 0..64u64 {
+                    assert!(w.send_async(i).await);
+                }
+                ctx
+            },
+        )
+        .unwrap();
+        rt.submit_async(
+            TaskSpec::new("consumer")
+                .stream_in(s.id())
+                .output(total.id()),
+            Constraints::new(),
+            |mut ctx| async move {
+                let r = ctx.stream_reader::<u64>(0);
+                let mut sum = 0u64;
+                while let Some(v) = r.recv_async().await {
+                    sum += *v;
+                }
+                ctx.set_output(0, sum);
+                ctx
+            },
+        )
+        .unwrap();
+        assert_eq!(*rt.get(&total).unwrap(), (0..64).sum::<u64>());
+        rt.wait_all().unwrap();
+    }
+
+    #[test]
+    fn async_panic_surfaces_as_error() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        rt.submit_async(
+            TaskSpec::new("boom").output(d.id()),
+            Constraints::new(),
+            |ctx| async move {
+                ctx.sleep(Duration::from_millis(1)).await;
+                panic!("async kaboom");
+                #[allow(unreachable_code)]
+                ctx
+            },
+        )
+        .unwrap();
+        let err = rt.wait_all().unwrap_err();
+        match err {
+            RuntimeError::TaskPanicked { message, .. } => {
+                assert!(message.contains("async kaboom"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn async_missing_output_is_a_failure() {
+        let rt = rt(2);
+        let d = rt.data::<i32>("d");
+        rt.submit_async(
+            TaskSpec::new("lazy").output(d.id()),
+            Constraints::new(),
+            |ctx| async move { ctx },
+        )
+        .unwrap();
+        let err = rt.wait_all().unwrap_err();
+        assert!(err.to_string().contains("did not set output"));
+    }
+
+    #[test]
+    fn max_inflight_caps_admission() {
+        // 64 tasks, cap 4: the overflow gate must keep the in-flight
+        // high water at or under the cap while still completing all.
+        let rt = LocalRuntime::new(
+            LocalConfig::default()
+                .worker_threads(4)
+                .max_inflight_tasks(4),
+        );
+        let outs = rt.data_batch::<u64>("o", 64);
+        for (i, o) in outs.iter().enumerate() {
+            rt.submit_async(
+                TaskSpec::new("gated").output(o.id()),
+                Constraints::new(),
+                move |mut ctx| async move {
+                    ctx.sleep(Duration::from_millis(1)).await;
+                    ctx.set_output(0, i as u64);
+                    ctx
+                },
+            )
+            .unwrap();
+        }
+        rt.wait_all().unwrap();
+        assert!(
+            rt.inflight_high_water() <= 4,
+            "cap of 4 violated: high water = {}",
+            rt.inflight_high_water()
+        );
+        assert_eq!(rt.completed_count(), 64);
+    }
+
+    #[test]
+    fn drop_with_parked_tasks_does_not_leak_or_hang() {
+        // Abandon a runtime while tasks are parked on a long timer: the
+        // drop must break the future/shared Arc cycle and join cleanly.
+        let rt = rt(2);
+        let outs = rt.data_batch::<()>("o", 8);
+        for o in &outs {
+            rt.submit_async(
+                TaskSpec::new("sleeper").output(o.id()),
+                Constraints::new(),
+                |mut ctx| async move {
+                    ctx.sleep(Duration::from_secs(3600)).await;
+                    ctx.set_output(0, ());
+                    ctx
+                },
+            )
+            .unwrap();
+        }
+        // Give the tasks a moment to reach their park.
+        let t0 = Instant::now();
+        while rt.parked_count() < 8 && t0.elapsed() < Duration::from_secs(5) {
+            thread::yield_now();
+        }
+        let weak = Arc::downgrade(&rt.shared);
+        drop(rt); // must not hang
+        assert_eq!(
+            weak.upgrade().map(|_| ()),
+            None,
+            "shared state must be freed (no Arc cycle through parked futures)"
+        );
     }
 }

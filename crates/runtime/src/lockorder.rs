@@ -25,8 +25,16 @@ pub const RANK_SLEEP: u8 = 2;
 /// Rank of a stream-channel mutex (leaf; acquired either standalone on
 /// the send/recv data path or under the graph lock when a failing run
 /// force-closes channels — never the other way around, and never
-/// nested with the pool or sleep locks).
+/// nested with the pool or sleep locks). Wakers captured under a
+/// channel lock are invoked only *after* the guard is released — a
+/// task waker takes the sleep lock (equal rank), so firing it with the
+/// channel lock held would be an inversion.
 pub const RANK_STREAM: u8 = 2;
+/// Rank of the reactor's timer-wheel mutex (leaf). Acquired standalone
+/// by the reactor thread and by tasks registering sleep deadlines; the
+/// reactor fires due wakers only after dropping the wheel lock, for
+/// the same reason as [`RANK_STREAM`].
+pub const RANK_REACTOR: u8 = 2;
 
 #[cfg(debug_assertions)]
 mod imp {

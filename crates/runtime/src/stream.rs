@@ -3,8 +3,8 @@
 //! runtime.
 //!
 //! One [`StreamChannel`] backs one stream datum. Producers append
-//! type-erased elements at the tail and block when the channel is at
-//! capacity (backpressure); consumers pop from the head and block when
+//! type-erased elements at the tail and park when the channel is at
+//! capacity (backpressure); consumers pop from the head and park when
 //! it is empty. End-of-stream is a *close protocol*, not a sentinel
 //! element: every producer task is registered as an open writer at
 //! submission and deregistered when its body finishes (even on panic),
@@ -12,6 +12,27 @@
 //! registered writer can ever push again. A failed or dropped run
 //! force-closes every channel so blocked endpoints wake instead of
 //! hanging the teardown.
+//!
+//! # Waker-based parking, wake-one fairness
+//!
+//! Both sides block through [`std::task::Waker`]s, not condvars. A
+//! blocked endpoint — an async task body awaiting
+//! [`poll_send`](StreamChannel::poll_send) /
+//! [`poll_recv`](StreamChannel::poll_recv), or a synchronous
+//! [`send`](StreamChannel::send) / [`recv`](StreamChannel::recv)
+//! parking its thread behind a thread-unpark waker — registers exactly
+//! one waker in the channel's waiter queue. Each accepted element wakes
+//! exactly **one** parked consumer and each freed slot wakes exactly
+//! **one** parked producer (FIFO), so a 1-capacity channel with W
+//! blocked senders performs O(elements) wakes, not O(elements × W).
+//! Only the terminal events broadcast: the last writer closing and a
+//! force-close wake every waiter, because all of them must observe
+//! end-of-stream. Every wake is counted in [`StreamStats::wakes`] so
+//! tests can pin the fairness bound.
+//!
+//! Waiters deregister themselves when their operation completes (or
+//! their future drops), so the waiter queues never hold stale entries
+//! that could swallow a wake-one credit.
 //!
 //! Blocked time on both sides is measured and accumulated, along with
 //! element/byte counts and the occupancy high-water mark, so the
@@ -21,14 +42,20 @@
 //! The channel mutex is a leaf in the executor's lock order (rank
 //! `pool/sleep`): it is only ever acquired with the graph lock held
 //! (force-close on failure) or with no tracked lock held (send/recv on
-//! the data path), never the other way around.
+//! the data path), never the other way around. Wakers captured under
+//! the lock are invoked only after the guard is released — a task
+//! waker acquires the executor's sleep lock, an equal-rank leaf.
+
+#![deny(clippy::await_holding_lock)]
 
 use crate::lockorder::{self, RANK_STREAM};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Wake, Waker};
+use std::thread;
 use std::time::Instant;
 
 /// A shareable, type-erased stream element (same shape as the local
@@ -49,6 +76,9 @@ pub(crate) struct StreamStats {
     pub blocked_recv_us: AtomicU64,
     /// Highest queue occupancy ever observed right after a send.
     pub occupancy_high_water: AtomicU64,
+    /// Waker invocations the channel performed. With wake-one fairness
+    /// this grows O(elements + waiters), never O(elements × waiters).
+    pub wakes: AtomicU64,
 }
 
 struct ChannelState {
@@ -59,6 +89,35 @@ struct ChannelState {
     /// Set when the run fails or the runtime shuts down: all blocked
     /// endpoints wake, sends are refused, receives return `None`.
     force_closed: bool,
+    /// Producers parked on a full queue, FIFO.
+    send_waiters: VecDeque<Waker>,
+    /// Consumers parked on an empty queue, FIFO.
+    recv_waiters: VecDeque<Waker>,
+}
+
+/// Outcome of a non-blocking send attempt.
+#[derive(Debug)]
+pub(crate) enum PollSend {
+    /// The element was queued (and one parked consumer woken).
+    Accepted,
+    /// The channel was force-closed; the element was dropped.
+    Closed,
+    /// The queue is full; if a waker was supplied it is registered for
+    /// exactly one wake when a slot frees.
+    Full,
+}
+
+/// Outcome of a non-blocking receive attempt.
+#[derive(Debug)]
+pub(crate) enum PollRecv {
+    /// The head element (one parked producer woken).
+    Element(Value),
+    /// No element can ever arrive: every writer closed, or the channel
+    /// was force-closed.
+    EndOfStream,
+    /// Nothing queued but a writer is still open; if a waker was
+    /// supplied it is registered for exactly one wake.
+    Empty,
 }
 
 /// A bounded multi-producer multi-consumer channel for one stream
@@ -67,11 +126,21 @@ pub(crate) struct StreamChannel {
     name: String,
     capacity: usize,
     state: Mutex<ChannelState>,
-    /// Producers blocked on a full queue wait here.
-    send_cv: Condvar,
-    /// Consumers blocked on an empty queue wait here.
-    recv_cv: Condvar,
     stats: StreamStats,
+}
+
+/// Registers `waker` in `waiters` unless an equivalent waker (same
+/// task / same parked thread) is already present.
+fn register_waiter(waiters: &mut VecDeque<Waker>, waker: &Waker) {
+    if !waiters.iter().any(|w| w.will_wake(waker)) {
+        waiters.push_back(waker.clone());
+    }
+}
+
+/// Removes `waker` from `waiters` (a completed operation must not
+/// leave a stale entry that would swallow a wake-one credit).
+fn deregister_waiter(waiters: &mut VecDeque<Waker>, waker: &Waker) {
+    waiters.retain(|w| !w.will_wake(waker));
 }
 
 impl StreamChannel {
@@ -84,9 +153,9 @@ impl StreamChannel {
                 queue: VecDeque::new(),
                 open_writers: 0,
                 force_closed: false,
+                send_waiters: VecDeque::new(),
+                recv_waiters: VecDeque::new(),
             }),
-            send_cv: Condvar::new(),
-            recv_cv: Condvar::new(),
             stats: StreamStats::default(),
         }
     }
@@ -94,6 +163,19 @@ impl StreamChannel {
     /// The stream datum's name (for telemetry span labels).
     pub(crate) fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Fires one waker, counting it.
+    fn fire(&self, waker: Waker) {
+        self.stats.wakes.fetch_add(1, Ordering::Relaxed);
+        waker.wake();
+    }
+
+    /// Fires a batch of wakers (terminal broadcast), counting them.
+    fn fire_all(&self, wakers: impl IntoIterator<Item = Waker>) {
+        for w in wakers {
+            self.fire(w);
+        }
     }
 
     /// Registers one producer task (called at submission, before the
@@ -105,91 +187,200 @@ impl StreamChannel {
 
     /// Deregisters one producer task (called when its body finishes,
     /// committed or failed). Closing the last writer wakes every
-    /// blocked consumer so it can observe end-of-stream.
+    /// parked consumer so each can observe end-of-stream.
     pub(crate) fn writer_done(&self) {
-        let _order = lockorder::acquire(RANK_STREAM, "stream");
-        let mut st = self.state.lock();
-        debug_assert!(st.open_writers > 0, "writer_done without register_writer");
-        st.open_writers = st.open_writers.saturating_sub(1);
-        if st.open_writers == 0 {
-            self.recv_cv.notify_all();
+        let waiters;
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            let mut st = self.state.lock();
+            debug_assert!(st.open_writers > 0, "writer_done without register_writer");
+            st.open_writers = st.open_writers.saturating_sub(1);
+            if st.open_writers > 0 {
+                return;
+            }
+            waiters = std::mem::take(&mut st.recv_waiters);
         }
+        self.fire_all(waiters);
     }
 
-    /// Force-closes the channel: every blocked endpoint wakes, further
+    /// Force-closes the channel: every parked endpoint wakes, further
     /// sends are refused and receives return `None`. Used when the run
     /// poisons or the runtime shuts down, so stream tasks wind down
     /// instead of deadlocking the teardown. Idempotent.
     pub(crate) fn force_close(&self) {
-        let _order = lockorder::acquire(RANK_STREAM, "stream");
-        let mut st = self.state.lock();
-        st.force_closed = true;
-        self.send_cv.notify_all();
-        self.recv_cv.notify_all();
+        let (senders, receivers);
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            let mut st = self.state.lock();
+            st.force_closed = true;
+            senders = std::mem::take(&mut st.send_waiters);
+            receivers = std::mem::take(&mut st.recv_waiters);
+        }
+        self.fire_all(senders);
+        self.fire_all(receivers);
     }
 
-    /// Appends one element, blocking while the channel is full.
+    /// Attempts to queue `value` without blocking. On [`PollSend::Full`]
+    /// with a waker supplied, the waker is registered (deduplicated)
+    /// for exactly one wake when a slot frees; on any other outcome a
+    /// previously registered instance of the waker is removed.
+    ///
+    /// `value` is taken out of the slot only when accepted or closed
+    /// (dropped), so a `Full` caller retries with the same slot.
+    pub(crate) fn poll_send(
+        &self,
+        value: &mut Option<Value>,
+        approx_bytes: u64,
+        waker: Option<&Waker>,
+    ) -> PollSend {
+        let to_wake;
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            let mut st = self.state.lock();
+            if st.force_closed {
+                if let Some(w) = waker {
+                    deregister_waiter(&mut st.send_waiters, w);
+                }
+                value.take();
+                return PollSend::Closed;
+            }
+            if st.queue.len() >= self.capacity {
+                if let Some(w) = waker {
+                    register_waiter(&mut st.send_waiters, w);
+                }
+                return PollSend::Full;
+            }
+            st.queue
+                .push_back(value.take().expect("poll_send needs an element"));
+            self.stats
+                .occupancy_high_water
+                .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+            self.stats.elements.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes.fetch_add(approx_bytes, Ordering::Relaxed);
+            if let Some(w) = waker {
+                deregister_waiter(&mut st.send_waiters, w);
+            }
+            // One new element: wake exactly one parked consumer.
+            to_wake = st.recv_waiters.pop_front();
+        }
+        if let Some(w) = to_wake {
+            self.fire(w);
+        }
+        PollSend::Accepted
+    }
+
+    /// Attempts to pop the head element without blocking. On
+    /// [`PollRecv::Empty`] with a waker supplied, the waker is
+    /// registered (deduplicated) for exactly one wake when an element
+    /// arrives or the stream terminates; on any other outcome a
+    /// previously registered instance is removed.
+    pub(crate) fn poll_recv(&self, waker: Option<&Waker>) -> PollRecv {
+        let (out, to_wake);
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            let mut st = self.state.lock();
+            if st.force_closed {
+                if let Some(w) = waker {
+                    deregister_waiter(&mut st.recv_waiters, w);
+                }
+                return PollRecv::EndOfStream;
+            }
+            match st.queue.pop_front() {
+                Some(v) => {
+                    if let Some(w) = waker {
+                        deregister_waiter(&mut st.recv_waiters, w);
+                    }
+                    // One freed slot: wake exactly one parked producer.
+                    to_wake = st.send_waiters.pop_front();
+                    out = PollRecv::Element(v);
+                }
+                None if st.open_writers == 0 => {
+                    if let Some(w) = waker {
+                        deregister_waiter(&mut st.recv_waiters, w);
+                    }
+                    return PollRecv::EndOfStream;
+                }
+                None => {
+                    if let Some(w) = waker {
+                        register_waiter(&mut st.recv_waiters, w);
+                    }
+                    return PollRecv::Empty;
+                }
+            }
+        }
+        if let Some(w) = to_wake {
+            self.fire(w);
+        }
+        out
+    }
+
+    /// Removes a waker from both waiter queues (a cancelled async
+    /// endpoint deregistering on drop).
+    pub(crate) fn cancel_waiter(&self, waker: &Waker) {
+        let _order = lockorder::acquire(RANK_STREAM, "stream");
+        let mut st = self.state.lock();
+        deregister_waiter(&mut st.send_waiters, waker);
+        deregister_waiter(&mut st.recv_waiters, waker);
+    }
+
+    /// Appends one element, parking the calling thread while the
+    /// channel is full.
     ///
     /// Returns `(accepted, blocked_us)`: `accepted` is `false` when
     /// the channel was force-closed (the element is dropped and the
     /// producer should stop), `blocked_us` is how long the call waited
     /// on backpressure.
     pub(crate) fn send(&self, value: Value, approx_bytes: u64) -> (bool, u64) {
-        let _order = lockorder::acquire(RANK_STREAM, "stream");
-        let mut st = self.state.lock();
-        let mut blocked_us = 0u64;
-        if st.queue.len() >= self.capacity && !st.force_closed {
-            let t0 = Instant::now();
-            while st.queue.len() >= self.capacity && !st.force_closed {
-                self.send_cv.wait(&mut st);
+        let mut slot = Some(value);
+        match self.poll_send(&mut slot, approx_bytes, None) {
+            PollSend::Accepted => return (true, 0),
+            PollSend::Closed => return (false, 0),
+            PollSend::Full => {}
+        }
+        let waker = thread_waker();
+        let t0 = Instant::now();
+        loop {
+            match self.poll_send(&mut slot, approx_bytes, Some(&waker)) {
+                PollSend::Accepted => return (true, self.note_blocked_send(t0)),
+                PollSend::Closed => return (false, self.note_blocked_send(t0)),
+                PollSend::Full => thread::park(),
             }
-            blocked_us = t0.elapsed().as_micros() as u64;
-            self.stats
-                .blocked_send_us
-                .fetch_add(blocked_us, Ordering::Relaxed);
         }
-        if st.force_closed {
-            return (false, blocked_us);
-        }
-        st.queue.push_back(value);
-        self.stats
-            .occupancy_high_water
-            .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
-        self.stats.elements.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(approx_bytes, Ordering::Relaxed);
-        self.recv_cv.notify_one();
-        (true, blocked_us)
     }
 
-    /// Pops the next element, blocking while the channel is empty and
-    /// a registered writer might still push.
+    /// Pops the next element, parking the calling thread while the
+    /// channel is empty and a registered writer might still push.
     ///
     /// Returns `(element, blocked_us)`; the element is `None` at
     /// end-of-stream (no open writers and nothing queued) or when the
     /// channel was force-closed.
     pub(crate) fn recv(&self) -> (Option<Value>, u64) {
-        let _order = lockorder::acquire(RANK_STREAM, "stream");
-        let mut st = self.state.lock();
-        let mut blocked_us = 0u64;
-        loop {
-            if st.force_closed {
-                return (None, blocked_us);
-            }
-            if let Some(v) = st.queue.pop_front() {
-                self.send_cv.notify_one();
-                return (Some(v), blocked_us);
-            }
-            if st.open_writers == 0 {
-                return (None, blocked_us);
-            }
-            let t0 = Instant::now();
-            self.recv_cv.wait(&mut st);
-            let waited = t0.elapsed().as_micros() as u64;
-            blocked_us += waited;
-            self.stats
-                .blocked_recv_us
-                .fetch_add(waited, Ordering::Relaxed);
+        match self.poll_recv(None) {
+            PollRecv::Element(v) => return (Some(v), 0),
+            PollRecv::EndOfStream => return (None, 0),
+            PollRecv::Empty => {}
         }
+        let waker = thread_waker();
+        let t0 = Instant::now();
+        loop {
+            match self.poll_recv(Some(&waker)) {
+                PollRecv::Element(v) => return (Some(v), self.note_blocked_recv(t0)),
+                PollRecv::EndOfStream => return (None, self.note_blocked_recv(t0)),
+                PollRecv::Empty => thread::park(),
+            }
+        }
+    }
+
+    fn note_blocked_send(&self, t0: Instant) -> u64 {
+        let us = t0.elapsed().as_micros() as u64;
+        self.stats.blocked_send_us.fetch_add(us, Ordering::Relaxed);
+        us
+    }
+
+    fn note_blocked_recv(&self, t0: Instant) -> u64 {
+        let us = t0.elapsed().as_micros() as u64;
+        self.stats.blocked_recv_us.fetch_add(us, Ordering::Relaxed);
+        us
     }
 
     /// Current queue occupancy (for tests and diagnostics).
@@ -205,10 +396,31 @@ impl StreamChannel {
     }
 }
 
+/// Waker that unparks a blocked OS thread: the bridge that lets the
+/// synchronous `send`/`recv` surface ride the same waker protocol as
+/// async endpoints. `std`'s park/unpark token makes the
+/// register-then-park sequence lossless: an unpark landing between the
+/// failed poll and the park is consumed by the park.
+struct ThreadUnpark(thread::Thread);
+
+impl Wake for ThreadUnpark {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// A waker for the calling thread.
+fn thread_waker() -> Waker {
+    Waker::from(Arc::new(ThreadUnpark(thread::current())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
 
     fn val(x: u64) -> Value {
         Arc::new(x)
@@ -321,5 +533,83 @@ mod tests {
         assert!(c.recv().0.is_some());
         c.writer_done();
         assert!(c.recv().0.is_none());
+    }
+
+    #[test]
+    fn wake_one_fairness_is_o_elements_not_o_elements_times_waiters() {
+        // The satellite regression: 8 senders blocked on a 1-capacity
+        // channel must not be herd-woken on every recv. With wake-one
+        // fairness, total wakes stay O(elements + waiters); a condvar
+        // notify_all design would be O(elements × waiters).
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 64;
+        const ELEMENTS: u64 = WRITERS * PER_WRITER;
+        let c = Arc::new(StreamChannel::new("s", 1));
+        for _ in 0..WRITERS {
+            c.register_writer();
+        }
+        let producers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let tx = Arc::clone(&c);
+                thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        assert!(tx.send(val(w * PER_WRITER + i), 8).0);
+                    }
+                    tx.writer_done();
+                })
+            })
+            .collect();
+        let mut received = 0u64;
+        while c.recv().0.is_some() {
+            received += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(received, ELEMENTS);
+        let wakes = c.stats().wakes.load(Ordering::Relaxed);
+        // Each recv wakes ≤ 1 sender, each send wakes ≤ 1 receiver,
+        // plus one terminal broadcast: a generous linear bound.
+        let linear_bound = 2 * ELEMENTS + 4 * WRITERS + 16;
+        assert!(
+            wakes <= linear_bound,
+            "wake-one fairness violated: {wakes} wakes for {ELEMENTS} elements \
+             (linear bound {linear_bound})"
+        );
+        // And far below the thundering-herd regime.
+        assert!(
+            wakes < ELEMENTS * WRITERS / 2,
+            "wakes {wakes} approach O(elements × waiters)"
+        );
+    }
+
+    #[test]
+    fn stale_waiters_are_deregistered_on_completion() {
+        let c = StreamChannel::new("s", 1);
+        c.register_writer();
+        let waker = thread_waker();
+        assert!(matches!(c.poll_recv(Some(&waker)), PollRecv::Empty));
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            assert_eq!(c.state.lock().recv_waiters.len(), 1);
+        }
+        // A successful poll with the same waker must remove the entry.
+        let mut slot = Some(val(1));
+        assert!(matches!(
+            c.poll_send(&mut slot, 8, None),
+            PollSend::Accepted
+        ));
+        assert!(matches!(c.poll_recv(Some(&waker)), PollRecv::Element(_)));
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            assert_eq!(c.state.lock().recv_waiters.len(), 0);
+        }
+        // Explicit cancellation clears both sides.
+        assert!(matches!(c.poll_recv(Some(&waker)), PollRecv::Empty));
+        c.cancel_waiter(&waker);
+        {
+            let _order = lockorder::acquire(RANK_STREAM, "stream");
+            assert_eq!(c.state.lock().recv_waiters.len(), 0);
+        }
     }
 }

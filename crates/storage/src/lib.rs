@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 mod active;
+mod async_handle;
 mod error;
 mod interface;
 mod kv;
 mod wal;
 
 pub use active::{ActiveStore, ClassDef, MethodFn, ShippingStats};
+pub use async_handle::{AsyncStorage, StorageReply};
 pub use error::StorageError;
 pub use interface::{ObjectKey, PersistentObject, StorageRuntime, StoredValue};
 pub use kv::{KvConfig, KvStats, KvStore};

@@ -195,6 +195,11 @@ pub enum TaskPhase {
     /// A remote dispatch as seen from the submitting side: the interval
     /// from sending an offload request to receiving its reply.
     Offloading,
+    /// An async task body suspended on a waker (timer, stream, storage
+    /// or RPC readiness): the interval from `Poll::Pending` to the wake
+    /// that re-queued it. The worker thread is *not* occupied during a
+    /// parked interval — that is the point of the M:N executor.
+    Parked,
 }
 
 impl TaskPhase {
@@ -211,11 +216,12 @@ impl TaskPhase {
             TaskPhase::Replayed => "replayed",
             TaskPhase::StreamWait => "stream_wait",
             TaskPhase::Offloading => "offloading",
+            TaskPhase::Parked => "parked",
         }
     }
 
     /// Every phase, in lifecycle order.
-    pub const ALL: [TaskPhase; 10] = [
+    pub const ALL: [TaskPhase; 11] = [
         TaskPhase::Submitted,
         TaskPhase::Ready,
         TaskPhase::Scheduled,
@@ -226,6 +232,7 @@ impl TaskPhase {
         TaskPhase::Replayed,
         TaskPhase::StreamWait,
         TaskPhase::Offloading,
+        TaskPhase::Parked,
     ];
 
     /// Inverse of [`TaskPhase::as_str`].
@@ -247,6 +254,7 @@ impl TaskPhase {
             TaskPhase::Replayed => 8,
             TaskPhase::StreamWait => 9,
             TaskPhase::Offloading => 10,
+            TaskPhase::Parked => 11,
         }
     }
 }
@@ -294,11 +302,15 @@ pub enum CounterKey {
     LiveValuesHighWater,
     /// Highest event-queue occupancy (pending events) observed.
     EventQueueHighWater,
+    /// Highest number of in-flight tasks (started but not finished,
+    /// including parked async bodies) observed at once — the M:N
+    /// executor's concurrency high-water mark.
+    InflightTasksHighWater,
 }
 
 impl CounterKey {
     /// Every counter key.
-    pub const ALL: [CounterKey; 17] = [
+    pub const ALL: [CounterKey; 18] = [
         CounterKey::QueueDepth,
         CounterKey::RunningTasks,
         CounterKey::TransferBytes,
@@ -316,6 +328,7 @@ impl CounterKey {
         CounterKey::MaterializedTasksHighWater,
         CounterKey::LiveValuesHighWater,
         CounterKey::EventQueueHighWater,
+        CounterKey::InflightTasksHighWater,
     ];
 
     /// Inverse of [`CounterKey::as_str`].
@@ -343,6 +356,7 @@ impl CounterKey {
             CounterKey::MaterializedTasksHighWater => "materialized_tasks_high_water",
             CounterKey::LiveValuesHighWater => "live_values_high_water",
             CounterKey::EventQueueHighWater => "event_queue_high_water",
+            CounterKey::InflightTasksHighWater => "inflight_tasks_high_water",
         }
     }
 }

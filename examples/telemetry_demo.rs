@@ -6,7 +6,7 @@
 //! events as Chrome `trace_event` JSON and prints a metrics summary.
 //!
 //! ```text
-//! cargo run --example telemetry_demo            # writes telemetry_demo.trace.json
+//! cargo run --example telemetry_demo     # writes target/telemetry_demo.trace.json
 //! cargo run --example telemetry_demo -- out.json
 //! ```
 
@@ -16,9 +16,12 @@ use continuum::runtime::{LocalConfig, LocalRuntime, TraceBuffer};
 use continuum::telemetry::{chrome_trace, MetricsSnapshot};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "telemetry_demo.trace.json".to_string());
+    // Default under target/ so demo artifacts never land in the source
+    // tree (they are build products, and target/ is already ignored).
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::fs::create_dir_all("target").ok();
+        "target/telemetry_demo.trace.json".to_string()
+    });
 
     // Attach a collecting recorder to the runtime. The buffer half
     // accumulates events; the handle half goes into the engine config.

@@ -4,12 +4,12 @@
 //! causally-consistent trace.
 //!
 //! ```text
-//! cargo run --example trace_merge_demo
+//! cargo run --example trace_merge_demo    # writes target/trace_merge_demo.*.trace.json
 //! cargo run --release -p continuum-telemetry --bin continuum-trace -- \
-//!     merge trace_merge_demo.coord.trace.json \
-//!           trace_merge_demo.agent0.trace.json \
-//!           trace_merge_demo.agent1.trace.json \
-//!           --out trace_merge_demo.merged.trace.json --check
+//!     merge target/trace_merge_demo.coord.trace.json \
+//!           target/trace_merge_demo.agent0.trace.json \
+//!           target/trace_merge_demo.agent1.trace.json \
+//!           --out target/trace_merge_demo.merged.trace.json --check
 //! ```
 //!
 //! The demo also performs the merge in-process and prints the
@@ -87,10 +87,22 @@ fn main() {
     );
 
     // One trace file per participant — what each side would ship home.
+    // Written under target/ so demo artifacts stay out of the source
+    // tree.
+    std::fs::create_dir_all("target").expect("create target dir");
     let parts = [
-        ("trace_merge_demo.coord.trace.json", coord_buffer.events()),
-        ("trace_merge_demo.agent0.trace.json", fog_buffer.events()),
-        ("trace_merge_demo.agent1.trace.json", cloud_buffer.events()),
+        (
+            "target/trace_merge_demo.coord.trace.json",
+            coord_buffer.events(),
+        ),
+        (
+            "target/trace_merge_demo.agent0.trace.json",
+            fog_buffer.events(),
+        ),
+        (
+            "target/trace_merge_demo.agent1.trace.json",
+            cloud_buffer.events(),
+        ),
     ];
     for (path, events) in &parts {
         std::fs::write(path, chrome_trace(events)).expect("write trace");
