@@ -30,10 +30,17 @@
 //! Bounds: the state spaces are exhaustive but bounded by the model
 //! parameters (worker/item/thief counts). CI runs the smoke bounds via
 //! the `model_check` binary; see `DESIGN.md` §10 for the full table.
+//!
+//! The [`sched`] submodule takes the complementary approach: instead of
+//! checking a hand-written abstraction, it runs the **real** protocol
+//! code under a deterministic DPOR scheduler (`conc-instrument`
+//! feature) with a happens-before data-race detector — see `DESIGN.md`
+//! §15.
 
 pub mod deque;
 pub mod explore;
 pub mod parkwake;
+pub mod sched;
 pub mod sleeper;
 
 pub use deque::{DequeModel, DequeVariant};

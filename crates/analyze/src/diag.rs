@@ -60,6 +60,13 @@ pub enum Lint {
     /// that must release it, so it sits released-pending (and, on a
     /// saturated pool, can starve the producer of its slot).
     ReaderBeforeWriter,
+    /// A cycle of stream edges whose bounded channels can all fill:
+    /// once every channel in the cycle is at capacity, each producer is
+    /// parked on its full downstream channel waiting for a consumer
+    /// that is itself parked — a classic feedback-loop deadlock. An
+    /// edge whose declared capacity covers its expected element count
+    /// (or is unbounded) can never fill and breaks the cycle.
+    StreamCapacityDeadlock,
     /// Advisory makespan lower bound: critical path vs. aggregate
     /// platform throughput.
     SchedulabilityBound,
@@ -76,6 +83,7 @@ impl Lint {
             Lint::DeadOutput => "dead-output",
             Lint::WriteWriteHazard => "write-write-hazard",
             Lint::ReaderBeforeWriter => "reader-before-writer",
+            Lint::StreamCapacityDeadlock => "stream-capacity-deadlock",
             Lint::SchedulabilityBound => "schedulability-bound",
         }
     }
@@ -90,12 +98,13 @@ impl Lint {
             Lint::DeadOutput => Severity::Warning,
             Lint::WriteWriteHazard => Severity::Warning,
             Lint::ReaderBeforeWriter => Severity::Warning,
+            Lint::StreamCapacityDeadlock => Severity::Error,
             Lint::SchedulabilityBound => Severity::Info,
         }
     }
 
     /// All lints, in report order.
-    pub fn all() -> [Lint; 8] {
+    pub fn all() -> [Lint; 9] {
         [
             Lint::UnsatisfiableConstraints,
             Lint::ReadWithoutProducer,
@@ -104,6 +113,7 @@ impl Lint {
             Lint::DeadOutput,
             Lint::WriteWriteHazard,
             Lint::ReaderBeforeWriter,
+            Lint::StreamCapacityDeadlock,
             Lint::SchedulabilityBound,
         ]
     }

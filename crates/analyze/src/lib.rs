@@ -41,6 +41,7 @@ mod verify;
 pub use diag::{sort_report, Diagnostic, Lint, Severity};
 pub use verify::{
     check_task_constraints, has_errors, lint_nodes, read_without_producer, LintBundle, LintNode,
+    StreamInfo,
 };
 
 /// How strictly a runtime applies the workflow verifier at submit/run

@@ -23,6 +23,31 @@ pub struct LintNode {
     pub capacity: NodeCapacity,
 }
 
+/// Declared sizing of one stream channel, the input of the
+/// `stream-capacity-deadlock` pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamInfo {
+    /// The stream datum this sizing describes.
+    pub data: DataId,
+    /// Bounded channel capacity in elements; `0` declares the channel
+    /// unbounded (it can never fill, so it never parks a producer).
+    pub capacity: u64,
+    /// Expected total elements sent over the stream; `0` means unknown.
+    /// A channel whose capacity covers the expected element count can
+    /// never fill.
+    pub expected_elements: u64,
+}
+
+impl StreamInfo {
+    /// Whether this channel can ever reach capacity and park a
+    /// producer: it is bounded, and its expected traffic is unknown or
+    /// exceeds the bound.
+    pub fn can_fill(&self) -> bool {
+        self.capacity != 0
+            && (self.expected_elements == 0 || self.expected_elements > self.capacity)
+    }
+}
+
 /// Everything the verifier needs about one workflow: the graph, the
 /// platform it should run on, and the per-task execution metadata the
 /// graph itself does not carry.
@@ -47,6 +72,9 @@ pub struct LintBundle {
     /// Data whose initial (v0) value is provided externally, so reading
     /// it without a producing task is fine.
     pub initial_data: Vec<DataId>,
+    /// Declared stream channel sizings; streams without an entry use
+    /// the runtime's default bounded capacity with unknown traffic.
+    pub streams: Vec<StreamInfo>,
 }
 
 impl LintBundle {
@@ -60,6 +88,7 @@ impl LintBundle {
             constraints: Vec::new(),
             weights: Vec::new(),
             initial_data: Vec::new(),
+            streams: Vec::new(),
         }
     }
 
@@ -96,6 +125,12 @@ impl LintBundle {
     /// Declares data whose initial version is provided externally.
     pub fn with_initial_data(mut self, initial: Vec<DataId>) -> Self {
         self.initial_data = initial;
+        self
+    }
+
+    /// Declares stream channel sizings (capacity + expected traffic).
+    pub fn with_streams(mut self, streams: Vec<StreamInfo>) -> Self {
+        self.streams = streams;
         self
     }
 
@@ -136,6 +171,7 @@ impl LintBundle {
         self.pass_read_without_producer(&mut report);
         let cyclic = self.pass_cycle(&mut report);
         self.pass_streams(&mut report);
+        self.pass_stream_capacity(&mut report);
         self.pass_dead_outputs(&mut report);
         self.pass_write_write_hazards(&mut report);
         if !cyclic {
@@ -285,6 +321,152 @@ impl LintBundle {
                 );
             }
         }
+    }
+
+    /// Declared sizing of a stream (runtime default when not declared:
+    /// bounded at 16 elements — `local.rs`'s `DEFAULT_STREAM_CAPACITY`
+    /// — with unknown traffic).
+    fn stream_info_of(&self, d: DataId) -> StreamInfo {
+        self.streams
+            .iter()
+            .find(|s| s.data == d)
+            .cloned()
+            .unwrap_or(StreamInfo {
+                data: d,
+                capacity: 16,
+                expected_elements: 0,
+            })
+    }
+
+    /// Stream-capacity-deadlock pass: finds a cycle of stream edges
+    /// (producer task → consumer task) in which every channel can fill.
+    /// With all channels in the cycle at capacity, every producer is
+    /// parked on its full downstream channel waiting for a consumer
+    /// that is itself parked upstream — no task in the cycle can make
+    /// progress. One edge that can never fill (unbounded, or capacity ≥
+    /// expected elements) guarantees its producer always runs to
+    /// completion and breaks the cycle.
+    fn pass_stream_capacity(&self, report: &mut Vec<Diagnostic>) {
+        // Adjacency over tasks via can-fill stream edges, in id order
+        // for deterministic cycle witnesses.
+        let mut producers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+        let mut consumers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+        for node in self.graph.nodes() {
+            for d in node.spec().stream_writes() {
+                producers.entry(d).or_default().push(node.id());
+            }
+            for d in node.spec().stream_reads() {
+                consumers.entry(d).or_default().push(node.id());
+            }
+        }
+        let mut adj: HashMap<TaskId, Vec<(DataId, TaskId)>> = HashMap::new();
+        let mut data: Vec<DataId> = producers.keys().copied().collect();
+        data.sort();
+        for d in data {
+            if !self.stream_info_of(d).can_fill() {
+                continue;
+            }
+            let Some(readers) = consumers.get(&d) else {
+                continue;
+            };
+            for &p in &producers[&d] {
+                for &c in readers {
+                    adj.entry(p).or_default().push((d, c));
+                }
+            }
+        }
+
+        // Iterative coloured DFS; the first back edge yields the cycle.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.graph.len();
+        let mut color = vec![Color::White; n];
+        let mut roots: Vec<TaskId> = adj.keys().copied().collect();
+        roots.sort();
+        for root in roots {
+            if color[root.index()] != Color::White {
+                continue;
+            }
+            // Path of (task, edge-to-next) pairs currently on the stack.
+            let mut path: Vec<(TaskId, usize)> = vec![(root, 0)];
+            color[root.index()] = Color::Grey;
+            while let Some(&mut (task, ref mut next)) = path.last_mut() {
+                let edges = adj.get(&task).map(Vec::as_slice).unwrap_or(&[]);
+                let Some(&(via, succ)) = edges.get(*next) else {
+                    color[task.index()] = Color::Black;
+                    path.pop();
+                    continue;
+                };
+                *next += 1;
+                match color[succ.index()] {
+                    Color::White => {
+                        color[succ.index()] = Color::Grey;
+                        path.push((succ, 0));
+                    }
+                    Color::Grey => {
+                        // Cycle: from `succ`'s position in the path
+                        // through `task`, closed by edge `via`.
+                        let start = path
+                            .iter()
+                            .position(|&(t, _)| t == succ)
+                            .expect("grey tasks are on the path");
+                        let mut witness = String::new();
+                        let mut cycle_tasks = Vec::new();
+                        for window in path[start..].windows(2) {
+                            let (t, taken) = window[0];
+                            let (d, _) = adj[&t][taken - 1];
+                            cycle_tasks.push(t);
+                            witness.push_str(&self.stream_edge_witness(t, d));
+                        }
+                        let (last, _) = *path.last().expect("non-empty path");
+                        cycle_tasks.push(last);
+                        witness.push_str(&self.stream_edge_witness(last, via));
+                        witness.push_str(&format!("{succ} '{}'", self.task_name(succ)));
+                        report.push(
+                            Diagnostic::new(
+                                Lint::StreamCapacityDeadlock,
+                                format!(
+                                    "cycle of {} bounded stream edge(s) can fill and park \
+                                     every task in it",
+                                    cycle_tasks.len()
+                                ),
+                            )
+                            .with_task(succ)
+                            .with_data(via)
+                            .with_witness(witness)
+                            .with_suggestion(
+                                "raise one cycle stream's capacity to at least its expected \
+                                 element count (or declare it unbounded with capacity 0 in \
+                                 the bundle's streams table) so that edge can never fill",
+                            ),
+                        );
+                        return;
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+
+    /// One `task --stream(cap…)-->` witness segment.
+    fn stream_edge_witness(&self, task: TaskId, d: DataId) -> String {
+        let info = self.stream_info_of(d);
+        let expects = if info.expected_elements == 0 {
+            "?".to_string()
+        } else {
+            info.expected_elements.to_string()
+        };
+        format!(
+            "{task} '{}' --{}(cap {}, expects {})--> ",
+            self.task_name(task),
+            self.data_name(d),
+            info.capacity,
+            expects
+        )
     }
 
     /// Dead-output pass: a produced version nothing consumes and that

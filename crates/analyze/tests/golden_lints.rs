@@ -2,7 +2,7 @@
 //! exactly that finding, plus a JSON round-trip through the bundle
 //! format the `continuum-lint` CLI reads.
 
-use continuum_analyze::{Lint, LintBundle, LintNode, Severity};
+use continuum_analyze::{Lint, LintBundle, LintNode, Severity, StreamInfo};
 use continuum_dag::{AccessProcessor, DataId, TaskSpec};
 use continuum_platform::{Constraints, NodeCapacity};
 use serde::json::Value;
@@ -228,6 +228,82 @@ fn golden_reader_before_writer() {
     assert!(
         witness.contains("sink") && witness.contains("sensor"),
         "{witness}"
+    );
+}
+
+#[test]
+fn golden_stream_capacity_deadlock() {
+    // Planted bug: a feedback loop of two bounded streams, each
+    // expected to carry more elements than its channel holds. Once
+    // both channels fill, each task is parked sending to the other.
+    let mut ap = AccessProcessor::new();
+    let fwd = ap.new_data("fwd");
+    let back = ap.new_data("back");
+    ap.register(TaskSpec::new("up").stream_out(fwd).stream_in(back))
+        .unwrap();
+    ap.register(TaskSpec::new("down").stream_in(fwd).stream_out(back))
+        .unwrap();
+    let report = bundle_of(ap)
+        .with_streams(vec![
+            StreamInfo {
+                data: fwd,
+                capacity: 1,
+                expected_elements: 4,
+            },
+            StreamInfo {
+                data: back,
+                capacity: 1,
+                expected_elements: 4,
+            },
+        ])
+        .verify();
+    let finding = report
+        .iter()
+        .find(|d| d.lint == Lint::StreamCapacityDeadlock)
+        .expect("a fillable stream cycle must be flagged");
+    assert_eq!(finding.severity, Severity::Error);
+    let witness = finding.witness.join(" ");
+    assert!(
+        witness.contains("up") && witness.contains("down") && witness.contains("cap 1"),
+        "cycle witness names both tasks and the capacities: {witness}"
+    );
+    assert_eq!(
+        witness.matches("-->").count(),
+        2,
+        "two-edge cycle witness: {witness}"
+    );
+}
+
+#[test]
+fn golden_stream_capacity_deadlock_negative_ample_capacity() {
+    // Same feedback loop, but the back-channel's capacity covers its
+    // whole expected traffic: that edge can never fill, `up` can always
+    // finish its sends, and the cycle cannot wedge.
+    let mut ap = AccessProcessor::new();
+    let fwd = ap.new_data("fwd");
+    let back = ap.new_data("back");
+    ap.register(TaskSpec::new("up").stream_out(fwd).stream_in(back))
+        .unwrap();
+    ap.register(TaskSpec::new("down").stream_in(fwd).stream_out(back))
+        .unwrap();
+    let report = bundle_of(ap)
+        .with_streams(vec![
+            StreamInfo {
+                data: fwd,
+                capacity: 1,
+                expected_elements: 4,
+            },
+            StreamInfo {
+                data: back,
+                capacity: 4,
+                expected_elements: 4,
+            },
+        ])
+        .verify();
+    assert_eq!(
+        findings_of(&report, Lint::StreamCapacityDeadlock),
+        0,
+        "an edge that can never fill breaks the cycle: {report:?}"
     );
 }
 

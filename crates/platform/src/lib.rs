@@ -48,6 +48,7 @@ mod node;
 pub mod oneshot;
 mod platform;
 pub mod presets;
+pub mod sync;
 
 pub use constraints::{Constraints, NodeCapacity};
 pub use elastic::{ElasticAction, ElasticityPolicy};

@@ -19,9 +19,10 @@
 
 #![deny(clippy::await_holding_lock)]
 
+use crate::sync::Mutex;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 struct Inner<T> {
@@ -65,7 +66,7 @@ impl<T> OneshotSender<T> {
     /// `&self` so the cell can sit behind shared reply-routing enums.
     pub fn send(&self, value: T) -> bool {
         let waker = {
-            let mut s = self.inner.lock().expect("oneshot lock poisoned");
+            let mut s = self.inner.lock();
             if s.closed {
                 return false;
             }
@@ -84,7 +85,7 @@ impl<T> OneshotSender<T> {
 impl<T> Drop for OneshotSender<T> {
     fn drop(&mut self) {
         let waker = {
-            let mut s = self.inner.lock().expect("oneshot lock poisoned");
+            let mut s = self.inner.lock();
             if s.closed {
                 return;
             }
@@ -103,7 +104,7 @@ impl<T> Future for OneshotReceiver<T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut s = self.inner.lock().expect("oneshot lock poisoned");
+        let mut s = self.inner.lock();
         if let Some(v) = s.value.take() {
             return Poll::Ready(Some(v));
         }

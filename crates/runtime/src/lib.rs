@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "conc-instrument")]
+pub mod conc_targets;
 mod data;
 mod error;
 mod lineage;
@@ -39,6 +41,7 @@ mod profile;
 mod reactor;
 mod scheduler;
 mod sim_engine;
+mod sleeper;
 mod stream;
 mod task_cell;
 mod workload;

@@ -61,8 +61,9 @@
 //!   original dispatch path bit-for-bit.
 
 use crate::error::RuntimeError;
-use crate::lockorder::{self, RANK_GRAPH, RANK_POOL, RANK_SHARD, RANK_SLEEP};
+use crate::lockorder::{self, RANK_GRAPH, RANK_POOL, RANK_SHARD};
 use crate::reactor::{Reactor, ReactorInner, Sleep};
+use crate::sleeper::CountedSleeper;
 use crate::stream::{PollRecv, PollSend, StreamChannel};
 use crate::task_cell::{ParkOutcome, TaskCell, WakeOutcome};
 use continuum_analyze::{
@@ -954,11 +955,9 @@ struct Shared {
     injector: Injector<Arc<TaskMeta>>,
     /// Steal handles onto every worker's deque, indexed by worker.
     stealers: Vec<Stealer<Arc<TaskMeta>>>,
-    /// Sleeper count, guarded so registration and `notify_one` pair up
-    /// without lost wakeups; `sleepers` mirrors it for lock-free reads.
-    sleep: Mutex<usize>,
-    sleep_cv: Condvar,
-    sleepers: AtomicUsize,
+    /// The counted-sleeper protocol parking idle workers (see
+    /// [`crate::sleeper`] for the lost-wakeup-freedom argument).
+    sleeper: CountedSleeper,
     /// Workers currently scanning the queues for work. New work skips
     /// the wakeup when a scanner is already guaranteed to find it.
     searching: AtomicUsize,
@@ -1019,14 +1018,7 @@ impl Shared {
     /// find the work anyway.
     fn wake_workers(&self, count: usize) {
         let deficit = count.saturating_sub(self.searching.load(Ordering::SeqCst));
-        if deficit == 0 || self.sleepers.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        let _order = lockorder::acquire(RANK_SLEEP, "sleep");
-        let guard = self.sleep.lock();
-        for _ in 0..deficit.min(*guard) {
-            self.sleep_cv.notify_one();
-        }
+        self.sleeper.wake(deficit);
     }
 
     /// Publishes `metas` (tasks that are ready to claim) to the global
@@ -1198,9 +1190,7 @@ impl LocalRuntime {
             }),
             injector: Injector::new(),
             stealers,
-            sleep: Mutex::new(0),
-            sleep_cv: Condvar::new(),
-            sleepers: AtomicUsize::new(0),
+            sleeper: CountedSleeper::new(),
             searching: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             blocked_count: AtomicUsize::new(0),
@@ -1670,11 +1660,7 @@ impl Drop for LocalRuntime {
         if let Some(mut reactor) = self.shared.reactor.lock().take() {
             reactor.stop();
         }
-        {
-            let _order = lockorder::acquire(RANK_SLEEP, "sleep");
-            let _guard = self.shared.sleep.lock();
-            self.shared.sleep_cv.notify_all();
-        }
+        self.shared.sleeper.wake_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -1825,35 +1811,22 @@ fn try_admit(shared: &Shared, meta: &Arc<TaskMeta>) -> bool {
 /// Counted sleep with a registered-then-recheck protocol: the sleeper
 /// count rises *before* the `pending` re-check, and producers raise
 /// `pending` *before* reading the sleeper count, so one side always
-/// sees the other (no lost wakeup).
+/// sees the other (no lost wakeup). The protocol itself lives in
+/// [`CountedSleeper`]; this supplies the executor's work predicate.
 fn sleep(shared: &Shared) {
-    let _order = lockorder::acquire(RANK_SLEEP, "sleep");
-    let mut count = shared.sleep.lock();
-    *count += 1;
-    shared.sleepers.store(*count, Ordering::SeqCst);
-    if shared.pending.load(Ordering::SeqCst) == 0
-        && !shared.shutdown.load(Ordering::SeqCst)
-        && !shared.poisoned.load(Ordering::SeqCst)
-    {
-        shared.sleep_cv.wait(&mut count);
-    }
-    *count -= 1;
-    shared.sleepers.store(*count, Ordering::SeqCst);
+    shared.sleeper.sleep_unless(|| {
+        shared.pending.load(Ordering::SeqCst) != 0
+            || shared.shutdown.load(Ordering::SeqCst)
+            || shared.poisoned.load(Ordering::SeqCst)
+    });
 }
 
 /// After a failure the run is poisoned: workers park here (without
 /// claiming tasks) until shutdown.
 fn park_poisoned(shared: &Shared) {
-    let _order = lockorder::acquire(RANK_SLEEP, "sleep");
-    let mut count = shared.sleep.lock();
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return;
-    }
-    *count += 1;
-    shared.sleepers.store(*count, Ordering::SeqCst);
-    shared.sleep_cv.wait(&mut count);
-    *count -= 1;
-    shared.sleepers.store(*count, Ordering::SeqCst);
+    shared
+        .sleeper
+        .sleep_until_notified(|| shared.shutdown.load(Ordering::SeqCst));
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {

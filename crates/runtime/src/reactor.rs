@@ -332,6 +332,110 @@ mod tests {
         assert_eq!(reactor.inner().pending_timers(), 1);
     }
 
+    struct RecordingWaker {
+        label: &'static str,
+        log: Arc<Mutex<Vec<&'static str>>>,
+    }
+
+    impl Wake for RecordingWaker {
+        fn wake(self: Arc<Self>) {
+            self.log.lock().push(self.label);
+        }
+    }
+
+    fn await_log_len(log: &Arc<Mutex<Vec<&'static str>>>, n: usize) {
+        let t0 = Instant::now();
+        while log.lock().len() < n {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "expected {n} fires, got {:?}",
+                log.lock().clone()
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn deadline_exactly_on_tick_boundary_fires_once() {
+        // A deadline landing exactly on a tick boundary must round to
+        // that tick (not the next) and fire exactly once — the
+        // div_ceil edge where remainder is zero.
+        let origin = Instant::now();
+        let tick = Duration::from_millis(1);
+        let reactor = Reactor::start(origin, tick);
+        assert_eq!(reactor.inner().deadline_tick(origin + tick * 50), 50);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        assert!(reactor.inner().register(
+            origin + tick * 50,
+            Waker::from(Arc::new(RecordingWaker {
+                label: "boundary",
+                log: Arc::clone(&log),
+            }))
+        ));
+        await_log_len(&log, 1);
+        // Let several more sweeps pass: the entry must not fire again.
+        thread::sleep(tick * 20);
+        assert_eq!(*log.lock(), vec!["boundary"]);
+        assert_eq!(reactor.inner().pending_timers(), 0);
+    }
+
+    #[test]
+    fn deadline_beyond_full_wheel_revolution_fires_once() {
+        // A deadline more than SLOTS ticks out wraps around the wheel:
+        // intermediate sweeps revisit its slot (entry not yet due) and
+        // the deadline sweep fires it exactly once.
+        let origin = Instant::now();
+        let tick = Duration::from_micros(200);
+        let reactor = Reactor::start(origin, tick);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let target = tick * (SLOTS as u32 + 10);
+        assert!(reactor.inner().register(
+            origin + target,
+            Waker::from(Arc::new(RecordingWaker {
+                label: "wrapped",
+                log: Arc::clone(&log),
+            }))
+        ));
+        // Mid-revolution the entry is still parked in its slot.
+        thread::sleep(target / 2);
+        assert_eq!(reactor.inner().pending_timers(), 1);
+        assert!(log.lock().is_empty(), "fired a revolution early");
+        await_log_len(&log, 1);
+        thread::sleep(tick * 20);
+        assert_eq!(*log.lock(), vec!["wrapped"]);
+        assert_eq!(reactor.inner().pending_timers(), 0);
+    }
+
+    #[test]
+    fn same_slot_different_tick_collision_fires_in_deadline_order() {
+        // Two deadlines exactly SLOTS ticks apart share a wheel slot.
+        // The absolute tick stored with each entry must fire the near
+        // one first and the far one a revolution later — each once.
+        let origin = Instant::now();
+        let tick = Duration::from_micros(500);
+        let reactor = Reactor::start(origin, tick);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Register far first so firing order cannot be insertion order.
+        assert!(reactor.inner().register(
+            origin + tick * (6 + SLOTS as u32),
+            Waker::from(Arc::new(RecordingWaker {
+                label: "far",
+                log: Arc::clone(&log),
+            }))
+        ));
+        assert!(reactor.inner().register(
+            origin + tick * 6,
+            Waker::from(Arc::new(RecordingWaker {
+                label: "near",
+                log: Arc::clone(&log),
+            }))
+        ));
+        await_log_len(&log, 2);
+        thread::sleep(tick * 20);
+        assert_eq!(*log.lock(), vec!["near", "far"]);
+        assert_eq!(reactor.inner().pending_timers(), 0);
+    }
+
     #[test]
     fn past_deadline_registration_is_refused() {
         let reactor = Reactor::start(

@@ -49,13 +49,12 @@
 #![deny(clippy::await_holding_lock)]
 
 use crate::lockorder::{self, RANK_STREAM};
-use parking_lot::Mutex;
+use continuum_platform::sync::{self, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Wake, Waker};
-use std::thread;
 use std::time::Instant;
 
 /// A shareable, type-erased stream element (same shape as the local
@@ -343,7 +342,7 @@ impl StreamChannel {
             match self.poll_send(&mut slot, approx_bytes, Some(&waker)) {
                 PollSend::Accepted => return (true, self.note_blocked_send(t0)),
                 PollSend::Closed => return (false, self.note_blocked_send(t0)),
-                PollSend::Full => thread::park(),
+                PollSend::Full => sync::park(),
             }
         }
     }
@@ -366,7 +365,7 @@ impl StreamChannel {
             match self.poll_recv(Some(&waker)) {
                 PollRecv::Element(v) => return (Some(v), self.note_blocked_recv(t0)),
                 PollRecv::EndOfStream => return (None, self.note_blocked_recv(t0)),
-                PollRecv::Empty => thread::park(),
+                PollRecv::Empty => sync::park(),
             }
         }
     }
@@ -398,10 +397,11 @@ impl StreamChannel {
 
 /// Waker that unparks a blocked OS thread: the bridge that lets the
 /// synchronous `send`/`recv` surface ride the same waker protocol as
-/// async endpoints. `std`'s park/unpark token makes the
-/// register-then-park sequence lossless: an unpark landing between the
-/// failed poll and the park is consumed by the park.
-struct ThreadUnpark(thread::Thread);
+/// async endpoints. The park/unpark token (std semantics, preserved by
+/// the instrumented layer) makes the register-then-park sequence
+/// lossless: an unpark landing between the failed poll and the park is
+/// consumed by the park.
+struct ThreadUnpark(sync::ParkHandle);
 
 impl Wake for ThreadUnpark {
     fn wake(self: Arc<Self>) {
@@ -415,12 +415,13 @@ impl Wake for ThreadUnpark {
 
 /// A waker for the calling thread.
 fn thread_waker() -> Waker {
-    Waker::from(Arc::new(ThreadUnpark(thread::current())))
+    Waker::from(Arc::new(ThreadUnpark(sync::park_handle())))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
 
     fn val(x: u64) -> Value {
         Arc::new(x)

@@ -25,8 +25,9 @@
 
 #![deny(clippy::await_holding_lock)]
 
+use continuum_platform::sync::AtomicU8;
 use crossbeam::hooks::yield_point;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Queued for dispatch; no worker owns the task.
 pub(crate) const SCHEDULED: u8 = 0;

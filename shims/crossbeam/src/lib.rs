@@ -40,6 +40,218 @@ pub mod hooks {
             std::thread::yield_now();
         }
     }
+
+    /// Scheduler-controlled execution: the channel through which a
+    /// deterministic exploration scheduler (see
+    /// `continuum_analyze::conc::sched`) observes and serializes every
+    /// synchronization operation of a set of *registered* threads.
+    ///
+    /// The contract:
+    ///
+    /// * A controller is installed process-globally with [`install`];
+    ///   threads taking part in a controlled scenario register with
+    ///   [`register_thread`]. Unregistered threads (the rest of the
+    ///   test process) pass through every hook untouched, so
+    ///   exploration can run inside an ordinary multi-threaded
+    ///   `cargo test` process.
+    /// * Instrumented primitives report each operation through
+    ///   [`sync_op`] (or fetch the controller with
+    ///   [`controller_for_current`] when they need the split
+    ///   grant/block protocol, e.g. a condvar wait that must release
+    ///   its mutex between the two). The controller blocks the calling
+    ///   thread until the scheduler grants the operation, which is how
+    ///   a single schedule choice sequences real threads.
+    /// * The fast path — no controller installed — is one relaxed
+    ///   atomic load.
+    pub mod sched {
+        use std::cell::Cell;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        /// One synchronization operation, as reported by an
+        /// instrumented primitive *before* it executes.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub enum SyncOp {
+            /// Mutex acquisition (blocks until the scheduler's
+            /// ownership model says the mutex is free).
+            MutexLock,
+            /// Mutex release.
+            MutexUnlock,
+            /// Condvar wait; atomically releases the mutex identified
+            /// by `mutex` (its object id) and blocks until notified
+            /// *and* granted the relock.
+            CondvarWait {
+                /// Object id of the mutex the wait releases.
+                mutex: usize,
+            },
+            /// Condvar notify-one (FIFO waiter selection under the
+            /// controller, for determinism).
+            CondvarNotifyOne,
+            /// Condvar notify-all.
+            CondvarNotifyAll,
+            /// Atomic load (acquire edge from prior writers).
+            AtomicLoad,
+            /// Atomic store (release edge to later readers).
+            AtomicStore,
+            /// Atomic read-modify-write (acquire + release).
+            AtomicRmw,
+            /// `thread::park` equivalent; consumes a pending unpark
+            /// token or blocks until one arrives.
+            Park,
+            /// Unpark of the registered thread `thread` (its tid).
+            Unpark {
+                /// Registered tid of the thread being unparked.
+                thread: usize,
+            },
+            /// Plain (non-atomic, unsynchronized) read of a data cell
+            /// — fodder for the happens-before race detector.
+            RaceRead,
+            /// Plain write of a data cell.
+            RaceWrite,
+            /// A critical-section entry that is serialized but carries
+            /// no ordering semantics of its own (the shim deque's
+            /// lock-protected windows).
+            Yield,
+        }
+
+        /// An operation plus the identity of the object it targets
+        /// (address-derived, stable for the lifetime of the scenario).
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub struct OpEvent {
+            /// What the thread is about to do.
+            pub op: SyncOp,
+            /// Which object it does it to.
+            pub obj: usize,
+        }
+
+        /// The scheduler's answer to a reported operation.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub enum Grant {
+            /// Execute the operation and run to the next sched point.
+            Proceed,
+            /// The operation cannot complete yet (park without a
+            /// token, condvar wait): call
+            /// [`Controller::block_point`] and wait to be resumed.
+            Block,
+            /// The exploration is being aborted (a deadlock witness
+            /// was found, or the budget ran out mid-run): unwind the
+            /// scenario thread via [`killed`] so it can be joined
+            /// instead of leaked.
+            Die,
+        }
+
+        /// Panic payload that identifies a controller-initiated kill
+        /// (an aborted run), as opposed to a genuine scenario panic.
+        pub const KILL_MSG: &str = "continuum-sched: scenario thread killed by exploration abort";
+
+        /// Unwinds the calling scenario thread with the recognizable
+        /// [`KILL_MSG`] payload. The exploration harness catches it and
+        /// records the thread as killed, not panicked.
+        pub fn killed() -> ! {
+            std::panic::panic_any(KILL_MSG)
+        }
+
+        /// The exploration scheduler's view of controlled threads.
+        pub trait Controller: Send + Sync {
+            /// Reports that registered thread `tid` is about to
+            /// perform `ev`; blocks until the scheduler grants it.
+            fn sched_point(&self, tid: usize, ev: OpEvent) -> Grant;
+
+            /// Parks `tid` at a blocking operation until the
+            /// scheduler resumes it (the second half of a
+            /// [`Grant::Block`]).
+            fn block_point(&self, tid: usize);
+        }
+
+        static ACTIVE: AtomicBool = AtomicBool::new(false);
+        static CONTROLLER: Mutex<Option<Arc<dyn Controller>>> = Mutex::new(None);
+
+        thread_local! {
+            static TID: Cell<Option<usize>> = const { Cell::new(None) };
+        }
+
+        /// Installs `controller` process-globally. Only registered
+        /// threads are affected; the installer must serialize
+        /// explorations itself (one controller at a time).
+        pub fn install(controller: Arc<dyn Controller>) {
+            *CONTROLLER
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(controller);
+            ACTIVE.store(true, Ordering::SeqCst);
+        }
+
+        /// Removes the installed controller.
+        pub fn uninstall() {
+            ACTIVE.store(false, Ordering::SeqCst);
+            *CONTROLLER
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+
+        /// Registers the calling thread as controlled scenario thread
+        /// `tid`.
+        pub fn register_thread(tid: usize) {
+            TID.with(|t| t.set(Some(tid)));
+        }
+
+        /// Deregisters the calling thread.
+        pub fn deregister_thread() {
+            TID.with(|t| t.set(None));
+        }
+
+        /// The calling thread's registered tid, if any.
+        pub fn current_tid() -> Option<usize> {
+            TID.with(|t| t.get())
+        }
+
+        /// The installed controller and the caller's tid — `None`
+        /// unless a controller is active *and* this thread is
+        /// registered. Primitives needing the split grant/block
+        /// protocol drive the [`Controller`] directly through this.
+        #[inline]
+        pub fn controller_for_current() -> Option<(Arc<dyn Controller>, usize)> {
+            if !ACTIVE.load(Ordering::Relaxed) {
+                return None;
+            }
+            let tid = TID.with(|t| t.get())?;
+            let ctl = CONTROLLER
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone()?;
+            Some((ctl, tid))
+        }
+
+        /// Reports `ev` for the calling thread and waits for the
+        /// grant, handling [`Grant::Block`] by parking at the block
+        /// point. Returns `true` if the thread is controlled (the
+        /// operation was serialized), `false` for the untouched fast
+        /// path.
+        #[inline]
+        pub fn sync_op(ev: OpEvent) -> bool {
+            let Some((ctl, tid)) = controller_for_current() else {
+                return false;
+            };
+            match ctl.sched_point(tid, ev) {
+                Grant::Proceed => {}
+                Grant::Block => ctl.block_point(tid),
+                Grant::Die => killed(),
+            }
+            true
+        }
+
+        /// Convenience: reports a serialized critical-section entry
+        /// on object `obj` (used by the shim deque so schedule
+        /// exploration can drive the Chase-Lev protocol).
+        #[inline]
+        pub fn yield_op(obj: usize) {
+            if ACTIVE.load(Ordering::Relaxed) {
+                sync_op(OpEvent {
+                    op: SyncOp::Yield,
+                    obj,
+                });
+            }
+        }
+    }
 }
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
@@ -192,6 +404,7 @@ pub mod channel {
 /// blocking, matching the lock-free original's progress guarantees at
 /// the API level.
 pub mod deque {
+    use crate::hooks::sched::yield_op;
     use crate::hooks::yield_point;
     use std::collections::VecDeque;
     use std::fmt;
@@ -287,15 +500,23 @@ pub mod deque {
             }
         }
 
+        /// This deque's identity for the sched controller: the shared
+        /// buffer's address, common to the worker and its stealers.
+        fn obj(&self) -> usize {
+            Arc::as_ptr(&self.queue) as usize
+        }
+
         /// Pushes an item onto the owner end.
         pub fn push(&self, item: T) {
             yield_point();
+            yield_op(self.obj());
             self.lock().items.push_back(item);
         }
 
         /// Pops an item from the owner end (per the flavor).
         pub fn pop(&self) -> Option<T> {
             yield_point();
+            yield_op(self.obj());
             let mut buf = self.lock();
             match self.flavor {
                 Flavor::Fifo => buf.items.pop_front(),
@@ -342,9 +563,15 @@ pub mod deque {
     }
 
     impl<T> Stealer<T> {
+        /// The source deque's identity for the sched controller.
+        fn obj(&self) -> usize {
+            Arc::as_ptr(&self.queue) as usize
+        }
+
         /// Steals one item from the front (oldest) end.
         pub fn steal(&self) -> Steal<T> {
             yield_point();
+            yield_op(self.obj());
             match lock_or_retry(&self.queue) {
                 Ok(mut buf) => match buf.items.pop_front() {
                     Some(v) => Steal::Success(v),
@@ -358,6 +585,7 @@ pub mod deque {
         /// one of them.
         pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
             yield_point();
+            yield_op(self.obj());
             let mut batch = match lock_or_retry(&self.queue) {
                 Ok(mut buf) => {
                     let n = buf.items.len().div_ceil(2).min(MAX_BATCH);
@@ -372,6 +600,7 @@ pub mod deque {
             // preemption between the source drain and the dest publish
             // is the widest race window in the protocol.
             yield_point();
+            yield_op(dest.obj());
             let first = batch.remove(0);
             if !batch.is_empty() {
                 let mut dst = dest.lock();
@@ -416,8 +645,14 @@ pub mod deque {
             }
         }
 
+        /// This injector's identity for the sched controller.
+        fn obj(&self) -> usize {
+            std::ptr::from_ref(&self.queue) as usize
+        }
+
         /// Pushes an item onto the back of the queue.
         pub fn push(&self, item: T) {
+            yield_op(self.obj());
             self.queue
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -427,6 +662,7 @@ pub mod deque {
 
         /// Steals one item from the front of the queue.
         pub fn steal(&self) -> Steal<T> {
+            yield_op(self.obj());
             match lock_or_retry(&self.queue) {
                 Ok(mut buf) => match buf.items.pop_front() {
                     Some(v) => Steal::Success(v),
@@ -439,6 +675,7 @@ pub mod deque {
         /// Steals up to half the items (capped) into `dest`, returning
         /// one of them.
         pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            yield_op(self.obj());
             let mut batch = match lock_or_retry(&self.queue) {
                 Ok(mut buf) => {
                     let n = buf.items.len().div_ceil(2).min(MAX_BATCH);
